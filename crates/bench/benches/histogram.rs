@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the Guha–Koudas baseline: O(1)
+//! maintenance vs expensive query-time construction, across N, B, ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swat_data::Dataset;
+use swat_histogram::{approximate_voptimal, HistogramConfig, SlidingHistogram};
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram/push");
+    g.sample_size(20);
+    let data = Dataset::Synthetic.series(2, 4096);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("N=1024", |b| {
+        b.iter_batched(
+            || SlidingHistogram::new(HistogramConfig::new(1024, 30, 0.1).expect("valid")),
+            |mut h| {
+                for &v in &data {
+                    h.push(v);
+                }
+                h
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_build_vs_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram/build_vs_n");
+    g.sample_size(10);
+    for n in [128usize, 512, 1024] {
+        let data = Dataset::Synthetic.series(3, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| black_box(approximate_voptimal(data, 30, 0.1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build_vs_buckets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram/build_vs_buckets");
+    g.sample_size(10);
+    let data = Dataset::Synthetic.series(4, 512);
+    for b_count in [8usize, 30, 64] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(b_count),
+            &b_count,
+            |b, &b_count| b.iter(|| black_box(approximate_voptimal(&data, b_count, 0.1))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_build_vs_epsilon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram/build_vs_epsilon");
+    g.sample_size(10);
+    let data = Dataset::Weather.series(5, 512);
+    for eps in [1.0f64, 0.1, 0.001] {
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| black_box(approximate_voptimal(&data, 30, eps)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_push,
+    bench_build_vs_n,
+    bench_build_vs_buckets,
+    bench_build_vs_epsilon
+);
+criterion_main!(benches);

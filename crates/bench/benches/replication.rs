@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the replication schemes: full small
+//! simulation runs per scheme, and SWAT-ASR event costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swat_data::Dataset;
+use swat_net::{MessageLedger, NodeId, Topology};
+use swat_replication::asr::SwatAsr;
+use swat_replication::harness::{run, WorkloadConfig};
+use swat_replication::{ReplicationScheme, SchemeKind};
+use swat_tree::InnerProductQuery;
+
+fn small_cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        window: 32,
+        t_data: 2,
+        t_query: 1,
+        delta: 20.0,
+        horizon: 800,
+        warmup: 200,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication/full_run");
+    g.sample_size(10);
+    let topo = Topology::complete_binary(2);
+    let data = Dataset::Weather.series(9, 500);
+    let cfg = small_cfg();
+    for kind in SchemeKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| black_box(run(kind, &topo, &data, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_asr_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication/asr_events");
+    g.sample_size(20);
+    let topo = Topology::complete_binary(3);
+    g.bench_function("on_data", |b| {
+        let mut asr = SwatAsr::new(topo.clone(), 64);
+        let mut ledger = MessageLedger::new();
+        let data = Dataset::Weather.series(1, 4096);
+        let mut i = 0usize;
+        b.iter(|| {
+            asr.on_data(i as u64, data[i % data.len()], &mut ledger);
+            i += 1;
+        })
+    });
+    g.bench_function("on_query_hit_path", |b| {
+        let mut asr = SwatAsr::new(topo.clone(), 64);
+        let mut ledger = MessageLedger::new();
+        for (i, v) in Dataset::Weather.series(2, 200).into_iter().enumerate() {
+            asr.on_data(i as u64, v, &mut ledger);
+        }
+        let q = InnerProductQuery::linear(8, 1e6);
+        // Warm the replication scheme.
+        for t in 0..50u64 {
+            asr.on_query(t, NodeId(3), &q, &mut ledger);
+            if t % 10 == 9 {
+                asr.on_phase_end(t, &mut ledger);
+            }
+        }
+        b.iter(|| black_box(asr.on_query(1000, NodeId(3), &q, &mut ledger)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_asr_events);
+criterion_main!(benches);

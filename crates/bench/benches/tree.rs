@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks for the SWAT tree: update throughput and
+//! query latency across window sizes and query lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swat_data::Dataset;
+use swat_tree::{InnerProductQuery, QueryOptions, RangeQuery, SwatConfig, SwatTree};
+
+fn warm_tree(n: usize, k: usize) -> SwatTree {
+    let mut tree = SwatTree::new(SwatConfig::with_coefficients(n, k).expect("valid"));
+    tree.extend(Dataset::Synthetic.series(3, 3 * n));
+    tree
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree/push");
+    g.sample_size(20);
+    for log_n in [8u32, 10, 14] {
+        let n = 1usize << log_n;
+        let data = Dataset::Synthetic.series(1, 4096);
+        g.throughput(Throughput::Elements(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || warm_tree(n, 1),
+                |mut tree| {
+                    for &v in &data {
+                        tree.push(v);
+                    }
+                    tree
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_push_vs_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree/push_vs_k");
+    g.sample_size(20);
+    let n = 1024;
+    let data = Dataset::Synthetic.series(1, 4096);
+    for k in [1usize, 4, 16, 64] {
+        g.throughput(Throughput::Elements(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter_batched(
+                || warm_tree(n, k),
+                |mut tree| {
+                    for &v in &data {
+                        tree.push(v);
+                    }
+                    tree
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree/point");
+    g.sample_size(30);
+    for log_n in [8u32, 10, 14] {
+        let n = 1usize << log_n;
+        let tree = warm_tree(n, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            let mut idx = 0usize;
+            b.iter(|| {
+                idx = (idx * 7 + 13) % n;
+                black_box(tree.point(idx).expect("warm"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_inner_product(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree/inner_product");
+    g.sample_size(30);
+    let n = 1024;
+    let tree = warm_tree(n, 1);
+    for m in [16usize, 64, 256, 1024] {
+        let q = InnerProductQuery::exponential(m, f64::INFINITY);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &q, |b, q| {
+            b.iter(|| black_box(tree.inner_product(q).expect("warm")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduced_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree/inner_product_min_level");
+    g.sample_size(30);
+    let n = 1024;
+    let tree = warm_tree(n, 1);
+    let q = InnerProductQuery::exponential(256, f64::INFINITY);
+    for level in [0usize, 3, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            let opts = QueryOptions::at_level(level);
+            b.iter(|| black_box(tree.inner_product_with(&q, opts).expect("warm")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree/range_query");
+    g.sample_size(30);
+    let n = 1024;
+    let tree = warm_tree(n, 1);
+    let q = RangeQuery::new(50.0, 5.0, 0, n - 1);
+    g.bench_function("full_window", |b| {
+        b.iter(|| black_box(tree.range_query(&q).expect("warm")))
+    });
+    g.finish();
+}
+
+fn bench_growing_push(c: &mut Criterion) {
+    use swat_tree::GrowingSwat;
+    let mut g = c.benchmark_group("tree/growing_push");
+    g.sample_size(20);
+    let data = Dataset::Synthetic.series(5, 4096);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("k=1", |b| {
+        b.iter_batched(
+            || {
+                let mut t = GrowingSwat::new(1);
+                t.extend(Dataset::Synthetic.series(6, 8192));
+                t
+            },
+            |mut t| {
+                for &v in &data {
+                    t.push(v);
+                }
+                t
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree/aggregate");
+    g.sample_size(30);
+    let tree = warm_tree(1024, 1);
+    for span in [16usize, 128, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, &span| {
+            b.iter(|| black_box(tree.aggregate(0, span - 1).expect("warm")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_push,
+    bench_push_vs_k,
+    bench_point,
+    bench_inner_product,
+    bench_reduced_levels,
+    bench_range_query,
+    bench_growing_push,
+    bench_aggregate
+);
+criterion_main!(benches);

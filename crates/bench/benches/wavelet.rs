@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the wavelet substrate: transforms and
+//! the O(k) coefficient merge powering the tree update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swat_data::Dataset;
+use swat_wavelet::{daubechies, haar, HaarCoeffs};
+
+fn bench_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wavelet/haar_forward");
+    g.sample_size(30);
+    for log_n in [8u32, 12, 16] {
+        let n = 1usize << log_n;
+        let data = Dataset::Synthetic.series(1, n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| black_box(haar::forward(data).expect("power of two")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wavelet/haar_inverse");
+    g.sample_size(30);
+    let n = 4096;
+    let coeffs = haar::forward(&Dataset::Synthetic.series(2, n)).expect("ok");
+    for k in [1usize, 16, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(haar::inverse(&coeffs[..k], n).expect("ok")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wavelet/haar_point");
+    g.sample_size(30);
+    let n = 4096;
+    let coeffs = haar::forward(&Dataset::Synthetic.series(2, n)).expect("ok");
+    g.bench_function("single_point", |b| {
+        let mut idx = 0usize;
+        b.iter(|| {
+            idx = (idx * 5 + 1) % n;
+            black_box(haar::point(&coeffs, n, idx).expect("ok"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wavelet/merge");
+    g.sample_size(30);
+    let data = Dataset::Synthetic.series(3, 2048);
+    for k in [1usize, 8, 64] {
+        let newer = HaarCoeffs::from_signal(&data[..1024], k).expect("ok");
+        let older = HaarCoeffs::from_signal(&data[1024..], k).expect("ok");
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(HaarCoeffs::merge(&newer, &older, k).expect("ok")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_daubechies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wavelet/daubechies4");
+    g.sample_size(30);
+    let data = Dataset::Synthetic.series(4, 4096);
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("forward", |b| {
+        b.iter(|| black_box(daubechies::forward(&data).expect("ok")))
+    });
+    g.finish();
+}
+
+fn bench_thresholded(c: &mut Criterion) {
+    use swat_wavelet::ThresholdedCoeffs;
+    let mut g = c.benchmark_group("wavelet/summary_k");
+    g.sample_size(20);
+    let data = Dataset::Weather.series(7, 1024);
+    for k in [16usize, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("largest_k", k),
+            &k,
+            |b, &k| b.iter(|| black_box(ThresholdedCoeffs::from_signal(&data, k).expect("ok"))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("prefix_k", k),
+            &k,
+            |b, &k| b.iter(|| black_box(HaarCoeffs::from_signal(&data, k).expect("ok"))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_inverse,
+    bench_point,
+    bench_merge,
+    bench_daubechies,
+    bench_thresholded
+);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Ablations of the design choices called out in DESIGN.md §7.
+//!
+//! 1. **Enclosure-based update suppression** (SWAT-ASR): messages with
+//!    the paper's suppression vs naive push-on-change.
+//! 2. **Coefficients per node** (`k`): centralized error vs space.
+//! 3. **Phase length**: SWAT-ASR messages vs ADR phase duration.
+
+use swat_bench::centralized::{error_experiment, ExperimentConfig, Mode, Shape};
+use swat_bench::report::{fmt, print_table};
+use swat_data::Dataset;
+use swat_net::Topology;
+use swat_replication::asr::SwatAsr;
+use swat_replication::harness::{run_scheme, WorkloadConfig};
+
+fn main() {
+    let seed = swat_bench::seed();
+    let quick = swat_bench::quick_mode();
+    enclosure_ablation(seed, quick);
+    coefficient_ablation(seed, quick);
+    phase_ablation(seed, quick);
+    summary_form_ablation(seed);
+    replication_granularity_ablation(seed, quick);
+}
+
+/// Range replicas (the paper's 1-coefficient mainline) vs k-coefficient
+/// replicas (§3's general case): hit rate and messages on wavy data with
+/// a moderately tight precision requirement.
+fn replication_granularity_ablation(seed: u64, quick: bool) {
+    use swat_replication::asr::SwatAsr;
+    let horizon: u64 = if quick { 2_000 } else { 8_000 };
+    let topo = Topology::single_client();
+    let cfg = WorkloadConfig {
+        window: 32,
+        t_data: 2,
+        t_query: 1,
+        delta: 8.0,
+        horizon,
+        warmup: horizon / 5,
+        seed,
+        ..WorkloadConfig::default()
+    };
+    // Wavy data: ranges stay wide, but a few coefficients describe each
+    // segment well.
+    let data: Vec<f64> = (0..(horizon / 2 + 2))
+        .map(|i| 50.0 + 10.0 * ((i as f64) * 0.4).sin())
+        .collect();
+    let mut rows = Vec::new();
+    {
+        let mut scheme = SwatAsr::new(topo.clone(), cfg.window);
+        let out = run_scheme(&mut scheme, &topo, &data, &cfg);
+        let hits = out.metrics.counter("local_hits");
+        let queries = out.metrics.counter("queries").max(1);
+        rows.push(vec![
+            "ranges (paper)".to_owned(),
+            out.ledger.total().to_string(),
+            format!("{:.2}", hits as f64 / queries as f64),
+        ]);
+    }
+    for k in [2usize, 4, 8] {
+        let mut scheme = SwatAsr::with_coefficients(topo.clone(), cfg.window, k);
+        let out = run_scheme(&mut scheme, &topo, &data, &cfg);
+        let hits = out.metrics.counter("local_hits");
+        let queries = out.metrics.counter("queries").max(1);
+        rows.push(vec![
+            format!("{k} coefficients"),
+            out.ledger.total().to_string(),
+            format!("{:.2}", hits as f64 / queries as f64),
+        ]);
+    }
+    print_table(
+        "Ablation 5: replica payload — ranges vs k coefficients (wavy data, tight delta)",
+        &["replica form", "messages (post-warmup)", "local hit rate"],
+        &rows,
+    );
+}
+
+/// Prefix-k (mergeable, what the tree uses) vs largest-k (energy-optimal
+/// but unmergeable) on static signals: how much L2 error the tree's
+/// incremental capability costs at equal budget.
+fn summary_form_ablation(seed: u64) {
+    use swat_wavelet::{HaarCoeffs, ThresholdedCoeffs};
+    let n = 1024;
+    let mut rows = Vec::new();
+    for (label, sig) in [
+        ("weather", Dataset::Weather.series(seed, n)),
+        ("synthetic", Dataset::Synthetic.series(seed, n)),
+    ] {
+        for k in [4usize, 16, 64] {
+            let prefix = HaarCoeffs::from_signal(&sig, k).expect("valid");
+            let rec = prefix.reconstruct();
+            let e_prefix: f64 = sig.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum();
+            let thresh = ThresholdedCoeffs::from_signal(&sig, k).expect("valid");
+            let e_thresh = thresh.l2_error(&sig);
+            rows.push(vec![
+                label.to_owned(),
+                k.to_string(),
+                fmt(e_prefix.sqrt()),
+                fmt(e_thresh.sqrt()),
+                format!("{:.2}", e_prefix.sqrt() / e_thresh.sqrt().max(1e-12)),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation 4: mergeable prefix-k vs energy-optimal largest-k (static L2 error)",
+        &["dataset", "k", "prefix-k L2", "largest-k L2", "prefix/largest"],
+        &rows,
+    );
+}
+
+fn enclosure_ablation(seed: u64, quick: bool) {
+    let horizon: u64 = if quick { 2_000 } else { 8_000 };
+    let topo = Topology::complete_binary(2);
+    let cfg = WorkloadConfig {
+        window: 64,
+        t_data: 2,
+        t_query: 1,
+        // Loose precision so clients actually hold replicas — enclosure
+        // suppression only matters once updates have someone to reach.
+        delta: 400.0,
+        horizon,
+        warmup: horizon / 5,
+        seed,
+        ..WorkloadConfig::default()
+    };
+    // A drifting random walk: segment ranges change constantly, but most
+    // new ranges stay enclosed in a slightly stale cached one — exactly
+    // the traffic the paper's suppression rule avoids.
+    let data: Vec<f64> = swat_data::walk::RandomWalk::new(seed, 0.0, 100.0, 2.0)
+        .take((horizon / 2 + 2) as usize)
+        .collect();
+    let mut rows = Vec::new();
+    for (label, enabled) in [("suppression ON (paper)", true), ("suppression OFF", false)] {
+        let mut scheme = SwatAsr::with_enclosure_suppression(topo.clone(), cfg.window, enabled);
+        let out = run_scheme(&mut scheme, &topo, &data, &cfg);
+        rows.push(vec![label.to_owned(), out.ledger.total().to_string()]);
+    }
+    print_table(
+        "Ablation 1: enclosure-based update suppression (SWAT-ASR, 6 clients)",
+        &["variant", "messages (post-warmup)"],
+        &rows,
+    );
+}
+
+fn coefficient_ablation(seed: u64, quick: bool) {
+    let window = 256;
+    let total = if quick { 3 * window } else { 10 * window };
+    let data = Dataset::Weather.series(seed, total);
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8, 16] {
+        let cfg = ExperimentConfig {
+            window,
+            warmup: 2 * window,
+            total,
+            mode: Mode::Fixed,
+            shape: Shape::Exponential,
+            query_len: 64,
+            seed,
+            coefficients: k,
+            with_histogram: false,
+            ..ExperimentConfig::default()
+        };
+        let r = error_experiment(&data, &cfg);
+        // Space: 3 log N - 2 summaries of <= k coefficients each.
+        let summaries = 3 * window.trailing_zeros() as usize - 2;
+        rows.push(vec![
+            k.to_string(),
+            fmt(r.swat_rel.mean()),
+            fmt(r.swat_abs.mean()),
+            format!("~{} coeffs", summaries * k),
+        ]);
+    }
+    print_table(
+        "Ablation 2: coefficients per node (k), fixed exponential queries, N=256",
+        &["k", "mean relative error", "mean absolute error", "space"],
+        &rows,
+    );
+}
+
+fn phase_ablation(seed: u64, quick: bool) {
+    let horizon: u64 = if quick { 2_000 } else { 8_000 };
+    let topo = Topology::single_client();
+    let data = Dataset::Weather.series(seed, (horizon + 2) as usize);
+    let mut rows = Vec::new();
+    for phase in [5u64, 10, 20, 40, 80, 160] {
+        let cfg = WorkloadConfig {
+            window: 32,
+            t_data: 2,
+            t_query: 1,
+            delta: 20.0,
+            horizon,
+            warmup: horizon / 5,
+            seed,
+            phase,
+            ..WorkloadConfig::default()
+        };
+        let mut scheme = SwatAsr::new(topo.clone(), cfg.window);
+        let out = run_scheme(&mut scheme, &topo, &data, &cfg);
+        let hits = out.metrics.counter("local_hits");
+        let queries = out.metrics.counter("queries").max(1);
+        rows.push(vec![
+            phase.to_string(),
+            out.ledger.total().to_string(),
+            format!("{:.2}", hits as f64 / queries as f64),
+        ]);
+    }
+    print_table(
+        "Ablation 3: ADR phase length (SWAT-ASR, single client)",
+        &["phase length", "messages (post-warmup)", "local hit rate"],
+        &rows,
+    );
+}

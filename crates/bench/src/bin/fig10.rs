@@ -1,0 +1,87 @@
+//! Reproduces Figure 10 of the SWAT paper: multi-client replication over
+//! complete binary trees, window N = 64, measuring exchanged messages.
+//!
+//! * **10(a)** — weather data, growing client populations (2/6/14/30);
+//! * **10(b)** — synthetic data, 6 clients, precision sweep.
+
+use swat_bench::report::print_table;
+use swat_data::Dataset;
+use swat_net::Topology;
+use swat_replication::harness::{run, WorkloadConfig};
+use swat_replication::SchemeKind;
+
+fn main() {
+    let quick = swat_bench::quick_mode();
+    let seed = swat_bench::seed();
+    let horizon: u64 = if quick { 2_000 } else { 10_000 };
+    let warmup = horizon / 5;
+    fig10a(seed, horizon, warmup, quick);
+    fig10b(seed, horizon, warmup);
+}
+
+fn fig10a(seed: u64, horizon: u64, warmup: u64, quick: bool) {
+    let depths: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3, 4] };
+    let mut rows = Vec::new();
+    for &depth in depths {
+        let topo = Topology::complete_binary(depth);
+        let cfg = WorkloadConfig {
+            window: 64,
+            t_data: 2,
+            t_query: 1,
+            delta: 30.0,
+            horizon,
+            warmup,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let data = Dataset::Weather.series(seed, (horizon / 2 + 2) as usize);
+        let mut row = vec![topo.client_count().to_string()];
+        for kind in SchemeKind::ALL {
+            let out = run(kind, &topo, &data, &cfg);
+            row.push(out.ledger.total().to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 10(a): messages vs number of clients (weather data, N=64, binary tree)",
+        &["clients", "SWAT-ASR", "DC", "APS"],
+        &rows,
+    );
+    println!(
+        "Expected shape: SWAT-ASR grows slowest with the client count — segments\n\
+         are shared down the hierarchy (paper: DC up to 3x, APS up to 4x more messages)."
+    );
+}
+
+fn fig10b(seed: u64, horizon: u64, warmup: u64) {
+    let topo = Topology::complete_binary(2); // 6 clients, the paper's setup
+    let mut rows = Vec::new();
+    for &delta in &[120.0, 60.0, 30.0, 15.0, 7.5] {
+        let cfg = WorkloadConfig {
+            window: 64,
+            t_data: 2,
+            t_query: 1,
+            delta,
+            horizon,
+            warmup,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let data = Dataset::Synthetic.series(seed, (horizon / 2 + 2) as usize);
+        let mut row = vec![format!("{delta}")];
+        for kind in SchemeKind::ALL {
+            let out = run(kind, &topo, &data, &cfg);
+            row.push(out.ledger.total().to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 10(b): messages vs precision (synthetic data, 6 clients, N=64)",
+        &["delta", "SWAT-ASR", "DC", "APS"],
+        &rows,
+    );
+    println!(
+        "Expected shape: SWAT-ASR beats the per-item baselines by a factor of ~3-4\n\
+         across the precision range (the paper's Figure 10(b))."
+    );
+}

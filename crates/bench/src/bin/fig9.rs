@@ -1,0 +1,98 @@
+//! Reproduces Figure 9 of the SWAT paper: single-client replication
+//! experiments over a window of 32, measuring exchanged messages.
+//!
+//! * **9(a)** — real (weather) data, sweep of the `T_d / T_q` ratio;
+//! * **9(b)** — synthetic data, same sweep;
+//! * **9(c)** — fixed rates (`T_q = 1`, `T_d = 2`), precision sweep.
+
+use swat_bench::report::print_table;
+use swat_data::Dataset;
+use swat_net::Topology;
+use swat_replication::harness::{run, WorkloadConfig};
+use swat_replication::SchemeKind;
+
+fn main() {
+    let quick = swat_bench::quick_mode();
+    let seed = swat_bench::seed();
+    let horizon: u64 = if quick { 2_000 } else { 12_000 };
+    let warmup = horizon / 5;
+
+    for (panel, dataset) in [("9(a)", Dataset::Weather), ("9(b)", Dataset::Synthetic)] {
+        ratio_sweep(panel, dataset, seed, horizon, warmup);
+    }
+    precision_sweep(seed, horizon, warmup);
+}
+
+fn ratio_sweep(panel: &str, dataset: Dataset, seed: u64, horizon: u64, warmup: u64) {
+    let topo = Topology::single_client();
+    // (T_d period, T_q period) pairs spanning data-rate/query-rate ratios
+    // 1/8 .. 8 (the paper's axis is a *rate* ratio: rate = 1/period).
+    let rates: &[(u64, u64)] = &[(8, 1), (4, 1), (2, 1), (1, 1), (1, 2), (1, 4), (1, 8)];
+    let mut rows = Vec::new();
+    for &(t_data, t_query) in rates {
+        let cfg = WorkloadConfig {
+            window: 32,
+            t_data,
+            t_query,
+            delta: 20.0,
+            horizon,
+            warmup,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let max_needed = (horizon / t_data + 2) as usize;
+        let data = dataset.series(seed, max_needed);
+        let mut row = vec![format!("{:.3}", t_query as f64 / t_data as f64)];
+        for kind in SchemeKind::ALL {
+            let out = run(kind, &topo, &data, &cfg);
+            row.push(out.ledger.total().to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Figure {panel}: messages vs data/query rate ratio ({}, N=32, single client)",
+            dataset.name()
+        ),
+        &["data rate / query rate", "SWAT-ASR", "DC", "APS"],
+        &rows,
+    );
+    println!(
+        "Expected shape: on the left (data rate < query rate) caching pays off and\n\
+         SWAT-ASR's segment-granular replicas need far fewer messages; on the right\n\
+         (write-heavy) the adaptive schemes stop caching and costs fall again."
+    );
+}
+
+fn precision_sweep(seed: u64, horizon: u64, warmup: u64) {
+    let topo = Topology::single_client();
+    let mut rows = Vec::new();
+    for &delta in &[80.0, 40.0, 20.0, 10.0, 5.0, 2.5] {
+        let cfg = WorkloadConfig {
+            window: 32,
+            t_data: 2,
+            t_query: 1,
+            delta,
+            horizon,
+            warmup,
+            seed,
+            ..WorkloadConfig::default()
+        };
+        let data = Dataset::Weather.series(seed, (horizon / 2 + 2) as usize);
+        let mut row = vec![format!("{delta}")];
+        for kind in SchemeKind::ALL {
+            let out = run(kind, &topo, &data, &cfg);
+            row.push(out.ledger.total().to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 9(c): messages vs precision requirement (real data, T_q=1, T_d=2, N=32)",
+        &["delta", "SWAT-ASR", "DC", "APS"],
+        &rows,
+    );
+    println!(
+        "Expected shape: costs grow as precision tightens (smaller delta); SWAT-ASR\n\
+         stays up to ~4-5x below DC and APS (the paper's Figure 9(c))."
+    );
+}

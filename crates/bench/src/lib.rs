@@ -1,0 +1,41 @@
+//! Benchmark harness for the SWAT reproduction.
+//!
+//! One binary per figure of the paper's evaluation (run with
+//! `cargo run --release -p swat-bench --bin <figN>`):
+//!
+//! | binary  | reproduces |
+//! |---------|------------|
+//! | `fig4`  | Fig 4(a)–(c): error over time, cumulative error, error vs number of levels |
+//! | `fig5`  | Fig 5(a)–(f): SWAT vs Histogram error in fixed and random query modes |
+//! | `fig6`  | Fig 6(a)–(b): maintenance time and query response time |
+//! | `fig9`  | Fig 9(a)–(c): single-client replication message costs |
+//! | `fig10` | Fig 10(a)–(b): multi-client replication message costs |
+//! | `space` | §2.7/§5.1 space comparisons |
+//! | `ablation` | DESIGN.md ablations: k coefficients, enclosure suppression, phase length |
+//!
+//! The shared experiment engines live here so the binaries stay thin and
+//! the integration tests can exercise the same code paths at reduced
+//! scale. Criterion micro-benchmarks are under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod centralized;
+pub mod report;
+
+/// Default seed used by all figure binaries (override with `SWAT_SEED`).
+pub const DEFAULT_SEED: u64 = 20030226; // the paper's date
+
+/// Read an environment override for quick smoke runs: `SWAT_QUICK=1`
+/// shrinks every experiment drastically (used by CI-style checks).
+pub fn quick_mode() -> bool {
+    std::env::var("SWAT_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The seed, honoring `SWAT_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("SWAT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}

@@ -1,0 +1,83 @@
+//! Plain-text table rendering for the figure binaries.
+
+/// Print a padded table: a header row, a rule, then the data rows.
+/// Columns are sized to their widest cell.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render = |cells: Vec<&str>| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", line.trim_end());
+    };
+    render(headers.to_vec());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        render(row.iter().map(String::as_str).collect());
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.001 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.5), "0.5000");
+        assert!(fmt(12345.0).contains('e'));
+        assert!(fmt(0.0001).contains('e'));
+    }
+
+    #[test]
+    fn fmt_duration_units() {
+        use std::time::Duration;
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with(" ms"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with(" µs"));
+        assert!(fmt_duration(Duration::from_nanos(50)).ends_with(" ns"));
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Minimal flag parsing (no external dependencies).
+//!
+//! Grammar: `swat <command> [--flag value]... [--switch]...`. Flags may
+//! appear in any order; unknown flags are errors; every flag has a typed
+//! accessor with a default.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus its flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    command: String,
+    flags: BTreeMap<String, Vec<String>>,
+    switches: Vec<String>,
+}
+
+/// Parse errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` had no value and is not a known switch.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `swat help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument {arg:?} (flags look like --name value)")
+            }
+            ArgError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag} {value:?}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Switch flags (no value).
+const SWITCHES: &[&str] = &["render", "stdin", "help"];
+
+impl Args {
+    /// Parse an iterator of arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// See [`ArgError`].
+    pub fn parse<I, S>(args: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut it = args.into_iter().map(Into::into).peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut switches = Vec::new();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            };
+            if SWITCHES.contains(&name) {
+                switches.push(name.to_owned());
+                continue;
+            }
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = it.next().expect("peeked");
+                    flags.entry(name.to_owned()).or_default().push(v);
+                }
+                _ => return Err(ArgError::MissingValue(name.to_owned())),
+            }
+        }
+        Ok(Args {
+            command,
+            flags,
+            switches,
+        })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// Whether a switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Last value of a repeatable flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All values of a repeatable flag.
+    pub fn get_all(&self, name: &str) -> &[String] {
+        self.flags.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Typed accessor with default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] if the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: name.to_owned(),
+                value: raw.to_owned(),
+                expected,
+            }),
+        }
+    }
+}
+
+/// Split a `a:b:c` style flag value into parts.
+pub fn split_spec(raw: &str) -> Vec<&str> {
+    raw.split(':').collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_flags_switches() {
+        let a = Args::parse([
+            "summarize", "--window", "64", "--point", "0", "--point", "5", "--render",
+        ])
+        .unwrap();
+        assert_eq!(a.command(), "summarize");
+        assert_eq!(a.get("window"), Some("64"));
+        assert_eq!(a.get_all("point"), &["0".to_owned(), "5".to_owned()]);
+        assert!(a.switch("render"));
+        assert!(!a.switch("stdin"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = Args::parse(["x", "--n", "12"]).unwrap();
+        assert_eq!(a.get_parsed("n", 0usize, "int").unwrap(), 12);
+        assert_eq!(a.get_parsed("missing", 7usize, "int").unwrap(), 7);
+        let a = Args::parse(["x", "--n", "nope"]).unwrap();
+        assert!(matches!(
+            a.get_parsed("n", 0usize, "an integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(Args::parse(Vec::<String>::new()), Err(ArgError::MissingCommand));
+        assert_eq!(
+            Args::parse(["--window", "x"]),
+            Err(ArgError::MissingCommand)
+        );
+        assert_eq!(
+            Args::parse(["cmd", "--flag"]),
+            Err(ArgError::MissingValue("flag".into()))
+        );
+        assert_eq!(
+            Args::parse(["cmd", "stray"]),
+            Err(ArgError::UnexpectedPositional("stray".into()))
+        );
+        // A flag followed by another flag has no value.
+        assert_eq!(
+            Args::parse(["cmd", "--a", "--b", "1"]),
+            Err(ArgError::MissingValue("a".into()))
+        );
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        // "-5" does not start with "--", so it is a value.
+        let a = Args::parse(["cmd", "--center", "-5"]).unwrap();
+        assert_eq!(a.get("center"), Some("-5"));
+    }
+
+    #[test]
+    fn split_spec_works() {
+        assert_eq!(split_spec("exp:32:10"), vec!["exp", "32", "10"]);
+        assert_eq!(split_spec("plain"), vec!["plain"]);
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            ArgError::MissingCommand,
+            ArgError::MissingValue("x".into()),
+            ArgError::UnexpectedPositional("y".into()),
+            ArgError::BadValue { flag: "f".into(), value: "v".into(), expected: "int" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Library backing the `swat` command-line tool (see `main.rs`).
+//!
+//! Split from the binary so the parser and command plumbing are unit- and
+//! fuzz-testable like any other crate.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,43 @@
+//! `swat` — command-line interface to the SWAT stream summarizer.
+//!
+//! ```text
+//! swat summarize --window 256 --file data.csv --point 0 --inner exp:32:10
+//! swat simulate --scheme all --topology binary --depth 2 --window 64
+//! swat generate --dataset weather --count 1000 --seed 7
+//! swat help
+//! ```
+
+use std::process::ExitCode;
+use swat_cli::{args, commands};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        commands::print_help();
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.switch("help") || parsed.command() == "help" {
+        commands::print_help();
+        return ExitCode::SUCCESS;
+    }
+    let result = match parsed.command() {
+        "summarize" => commands::summarize(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "generate" => commands::generate(&parsed),
+        other => Err(format!("unknown command {other:?} (try `swat help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The argument parser must never panic, whatever the shell throws at it.
+
+use proptest::prelude::*;
+use swat_cli::args::Args;
+
+proptest! {
+    #[test]
+    fn parser_never_panics(args in prop::collection::vec(".{0,24}", 0..12)) {
+        let _ = Args::parse(args);
+    }
+
+    #[test]
+    fn parser_never_panics_flag_shaped(
+        args in prop::collection::vec(
+            prop_oneof![
+                Just("--window".to_owned()),
+                Just("--point".to_owned()),
+                Just("--render".to_owned()),
+                "[a-z0-9:.-]{0,12}",
+                "--[a-z]{0,8}",
+            ],
+            0..16,
+        )
+    ) {
+        let _ = Args::parse(args);
+    }
+
+    /// Parsed flag values are recoverable verbatim.
+    #[test]
+    fn values_roundtrip(value in "[a-z0-9:.]{1,20}") {
+        let a = Args::parse(["cmd".to_owned(), "--flag".to_owned(), value.clone()]).unwrap();
+        prop_assert_eq!(a.get("flag"), Some(value.as_str()));
+    }
+}

@@ -1,0 +1,93 @@
+//! Minimal CSV/column loader so the genuine datasets (e.g. the Santa
+//! Barbara temperature series the paper used) can be dropped into the
+//! experiments.
+//!
+//! The format is deliberately forgiving: one record per line; the *last*
+//! comma-separated field of each line is parsed as the value (so both bare
+//! `72.5` lines and `1994-01-01,72.5` lines work); blank lines and lines
+//! starting with `#` are skipped; a non-numeric first record is treated as
+//! a header and skipped.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parse values from CSV text (see module docs for the accepted shapes).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] if a non-header line's value
+/// field fails to parse as `f64`.
+pub fn parse_values(text: &str) -> io::Result<Vec<f64>> {
+    let mut out = Vec::new();
+    let mut first_record = true;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let field = line.rsplit(',').next().unwrap_or(line).trim();
+        match field.parse::<f64>() {
+            Ok(v) => out.push(v),
+            Err(_) if first_record => { /* header line */ }
+            Err(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: cannot parse {field:?} as a number", lineno + 1),
+                ))
+            }
+        }
+        first_record = false;
+    }
+    Ok(out)
+}
+
+/// Load values from a file at `path`.
+///
+/// # Errors
+///
+/// I/O errors from reading the file, plus the parse errors of
+/// [`parse_values`].
+pub fn load_values<P: AsRef<Path>>(path: P) -> io::Result<Vec<f64>> {
+    parse_values(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_values() {
+        let v = parse_values("1.5\n2.5\n\n3.5\n").unwrap();
+        assert_eq!(v, vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn parses_last_field_of_csv_rows() {
+        let v = parse_values("1994-01-01,72.5\n1994-01-02,68.0\n").unwrap();
+        assert_eq!(v, vec![72.5, 68.0]);
+    }
+
+    #[test]
+    fn skips_header_and_comments() {
+        let v = parse_values("# Santa Barbara\ndate,tmax\n1994-01-01,72.5\n").unwrap();
+        assert_eq!(v, vec![72.5]);
+    }
+
+    #[test]
+    fn rejects_garbage_after_first_record() {
+        let e = parse_values("1.0\nnot-a-number\n").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn loads_from_file() {
+        let dir = std::env::temp_dir().join("swat-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vals.csv");
+        std::fs::write(&path, "10\n20\n30\n").unwrap();
+        assert_eq!(load_values(&path).unwrap(), vec![10.0, 20.0, 30.0]);
+        assert!(load_values(dir.join("missing.csv")).is_err());
+    }
+}

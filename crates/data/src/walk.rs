@@ -1,0 +1,140 @@
+//! Bounded random-walk generator.
+//!
+//! Useful as a third workload between the extremes the paper evaluates:
+//! smoother than i.i.d. uniform, rougher than the seasonal weather series.
+//! The paper's error analysis (§2.6) models exactly this kind of stream —
+//! "each incoming data point differs by ε from the previous value" — so the
+//! walk with a fixed step doubles as the analytical worst case for the
+//! error-bound tests in `swat-tree`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Endless reflected random walk within `[lo, hi]`.
+#[derive(Debug)]
+pub struct RandomWalk {
+    rng: StdRng,
+    value: f64,
+    step: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl RandomWalk {
+    /// A walk starting at the midpoint of `[lo, hi]` with maximum step size
+    /// `step` per tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or `step` is not positive and finite.
+    pub fn new(seed: u64, lo: f64, hi: f64, step: f64) -> Self {
+        assert!(lo < hi, "empty range [{lo}, {hi}]");
+        assert!(step > 0.0 && step.is_finite(), "bad step {step}");
+        RandomWalk {
+            rng: StdRng::seed_from_u64(seed),
+            value: (lo + hi) * 0.5,
+            step,
+            lo,
+            hi,
+        }
+    }
+
+    /// Deterministic ramp: every value exceeds the previous by exactly
+    /// `epsilon`, wrapping at `hi` back to `lo` — the stream of the paper's
+    /// §2.6 error analysis.
+    pub fn ramp(lo: f64, hi: f64, epsilon: f64) -> Ramp {
+        assert!(lo < hi && epsilon > 0.0);
+        Ramp {
+            value: lo,
+            lo,
+            hi,
+            epsilon,
+        }
+    }
+}
+
+impl Iterator for RandomWalk {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let delta = self.rng.gen_range(-self.step..=self.step);
+        let mut v = self.value + delta;
+        // Reflect at the boundaries.
+        if v > self.hi {
+            v = 2.0 * self.hi - v;
+        }
+        if v < self.lo {
+            v = 2.0 * self.lo - v;
+        }
+        self.value = v.clamp(self.lo, self.hi);
+        Some(self.value)
+    }
+}
+
+/// Deterministic ε-increment stream (see [`RandomWalk::ramp`]).
+#[derive(Debug)]
+pub struct Ramp {
+    value: f64,
+    lo: f64,
+    hi: f64,
+    epsilon: f64,
+}
+
+impl Iterator for Ramp {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let out = self.value;
+        self.value += self.epsilon;
+        if self.value > self.hi {
+            self.value = self.lo;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_stays_in_bounds_and_respects_step() {
+        let mut prev: Option<f64> = None;
+        for v in RandomWalk::new(5, 0.0, 100.0, 2.5).take(10_000) {
+            assert!((0.0..=100.0).contains(&v));
+            if let Some(p) = prev {
+                // One reflection can at most double the apparent step.
+                assert!((v - p).abs() <= 5.0 + 1e-9);
+            }
+            prev = Some(v);
+        }
+    }
+
+    #[test]
+    fn walk_is_deterministic() {
+        let a: Vec<f64> = RandomWalk::new(9, 0.0, 10.0, 0.5).take(100).collect();
+        let b: Vec<f64> = RandomWalk::new(9, 0.0, 10.0, 0.5).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ramp_increments_by_epsilon() {
+        let xs: Vec<f64> = RandomWalk::ramp(0.0, 1000.0, 0.25).take(100).collect();
+        for w in xs.windows(2) {
+            assert!((w[1] - w[0] - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(xs[0], 0.0);
+    }
+
+    #[test]
+    fn ramp_wraps() {
+        let xs: Vec<f64> = RandomWalk::ramp(0.0, 1.0, 0.6).take(4).collect();
+        assert_eq!(xs, vec![0.0, 0.6, 0.0, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad step")]
+    fn walk_rejects_nonpositive_step() {
+        let _ = RandomWalk::new(0, 0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! `(1+ε)`-approximate V-optimal construction (Guha–Koudas–Shim).
+//!
+//! The exact dynamic program evaluates, for every row `b` and every
+//! position `i`, all `i` candidate split points `j`. The GKS device
+//! exploits that the previous row's error `E[b−1][j]` is nondecreasing in
+//! `j` while the tail cost `SSE(j+1, i)` is nonincreasing: it suffices to
+//! probe one `j` inside every run of `j`s whose `E[b−1][j]` values agree
+//! to within a `(1+δ)` factor — the largest such `j` dominates the run up
+//! to that factor. Compounding over `B` rows, `δ = ε / (2B)` yields a
+//! `(1+ε)`-approximation of the optimal error ([GKS, STOC'01];
+//! [Guha–Koudas, ICDE'02] make it incremental).
+//!
+//! The number of probed split points per position is
+//! `O(log_{1+δ} (E_max/E_min))`, so smaller `ε` probes more points and
+//! costs more — exactly the accuracy/construction-time trade-off the SWAT
+//! paper sweeps (`ε ∈ {0.1, 0.01, 0.001}`). For very small `ε` the probe
+//! set degenerates to all positions and the cost approaches the exact
+//! `O(B n²)` program; this matches the paper's observation that the
+//! baseline's query cost blows up as `ε` shrinks.
+
+use crate::buckets::{Bucket, Histogram};
+use crate::prefix::PrefixSums;
+
+/// Build a `(1+ε)`-approximate V-optimal `b`-bucket histogram of `values`
+/// (natural order).
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `b == 0`, or `epsilon <= 0`.
+pub fn approximate_voptimal(values: &[f64], b: usize, epsilon: f64) -> Histogram {
+    let n = values.len();
+    assert!(n > 0, "cannot build a histogram of nothing");
+    assert!(b > 0, "need at least one bucket");
+    assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+    let b = b.min(n);
+    let p = PrefixSums::new(values);
+    // Per-row multiplicative slack compounding to (1 + epsilon) over b rows.
+    let delta = epsilon / (2.0 * b as f64);
+
+    let mut err: Vec<f64> = (0..n).map(|i| p.sse(0, i)).collect();
+    let mut choices: Vec<Vec<usize>> = vec![vec![0; n]]; // row 1 placeholder
+    for _row in 2..=b {
+        // Probe points: the largest j in each (1+delta)-run of err.
+        let probes = probe_points(&err, delta);
+        let mut next = vec![0.0; n];
+        let mut ch = vec![usize::MAX; n];
+        for i in 0..n {
+            let mut best = err[i]; // reuse of the previous row (fewer buckets)
+            let mut best_j = usize::MAX;
+            // Binary search: probes are sorted; only j < i are eligible.
+            let hi = probes.partition_point(|&j| j < i);
+            for &j in &probes[..hi] {
+                let cand = err[j] + p.sse(j + 1, i);
+                if cand < best {
+                    best = cand;
+                    best_j = j;
+                }
+            }
+            // Always consider the immediate predecessor: it caps the last
+            // bucket at a single run and tightens constant tails.
+            if i > 0 {
+                let j = i - 1;
+                let cand = err[j] + p.sse(j + 1, i);
+                if cand < best {
+                    best = cand;
+                    best_j = j;
+                }
+            }
+            next[i] = best;
+            ch[i] = best_j;
+        }
+        err = next;
+        choices.push(ch);
+    }
+
+    let mut boundaries = vec![n - 1];
+    let mut i = n - 1;
+    let mut row = b;
+    while row > 1 {
+        let j = choices[row - 1][i];
+        row -= 1;
+        if j == usize::MAX {
+            continue;
+        }
+        boundaries.push(j);
+        i = j;
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    let mut buckets = Vec::with_capacity(boundaries.len());
+    let mut start = 0;
+    for &end in &boundaries {
+        buckets.push(Bucket {
+            start,
+            end,
+            value: p.mean(start, end),
+            sse: p.sse(start, end),
+        });
+        start = end + 1;
+    }
+    Histogram::new(buckets, n)
+}
+
+/// The largest index of every `(1+delta)`-run of the nondecreasing error
+/// row: `j` is kept iff `err[j+1]` would exceed `(1+delta) * err[j]` (or
+/// `j` is the last index). Zero-error prefixes collapse into their last
+/// index.
+fn probe_points(err: &[f64], delta: f64) -> Vec<usize> {
+    let n = err.len();
+    let mut probes = Vec::new();
+    for j in 0..n {
+        if j + 1 == n {
+            probes.push(j);
+            break;
+        }
+        let here = err[j];
+        let next = err[j + 1];
+        let threshold = if here == 0.0 { 0.0 } else { here * (1.0 + delta) };
+        if next > threshold {
+            probes.push(j);
+        }
+    }
+    probes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voptimal::optimal_sse;
+
+    #[test]
+    fn probe_points_respect_runs() {
+        // err = [0, 0, 1, 1.0005, 2, 2] with delta = 0.01:
+        // keep j=1 (end of zero run), j=3 (end of the ~1 run), j=5 (last).
+        let err = [0.0, 0.0, 1.0, 1.0005, 2.0, 2.0];
+        let probes = probe_points(&err, 0.01);
+        assert_eq!(probes, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn matches_exact_on_plateaus() {
+        let data = [2.0, 2.0, 2.0, 8.0, 8.0, 8.0, 5.0, 5.0];
+        let h = approximate_voptimal(&data, 3, 0.1);
+        assert!(h.sse() < 1e-12, "three plateaus, three buckets");
+    }
+
+    #[test]
+    fn within_one_plus_epsilon_of_optimal() {
+        // Random-ish data; check the approximation guarantee for several
+        // (B, eps) combinations.
+        let data: Vec<f64> = (0..64).map(|i| ((i * 37) % 29) as f64).collect();
+        for b in [2usize, 4, 8] {
+            for eps in [0.5, 0.1, 0.01] {
+                let approx = approximate_voptimal(&data, b, eps).sse();
+                let exact = optimal_sse(&data, b);
+                assert!(
+                    approx <= (1.0 + eps) * exact + 1e-9,
+                    "b={b} eps={eps}: {approx} > (1+eps) * {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_probes_more_points() {
+        let err: Vec<f64> = (0..1000).map(|i| (i as f64 + 1.0).powf(1.5)).collect();
+        let coarse = probe_points(&err, 0.5).len();
+        let fine = probe_points(&err, 0.001).len();
+        assert!(
+            fine > 5 * coarse,
+            "fine probing ({fine}) should dwarf coarse ({coarse})"
+        );
+    }
+
+    #[test]
+    fn single_value_and_single_bucket() {
+        let h = approximate_voptimal(&[7.0], 5, 0.1);
+        assert_eq!(h.buckets().len(), 1);
+        assert_eq!(h.value_at(0), 7.0);
+        let h = approximate_voptimal(&[1.0, 2.0, 3.0, 4.0], 1, 0.1);
+        assert_eq!(h.buckets().len(), 1);
+        assert_eq!(h.value_at(0), 2.5);
+    }
+
+    #[test]
+    fn bucket_count_respects_budget() {
+        let data: Vec<f64> = (0..128).map(|i| ((i * 91) % 53) as f64).collect();
+        for b in [1usize, 3, 10, 30] {
+            let h = approximate_voptimal(&data, b, 0.1);
+            assert!(h.buckets().len() <= b, "b={b}: got {}", h.buckets().len());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Histogram buckets and the answering interface.
+//!
+//! A built histogram is a partition of the window positions into
+//! contiguous buckets, each represented by its mean. Positions here are in
+//! *natural order* (0 = oldest in the window), because that is how the
+//! dynamic programs build them; the public [`Histogram::value_at`] speaks
+//! the SWAT window-index convention (0 = newest) so the two summaries are
+//! interchangeable in experiments.
+
+/// One bucket: positions `start..=end` (natural order) with mean `value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// First position covered (inclusive, natural order).
+    pub start: usize,
+    /// Last position covered (inclusive).
+    pub end: usize,
+    /// Mean of the covered values — the bucket's representative.
+    pub value: f64,
+    /// Sum of squared errors within the bucket.
+    pub sse: f64,
+}
+
+impl Bucket {
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Buckets always cover at least one position.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A built B-bucket histogram over one snapshot of the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<Bucket>,
+    n: usize,
+}
+
+impl Histogram {
+    /// Assemble from buckets that must tile `0..n` contiguously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buckets do not tile the domain.
+    pub fn new(buckets: Vec<Bucket>, n: usize) -> Self {
+        assert!(!buckets.is_empty(), "histogram needs at least one bucket");
+        let mut expect = 0;
+        for b in &buckets {
+            assert_eq!(b.start, expect, "buckets must tile contiguously");
+            assert!(b.end >= b.start && b.end < n);
+            expect = b.end + 1;
+        }
+        assert_eq!(expect, n, "buckets must cover the whole window");
+        Histogram { buckets, n }
+    }
+
+    /// The buckets, in natural order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Number of window positions covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Histograms are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total sum of squared errors (the V-optimal objective).
+    pub fn sse(&self) -> f64 {
+        self.buckets.iter().map(|b| b.sse).sum()
+    }
+
+    /// Approximate value at *window index* `idx` (0 = newest), matching
+    /// the SWAT tree's convention. Binary search over bucket boundaries:
+    /// `O(log B)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn value_at(&self, idx: usize) -> f64 {
+        assert!(idx < self.n, "index {idx} out of bounds for {}", self.n);
+        let pos = self.n - 1 - idx; // newest-first -> natural order
+        let i = self
+            .buckets
+            .partition_point(|b| b.end < pos);
+        self.buckets[i].value
+    }
+
+    /// Reconstruct the whole approximate window, newest first.
+    pub fn reconstruct_window(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n);
+        for b in self.buckets.iter().rev() {
+            for _ in b.start..=b.end {
+                out.push(b.value);
+            }
+        }
+        out
+    }
+
+    /// Weighted sum `Σ weights[j] · value_at(indices[j])` — how the
+    /// baseline answers the paper's inner-product queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices or mismatched lengths.
+    pub fn inner_product(&self, indices: &[usize], weights: &[f64]) -> f64 {
+        assert_eq!(indices.len(), weights.len());
+        indices
+            .iter()
+            .zip(weights)
+            .map(|(&i, &w)| w * self.value_at(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> Histogram {
+        Histogram::new(
+            vec![
+                Bucket { start: 0, end: 2, value: 1.0, sse: 0.5 },
+                Bucket { start: 3, end: 3, value: 9.0, sse: 0.0 },
+                Bucket { start: 4, end: 7, value: 4.0, sse: 1.5 },
+            ],
+            8,
+        )
+    }
+
+    #[test]
+    fn indexing_converts_conventions() {
+        let h = hist();
+        // Window index 0 = natural position 7 -> last bucket.
+        assert_eq!(h.value_at(0), 4.0);
+        assert_eq!(h.value_at(3), 4.0);
+        assert_eq!(h.value_at(4), 9.0);
+        assert_eq!(h.value_at(5), 1.0);
+        assert_eq!(h.value_at(7), 1.0);
+    }
+
+    #[test]
+    fn reconstruct_window_is_newest_first() {
+        let h = hist();
+        assert_eq!(
+            h.reconstruct_window(),
+            vec![4.0, 4.0, 4.0, 4.0, 9.0, 1.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn sse_totals() {
+        assert_eq!(hist().sse(), 2.0);
+    }
+
+    #[test]
+    fn inner_product_answers() {
+        let h = hist();
+        let v = h.inner_product(&[0, 4], &[2.0, 1.0]);
+        assert_eq!(v, 2.0 * 4.0 + 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn rejects_gappy_buckets() {
+        let _ = Histogram::new(
+            vec![
+                Bucket { start: 0, end: 1, value: 0.0, sse: 0.0 },
+                Bucket { start: 3, end: 3, value: 0.0, sse: 0.0 },
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn value_at_bounds() {
+        let _ = hist().value_at(8);
+    }
+}

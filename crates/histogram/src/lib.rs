@@ -1,0 +1,282 @@
+//! Guha–Koudas sliding-window histogram — the baseline the SWAT paper
+//! compares against ("the most recent sliding-window algorithm proposed in
+//! the literature", referred to as *Histogram*).
+//!
+//! Reimplemented from the description in S. Guha & N. Koudas,
+//! *Approximating a data stream for querying and estimation: Algorithms
+//! and performance evaluation*, ICDE 2002, as characterized by the SWAT
+//! paper:
+//!
+//! * **Maintenance** is `O(1)` per arrival: "the Histogram technique
+//!   computes only the sum and the squared sum with every arrival; the
+//!   rest of the summary is computed at every query." The window values
+//!   are retained (space `O(N)`, as the SWAT paper notes when contrasting
+//!   with its own `O(log N)`).
+//! * **At query time** a `B`-bucket histogram minimizing the sum of
+//!   squared errors (a V-optimal histogram) is constructed to within a
+//!   `(1+ε)` factor of optimal, using the Guha–Koudas–Shim device of
+//!   restricting the dynamic program to split points where the
+//!   previous-row error grows by a `(1+δ)` factor. Smaller ε gives a
+//!   better histogram at a higher construction cost — the knob the SWAT
+//!   paper sweeps in its Figures 5 and 6.
+//! * Queries are answered from the bucket averages.
+//!
+//! ```
+//! use swat_histogram::{HistogramConfig, SlidingHistogram};
+//!
+//! let mut h = SlidingHistogram::new(HistogramConfig::new(64, 8, 0.1).unwrap());
+//! for i in 0..200 {
+//!     h.push((i % 10) as f64);
+//! }
+//! let hist = h.build();
+//! let newest = hist.value_at(0); // window index 0 = newest
+//! assert!((0.0..=9.0).contains(&newest));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod approx;
+pub mod buckets;
+pub mod prefix;
+pub mod uniform;
+pub mod voptimal;
+
+pub use approx::approximate_voptimal;
+pub use buckets::{Bucket, Histogram};
+pub use prefix::PrefixSums;
+pub use uniform::uniform_buckets;
+pub use voptimal::exact_voptimal;
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Configuration of a [`SlidingHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramConfig {
+    window: usize,
+    buckets: usize,
+    epsilon: f64,
+}
+
+impl HistogramConfig {
+    /// Window size `N`, bucket budget `B`, approximation knob `ε`.
+    ///
+    /// # Errors
+    ///
+    /// [`HistogramError::BadConfig`] if `window == 0`, `buckets == 0`, or
+    /// `epsilon <= 0`.
+    pub fn new(window: usize, buckets: usize, epsilon: f64) -> Result<Self, HistogramError> {
+        if window == 0 || buckets == 0 || epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(HistogramError::BadConfig);
+        }
+        Ok(HistogramConfig {
+            window,
+            buckets,
+            epsilon,
+        })
+    }
+
+    /// Window size `N`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Bucket budget `B`.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Approximation parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// Errors from histogram operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramError {
+    /// Invalid configuration parameters.
+    BadConfig,
+    /// No data has arrived yet.
+    Empty,
+    /// Queried index outside the current window contents.
+    IndexOutOfWindow {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::BadConfig => {
+                write!(f, "window and buckets must be positive, epsilon > 0")
+            }
+            HistogramError::Empty => write!(f, "no data in window"),
+            HistogramError::IndexOutOfWindow { index } => {
+                write!(f, "index {index} outside current window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+/// The sliding-window histogram baseline.
+///
+/// Per-arrival maintenance is `O(1)`; [`SlidingHistogram::build`] performs
+/// the expensive `(1+ε)`-approximate V-optimal construction.
+#[derive(Debug, Clone)]
+pub struct SlidingHistogram {
+    config: HistogramConfig,
+    /// Window values, oldest at the front (natural DP order).
+    window: VecDeque<f64>,
+    /// Running sum over the window (maintained per arrival, as in the
+    /// paper's description of the baseline's maintenance work).
+    running_sum: f64,
+    /// Running squared sum over the window.
+    running_sq_sum: f64,
+}
+
+impl SlidingHistogram {
+    /// An empty sliding histogram.
+    pub fn new(config: HistogramConfig) -> Self {
+        SlidingHistogram {
+            config,
+            window: VecDeque::with_capacity(config.window),
+            running_sum: 0.0,
+            running_sq_sum: 0.0,
+        }
+    }
+
+    /// Feed one value (O(1): ring update plus the running sums).
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "stream values must be finite");
+        if self.window.len() == self.config.window {
+            if let Some(old) = self.window.pop_front() {
+                self.running_sum -= old;
+                self.running_sq_sum -= old * old;
+            }
+        }
+        self.window.push_back(value);
+        self.running_sum += value;
+        self.running_sq_sum += value * value;
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HistogramConfig {
+        &self.config
+    }
+
+    /// Values currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no values have arrived.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Running sum over the window (maintained incrementally).
+    pub fn sum(&self) -> f64 {
+        self.running_sum
+    }
+
+    /// Running squared sum over the window.
+    pub fn squared_sum(&self) -> f64 {
+        self.running_sq_sum
+    }
+
+    /// Approximate memory footprint in bytes (`O(N)`, for the space
+    /// comparison of the paper's §2.7 and §5.1).
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.window.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Build the `(1+ε)`-approximate `B`-bucket V-optimal histogram of the
+    /// current window — the expensive query-time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty; gate on [`SlidingHistogram::len`].
+    pub fn build(&self) -> Histogram {
+        assert!(!self.window.is_empty(), "cannot build over an empty window");
+        let values: Vec<f64> = self.window.iter().copied().collect();
+        approx::approximate_voptimal(&values, self.config.buckets, self.config.epsilon)
+    }
+
+    /// Exact window value at window index `idx` (0 = newest) — ground
+    /// truth for tests; real clients only see [`SlidingHistogram::build`].
+    pub fn exact_at(&self, idx: usize) -> Option<f64> {
+        let len = self.window.len();
+        if idx >= len {
+            return None;
+        }
+        Some(self.window[len - 1 - idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(HistogramConfig::new(0, 8, 0.1).is_err());
+        assert!(HistogramConfig::new(8, 0, 0.1).is_err());
+        assert!(HistogramConfig::new(8, 2, 0.0).is_err());
+        assert!(HistogramConfig::new(8, 2, f64::NAN).is_err());
+        let c = HistogramConfig::new(1024, 30, 0.1).unwrap();
+        assert_eq!((c.window(), c.buckets()), (1024, 30));
+    }
+
+    #[test]
+    fn running_sums_track_window() {
+        let mut h = SlidingHistogram::new(HistogramConfig::new(4, 2, 0.1).unwrap());
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.push(v);
+        }
+        // Window now [2, 3, 4, 5].
+        assert_eq!(h.sum(), 14.0);
+        assert_eq!(h.squared_sum(), 4.0 + 9.0 + 16.0 + 25.0);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.exact_at(0), Some(5.0));
+        assert_eq!(h.exact_at(3), Some(2.0));
+        assert_eq!(h.exact_at(4), None);
+    }
+
+    #[test]
+    fn build_on_piecewise_constant_data_is_exact() {
+        // 2 plateaus, 2 buckets: V-optimal error is zero and the bucket
+        // averages recover the data exactly.
+        let mut h = SlidingHistogram::new(HistogramConfig::new(8, 2, 0.1).unwrap());
+        for v in [5.0, 5.0, 5.0, 5.0, 9.0, 9.0, 9.0, 9.0] {
+            h.push(v);
+        }
+        let hist = h.build();
+        assert_eq!(hist.value_at(0), 9.0); // newest
+        assert_eq!(hist.value_at(7), 5.0); // oldest
+        assert!(hist.sse() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn build_on_empty_panics() {
+        let h = SlidingHistogram::new(HistogramConfig::new(8, 2, 0.1).unwrap());
+        let _ = h.build();
+    }
+
+    #[test]
+    fn space_is_linear_in_window() {
+        let mk = |n: usize| {
+            let mut h = SlidingHistogram::new(HistogramConfig::new(n, 4, 0.1).unwrap());
+            for i in 0..n {
+                h.push(i as f64);
+            }
+            h.space_bytes()
+        };
+        assert!(mk(1024) > 4 * mk(128));
+    }
+}

@@ -1,0 +1,127 @@
+//! Prefix sums of values and squares — the `O(1)` sufficient statistics
+//! for bucket errors.
+//!
+//! For a bucket spanning positions `a..=b` the best constant
+//! representative is the mean, and the resulting sum of squared errors is
+//!
+//! ```text
+//! SSE(a, b) = Σ v_i² − (Σ v_i)² / (b − a + 1)
+//! ```
+//!
+//! computable in `O(1)` from prefix sums. These power both the exact and
+//! the `(1+ε)`-approximate V-optimal constructions.
+
+/// Prefix sums over a slice of values (natural order: index 0 first).
+#[derive(Debug, Clone)]
+pub struct PrefixSums {
+    /// `sum[i]` = sum of the first `i` values.
+    sum: Vec<f64>,
+    /// `sq[i]` = sum of squares of the first `i` values.
+    sq: Vec<f64>,
+}
+
+impl PrefixSums {
+    /// Build prefix sums over `values` in `O(n)`.
+    pub fn new(values: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(values.len() + 1);
+        let mut sq = Vec::with_capacity(values.len() + 1);
+        sum.push(0.0);
+        sq.push(0.0);
+        let (mut s, mut q) = (0.0, 0.0);
+        for &v in values {
+            s += v;
+            q += v * v;
+            sum.push(s);
+            sq.push(q);
+        }
+        PrefixSums { sum, sq }
+    }
+
+    /// Number of underlying values.
+    pub fn len(&self) -> usize {
+        self.sum.len() - 1
+    }
+
+    /// Whether the underlying slice was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum over positions `a..=b` (inclusive).
+    #[inline]
+    pub fn sum(&self, a: usize, b: usize) -> f64 {
+        debug_assert!(a <= b && b < self.len());
+        self.sum[b + 1] - self.sum[a]
+    }
+
+    /// Sum of squares over positions `a..=b`.
+    #[inline]
+    pub fn sq_sum(&self, a: usize, b: usize) -> f64 {
+        debug_assert!(a <= b && b < self.len());
+        self.sq[b + 1] - self.sq[a]
+    }
+
+    /// Mean over positions `a..=b`.
+    #[inline]
+    pub fn mean(&self, a: usize, b: usize) -> f64 {
+        self.sum(a, b) / (b - a + 1) as f64
+    }
+
+    /// Sum of squared errors of representing `a..=b` by its mean;
+    /// clamped at zero against floating-point cancellation.
+    #[inline]
+    pub fn sse(&self, a: usize, b: usize) -> f64 {
+        let c = (b - a + 1) as f64;
+        let s = self.sum(a, b);
+        (self.sq_sum(a, b) - s * s / c).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_means() {
+        let p = PrefixSums::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.sum(0, 3), 10.0);
+        assert_eq!(p.sum(1, 2), 5.0);
+        assert_eq!(p.sq_sum(0, 1), 5.0);
+        assert_eq!(p.mean(0, 3), 2.5);
+        assert_eq!(p.mean(2, 2), 3.0);
+    }
+
+    #[test]
+    fn sse_matches_direct_computation() {
+        let values = [3.0, 7.0, 1.0, 9.0, 4.0, 4.0];
+        let p = PrefixSums::new(&values);
+        for a in 0..values.len() {
+            for b in a..values.len() {
+                let mean = values[a..=b].iter().sum::<f64>() / (b - a + 1) as f64;
+                let direct: f64 = values[a..=b].iter().map(|v| (v - mean) * (v - mean)).sum();
+                assert!(
+                    (p.sse(a, b) - direct).abs() < 1e-9,
+                    "sse({a},{b}): {} vs {direct}",
+                    p.sse(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sse_of_singletons_and_constants_is_zero() {
+        let p = PrefixSums::new(&[5.0, 5.0, 5.0, 2.0]);
+        assert_eq!(p.sse(0, 0), 0.0);
+        assert_eq!(p.sse(3, 3), 0.0);
+        assert!(p.sse(0, 2) < 1e-12);
+        assert!(p.sse(0, 3) > 0.0);
+    }
+
+    #[test]
+    fn empty_prefix() {
+        let p = PrefixSums::new(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Equi-width (uniform-bucket) histograms — the trivial baseline.
+//!
+//! V-optimal construction is where the Guha–Koudas baseline spends its
+//! time; the cheapest alternative simply splits the window into `B`
+//! equal-length buckets in `O(n)`. Keeping it alongside the `(1+ε)`
+//! construction lets experiments separate *how much of the baseline's
+//! accuracy comes from optimizing the boundaries* from what any
+//! bucketing gives you.
+
+use crate::buckets::{Bucket, Histogram};
+use crate::prefix::PrefixSums;
+
+/// Split `values` (natural order) into `b` contiguous buckets of
+/// (near-)equal length. `O(n)`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `b == 0`.
+pub fn uniform_buckets(values: &[f64], b: usize) -> Histogram {
+    let n = values.len();
+    assert!(n > 0, "cannot build a histogram of nothing");
+    assert!(b > 0, "need at least one bucket");
+    let b = b.min(n);
+    let p = PrefixSums::new(values);
+    let mut buckets = Vec::with_capacity(b);
+    let mut start = 0;
+    for i in 0..b {
+        // Distribute the remainder so sizes differ by at most one.
+        let end = ((i + 1) * n) / b - 1;
+        buckets.push(Bucket {
+            start,
+            end,
+            value: p.mean(start, end),
+            sse: p.sse(start, end),
+        });
+        start = end + 1;
+    }
+    Histogram::new(buckets, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approximate_voptimal;
+
+    #[test]
+    fn tiles_evenly() {
+        let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let h = uniform_buckets(&data, 3);
+        let sizes: Vec<usize> = h.buckets().iter().map(Bucket::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "{sizes:?}");
+    }
+
+    #[test]
+    fn one_bucket_is_global_mean() {
+        let h = uniform_buckets(&[2.0, 4.0, 9.0], 1);
+        assert_eq!(h.buckets().len(), 1);
+        assert_eq!(h.buckets()[0].value, 5.0);
+    }
+
+    #[test]
+    fn b_geq_n_is_lossless() {
+        let data = [3.0, 1.0, 4.0];
+        let h = uniform_buckets(&data, 10);
+        assert!(h.sse() < 1e-12);
+    }
+
+    #[test]
+    fn voptimal_never_loses_to_uniform() {
+        // The optimized construction must match or beat fixed boundaries
+        // on any data, at any budget.
+        let data: Vec<f64> = (0..96)
+            .map(|i| if i < 30 { 5.0 } else { ((i * 17) % 40) as f64 })
+            .collect();
+        for b in [2usize, 5, 10, 24] {
+            let uni = uniform_buckets(&data, b).sse();
+            let opt = approximate_voptimal(&data, b, 0.1).sse();
+            assert!(opt <= uni + 1e-9, "b={b}: voptimal {opt} > uniform {uni}");
+        }
+    }
+
+    #[test]
+    fn plateau_data_shows_the_gap() {
+        // Two plateaus misaligned with uniform boundaries: V-optimal is
+        // exact, uniform is not.
+        let mut data = vec![0.0; 10];
+        data.extend(vec![100.0; 22]); // boundary at 10, not a multiple of 32/2
+        let uni = uniform_buckets(&data, 2).sse();
+        let opt = approximate_voptimal(&data, 2, 0.1).sse();
+        assert!(opt < 1e-9);
+        assert!(uni > 1000.0, "uniform should pay dearly, got {uni}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Exact V-optimal histogram construction (Jagadish et al., VLDB'98).
+//!
+//! The classical `O(B · n²)` dynamic program: `E[b][i]` is the minimal sum
+//! of squared errors of partitioning positions `0..=i` into `b` buckets,
+//! with
+//!
+//! ```text
+//! E[1][i] = SSE(0, i)
+//! E[b][i] = min_{j < i} E[b−1][j] + SSE(j+1, i)
+//! ```
+//!
+//! Used as the ground-truth reference that the `(1+ε)`-approximate
+//! construction in [`crate::approx`] is tested against, and directly for
+//! small windows.
+
+use crate::buckets::{Bucket, Histogram};
+use crate::prefix::PrefixSums;
+
+/// Build the exact V-optimal `b`-bucket histogram of `values`
+/// (natural order). `O(b · n²)` time, `O(b · n)` space.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `b == 0`.
+#[allow(clippy::needless_range_loop)] // index arithmetic mirrors the DP recurrences
+pub fn exact_voptimal(values: &[f64], b: usize) -> Histogram {
+    let n = values.len();
+    assert!(n > 0, "cannot build a histogram of nothing");
+    assert!(b > 0, "need at least one bucket");
+    let b = b.min(n);
+    let p = PrefixSums::new(values);
+
+    // err[i] for the current row; choice[row][i] = best split.
+    let mut err: Vec<f64> = (0..n).map(|i| p.sse(0, i)).collect();
+    let mut choice: Vec<Vec<usize>> = Vec::with_capacity(b);
+    choice.push(vec![0; n]); // row 1 has no split
+    for _row in 2..=b {
+        let mut next = vec![f64::INFINITY; n];
+        let mut ch = vec![0; n];
+        for i in 0..n {
+            // At least one position per bucket: j ranges over the end of
+            // the previous partition.
+            let mut best = err[i]; // fewer buckets is always feasible
+            let mut best_j = usize::MAX; // MAX = "didn't split"
+            for j in 0..i {
+                let cand = err[j] + p.sse(j + 1, i);
+                if cand < best {
+                    best = cand;
+                    best_j = j;
+                }
+            }
+            next[i] = best;
+            ch[i] = best_j;
+        }
+        err = next;
+        choice.push(ch);
+    }
+
+    // Backtrack from E[b][n-1]. `choice[row-1][i] == usize::MAX` encodes
+    // "row used no new split here" (the optimum at this row equals the
+    // previous row's), in which case we just drop a row.
+    let mut boundaries = vec![n - 1]; // bucket end positions
+    let mut i = n - 1;
+    let mut row = b;
+    while row > 1 {
+        let j = choice[row - 1][i];
+        row -= 1;
+        if j == usize::MAX {
+            continue;
+        }
+        boundaries.push(j);
+        i = j;
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    let mut buckets = Vec::with_capacity(boundaries.len());
+    let mut start = 0;
+    for &end in &boundaries {
+        buckets.push(Bucket {
+            start,
+            end,
+            value: p.mean(start, end),
+            sse: p.sse(start, end),
+        });
+        start = end + 1;
+    }
+    Histogram::new(buckets, n)
+}
+
+/// The minimal SSE of partitioning `values` into at most `b` buckets —
+/// the objective value alone, without backtracking.
+#[allow(clippy::needless_range_loop)] // index arithmetic mirrors the DP recurrence
+pub fn optimal_sse(values: &[f64], b: usize) -> f64 {
+    let n = values.len();
+    assert!(n > 0 && b > 0);
+    let b = b.min(n);
+    let p = PrefixSums::new(values);
+    let mut err: Vec<f64> = (0..n).map(|i| p.sse(0, i)).collect();
+    for _ in 2..=b {
+        let mut next = err.clone(); // fewer buckets always feasible
+        for i in 0..n {
+            for j in 0..i {
+                let cand = err[j] + p.sse(j + 1, i);
+                if cand < next[i] {
+                    next[i] = cand;
+                }
+            }
+        }
+        err = next;
+    }
+    err[n - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bucket_is_global_mean() {
+        let h = exact_voptimal(&[1.0, 3.0, 5.0], 1);
+        assert_eq!(h.buckets().len(), 1);
+        assert_eq!(h.buckets()[0].value, 3.0);
+    }
+
+    #[test]
+    fn finds_obvious_plateaus() {
+        let data = [2.0, 2.0, 2.0, 8.0, 8.0, 8.0];
+        let h = exact_voptimal(&data, 2);
+        assert!(h.sse() < 1e-12, "plateaus are exactly representable");
+        assert_eq!(h.buckets()[0].end, 2);
+        assert_eq!(h.buckets()[0].value, 2.0);
+        assert_eq!(h.buckets()[1].value, 8.0);
+    }
+
+    #[test]
+    fn b_geq_n_is_lossless() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let h = exact_voptimal(&data, 10);
+        assert!(h.sse() < 1e-12);
+        // value_at uses newest-first indexing; data is natural order.
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(h.value_at(data.len() - 1 - i), v);
+        }
+    }
+
+    #[test]
+    fn objective_matches_brute_force() {
+        // Compare against brute-force enumeration of all 2-bucket splits.
+        let data = [5.0, 1.0, 9.0, 9.0, 2.0, 7.0, 3.0];
+        let p = PrefixSums::new(&data);
+        let n = data.len();
+        let mut brute = f64::INFINITY;
+        for j in 0..n - 1 {
+            brute = brute.min(p.sse(0, j) + p.sse(j + 1, n - 1));
+        }
+        brute = brute.min(p.sse(0, n - 1)); // 1 bucket allowed too
+        let h = exact_voptimal(&data, 2);
+        assert!((h.sse() - brute).abs() < 1e-9, "{} vs {brute}", h.sse());
+        assert!((optimal_sse(&data, 2) - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_buckets_never_hurt() {
+        let data: Vec<f64> = (0..24).map(|i| ((i * 7) % 10) as f64).collect();
+        let mut prev = f64::INFINITY;
+        for b in 1..=8 {
+            let s = optimal_sse(&data, b);
+            assert!(s <= prev + 1e-9, "b={b}: {s} > {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn histogram_sse_equals_dp_objective() {
+        let data: Vec<f64> = (0..30).map(|i| ((i * 13) % 17) as f64).collect();
+        for b in [1, 2, 3, 5, 8] {
+            let h = exact_voptimal(&data, b);
+            let o = optimal_sse(&data, b);
+            assert!(
+                (h.sse() - o).abs() < 1e-9,
+                "b={b}: backtracked {} vs objective {o}",
+                h.sse()
+            );
+            assert!(h.buckets().len() <= b);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the histogram baseline.
+
+use proptest::prelude::*;
+use swat_histogram::{
+    approximate_voptimal, exact_voptimal, voptimal::optimal_sse, HistogramConfig, PrefixSums,
+    SlidingHistogram,
+};
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..100.0f64, 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The approximate construction honours its (1+eps) guarantee.
+    #[test]
+    fn approximation_guarantee(data in values(), b in 1usize..8, eps in 0.01..1.0f64) {
+        let approx = approximate_voptimal(&data, b, eps).sse();
+        let exact = optimal_sse(&data, b);
+        prop_assert!(
+            approx <= (1.0 + eps) * exact + 1e-6,
+            "approx {} vs exact {} at b={} eps={}", approx, exact, b, eps
+        );
+    }
+
+    /// Exact DP really is optimal: no brute-force 3-bucket split beats it.
+    #[test]
+    fn exact_beats_brute_force(data in prop::collection::vec(0.0..100.0f64, 3..20)) {
+        let n = data.len();
+        let p = PrefixSums::new(&data);
+        let mut brute = p.sse(0, n - 1);
+        for j in 0..n - 1 {
+            brute = brute.min(p.sse(0, j) + p.sse(j + 1, n - 1));
+            for m in j + 1..n - 1 {
+                brute = brute.min(p.sse(0, j) + p.sse(j + 1, m) + p.sse(m + 1, n - 1));
+            }
+        }
+        let dp = optimal_sse(&data, 3);
+        prop_assert!((dp - brute).abs() < 1e-6, "dp {} vs brute {}", dp, brute);
+    }
+
+    /// Both constructions yield well-formed histograms whose buckets carry
+    /// the true means of their spans.
+    #[test]
+    fn buckets_carry_true_means(data in values(), b in 1usize..10) {
+        for h in [exact_voptimal(&data, b), approximate_voptimal(&data, b, 0.1)] {
+            prop_assert!(h.buckets().len() <= b.min(data.len()));
+            for bucket in h.buckets() {
+                let span = &data[bucket.start..=bucket.end];
+                let mean = span.iter().sum::<f64>() / span.len() as f64;
+                prop_assert!((bucket.value - mean).abs() < 1e-9);
+            }
+            // Reconstruction agrees with value_at at every index.
+            let rec = h.reconstruct_window();
+            for (idx, &r) in rec.iter().enumerate() {
+                prop_assert!((r - h.value_at(idx)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The sliding window's running sums always match the retained values.
+    #[test]
+    fn running_sums_consistent(stream in prop::collection::vec(0.0..100.0f64, 1..200), n in 1usize..32) {
+        let mut h = SlidingHistogram::new(HistogramConfig::new(n, 4, 0.1).unwrap());
+        for &v in &stream {
+            h.push(v);
+        }
+        let kept: Vec<f64> = (0..h.len()).map(|i| h.exact_at(i).unwrap()).collect();
+        let sum: f64 = kept.iter().sum();
+        let sq: f64 = kept.iter().map(|v| v * v).sum();
+        prop_assert!((h.sum() - sum).abs() < 1e-6);
+        prop_assert!((h.squared_sum() - sq).abs() < 1e-6);
+    }
+
+    /// Histogram error is monotone: more buckets never increase SSE.
+    #[test]
+    fn monotone_in_buckets(data in values()) {
+        let mut prev = f64::INFINITY;
+        for b in 1..=6 {
+            let s = optimal_sse(&data, b);
+            prop_assert!(s <= prev + 1e-9);
+            prev = s;
+        }
+    }
+}

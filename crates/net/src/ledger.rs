@@ -1,0 +1,180 @@
+//! Message accounting.
+//!
+//! The replication experiments "measure the cost of an algorithm as the
+//! number of exchanged messages" (§5.2.1). Every traversal of one tree
+//! edge counts as one message, classified by kind. Divergence Caching
+//! additionally distinguishes data messages (cost 1) from control
+//! messages (cost `w`); the ledger tracks a weighted total for that
+//! model alongside the raw counts.
+
+use std::fmt;
+
+/// Classification of a message crossing one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// A query forwarded toward the source (cache miss).
+    QueryForward,
+    /// An answer or freshly computed approximation sent to a requester.
+    Answer,
+    /// A data-initiated update pushed down the tree.
+    Update,
+    /// A replica installation (joining a replication scheme).
+    Insert,
+    /// A pure control message (subscription bookkeeping, refresh-rate
+    /// renegotiation, …).
+    Control,
+}
+
+impl MsgKind {
+    /// All kinds, for iteration.
+    pub const ALL: [MsgKind; 5] = [
+        MsgKind::QueryForward,
+        MsgKind::Answer,
+        MsgKind::Update,
+        MsgKind::Insert,
+        MsgKind::Control,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            MsgKind::QueryForward => 0,
+            MsgKind::Answer => 1,
+            MsgKind::Update => 2,
+            MsgKind::Insert => 3,
+            MsgKind::Control => 4,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::QueryForward => "query-forward",
+            MsgKind::Answer => "answer",
+            MsgKind::Update => "update",
+            MsgKind::Insert => "insert",
+            MsgKind::Control => "control",
+        }
+    }
+}
+
+/// Per-kind message counts plus a weighted cost total.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MessageLedger {
+    counts: [u64; 5],
+    weighted: f64,
+}
+
+impl MessageLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        MessageLedger::default()
+    }
+
+    /// Record one message of `kind` crossing one edge, at unit cost.
+    pub fn charge(&mut self, kind: MsgKind) {
+        self.charge_weighted(kind, 1.0);
+    }
+
+    /// Record `hops` messages of `kind` (a payload crossing `hops` edges).
+    pub fn charge_hops(&mut self, kind: MsgKind, hops: usize) {
+        self.counts[kind.index()] += hops as u64;
+        self.weighted += hops as f64;
+    }
+
+    /// Record one message of `kind` at cost `weight` (Divergence Caching
+    /// charges control messages `w < 1`).
+    pub fn charge_weighted(&mut self, kind: MsgKind, weight: f64) {
+        debug_assert!(weight >= 0.0);
+        self.counts[kind.index()] += 1;
+        self.weighted += weight;
+    }
+
+    /// Messages of `kind` recorded.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total messages across kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Weighted total cost.
+    pub fn weighted_total(&self) -> f64 {
+        self.weighted
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &MessageLedger) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+        }
+        self.weighted += other.weighted;
+    }
+}
+
+impl fmt::Display for MessageLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total={} (", self.total())?;
+        let mut first = true;
+        for kind in MsgKind::ALL {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}={}", kind.name(), self.count(kind))?;
+        }
+        write!(f, "), weighted={:.2}", self.weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = MessageLedger::new();
+        l.charge(MsgKind::QueryForward);
+        l.charge(MsgKind::QueryForward);
+        l.charge(MsgKind::Update);
+        l.charge_hops(MsgKind::Answer, 3);
+        assert_eq!(l.count(MsgKind::QueryForward), 2);
+        assert_eq!(l.count(MsgKind::Answer), 3);
+        assert_eq!(l.count(MsgKind::Update), 1);
+        assert_eq!(l.count(MsgKind::Insert), 0);
+        assert_eq!(l.total(), 6);
+        assert_eq!(l.weighted_total(), 6.0);
+    }
+
+    #[test]
+    fn weighted_control_messages() {
+        let mut l = MessageLedger::new();
+        l.charge(MsgKind::Answer);
+        l.charge_weighted(MsgKind::Control, 0.1);
+        assert_eq!(l.total(), 2);
+        assert!((l.weighted_total() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = MessageLedger::new();
+        a.charge(MsgKind::Update);
+        let mut b = MessageLedger::new();
+        b.charge(MsgKind::Update);
+        b.charge_weighted(MsgKind::Control, 0.5);
+        a.merge(&b);
+        assert_eq!(a.count(MsgKind::Update), 2);
+        assert_eq!(a.count(MsgKind::Control), 1);
+        assert!((a.weighted_total() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_kinds() {
+        let mut l = MessageLedger::new();
+        l.charge(MsgKind::Insert);
+        let s = l.to_string();
+        assert!(s.contains("insert=1"));
+        assert!(s.contains("total=1"));
+    }
+}

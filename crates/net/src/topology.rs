@@ -1,0 +1,322 @@
+//! Rooted spanning-tree topologies.
+
+use std::fmt;
+
+/// Identifier of a network node. Node 0 is always the source `S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The source node (the paper's `S`).
+    pub const SOURCE: NodeId = NodeId(0);
+
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            write!(f, "S")
+        } else {
+            write!(f, "C{}", self.0)
+        }
+    }
+}
+
+/// Errors from topology construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The parent vector was empty.
+    Empty,
+    /// Node 0 must be the root (no parent); others must have a parent.
+    BadRoot,
+    /// A parent reference points to a nonexistent or non-earlier node.
+    BadParent {
+        /// The child whose parent is invalid.
+        child: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology needs at least the source"),
+            TopologyError::BadRoot => write!(f, "node 0 must be the parentless source"),
+            TopologyError::BadParent { child } => {
+                write!(f, "node {child} has an invalid parent reference")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A rooted spanning tree; node 0 is the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Build from a parent vector: `parents[0]` must be `None`, every
+    /// other entry `Some(p)` with `p < child` (nodes listed in BFS/DFS
+    /// order — parents precede children, which also rules out cycles).
+    ///
+    /// # Errors
+    ///
+    /// See [`TopologyError`].
+    pub fn from_parents(parents: Vec<Option<usize>>) -> Result<Self, TopologyError> {
+        if parents.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        if parents[0].is_some() {
+            return Err(TopologyError::BadRoot);
+        }
+        let n = parents.len();
+        let mut parent = Vec::with_capacity(n);
+        let mut children = vec![Vec::new(); n];
+        parent.push(None);
+        for (child, p) in parents.iter().enumerate().skip(1) {
+            let Some(p) = *p else {
+                return Err(TopologyError::BadRoot);
+            };
+            if p >= child {
+                return Err(TopologyError::BadParent { child });
+            }
+            parent.push(Some(NodeId(p)));
+            children[p].push(NodeId(child));
+        }
+        Ok(Topology { parent, children })
+    }
+
+    /// The source alone (no clients).
+    pub fn source_only() -> Self {
+        Topology::from_parents(vec![None]).expect("valid")
+    }
+
+    /// Source plus a single client — the paper's single-client system
+    /// (§5.2).
+    pub fn single_client() -> Self {
+        Topology::from_parents(vec![None, Some(0)]).expect("valid")
+    }
+
+    /// Source plus a chain of `n` clients hanging below it:
+    /// `S — C1 — C2 — … — Cn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn chain(n: usize) -> Self {
+        assert!(n > 0, "chain needs at least one client");
+        let mut parents = vec![None];
+        parents.extend((0..n).map(Some));
+        Topology::from_parents(parents).expect("valid")
+    }
+
+    /// Source plus `n` clients all directly attached to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn star(n: usize) -> Self {
+        assert!(n > 0, "star needs at least one client");
+        let mut parents = vec![None];
+        parents.extend(std::iter::repeat_n(Some(0), n));
+        Topology::from_parents(parents).expect("valid")
+    }
+
+    /// A complete binary tree of clients with the source at the root —
+    /// the paper's multi-client simulation topology (§5.3). `depth` levels
+    /// of clients below the source: `depth = 1` gives 2 clients, 2 gives
+    /// 6, 3 gives 14, 4 gives 30.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn complete_binary(depth: usize) -> Self {
+        assert!(depth > 0, "need at least one level of clients");
+        let client_count = (1usize << (depth + 1)) - 2;
+        let mut parents: Vec<Option<usize>> = vec![None];
+        for i in 1..=client_count {
+            if i <= 2 {
+                // The two top clients attach to the source.
+                parents.push(Some(0));
+            } else {
+                // Clients form a heap where client i has children 2i+1
+                // and 2i+2, so parent(i) = (i-1)/2.
+                parents.push(Some((i - 1) / 2));
+            }
+        }
+        Topology::from_parents(parents).expect("valid")
+    }
+
+    /// Total nodes including the source.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// A topology always contains at least the source.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of clients (everything but the source).
+    pub fn client_count(&self) -> usize {
+        self.len() - 1
+    }
+
+    /// Parent of `node` (`None` for the source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.0]
+    }
+
+    /// Children of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.0]
+    }
+
+    /// Whether `node` is the source.
+    pub fn is_source(&self, node: NodeId) -> bool {
+        node.0 == 0
+    }
+
+    /// Whether `node` is a leaf (no children).
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children[node.0].is_empty()
+    }
+
+    /// All node ids, source first.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId)
+    }
+
+    /// All client ids (everything but the source).
+    pub fn clients(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..self.len()).map(NodeId)
+    }
+
+    /// Hops from `node` up to the source.
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// The path from `node` to the source, excluding `node`, starting
+    /// with its parent.
+    pub fn path_to_source(&self, node: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parents_validation() {
+        assert_eq!(Topology::from_parents(vec![]), Err(TopologyError::Empty));
+        assert_eq!(
+            Topology::from_parents(vec![Some(0)]),
+            Err(TopologyError::BadRoot)
+        );
+        assert_eq!(
+            Topology::from_parents(vec![None, None]),
+            Err(TopologyError::BadRoot)
+        );
+        assert_eq!(
+            Topology::from_parents(vec![None, Some(1)]),
+            Err(TopologyError::BadParent { child: 1 })
+        );
+        assert_eq!(
+            Topology::from_parents(vec![None, Some(0), Some(5)]),
+            Err(TopologyError::BadParent { child: 2 })
+        );
+    }
+
+    #[test]
+    fn single_client_shape() {
+        let t = Topology::single_client();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.client_count(), 1);
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId::SOURCE));
+        assert!(t.is_source(NodeId(0)));
+        assert!(t.is_leaf(NodeId(1)));
+        assert_eq!(t.depth(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let t = Topology::chain(3);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.path_to_source(NodeId(3)), vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(t.depth(NodeId(3)), 3);
+        assert_eq!(t.children(NodeId(1)), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(4);
+        assert_eq!(t.client_count(), 4);
+        assert_eq!(t.children(NodeId::SOURCE).len(), 4);
+        for c in t.clients() {
+            assert_eq!(t.depth(c), 1);
+            assert!(t.is_leaf(c));
+        }
+    }
+
+    #[test]
+    fn complete_binary_counts() {
+        // depth 1 -> 2 clients, 2 -> 6, 3 -> 14, 4 -> 30 (the paper's
+        // Figure 10(a) x-axis).
+        for (depth, clients) in [(1, 2), (2, 6), (3, 14), (4, 30)] {
+            let t = Topology::complete_binary(depth);
+            assert_eq!(t.client_count(), clients, "depth {depth}");
+            // Every internal client has exactly two children; leaves none.
+            for c in t.clients() {
+                let ch = t.children(c).len();
+                assert!(ch == 0 || ch == 2, "client {c} has {ch} children");
+                assert!(t.depth(c) <= depth);
+            }
+            // The source has the two top clients.
+            assert_eq!(t.children(NodeId::SOURCE).len(), 2);
+        }
+    }
+
+    #[test]
+    fn complete_binary_is_balanced() {
+        let t = Topology::complete_binary(3);
+        let max_depth = t.clients().map(|c| t.depth(c)).max().unwrap();
+        let leaf_count = t.clients().filter(|&c| t.is_leaf(c)).count();
+        assert_eq!(max_depth, 3);
+        assert_eq!(leaf_count, 8);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeId(0).to_string(), "S");
+        assert_eq!(NodeId(3).to_string(), "C3");
+    }
+}

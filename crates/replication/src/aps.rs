@@ -1,0 +1,256 @@
+//! Adaptive Precision Setting (Olston, Loo & Widom, SIGMOD'01) — §4.2.
+//!
+//! One cached interval `[L, H]` per *(client, window item)* pair, with the
+//! paper's recommended settings `α = 1, τ∞ = ∞, τ0 = 2, p = 1`:
+//!
+//! * **Value-initiated refresh**: when a write moves the item's value
+//!   outside `[L, H]`, the server sends a new interval centered at the
+//!   new value, *enlarged*: `W' = W·(1+α)` (one data message per edge).
+//! * **Query-initiated refresh**: when a read's precision requirement
+//!   `δ < W`, the query goes to the server (one message per edge up),
+//!   which replies with a *shrunk* interval `W' = W/(1+α)` — further
+//!   capped at the read's requirement so the read is satisfied — centered
+//!   at the current value (one message per edge down). If `W' < τ0` the
+//!   interval collapses to the exact value.
+//!
+//! Implementation note: growing from the exact state (`W = 0`) would be
+//! stuck at zero under a bare `W·(1+α)`; we grow from `max(W, τ0/2)` so a
+//! value-initiated refresh escapes exact caching, matching the intent of
+//! the original algorithm's bounded adaptivity.
+
+use crate::scheme::{per_item_tolerance, QueryOutcome, ReplicationScheme};
+use swat_net::{MessageLedger, MsgKind, NodeId, Topology};
+use swat_tree::{ExactWindow, InnerProductQuery, ValueRange};
+
+/// The adaptivity parameter α (the paper uses 1).
+pub const ALPHA: f64 = 1.0;
+/// Width floor τ0 below which caching becomes exact (the paper uses 2).
+pub const TAU_0: f64 = 2.0;
+
+/// Per-(client, item) cached interval.
+#[derive(Debug, Clone, Copy, Default)]
+struct ItemState {
+    interval: Option<ValueRange>,
+}
+
+/// Adaptive Precision Setting over a topology: per-item caching for every
+/// client against the source (intermediate tree nodes relay).
+#[derive(Debug)]
+pub struct AdaptivePrecision {
+    topo: Topology,
+    window: ExactWindow,
+    /// `items[client - 1][item]`.
+    items: Vec<Vec<ItemState>>,
+    depths: Vec<usize>,
+}
+
+impl AdaptivePrecision {
+    /// A fresh scheme over `topo` with a window of `window` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(topo: Topology, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        let items = topo
+            .clients()
+            .map(|_| vec![ItemState::default(); window])
+            .collect();
+        let depths = topo.nodes().map(|v| topo.depth(v)).collect();
+        AdaptivePrecision {
+            topo,
+            window: ExactWindow::new(window),
+            items,
+            depths,
+        }
+    }
+
+    /// Client-side cached interval for `(client, item)`, if any.
+    pub fn cached_interval(&self, client: NodeId, item: usize) -> Option<ValueRange> {
+        self.items[client.index() - 1][item].interval
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn interval_of(value: f64, width: f64) -> ValueRange {
+        if width < TAU_0 {
+            ValueRange::point(value) // exact caching
+        } else {
+            ValueRange::new(value - width * 0.5, value + width * 0.5)
+        }
+    }
+}
+
+impl ReplicationScheme for AdaptivePrecision {
+    fn on_data(&mut self, _now: u64, value: f64, ledger: &mut MessageLedger) {
+        self.window.push(value);
+        let filled = self.window.len();
+        for client in self.topo.clients() {
+            let hops = self.depths[client.index()];
+            for item in 0..filled {
+                let truth = self.window.get(item).expect("within filled range");
+                let st = &mut self.items[client.index() - 1][item];
+                let Some(interval) = st.interval else { continue };
+                if !interval.contains(truth) {
+                    // Value-initiated refresh: enlarge (W' = W·(1+α)),
+                    // escaping exact caching via the τ0/2 growth floor.
+                    let width = interval.width().max(TAU_0 * 0.5) * (1.0 + ALPHA);
+                    st.interval = Some(Self::interval_of(truth, width));
+                    ledger.charge_hops(MsgKind::Update, hops);
+                }
+            }
+        }
+    }
+
+    fn on_query(
+        &mut self,
+        _now: u64,
+        client: NodeId,
+        query: &InnerProductQuery,
+        ledger: &mut MessageLedger,
+    ) -> QueryOutcome {
+        let hops = self.depths[client.index()];
+        let mut value = 0.0;
+        let mut all_local = true;
+        for (pos, &item) in query.indices().iter().enumerate() {
+            let tol = per_item_tolerance(query, pos);
+            let truth = self.window.get(item).unwrap_or(0.0);
+            let st = &mut self.items[client.index() - 1][item];
+            if let Some(interval) = st.interval {
+                if interval.width() <= tol {
+                    value += query.weights()[pos] * interval.midpoint();
+                    continue;
+                }
+            }
+            // Query-initiated refresh: shrink toward (and below) the
+            // requested precision.
+            all_local = false;
+            ledger.charge_hops(MsgKind::QueryForward, hops);
+            ledger.charge_hops(MsgKind::Answer, hops);
+            let width = match st.interval {
+                Some(iv) => (iv.width() / (1.0 + ALPHA)).min(tol),
+                None => tol,
+            };
+            st.interval = Some(Self::interval_of(truth, width));
+            value += query.weights()[pos] * truth;
+        }
+        QueryOutcome {
+            answered_at: if all_local { client } else { NodeId::SOURCE },
+            value,
+            local_hit: all_local,
+        }
+    }
+
+    fn on_phase_end(&mut self, _now: u64, _ledger: &mut MessageLedger) {
+        // APS has no phase structure.
+    }
+
+    fn approximation_count(&self) -> usize {
+        self.items
+            .iter()
+            .flat_map(|per_client| per_client.iter())
+            .filter(|st| st.interval.is_some())
+            .count()
+    }
+
+    fn name(&self) -> &'static str {
+        "APS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme(window: usize) -> AdaptivePrecision {
+        AdaptivePrecision::new(Topology::single_client(), window)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut aps = scheme(8);
+        let mut ledger = MessageLedger::new();
+        for t in 0..16 {
+            aps.on_data(t, 50.0, &mut ledger);
+        }
+        let q = InnerProductQuery::linear(2, 40.0);
+        let out = aps.on_query(16, NodeId(1), &q, &mut ledger);
+        assert!(!out.local_hit);
+        let cost = ledger.total();
+        let out = aps.on_query(17, NodeId(1), &q, &mut ledger);
+        assert!(out.local_hit, "installed intervals satisfy the same query");
+        assert_eq!(ledger.total(), cost);
+    }
+
+    #[test]
+    fn intervals_widen_on_escaping_writes() {
+        let mut aps = scheme(4);
+        let mut ledger = MessageLedger::new();
+        for t in 0..8 {
+            aps.on_data(t, 50.0, &mut ledger);
+        }
+        let q = InnerProductQuery::linear(2, 20.0);
+        aps.on_query(8, NodeId(1), &q, &mut ledger);
+        let w_before = aps.cached_interval(NodeId(1), 0).unwrap().width();
+        // A jump outside the interval triggers a value-initiated refresh
+        // with a wider interval.
+        aps.on_data(9, 90.0, &mut ledger);
+        let w_after = aps.cached_interval(NodeId(1), 0).unwrap().width();
+        assert!(
+            w_after > w_before,
+            "width must grow: {w_before} -> {w_after}"
+        );
+        assert!(ledger.count(MsgKind::Update) > 0);
+    }
+
+    #[test]
+    fn intervals_shrink_on_query_refresh() {
+        let mut aps = scheme(4);
+        let mut ledger = MessageLedger::new();
+        for t in 0..8 {
+            aps.on_data(t, 50.0, &mut ledger);
+        }
+        // Loose query installs a wide interval.
+        let loose = InnerProductQuery::linear(2, 200.0);
+        aps.on_query(8, NodeId(1), &loose, &mut ledger);
+        let w_wide = aps.cached_interval(NodeId(1), 0).unwrap().width();
+        // Tight query forces a shrink.
+        let tight = InnerProductQuery::linear(2, 8.0);
+        aps.on_query(9, NodeId(1), &tight, &mut ledger);
+        let w_narrow = aps.cached_interval(NodeId(1), 0).unwrap().width();
+        assert!(w_narrow < w_wide, "{w_narrow} !< {w_wide}");
+    }
+
+    #[test]
+    fn tau0_floor_gives_exact_caching() {
+        let mut aps = scheme(4);
+        let mut ledger = MessageLedger::new();
+        for t in 0..8 {
+            aps.on_data(t, 50.0, &mut ledger);
+        }
+        // Demand a width below τ0 = 2: the interval collapses to exact.
+        let q = InnerProductQuery::new(vec![0], vec![1.0], 0.5).unwrap();
+        aps.on_query(8, NodeId(1), &q, &mut ledger);
+        let iv = aps.cached_interval(NodeId(1), 0).unwrap();
+        assert_eq!(iv.width(), 0.0);
+        assert_eq!(iv.midpoint(), 50.0);
+        // And escapes exactness on the next differing write.
+        aps.on_data(9, 51.0, &mut ledger);
+        let iv = aps.cached_interval(NodeId(1), 0).unwrap();
+        assert!(iv.width() >= TAU_0 - 1e-12, "grew to {}", iv.width());
+    }
+
+    #[test]
+    fn no_traffic_without_caching() {
+        let mut aps = scheme(4);
+        let mut ledger = MessageLedger::new();
+        for t in 0..100 {
+            aps.on_data(t, (t % 71) as f64, &mut ledger);
+        }
+        assert_eq!(ledger.total(), 0, "uncached items cost nothing on writes");
+        assert_eq!(aps.approximation_count(), 0);
+    }
+}

@@ -1,0 +1,738 @@
+//! SWAT-ASR: adaptive stream replication over window segments (§3).
+//!
+//! The window is partitioned into the `O(log N)` dyadic segments of
+//! Table 1, and each segment independently runs an ADR-style replication
+//! scheme on the spanning tree:
+//!
+//! * The **source** holds the stream and keeps, per segment, an
+//!   approximation of its current contents — by default the exact
+//!   `[min, max]` range (the 1-coefficient case the paper develops; see
+//!   [`RangeApprox`]), or, in the paper's sketched general case, `k`
+//!   Haar coefficients plus a deviation bound ([`CoeffApprox`]). When an
+//!   arrival moves the segment outside what the stored approximation can
+//!   still soundly promise, that is a *write*: the stored approximation
+//!   is replaced and the update is pushed to subscribed children, each
+//!   of which re-propagates only if its own stale copy fails the same
+//!   soundness test — the paper's enclosure-based suppression
+//!   (Figure 8a), generalized by [`SegmentApprox::suppresses`].
+//! * A **query** `(I, W, δ)` is decomposed over segments; a node answers
+//!   locally iff every touched segment is cached and
+//!   `Σ wᵢ · uncertainty(segment(i)) ≤ δ`, otherwise it forwards the
+//!   whole query to its parent (one message per edge). The answering node
+//!   attributes a read to the child the query arrived through (or to its
+//!   local counter) and marks unknown children *interested*.
+//! * At every **phase end** (Figure 8b) each node runs, per segment, the
+//!   *contraction* test (an R-fringe replica whose reads fell below the
+//!   writes it received decaches, notifying its parent with one control
+//!   message) and the *expansion* tests (children whose reads exceeded
+//!   the writes get a replica if merely interested, or a fresh
+//!   approximation if already subscribed). Counts then reset.
+//!
+//! The replication scheme of every segment is a connected subtree
+//! containing the source at all times, and every cached approximation
+//! honors its advertised uncertainty against the segment's true current
+//! values — both enforced by tests.
+
+use std::collections::BTreeMap;
+
+use crate::approx::{CoeffApprox, RangeApprox, SegmentApprox};
+use crate::scheme::{QueryOutcome, ReplicationScheme};
+use crate::segments::{segment_of, window_segments, Segment};
+use swat_net::{MessageLedger, MsgKind, NodeId, Topology};
+use swat_tree::{ExactWindow, InnerProductQuery, ValueRange};
+
+/// Per-node, per-segment replication state — one row of the paper's
+/// directory (Table 1) plus the phase counters of §3.
+#[derive(Debug, Clone)]
+struct SegmentRow<A> {
+    /// The cached approximation; `None` means this node is not in the
+    /// segment's replication scheme.
+    approx: Option<A>,
+    /// Children holding replicas (the subscription list).
+    subscribed: Vec<NodeId>,
+    /// Children that asked queries but hold no replica.
+    interested: Vec<NodeId>,
+    /// Reads served per child this phase.
+    read_counts: BTreeMap<NodeId, u64>,
+    /// Queries answered locally for this node's own clients this phase.
+    local_reads: u64,
+    /// Updates received (approximation moved unsoundly) this phase.
+    writes: u64,
+}
+
+impl<A> Default for SegmentRow<A> {
+    fn default() -> Self {
+        SegmentRow {
+            approx: None,
+            subscribed: Vec::new(),
+            interested: Vec::new(),
+            read_counts: BTreeMap::new(),
+            local_reads: 0,
+            writes: 0,
+        }
+    }
+}
+
+impl<A> SegmentRow<A> {
+    fn is_subscribed(&self, v: NodeId) -> bool {
+        self.subscribed.contains(&v)
+    }
+
+    fn is_interested(&self, v: NodeId) -> bool {
+        self.interested.contains(&v)
+    }
+
+    fn note_read(&mut self, from: Option<NodeId>) {
+        match from {
+            None => self.local_reads += 1,
+            Some(v) => {
+                if !self.is_subscribed(v) && !self.is_interested(v) {
+                    self.interested.push(v);
+                }
+                *self.read_counts.entry(v).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn reads_served(&self) -> u64 {
+        self.local_reads + self.read_counts.values().sum::<u64>()
+    }
+
+    fn reset_phase(&mut self) {
+        self.read_counts.clear();
+        self.local_reads = 0;
+        self.writes = 0;
+        self.interested.clear();
+    }
+}
+
+/// The SWAT-ASR scheme over a given topology, generic over the segment
+/// approximation (`RangeApprox` by default — the paper's 1-coefficient
+/// setting).
+#[derive(Debug)]
+pub struct SwatAsr<A: SegmentApprox = RangeApprox> {
+    topo: Topology,
+    segments: Vec<Segment>,
+    window: ExactWindow,
+    /// Coefficient budget handed to `A::from_segment`.
+    k: usize,
+    /// `rows[node][segment]`.
+    rows: Vec<Vec<SegmentRow<A>>>,
+    /// Whether sound-stale updates are suppressed (the paper's behaviour;
+    /// disable only for the ablation benchmark).
+    suppress_enclosed: bool,
+}
+
+/// SWAT-ASR replicating `k`-coefficient summaries plus deviation bounds —
+/// the paper's §3 "general case".
+pub type CoeffSwatAsr = SwatAsr<CoeffApprox>;
+
+impl SwatAsr<RangeApprox> {
+    /// A fresh scheme in the paper's 1-coefficient configuration: only
+    /// the source is in every segment's replication scheme (it owns the
+    /// stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window` is a power of two >= 2.
+    pub fn new(topo: Topology, window: usize) -> Self {
+        Self::with_enclosure_suppression(topo, window, true)
+    }
+
+    /// As [`SwatAsr::new`], optionally disabling the enclosure-based
+    /// update suppression (every changed approximation then propagates to
+    /// all subscribers) — an ablation of the paper's design choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window` is a power of two >= 2.
+    pub fn with_enclosure_suppression(topo: Topology, window: usize, enabled: bool) -> Self {
+        SwatAsr::with_approx(topo, window, 1, enabled)
+    }
+
+    /// The cached range of `node` for segment `seg`, if any.
+    pub fn cached_range(&self, node: NodeId, seg: usize) -> Option<ValueRange> {
+        self.cached_approx(node, seg).map(RangeApprox::range)
+    }
+}
+
+impl SwatAsr<CoeffApprox> {
+    /// A fresh scheme replicating `k`-coefficient summaries — the general
+    /// case of §3.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window` is a power of two >= 2 and `k >= 1`.
+    pub fn with_coefficients(topo: Topology, window: usize, k: usize) -> Self {
+        assert!(k >= 1, "coefficient budget must be positive");
+        SwatAsr::with_approx(topo, window, k, true)
+    }
+}
+
+impl<A: SegmentApprox> SwatAsr<A> {
+    fn with_approx(topo: Topology, window: usize, k: usize, suppress: bool) -> Self {
+        let segments = window_segments(window);
+        let rows = topo
+            .nodes()
+            .map(|_| vec![SegmentRow::default(); segments.len()])
+            .collect();
+        SwatAsr {
+            topo,
+            segments,
+            window: ExactWindow::new(window),
+            k,
+            rows,
+            suppress_enclosed: suppress,
+        }
+    }
+
+    /// The segment partition in use.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The cached approximation of `node` for segment `seg`, if any.
+    pub fn cached_approx(&self, node: NodeId, seg: usize) -> Option<&A> {
+        self.rows[node.index()][seg].approx.as_ref()
+    }
+
+    /// Exact range of segment `seg`'s *current* contents (source truth);
+    /// `None` while the window has no data there yet.
+    pub fn exact_segment_range(&self, seg: usize) -> Option<ValueRange> {
+        let s = self.segments[seg];
+        if self.window.len() <= s.lo {
+            return None;
+        }
+        let hi = s.hi.min(self.window.len() - 1);
+        Some(self.window.range_of(s.lo, hi))
+    }
+
+    /// Current values of segment `seg`, newest first (`None` while empty).
+    fn segment_values(&self, seg: usize) -> Option<Vec<f64>> {
+        let s = self.segments[seg];
+        if self.window.len() <= s.lo {
+            return None;
+        }
+        let hi = s.hi.min(self.window.len() - 1);
+        Some((s.lo..=hi).map(|i| self.window.get(i).expect("in range")).collect())
+    }
+
+    /// Push `approx` down the subscription tree from `node`, charging one
+    /// update message per edge; receivers adopt it and re-propagate only
+    /// when their stale copy fails the soundness test (Figure 8a).
+    fn propagate(&mut self, node: NodeId, seg: usize, approx: &A, ledger: &mut MessageLedger) {
+        let subscribers = self.rows[node.index()][seg].subscribed.clone();
+        for child in subscribers {
+            ledger.charge(MsgKind::Update);
+            let row = &mut self.rows[child.index()][seg];
+            let old = row.approx.replace(approx.clone());
+            row.writes += 1;
+            let quiet = match &old {
+                Some(o) if self.suppress_enclosed => A::suppresses(o, approx),
+                Some(o) => *o == *approx,
+                None => false,
+            };
+            if !quiet {
+                self.propagate(child, seg, approx, ledger);
+            }
+        }
+    }
+
+    /// Whether `node` can answer `query` from its cached approximations,
+    /// and the answer if so. The source answers unconditionally, falling
+    /// back to exact values when its own approximations are too coarse.
+    fn try_answer(&self, node: NodeId, query: &InnerProductQuery) -> Option<f64> {
+        let n = self.window.capacity();
+        let rows = &self.rows[node.index()];
+        let mut err = 0.0;
+        let mut value = 0.0;
+        for (pos, &idx) in query.indices().iter().enumerate() {
+            let seg = segment_of(n, idx);
+            let Some(approx) = rows[seg].approx.as_ref() else {
+                if self.topo.is_source(node) {
+                    // The source owns the stream: answer exactly.
+                    return Some(self.answer_exact(query));
+                }
+                return None;
+            };
+            let w = query.weights()[pos];
+            err += w.abs() * approx.uncertainty();
+            value += w * approx.value_at(idx - self.segments[seg].lo);
+        }
+        if err <= query.delta() {
+            Some(value)
+        } else if self.topo.is_source(node) {
+            Some(self.answer_exact(query))
+        } else {
+            None
+        }
+    }
+
+    fn answer_exact(&self, query: &InnerProductQuery) -> f64 {
+        query
+            .indices()
+            .iter()
+            .zip(query.weights())
+            .map(|(&idx, &w)| w * self.window.get(idx).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Segment indices a query touches (deduplicated, ascending).
+    fn touched_segments(&self, query: &InnerProductQuery) -> Vec<usize> {
+        let n = self.window.capacity();
+        let mut segs: Vec<usize> = query
+            .indices()
+            .iter()
+            .map(|&idx| segment_of(n, idx))
+            .collect();
+        segs.sort_unstable();
+        segs.dedup();
+        segs
+    }
+
+    /// Nodes currently holding a replica of `seg` (the replication scheme
+    /// R) — used by the connectivity invariant test.
+    pub fn replica_holders(&self, seg: usize) -> Vec<NodeId> {
+        self.topo
+            .nodes()
+            .filter(|&v| self.rows[v.index()][seg].approx.is_some())
+            .collect()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+impl<A: SegmentApprox> ReplicationScheme for SwatAsr<A> {
+    fn on_data(&mut self, _now: u64, value: f64, ledger: &mut MessageLedger) {
+        self.window.push(value);
+        // Recompute every segment's approximation; one the stale stored
+        // copy cannot soundly stand in for is a write.
+        for seg in 0..self.segments.len() {
+            let Some(values) = self.segment_values(seg) else {
+                continue;
+            };
+            let new_approx = A::from_segment(&values, self.k);
+            let row = &mut self.rows[0][seg];
+            let old = row.approx.take();
+            let quiet = match &old {
+                Some(o) if self.suppress_enclosed => A::suppresses(o, &new_approx),
+                Some(o) => *o == new_approx,
+                None => false,
+            };
+            row.approx = Some(new_approx.clone());
+            if !quiet {
+                row.writes += 1;
+                self.propagate(NodeId::SOURCE, seg, &new_approx, ledger);
+            }
+        }
+    }
+
+    fn on_query(
+        &mut self,
+        _now: u64,
+        client: NodeId,
+        query: &InnerProductQuery,
+        ledger: &mut MessageLedger,
+    ) -> QueryOutcome {
+        let touched = self.touched_segments(query);
+        let mut node = client;
+        let mut from: Option<NodeId> = None;
+        let mut hops = 0usize;
+        loop {
+            if let Some(value) = self.try_answer(node, query) {
+                for &seg in &touched {
+                    self.rows[node.index()][seg].note_read(from);
+                }
+                if hops > 0 {
+                    ledger.charge_hops(MsgKind::Answer, hops);
+                }
+                return QueryOutcome {
+                    answered_at: node,
+                    value,
+                    local_hit: hops == 0,
+                };
+            }
+            let parent = self
+                .topo
+                .parent(node)
+                .expect("the source always answers");
+            ledger.charge(MsgKind::QueryForward);
+            from = Some(node);
+            node = parent;
+            hops += 1;
+        }
+    }
+
+    fn on_phase_end(&mut self, _now: u64, ledger: &mut MessageLedger) {
+        let n_segs = self.segments.len();
+        // Contraction first, deepest nodes first, so a decached child is
+        // out of its parent's subscription list before expansion runs.
+        let mut order: Vec<NodeId> = self.topo.nodes().collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(self.topo.depth(v)));
+        for &u in &order {
+            if self.topo.is_source(u) {
+                continue; // "the source is always a member"
+            }
+            for seg in 0..n_segs {
+                let row = &self.rows[u.index()][seg];
+                let is_fringe = row.approx.is_some() && row.subscribed.is_empty();
+                if is_fringe && row.reads_served() < row.writes {
+                    // Decache and unsubscribe at the parent (one control
+                    // message up).
+                    self.rows[u.index()][seg].approx = None;
+                    ledger.charge(MsgKind::Control);
+                    let parent = self.topo.parent(u).expect("non-source has a parent");
+                    self.rows[parent.index()][seg]
+                        .subscribed
+                        .retain(|&v| v != u);
+                }
+            }
+        }
+        // Expansion, top-down.
+        let mut order: Vec<NodeId> = self.topo.nodes().collect();
+        order.sort_by_key(|&v| self.topo.depth(v));
+        for &u in &order {
+            for seg in 0..n_segs {
+                if self.rows[u.index()][seg].approx.is_none() {
+                    continue;
+                }
+                let approx = self.rows[u.index()][seg]
+                    .approx
+                    .clone()
+                    .expect("checked above");
+                let writes = self.rows[u.index()][seg].writes;
+                // Refresh subscribed children that kept missing.
+                let subscribed = self.rows[u.index()][seg].subscribed.clone();
+                for v in subscribed {
+                    let reads = self.rows[u.index()][seg]
+                        .read_counts
+                        .get(&v)
+                        .copied()
+                        .unwrap_or(0);
+                    if writes < reads {
+                        ledger.charge(MsgKind::Update);
+                        let row = &mut self.rows[v.index()][seg];
+                        row.approx = Some(approx.clone());
+                        row.writes += 1;
+                    }
+                }
+                // Promote interested children that read enough.
+                let interested = std::mem::take(&mut self.rows[u.index()][seg].interested);
+                for v in interested {
+                    let reads = self.rows[u.index()][seg]
+                        .read_counts
+                        .get(&v)
+                        .copied()
+                        .unwrap_or(0);
+                    if writes < reads {
+                        self.rows[u.index()][seg].subscribed.push(v);
+                        ledger.charge(MsgKind::Insert);
+                        self.rows[v.index()][seg].approx = Some(approx.clone());
+                    }
+                }
+            }
+        }
+        // Reset all phase counters.
+        for node_rows in &mut self.rows {
+            for row in node_rows {
+                row.reset_phase();
+            }
+        }
+    }
+
+    fn approximation_count(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|rows| rows.iter())
+            .filter(|r| r.approx.is_some())
+            .count()
+    }
+
+    fn name(&self) -> &'static str {
+        "SWAT-ASR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(asr: &mut SwatAsr, values: impl IntoIterator<Item = f64>) -> MessageLedger {
+        let mut ledger = MessageLedger::new();
+        for v in values {
+            asr.on_data(0, v, &mut ledger);
+        }
+        ledger
+    }
+
+    #[test]
+    fn source_tracks_exact_segment_ranges() {
+        let mut asr = SwatAsr::new(Topology::single_client(), 8);
+        feed(&mut asr, (0..16).map(|i| i as f64));
+        // Window newest-first: 15, 14, ..., 8. Segments (0,1) (2,3) (4,7).
+        assert_eq!(
+            asr.cached_range(NodeId::SOURCE, 0).unwrap(),
+            ValueRange::new(14.0, 15.0)
+        );
+        assert_eq!(
+            asr.cached_range(NodeId::SOURCE, 1).unwrap(),
+            ValueRange::new(12.0, 13.0)
+        );
+        assert_eq!(
+            asr.cached_range(NodeId::SOURCE, 2).unwrap(),
+            ValueRange::new(8.0, 11.0)
+        );
+    }
+
+    #[test]
+    fn no_updates_flow_before_any_subscription() {
+        let mut asr = SwatAsr::new(Topology::single_client(), 8);
+        let ledger = feed(&mut asr, (0..50).map(|i| (i % 9) as f64));
+        assert_eq!(ledger.total(), 0, "nobody subscribed; no messages");
+        assert_eq!(asr.approximation_count(), 3, "only the source's rows");
+    }
+
+    #[test]
+    fn query_miss_forwards_to_source_and_counts_messages() {
+        let mut asr = SwatAsr::new(Topology::chain(2), 8);
+        let mut ledger = MessageLedger::new();
+        feed(&mut asr, (0..20).map(|i| i as f64));
+        let q = InnerProductQuery::linear(4, 100.0);
+        let out = asr.on_query(0, NodeId(2), &q, &mut ledger);
+        assert_eq!(out.answered_at, NodeId::SOURCE);
+        assert!(!out.local_hit);
+        // 2 hops up + 2 hops of answer.
+        assert_eq!(ledger.count(MsgKind::QueryForward), 2);
+        assert_eq!(ledger.count(MsgKind::Answer), 2);
+    }
+
+    #[test]
+    fn expansion_installs_replica_after_read_heavy_phase() {
+        let mut asr = SwatAsr::new(Topology::single_client(), 8);
+        let mut ledger = MessageLedger::new();
+        feed(&mut asr, std::iter::repeat_n(5.0, 20));
+        let q = InnerProductQuery::linear(4, 100.0);
+        // Three reads, zero writes in the phase.
+        for _ in 0..3 {
+            asr.on_query(0, NodeId(1), &q, &mut ledger);
+        }
+        assert!(asr.cached_range(NodeId(1), 0).is_none());
+        asr.on_phase_end(0, &mut ledger);
+        // Client now holds replicas of the touched segments (0 and 1).
+        assert!(asr.cached_range(NodeId(1), 0).is_some());
+        assert!(asr.cached_range(NodeId(1), 1).is_some());
+        assert!(ledger.count(MsgKind::Insert) >= 2);
+        // Subsequent identical queries are local hits.
+        let before = ledger.total();
+        let out = asr.on_query(0, NodeId(1), &q, &mut ledger);
+        assert!(out.local_hit);
+        assert_eq!(ledger.total(), before);
+    }
+
+    #[test]
+    fn contraction_drops_replica_after_write_heavy_phase() {
+        let mut asr = SwatAsr::new(Topology::single_client(), 8);
+        let mut ledger = MessageLedger::new();
+        feed(&mut asr, std::iter::repeat_n(5.0, 20));
+        let q = InnerProductQuery::linear(2, 100.0); // touches segment 0 only
+        for _ in 0..3 {
+            asr.on_query(0, NodeId(1), &q, &mut ledger);
+        }
+        asr.on_phase_end(0, &mut ledger);
+        assert!(asr.cached_range(NodeId(1), 0).is_some());
+        // Now a write-heavy phase with zero reads: wildly varying data.
+        feed(&mut asr, (0..20).map(|i| ((i * 37) % 100) as f64));
+        asr.on_phase_end(0, &mut ledger);
+        assert!(
+            asr.cached_range(NodeId(1), 0).is_none(),
+            "fringe replica must contract"
+        );
+        assert!(ledger.count(MsgKind::Control) >= 1, "unsubscribe message");
+    }
+
+    #[test]
+    fn enclosure_suppresses_updates() {
+        let mut asr = SwatAsr::new(Topology::single_client(), 8);
+        let mut ledger = MessageLedger::new();
+        // Oscillate widely so segment ranges are wide, then subscribe.
+        feed(&mut asr, (0..16).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }));
+        let q = InnerProductQuery::linear(2, 1000.0);
+        for _ in 0..3 {
+            asr.on_query(0, NodeId(1), &q, &mut ledger);
+        }
+        asr.on_phase_end(0, &mut ledger);
+        assert!(asr.cached_range(NodeId(1), 0).is_some());
+        // Keep oscillating inside [0, 100]: every new segment range is
+        // enclosed by the cached [0, 100], so no updates flow.
+        let l2 = feed(&mut asr, (0..40).map(|i| if i % 2 == 0 { 10.0 } else { 90.0 }));
+        assert_eq!(l2.total(), 0, "enclosed ranges must not propagate");
+    }
+
+    #[test]
+    fn cached_ranges_always_enclose_truth() {
+        // Soundness invariant: any cached range encloses the segment's
+        // true current values, at every step.
+        let mut asr = SwatAsr::new(Topology::chain(3), 16);
+        let mut ledger = MessageLedger::new();
+        let data: Vec<f64> = (0..300).map(|i| (((i * 17) % 83) as f64).sin() * 40.0 + 50.0).collect();
+        let q = InnerProductQuery::linear(8, 60.0);
+        for (i, &v) in data.iter().enumerate() {
+            asr.on_data(0, v, &mut ledger);
+            if i % 3 == 0 {
+                asr.on_query(0, NodeId(3), &q, &mut ledger);
+            }
+            if i % 20 == 19 {
+                asr.on_phase_end(0, &mut ledger);
+            }
+            for seg in 0..asr.segments().len() {
+                let Some(truth) = asr.exact_segment_range(seg) else { continue };
+                for node in asr.topology().nodes() {
+                    if let Some(cached) = asr.cached_range(node, seg) {
+                        assert!(
+                            cached.encloses(&truth),
+                            "step {i}: node {node} seg {seg}: {cached} !⊇ {truth}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replication_scheme_stays_connected() {
+        let mut asr = SwatAsr::new(Topology::complete_binary(2), 16);
+        let mut ledger = MessageLedger::new();
+        let data: Vec<f64> = (0..400).map(|i| ((i * 29) % 100) as f64).collect();
+        for (i, &v) in data.iter().enumerate() {
+            asr.on_data(0, v, &mut ledger);
+            let client = NodeId(1 + (i % 6));
+            let q = InnerProductQuery::linear(4, 200.0);
+            asr.on_query(0, client, &q, &mut ledger);
+            if i % 15 == 14 {
+                asr.on_phase_end(0, &mut ledger);
+            }
+            for seg in 0..asr.segments().len() {
+                let holders = asr.replica_holders(seg);
+                if holders.is_empty() {
+                    continue;
+                }
+                assert!(holders.contains(&NodeId::SOURCE), "source must hold seg {seg}");
+                for &h in &holders {
+                    if let Some(p) = asr.topology().parent(h) {
+                        assert!(
+                            holders.contains(&p),
+                            "step {i}: holder {h} of seg {seg} has non-holder parent {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- the §3 "general case": k-coefficient replication ----
+
+    #[test]
+    fn coefficient_asr_answers_and_caches() {
+        let mut asr = SwatAsr::with_coefficients(Topology::single_client(), 16, 4);
+        let mut ledger = MessageLedger::new();
+        for i in 0..48 {
+            asr.on_data(i, 50.0 + (i as f64 * 0.1).sin(), &mut ledger);
+        }
+        // Close the write-heavy warm-up phase, then run a read-only phase:
+        // expansion requires reads to exceed writes.
+        asr.on_phase_end(0, &mut ledger);
+        let q = InnerProductQuery::linear(8, 5.0);
+        for t in 0..4 {
+            asr.on_query(t, NodeId(1), &q, &mut ledger);
+        }
+        asr.on_phase_end(1, &mut ledger);
+        assert!(asr.cached_approx(NodeId(1), 0).is_some(), "replica installed");
+        let out = asr.on_query(9, NodeId(1), &q, &mut ledger);
+        assert!(out.local_hit, "lossless coefficient replicas satisfy delta=5");
+        assert!(out.value.is_finite());
+    }
+
+    #[test]
+    fn coefficient_replicas_honor_their_deviation() {
+        // Soundness: every cached coefficient summary's reconstruction is
+        // within its advertised deviation of the current true values.
+        let mut asr = SwatAsr::with_coefficients(Topology::chain(2), 16, 2);
+        let mut ledger = MessageLedger::new();
+        let data: Vec<f64> = (0..260)
+            .map(|i| 50.0 + 20.0 * ((i as f64) * 0.05).sin())
+            .collect();
+        let q = InnerProductQuery::linear(8, 30.0);
+        for (i, &v) in data.iter().enumerate() {
+            asr.on_data(i as u64, v, &mut ledger);
+            if i % 2 == 0 {
+                asr.on_query(i as u64, NodeId(2), &q, &mut ledger);
+            }
+            if i % 20 == 19 {
+                asr.on_phase_end(i as u64, &mut ledger);
+            }
+            if i < 16 {
+                continue; // window still filling
+            }
+            for (seg_idx, seg) in asr.segments().to_vec().iter().enumerate() {
+                for node in asr.topology().nodes() {
+                    let Some(approx) = asr.cached_approx(node, seg_idx) else { continue };
+                    for offset in 0..seg.width() {
+                        let truth = data[i - (seg.lo + offset)];
+                        assert!(
+                            (truth - approx.value_at(offset)).abs()
+                                <= approx.deviation() + 1e-9,
+                            "step {i} node {node} seg {seg_idx} offset {offset}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_coefficients_serve_tighter_precision_locally() {
+        // Read-heavy wavy workload with a tight delta: range replicas
+        // (width ~ 14 > delta) can never answer locally, while lossless
+        // coefficient replicas can — each pushed update restores their
+        // freshness and their deviation is zero.
+        let data: Vec<f64> = (0..400)
+            .map(|i| 50.0 + 10.0 * ((i as f64) * 0.8).sin())
+            .collect();
+        fn drive<A: crate::approx::SegmentApprox>(
+            mut asr: SwatAsr<A>,
+            data: &[f64],
+        ) -> u32 {
+            let mut ledger = MessageLedger::new();
+            let q = InnerProductQuery::linear(4, 4.0);
+            let mut hits = 0u32;
+            for (i, &v) in data.iter().enumerate() {
+                asr.on_data(i as u64, v, &mut ledger);
+                // Three reads per write: caching pays.
+                for r in 0..3u64 {
+                    if asr
+                        .on_query(i as u64 * 4 + r, NodeId(1), &q, &mut ledger)
+                        .local_hit
+                    {
+                        hits += 1;
+                    }
+                }
+                if i % 20 == 19 {
+                    asr.on_phase_end(i as u64, &mut ledger);
+                }
+            }
+            hits
+        }
+        let range_hits = drive(SwatAsr::new(Topology::single_client(), 16), &data);
+        let coeff_hits = drive(
+            SwatAsr::with_coefficients(Topology::single_client(), 16, 8),
+            &data,
+        );
+        assert!(
+            coeff_hits > range_hits,
+            "k=8 hits {coeff_hits} should beat range hits {range_hits}"
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Divergence Caching (Huang, Sloan & Wolfson, PDIS'94), adapted to
+//! precision tolerances per the SWAT paper's §4.1.
+//!
+//! One cached interval per *(client, window item)* pair. The interval's
+//! width is the "refresh rate" `k`: a read with tolerance `τ` hits the
+//! cache iff `τ ≥ k`; otherwise it is forwarded to the server (control
+//! message, cost `w` per edge) which replies with the current value and a
+//! **newly computed** optimal width (data message, cost 1 per edge). A
+//! write that escapes a client's cached interval triggers an *unsolicited
+//! refresh* (data message per edge).
+//!
+//! The optimal width minimizes the paper's expected cost per unit time
+//! over the discretized widths `k ∈ {0, …, M}`:
+//!
+//! ```text
+//! cost(0) = λ_w                                      (exact caching)
+//! cost(k) = r(k)(1+w) + (M−k)/M · (λ_w + r(k))       (0 < k < M)
+//! cost(M) = (w+1) Σ_t λ_{r_t}                        (no caching)
+//! ```
+//!
+//! with `r(k) = Σ_{t<k} λ_{r_t}` the rate of reads whose tolerance is too
+//! tight for width `k`. Rates are estimated from a sliding window of the
+//! last 23 read/write events per (client, item), as in the original paper
+//! ("the authors used a window of size 23; we use the same").
+
+use std::collections::VecDeque;
+
+use crate::scheme::{per_item_tolerance, QueryOutcome, ReplicationScheme};
+use swat_net::{MessageLedger, MsgKind, NodeId, Topology};
+use swat_tree::{ExactWindow, InnerProductQuery, ValueRange};
+
+/// Number of past events used to estimate read/write rates (reference
+/// \[11\] of the paper, via its §4.1).
+pub const HISTORY: usize = 23;
+
+/// Number of discrete width levels (`M` in the cost model). Widths are
+/// multiples of `value_range / WIDTH_LEVELS`.
+pub const WIDTH_LEVELS: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A read request with its tolerance bin, at a tick.
+    Read { tol_bin: usize, at: u64 },
+    /// A write to the item, at a tick.
+    Write { at: u64 },
+}
+
+impl Event {
+    fn at(&self) -> u64 {
+        match *self {
+            Event::Read { at, .. } | Event::Write { at } => at,
+        }
+    }
+}
+
+/// Per-(client, item) state: the client-side cache plus the server-side
+/// event history driving the width choice.
+#[derive(Debug, Clone, Default)]
+struct ItemState {
+    /// Client-side cached interval; `None` = not cached (width level M).
+    interval: Option<ValueRange>,
+    /// Width level `k` of the cached interval (0 = exact).
+    width_bin: usize,
+    /// Server-side event history (last [`HISTORY`] events).
+    events: VecDeque<Event>,
+}
+
+impl ItemState {
+    fn record(&mut self, e: Event) {
+        if self.events.len() == HISTORY {
+            self.events.pop_front();
+        }
+        self.events.push_back(e);
+    }
+}
+
+/// Divergence Caching over a topology: per-item caching for every client,
+/// with the source as the single server (intermediate tree nodes relay).
+#[derive(Debug)]
+pub struct DivergenceCaching {
+    topo: Topology,
+    window: ExactWindow,
+    /// `items[client - 1][item]` (the source caches nothing).
+    items: Vec<Vec<ItemState>>,
+    /// Control-message weight `w` of the cost model.
+    control_weight: f64,
+    /// Full value range of the data, defining the width unit.
+    value_span: f64,
+    /// Hop count from each client to the source (precomputed).
+    depths: Vec<usize>,
+}
+
+impl DivergenceCaching {
+    /// A fresh scheme. `value_span` is the maximum possible data range
+    /// (the paper's `M`, e.g. 100 for the synthetic dataset);
+    /// `control_weight` is the control-message cost `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`, `value_span <= 0`, or
+    /// `control_weight < 0`.
+    pub fn new(topo: Topology, window: usize, value_span: f64, control_weight: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(value_span > 0.0, "value span must be positive");
+        assert!(control_weight >= 0.0, "control weight must be nonnegative");
+        let items = topo
+            .clients()
+            .map(|_| vec![ItemState::default(); window])
+            .collect();
+        let depths = topo.nodes().map(|v| topo.depth(v)).collect();
+        DivergenceCaching {
+            topo,
+            window: ExactWindow::new(window),
+            items,
+            control_weight,
+            value_span,
+            depths,
+        }
+    }
+
+    fn width_unit(&self) -> f64 {
+        self.value_span / WIDTH_LEVELS as f64
+    }
+
+    /// Tolerance `τ` (a width) discretized to a bin in `0..=WIDTH_LEVELS`.
+    fn tol_bin(&self, tol: f64) -> usize {
+        ((tol / self.width_unit()).floor() as usize).min(WIDTH_LEVELS)
+    }
+
+    /// Choose the width level minimizing expected cost per unit time from
+    /// the item's event history. Empty history defaults to no caching.
+    fn optimal_width_bin(&self, st: &ItemState, now: u64) -> usize {
+        if st.events.is_empty() {
+            return WIDTH_LEVELS;
+        }
+        let oldest = st.events.front().expect("nonempty").at();
+        let span = (now.saturating_sub(oldest) + 1) as f64;
+        let mut reads_per_bin = [0.0f64; WIDTH_LEVELS + 1];
+        let mut writes = 0.0;
+        for e in &st.events {
+            match *e {
+                Event::Read { tol_bin, .. } => reads_per_bin[tol_bin] += 1.0,
+                Event::Write { .. } => writes += 1.0,
+            }
+        }
+        let lambda_w = writes / span;
+        let lambda_r: Vec<f64> = reads_per_bin.iter().map(|c| c / span).collect();
+        let total_reads: f64 = lambda_r.iter().sum();
+        let m = WIDTH_LEVELS as f64;
+        let w = self.control_weight;
+        let mut best = (0usize, lambda_w); // k = 0: pay every write
+        for k in 1..WIDTH_LEVELS {
+            let r_k: f64 = lambda_r[..k].iter().sum();
+            let cost = r_k * (1.0 + w) + (m - k as f64) / m * (lambda_w + r_k);
+            if cost < best.1 {
+                best = (k, cost);
+            }
+        }
+        let cost_m = (w + 1.0) * total_reads;
+        if cost_m < best.1 {
+            best = (WIDTH_LEVELS, cost_m);
+        }
+        best.0
+    }
+
+    /// Client-side cached interval for `(client, item)`, if any.
+    pub fn cached_interval(&self, client: NodeId, item: usize) -> Option<ValueRange> {
+        self.items[client.index() - 1][item].interval
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+impl ReplicationScheme for DivergenceCaching {
+    fn on_data(&mut self, now: u64, value: f64, ledger: &mut MessageLedger) {
+        self.window.push(value);
+        // Every window item takes a new value; each cached copy whose
+        // interval no longer contains its item's value gets an unsolicited
+        // refresh (same width, recentered).
+        let filled = self.window.len();
+        for client in self.topo.clients() {
+            let hops = self.depths[client.index()];
+            for item in 0..filled {
+                let truth = self.window.get(item).expect("within filled range");
+                let st = &mut self.items[client.index() - 1][item];
+                st.record(Event::Write { at: now });
+                let Some(interval) = st.interval else { continue };
+                if !interval.contains(truth) {
+                    // The refresh message is being paid for anyway, so the
+                    // server attaches a newly optimized refresh rate —
+                    // possibly "stop caching" when writes dominate.
+                    ledger.charge_hops(MsgKind::Update, hops);
+                    let k = {
+                        let st = &self.items[client.index() - 1][item];
+                        self.optimal_width_bin(st, now)
+                    };
+                    let st = &mut self.items[client.index() - 1][item];
+                    st.width_bin = k;
+                    if k == WIDTH_LEVELS {
+                        st.interval = None;
+                    } else {
+                        let half = 0.5 * k as f64 * self.value_span / WIDTH_LEVELS as f64;
+                        st.interval = Some(ValueRange::new(truth - half, truth + half));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_query(
+        &mut self,
+        now: u64,
+        client: NodeId,
+        query: &InnerProductQuery,
+        ledger: &mut MessageLedger,
+    ) -> QueryOutcome {
+        let hops = self.depths[client.index()];
+        let mut value = 0.0;
+        let mut all_local = true;
+        for (pos, &item) in query.indices().iter().enumerate() {
+            let tol = per_item_tolerance(query, pos);
+            let tol_bin = self.tol_bin(tol);
+            let truth = self.window.get(item).unwrap_or(0.0);
+            let st = &mut self.items[client.index() - 1][item];
+            st.record(Event::Read { tol_bin, at: now });
+            let width = st.width_bin as f64 * self.value_span / WIDTH_LEVELS as f64;
+            let hit = st.interval.is_some() && width <= tol;
+            if hit {
+                value += query.weights()[pos] * st.interval.expect("hit").midpoint();
+                continue;
+            }
+            // Miss: request up (control, weight w per edge), reply down
+            // (data, cost 1 per edge) carrying the value and a freshly
+            // optimized width.
+            all_local = false;
+            for _ in 0..hops {
+                ledger.charge_weighted(MsgKind::Control, self.control_weight);
+            }
+            ledger.charge_hops(MsgKind::Answer, hops);
+            let k = {
+                let st = &self.items[client.index() - 1][item];
+                self.optimal_width_bin(st, now)
+            };
+            let st = &mut self.items[client.index() - 1][item];
+            st.width_bin = k;
+            if k == WIDTH_LEVELS {
+                st.interval = None; // no caching
+            } else {
+                let half = 0.5 * k as f64 * self.value_span / WIDTH_LEVELS as f64;
+                st.interval = Some(ValueRange::new(truth - half, truth + half));
+            }
+            value += query.weights()[pos] * truth;
+        }
+        QueryOutcome {
+            answered_at: if all_local { client } else { NodeId::SOURCE },
+            value,
+            local_hit: all_local,
+        }
+    }
+
+    fn on_phase_end(&mut self, _now: u64, _ledger: &mut MessageLedger) {
+        // Divergence caching has no phase structure.
+    }
+
+    fn approximation_count(&self) -> usize {
+        self.items
+            .iter()
+            .flat_map(|per_client| per_client.iter())
+            .filter(|st| st.interval.is_some())
+            .count()
+    }
+
+    fn name(&self) -> &'static str {
+        "DC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme(window: usize) -> DivergenceCaching {
+        DivergenceCaching::new(Topology::single_client(), window, 100.0, 0.1)
+    }
+
+    #[test]
+    fn first_read_misses_then_caches() {
+        let mut dc = scheme(8);
+        let mut ledger = MessageLedger::new();
+        for (t, v) in (0..16).map(|i| (i as u64, 50.0)) {
+            dc.on_data(t, v, &mut ledger);
+        }
+        assert_eq!(ledger.total(), 0, "nothing cached yet, no refreshes");
+        let q = InnerProductQuery::linear(2, 50.0);
+        let out = dc.on_query(16, NodeId(1), &q, &mut ledger);
+        assert!(!out.local_hit, "cold cache must miss");
+        let miss_cost = ledger.total();
+        assert!(miss_cost >= 2, "request + reply per missing item");
+        // Repeat reads: the server chose a width; with a stable value and
+        // repeated identical tolerances, reads should start hitting.
+        for t in 17..30 {
+            dc.on_query(t, NodeId(1), &q, &mut ledger);
+        }
+        let out = dc.on_query(30, NodeId(1), &q, &mut ledger);
+        assert!(out.local_hit, "warm cache with stable data should hit");
+    }
+
+    #[test]
+    fn stable_data_with_cached_interval_sends_no_refreshes() {
+        let mut dc = scheme(4);
+        let mut ledger = MessageLedger::new();
+        for t in 0..8 {
+            dc.on_data(t, 42.0, &mut ledger);
+        }
+        let q = InnerProductQuery::linear(2, 80.0);
+        for t in 8..20 {
+            dc.on_query(t, NodeId(1), &q, &mut ledger);
+        }
+        let before = ledger.count(MsgKind::Update);
+        for t in 20..40 {
+            dc.on_data(t, 42.0, &mut ledger);
+        }
+        assert_eq!(
+            ledger.count(MsgKind::Update),
+            before,
+            "constant data never escapes its interval"
+        );
+    }
+
+    #[test]
+    fn wild_data_with_reads_pays_refreshes_or_uncaches() {
+        let mut dc = scheme(4);
+        let mut ledger = MessageLedger::new();
+        let mut t = 0u64;
+        let q = InnerProductQuery::linear(2, 10.0);
+        for i in 0..200 {
+            dc.on_data(t, if i % 2 == 0 { 0.0 } else { 100.0 }, &mut ledger);
+            t += 1;
+            if i % 4 == 0 {
+                dc.on_query(t, NodeId(1), &q, &mut ledger);
+                t += 1;
+            }
+        }
+        // With writes dominating reads, the optimizer should mostly give
+        // up on caching (width level M -> interval None), bounding the
+        // refresh traffic.
+        let updates = ledger.count(MsgKind::Update);
+        let answers = ledger.count(MsgKind::Answer);
+        assert!(
+            updates < 120,
+            "adaptivity should stop most unsolicited refreshes ({updates})"
+        );
+        assert!(answers > 0);
+    }
+
+    #[test]
+    fn tolerance_binning() {
+        let dc = scheme(4);
+        assert_eq!(dc.tol_bin(0.0), 0);
+        assert_eq!(dc.tol_bin(100.0), WIDTH_LEVELS);
+        assert_eq!(dc.tol_bin(1e9), WIDTH_LEVELS);
+        let unit = 100.0 / WIDTH_LEVELS as f64;
+        assert_eq!(dc.tol_bin(unit * 2.5), 2);
+    }
+
+    #[test]
+    fn cost_model_prefers_no_caching_under_pure_writes() {
+        let dc = scheme(4);
+        let mut st = ItemState::default();
+        for t in 0..HISTORY as u64 {
+            st.record(Event::Write { at: t });
+        }
+        // Pure writes, no reads: cost(M) = (w+1)·0 = 0 while every cached
+        // width pays for escaping writes, so no caching wins.
+        let k = dc.optimal_width_bin(&st, HISTORY as u64);
+        assert_eq!(k, WIDTH_LEVELS);
+    }
+
+    #[test]
+    fn cost_model_prefers_tight_caching_under_pure_reads() {
+        let dc = scheme(4);
+        let mut st = ItemState::default();
+        for t in 0..HISTORY as u64 {
+            st.record(Event::Read { tol_bin: 1, at: t });
+        }
+        // Pure reads with tolerance bin 1: width 1 serves them all at
+        // cost (M-1)/M·r; width 0 is free of read cost and write cost is
+        // zero -> k = 0 or 1 both beat no-caching.
+        let k = dc.optimal_width_bin(&st, HISTORY as u64);
+        assert!(k <= 1, "expected tight caching, got {k}");
+    }
+
+    #[test]
+    fn space_is_linear_in_items() {
+        let mut dc = DivergenceCaching::new(Topology::single_client(), 32, 100.0, 0.1);
+        let mut ledger = MessageLedger::new();
+        for t in 0..64 {
+            dc.on_data(t, (t % 50) as f64, &mut ledger);
+        }
+        // Query everything with loose tolerance: every item gets cached.
+        let q = InnerProductQuery::linear(32, 1e6);
+        dc.on_query(100, NodeId(1), &q, &mut ledger);
+        for t in 101..140 {
+            dc.on_query(t, NodeId(1), &q, &mut ledger);
+        }
+        assert!(
+            dc.approximation_count() > 16,
+            "per-item caching should hold O(N) approximations, got {}",
+            dc.approximation_count()
+        );
+    }
+}

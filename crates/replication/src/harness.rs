@@ -1,0 +1,342 @@
+//! Deterministic simulation driver for the replication experiments.
+//!
+//! Mirrors the paper's §5 environment: "a server site processing a single
+//! data stream, and a number of clients asking linear inner product
+//! queries at regular intervals. … We schedule periodic tasks to initiate
+//! data and query arrivals. The system is allowed to warm up initially
+//! before measurements are made."
+//!
+//! The driver runs one [`ReplicationScheme`] over a shared event schedule
+//! (data every `t_data`, one query per client every `t_query`, a
+//! replication phase boundary every `phase`) and reports the post-warmup
+//! message ledger plus workload metrics. Identical configurations replay
+//! identically, and all three schemes see the same data and query
+//! sequences.
+
+use crate::aps::AdaptivePrecision;
+use crate::asr::SwatAsr;
+use crate::divergence::DivergenceCaching;
+use crate::scheme::{ReplicationScheme, SchemeKind};
+use crate::workload::{QueryGenerator, QueryShape};
+use swat_net::{MessageLedger, Topology};
+use swat_sim::{Metrics, Periodic, Scheduler};
+
+/// Parameters of one replication experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Sliding-window size `N` (power of two for SWAT-ASR).
+    pub window: usize,
+    /// Data arrival period `T_d` in ticks.
+    pub t_data: u64,
+    /// Per-client query period `T_q` in ticks.
+    pub t_query: u64,
+    /// Query precision requirement `δ`.
+    pub delta: f64,
+    /// Simulation end (exclusive), in ticks.
+    pub horizon: u64,
+    /// Ticks before message counting starts.
+    pub warmup: u64,
+    /// Master seed for query generation.
+    pub seed: u64,
+    /// Replication phase length in ticks (SWAT-ASR's ADR tests).
+    pub phase: u64,
+    /// Divergence Caching's control-message weight `w`.
+    pub control_weight: f64,
+    /// Full data value span (DC's width discretization scale).
+    pub value_span: f64,
+    /// Weight profile of generated queries.
+    pub shape: QueryShape,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            window: 32,
+            t_data: 1,
+            t_query: 1,
+            delta: 10.0,
+            horizon: 2_000,
+            warmup: 400,
+            seed: 42,
+            phase: 20,
+            control_weight: 0.1,
+            value_span: 100.0,
+            shape: QueryShape::Linear,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Messages after warm-up — the paper's cost measure.
+    pub ledger: MessageLedger,
+    /// Messages during warm-up (reported separately).
+    pub warmup_ledger: MessageLedger,
+    /// Workload metrics: `queries`, `local_hits`, `data_arrivals`, ….
+    pub metrics: Metrics,
+    /// Approximations cached across all sites at the end (§5.1 space).
+    pub approximations: usize,
+    /// Scheme name.
+    pub scheme: &'static str,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Data,
+    Query { client: usize },
+    PhaseEnd,
+}
+
+/// Instantiate a scheme by kind.
+pub fn make_scheme(
+    kind: SchemeKind,
+    topo: &Topology,
+    cfg: &WorkloadConfig,
+) -> Box<dyn ReplicationScheme> {
+    match kind {
+        SchemeKind::SwatAsr => Box::new(SwatAsr::new(topo.clone(), cfg.window)),
+        SchemeKind::DivergenceCaching => Box::new(DivergenceCaching::new(
+            topo.clone(),
+            cfg.window,
+            cfg.value_span,
+            cfg.control_weight,
+        )),
+        SchemeKind::AdaptivePrecision => {
+            Box::new(AdaptivePrecision::new(topo.clone(), cfg.window))
+        }
+    }
+}
+
+/// Run `kind` over `topo` with stream `values` (cycled if shorter than
+/// the horizon needs) under `cfg`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or the topology has no clients.
+pub fn run(kind: SchemeKind, topo: &Topology, values: &[f64], cfg: &WorkloadConfig) -> RunOutput {
+    let mut scheme = make_scheme(kind, topo, cfg);
+    run_scheme(scheme.as_mut(), topo, values, cfg)
+}
+
+/// Run an already-constructed scheme (useful for ablations).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or the topology has no clients.
+pub fn run_scheme(
+    scheme: &mut dyn ReplicationScheme,
+    topo: &Topology,
+    values: &[f64],
+    cfg: &WorkloadConfig,
+) -> RunOutput {
+    assert!(!values.is_empty(), "need stream data");
+    assert!(topo.client_count() > 0, "need at least one client");
+
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    let mut data_task = Periodic::starting_at(0, cfg.t_data);
+    sched.schedule(data_task.next_fire(), Event::Data);
+    let mut query_tasks: Vec<Periodic> = topo
+        .clients()
+        .map(|c| Periodic::starting_at(1 + (c.index() as u64 % cfg.t_query.max(1)), cfg.t_query))
+        .collect();
+    for (i, c) in topo.clients().enumerate() {
+        sched.schedule(query_tasks[i].next_fire(), Event::Query { client: c.index() });
+    }
+    let mut phase_task = Periodic::starting_at(cfg.phase, cfg.phase);
+    sched.schedule(phase_task.next_fire(), Event::PhaseEnd);
+
+    let mut generators: Vec<QueryGenerator> = topo
+        .clients()
+        .map(|c| QueryGenerator::new(cfg.seed, c.index(), cfg.window, cfg.delta, cfg.shape))
+        .collect();
+
+    let mut warmup_ledger = MessageLedger::new();
+    let mut ledger = MessageLedger::new();
+    let mut metrics = Metrics::new();
+    let mut data_idx = 0usize;
+
+    while let Some(at) = sched.peek_time() {
+        if at >= cfg.horizon {
+            break;
+        }
+        let (now, event) = sched.next().expect("peeked");
+        let measuring = now >= cfg.warmup;
+        let target = if measuring { &mut ledger } else { &mut warmup_ledger };
+        match event {
+            Event::Data => {
+                let v = values[data_idx % values.len()];
+                data_idx += 1;
+                scheme.on_data(now, v, target);
+                if measuring {
+                    metrics.incr("data_arrivals");
+                }
+                sched.schedule(data_task.advance(), Event::Data);
+            }
+            Event::Query { client } => {
+                let gen_idx = client - 1;
+                let q = generators[gen_idx].next_query();
+                let out = scheme.on_query(now, swat_net::NodeId(client), &q, target);
+                if measuring {
+                    metrics.incr("queries");
+                    if out.local_hit {
+                        metrics.incr("local_hits");
+                    }
+                    metrics.record("answer_depth", topo.depth(out.answered_at) as f64);
+                }
+                sched.schedule(query_tasks[gen_idx].advance(), Event::Query { client });
+            }
+            Event::PhaseEnd => {
+                scheme.on_phase_end(now, target);
+                if measuring {
+                    metrics.incr("phases");
+                }
+                sched.schedule(phase_task.advance(), Event::PhaseEnd);
+            }
+        }
+    }
+
+    let approximations = scheme.approximation_count();
+    metrics.record("approximations", approximations as f64);
+    RunOutput {
+        ledger,
+        warmup_ledger,
+        metrics,
+        approximations,
+        scheme: scheme.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weather(n: usize) -> Vec<f64> {
+        swat_data::weather_series(5, n)
+    }
+
+    fn small_cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            window: 16,
+            horizon: 600,
+            warmup: 150,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let topo = Topology::complete_binary(2);
+        let data = weather(700);
+        let cfg = small_cfg();
+        let a = run(SchemeKind::SwatAsr, &topo, &data, &cfg);
+        let b = run(SchemeKind::SwatAsr, &topo, &data, &cfg);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(a.approximations, b.approximations);
+        assert_eq!(a.metrics.counter("queries"), b.metrics.counter("queries"));
+    }
+
+    #[test]
+    fn all_schemes_complete_and_count_messages() {
+        let topo = Topology::single_client();
+        let data = weather(700);
+        let cfg = small_cfg();
+        for kind in SchemeKind::ALL {
+            let out = run(kind, &topo, &data, &cfg);
+            assert!(out.metrics.counter("queries") > 0, "{}", out.scheme);
+            assert!(
+                out.ledger.total() > 0,
+                "{} produced no messages at all",
+                out.scheme
+            );
+        }
+    }
+
+    #[test]
+    fn asr_space_is_logarithmic_vs_linear_baselines() {
+        let topo = Topology::complete_binary(2);
+        let data = weather(1500);
+        // Read-heavy so both schemes actually cache (DC adaptively stops
+        // caching altogether under write-heavy loads).
+        let cfg = WorkloadConfig {
+            window: 64,
+            t_data: 8,
+            horizon: 1200,
+            warmup: 300,
+            delta: 30.0,
+            ..WorkloadConfig::default()
+        };
+        let asr = run(SchemeKind::SwatAsr, &topo, &data, &cfg);
+        let dc = run(SchemeKind::DivergenceCaching, &topo, &data, &cfg);
+        // SWAT-ASR: at most (clients + 1) * log2(64) = 7 * 6 = 42 ranges.
+        assert!(
+            asr.approximations <= (topo.len()) * 6,
+            "ASR approximations {} exceed O(M log N)",
+            asr.approximations
+        );
+        // DC caches per item; with loose-ish precision and heavy reads it
+        // holds far more.
+        assert!(
+            dc.approximations > asr.approximations,
+            "DC {} should exceed ASR {}",
+            dc.approximations,
+            asr.approximations
+        );
+    }
+
+    #[test]
+    fn read_heavy_workload_favors_asr_messages() {
+        // T_d >> T_q: caching pays off; ASR's segment-granular caching
+        // should use fewer messages than the per-item baselines — the
+        // regime of Figure 9(a) left side.
+        let topo = Topology::single_client();
+        let data = weather(3000);
+        let cfg = WorkloadConfig {
+            window: 32,
+            t_data: 8,
+            t_query: 1,
+            delta: 20.0,
+            horizon: 2500,
+            warmup: 500,
+            ..WorkloadConfig::default()
+        };
+        let asr = run(SchemeKind::SwatAsr, &topo, &data, &cfg);
+        let dc = run(SchemeKind::DivergenceCaching, &topo, &data, &cfg);
+        let aps = run(SchemeKind::AdaptivePrecision, &topo, &data, &cfg);
+        assert!(
+            asr.ledger.total() < dc.ledger.total(),
+            "ASR {} !< DC {}",
+            asr.ledger.total(),
+            dc.ledger.total()
+        );
+        assert!(
+            asr.ledger.total() < aps.ledger.total(),
+            "ASR {} !< APS {}",
+            asr.ledger.total(),
+            aps.ledger.total()
+        );
+    }
+
+    #[test]
+    fn queries_get_answered_with_high_hit_rate_once_cached() {
+        let topo = Topology::single_client();
+        let data = weather(3000);
+        let cfg = WorkloadConfig {
+            window: 32,
+            t_data: 8,
+            t_query: 1,
+            delta: 50.0,
+            horizon: 2500,
+            warmup: 500,
+            ..WorkloadConfig::default()
+        };
+        let out = run(SchemeKind::SwatAsr, &topo, &data, &cfg);
+        let hits = out.metrics.counter("local_hits") as f64;
+        let queries = out.metrics.counter("queries") as f64;
+        assert!(
+            hits / queries > 0.5,
+            "hit rate {:.2} too low for a read-heavy smooth workload",
+            hits / queries
+        );
+    }
+}

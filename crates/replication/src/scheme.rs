@@ -1,0 +1,124 @@
+//! The interface every replication scheme implements, so the harness and
+//! the experiments treat SWAT-ASR, Divergence Caching and Adaptive
+//! Precision Setting uniformly.
+
+use swat_net::{MessageLedger, NodeId};
+use swat_tree::InnerProductQuery;
+
+/// Which scheme to run (used by the harness and the benchmark binaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// The paper's SWAT-ASR (adaptive stream replication over segments).
+    SwatAsr,
+    /// Divergence Caching (Huang, Sloan & Wolfson), adapted per §4.1.
+    DivergenceCaching,
+    /// Adaptive Precision Setting (Olston, Loo & Widom), per §4.2.
+    AdaptivePrecision,
+}
+
+impl SchemeKind {
+    /// All three schemes, in the paper's presentation order.
+    pub const ALL: [SchemeKind; 3] = [
+        SchemeKind::SwatAsr,
+        SchemeKind::DivergenceCaching,
+        SchemeKind::AdaptivePrecision,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::SwatAsr => "SWAT-ASR",
+            SchemeKind::DivergenceCaching => "DC",
+            SchemeKind::AdaptivePrecision => "APS",
+        }
+    }
+}
+
+/// What happened to one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOutcome {
+    /// The node that ultimately answered.
+    pub answered_at: NodeId,
+    /// The answer value (weighted sum of per-item estimates).
+    pub value: f64,
+    /// Whether the issuing client's cache satisfied it without any
+    /// message (a pure local hit).
+    pub local_hit: bool,
+}
+
+/// A replication scheme driven by the simulation harness.
+///
+/// The harness calls [`ReplicationScheme::on_data`] for every stream
+/// arrival at the source, [`ReplicationScheme::on_query`] for every query
+/// issued at a client, and [`ReplicationScheme::on_phase_end`] at every
+/// phase boundary (only SWAT-ASR acts on phases). All message costs are
+/// charged to the supplied ledger, one unit per tree edge traversed.
+pub trait ReplicationScheme {
+    /// A new stream value arrives at the source at tick `now`.
+    fn on_data(&mut self, now: u64, value: f64, ledger: &mut MessageLedger);
+
+    /// A client issues a query at tick `now`; returns how it was resolved.
+    fn on_query(
+        &mut self,
+        now: u64,
+        client: NodeId,
+        query: &InnerProductQuery,
+        ledger: &mut MessageLedger,
+    ) -> QueryOutcome;
+
+    /// A replication phase ends at tick `now` (ADR expansion/contraction
+    /// for SWAT-ASR; a no-op for the per-item baselines).
+    fn on_phase_end(&mut self, now: u64, ledger: &mut MessageLedger);
+
+    /// Number of approximations currently cached across all sites — the
+    /// space comparison of §5.1 (`O(M log N)` for SWAT-ASR vs `O(M N)`
+    /// for the baselines).
+    fn approximation_count(&self) -> usize;
+
+    /// Scheme name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+/// Per-item tolerance allocation for the item-granular baselines: a query
+/// `(I, W, δ)` is satisfied iff `Σ w_i · width_i ≤ δ`, which holds if each
+/// item's cached width obeys `width_i ≤ δ / (M · w_i)`.
+pub fn per_item_tolerance(query: &InnerProductQuery, pos: usize) -> f64 {
+    let m = query.len() as f64;
+    let w = query.weights()[pos].abs();
+    if w == 0.0 {
+        f64::INFINITY
+    } else {
+        query.delta() / (m * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(SchemeKind::SwatAsr.name(), "SWAT-ASR");
+        assert_eq!(SchemeKind::DivergenceCaching.name(), "DC");
+        assert_eq!(SchemeKind::AdaptivePrecision.name(), "APS");
+        assert_eq!(SchemeKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn tolerance_allocation_satisfies_query_budget() {
+        let q = InnerProductQuery::linear(8, 16.0);
+        // If every item's width equals its tolerance, the weighted total
+        // error budget is exactly delta.
+        let total: f64 = (0..q.len())
+            .map(|p| q.weights()[p] * per_item_tolerance(&q, p))
+            .sum();
+        assert!((total - q.delta()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_items_are_free() {
+        let q = InnerProductQuery::new(vec![0, 1], vec![1.0, 0.0], 5.0).unwrap();
+        assert!(per_item_tolerance(&q, 1).is_infinite());
+        assert!(per_item_tolerance(&q, 0).is_finite());
+    }
+}

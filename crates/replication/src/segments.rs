@@ -1,0 +1,125 @@
+//! The window partition SWAT-ASR replicates — the paper's Table 1.
+//!
+//! "Our stream caching algorithm partitions the window into segments and
+//! runs the replication algorithm for each segment independently." The
+//! directory has "one row for every level (except level 0 which has two
+//! rows)": for `N = 16` the segments are `(0,1) (2,3) (4,7) (8,15)` —
+//! `log N` segments, dyadic, finer toward the recent end of the window.
+
+/// One window segment: indices `lo..=hi` (0 = newest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Most recent index covered (inclusive).
+    pub lo: usize,
+    /// Oldest index covered (inclusive).
+    pub hi: usize,
+}
+
+impl Segment {
+    /// Number of indices covered.
+    pub fn width(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+
+    /// Whether `idx` falls inside the segment.
+    pub fn contains(&self, idx: usize) -> bool {
+        (self.lo..=self.hi).contains(&idx)
+    }
+}
+
+/// The paper's directory partition of a window of size `n` (a power of
+/// two >= 2): `(0,1), (2,3), (4,7), (8,15), …, (n/2, n−1)`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two >= 2.
+pub fn window_segments(n: usize) -> Vec<Segment> {
+    assert!(n >= 2 && n.is_power_of_two(), "bad window {n}");
+    let mut segs = vec![Segment { lo: 0, hi: 1 }];
+    if n >= 4 {
+        segs.push(Segment { lo: 2, hi: 3 });
+    }
+    let mut lo = 4;
+    while lo < n {
+        let hi = 2 * lo - 1;
+        segs.push(Segment { lo, hi });
+        lo *= 2;
+    }
+    segs
+}
+
+/// Index of the segment containing window index `idx` within
+/// [`window_segments`]`(n)`.
+///
+/// # Panics
+///
+/// Panics if `idx >= n`.
+pub fn segment_of(n: usize, idx: usize) -> usize {
+    assert!(idx < n, "index {idx} outside window {n}");
+    match idx {
+        0 | 1 => 0,
+        2 | 3 => 1,
+        // Segment (2^k, 2^(k+1)-1) sits at position k for k >= 2.
+        _ => usize::BITS as usize - 1 - idx.leading_zeros() as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_1() {
+        // Table 1 (N = 16): (0,1), (2,3), (4,7), (8,15).
+        let segs = window_segments(16);
+        assert_eq!(
+            segs,
+            vec![
+                Segment { lo: 0, hi: 1 },
+                Segment { lo: 2, hi: 3 },
+                Segment { lo: 4, hi: 7 },
+                Segment { lo: 8, hi: 15 },
+            ]
+        );
+    }
+
+    #[test]
+    fn log_n_segments_tile_the_window() {
+        for log_n in 1..=10u32 {
+            let n = 1usize << log_n;
+            let segs = window_segments(n);
+            assert_eq!(segs.len(), log_n.max(1) as usize, "n = {n}");
+            // Contiguous tiling of 0..n.
+            let mut expect = 0;
+            for s in &segs {
+                assert_eq!(s.lo, expect);
+                expect = s.hi + 1;
+            }
+            assert_eq!(expect, n);
+        }
+    }
+
+    #[test]
+    fn segment_of_agrees_with_partition() {
+        for n in [2usize, 4, 16, 64, 1024] {
+            let segs = window_segments(n);
+            for idx in 0..n {
+                let si = segment_of(n, idx);
+                assert!(segs[si].contains(idx), "n={n} idx={idx} got segment {si}");
+            }
+        }
+    }
+
+    #[test]
+    fn widths_double() {
+        let segs = window_segments(64);
+        let widths: Vec<usize> = segs.iter().map(Segment::width).collect();
+        assert_eq!(widths, vec![2, 2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad window")]
+    fn rejects_non_power_of_two() {
+        let _ = window_segments(12);
+    }
+}

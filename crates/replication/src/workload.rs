@@ -1,0 +1,98 @@
+//! Query workload generation for the replication experiments.
+//!
+//! The paper's §5 setup: "a number of clients asking linear inner product
+//! queries at regular intervals. … The sizes of the queries and the
+//! specific data points of interest are chosen uniformly (random query
+//! mode)." Each client gets an independent, seeded generator so runs are
+//! reproducible and schemes see identical query sequences.
+
+use rand::Rng;
+
+use swat_tree::InnerProductQuery;
+
+/// The weight profile of generated queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    /// Linearly decaying weights — the paper's distributed experiments.
+    Linear,
+    /// Exponentially decaying weights.
+    Exponential,
+}
+
+/// Deterministic per-client query source (random query mode).
+#[derive(Debug)]
+pub struct QueryGenerator {
+    rng: rand::rngs::StdRng,
+    window: usize,
+    delta: f64,
+    shape: QueryShape,
+}
+
+impl QueryGenerator {
+    /// A generator for `client` under master seed `seed`, over a window
+    /// of `window` items, producing queries with precision requirement
+    /// `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `delta < 0`.
+    pub fn new(seed: u64, client: usize, window: usize, delta: f64, shape: QueryShape) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(delta >= 0.0, "delta must be nonnegative");
+        QueryGenerator {
+            rng: swat_sim::rng_stream(seed, 0x9E3779B9 ^ client as u64),
+            window,
+            delta,
+            shape,
+        }
+    }
+
+    /// Draw the next query: uniform start offset, uniform length.
+    pub fn next_query(&mut self) -> InnerProductQuery {
+        let start = self.rng.gen_range(0..self.window);
+        let len = self.rng.gen_range(1..=self.window - start);
+        match self.shape {
+            QueryShape::Linear => InnerProductQuery::linear_at(start, len, self.delta),
+            QueryShape::Exponential => InnerProductQuery::exponential_at(start, len, self.delta),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_stay_inside_window() {
+        let mut g = QueryGenerator::new(1, 3, 32, 5.0, QueryShape::Linear);
+        for _ in 0..500 {
+            let q = g.next_query();
+            assert!(!q.is_empty());
+            assert!(*q.indices().iter().max().unwrap() < 32);
+            assert_eq!(q.delta(), 5.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_client() {
+        let draw = |seed, client| {
+            let mut g = QueryGenerator::new(seed, client, 16, 1.0, QueryShape::Linear);
+            (0..10).map(|_| g.next_query().indices().to_vec()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7, 1), draw(7, 1));
+        assert_ne!(draw(7, 1), draw(7, 2));
+        assert_ne!(draw(7, 1), draw(8, 1));
+    }
+
+    #[test]
+    fn shapes_produce_expected_weights() {
+        let mut g = QueryGenerator::new(2, 0, 8, 1.0, QueryShape::Exponential);
+        let q = g.next_query();
+        for w in q.weights().windows(2) {
+            assert!((w[1] / w[0] - 0.5).abs() < 1e-12, "halving weights");
+        }
+        let mut g = QueryGenerator::new(2, 0, 8, 1.0, QueryShape::Linear);
+        let q = g.next_query();
+        assert_eq!(q.weights()[0], 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the replication stack: the ASR invariants
+//! and determinism must hold under arbitrary topologies and workloads.
+
+use proptest::prelude::*;
+use swat_data::Dataset;
+use swat_net::{MessageLedger, NodeId, Topology};
+use swat_replication::asr::SwatAsr;
+use swat_replication::harness::{run, WorkloadConfig};
+use swat_replication::workload::{QueryGenerator, QueryShape};
+use swat_replication::{ReplicationScheme, SchemeKind};
+
+/// A random small tree topology (1..=7 clients), valid by construction:
+/// each client's parent is an earlier node.
+fn topology() -> impl Strategy<Value = Topology> {
+    prop::collection::vec(0usize..64, 1..7).prop_map(|seeds| {
+        let mut parents: Vec<Option<usize>> = vec![None];
+        for (i, s) in seeds.iter().enumerate() {
+            let child = i + 1;
+            parents.push(Some(s % child));
+        }
+        Topology::from_parents(parents).expect("parents precede children")
+    })
+}
+
+fn config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        prop::sample::select(vec![8usize, 16, 32]),
+        1u64..4,
+        1u64..4,
+        prop::sample::select(vec![2.0f64, 20.0, 200.0]),
+        5u64..40,
+        0u64..1000,
+    )
+        .prop_map(|(window, t_data, t_query, delta, phase, seed)| WorkloadConfig {
+            window,
+            t_data,
+            t_query,
+            delta,
+            horizon: 500,
+            warmup: 100,
+            seed,
+            phase,
+            ..WorkloadConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical inputs replay identically, for every scheme, on random
+    /// topologies and workloads.
+    #[test]
+    fn determinism(topo in topology(), cfg in config(), dataset_seed in 0u64..100) {
+        let data = Dataset::Weather.series(dataset_seed, 600);
+        for kind in SchemeKind::ALL {
+            let a = run(kind, &topo, &data, &cfg);
+            let b = run(kind, &topo, &data, &cfg);
+            prop_assert_eq!(a.ledger, b.ledger);
+            prop_assert_eq!(a.approximations, b.approximations);
+        }
+    }
+
+    /// ASR invariants under random event interleavings (driven manually,
+    /// not through the harness, to hit odd phase/data/query orders):
+    /// connectivity of every segment's replication scheme and enclosure
+    /// of true values by every cached range.
+    #[test]
+    fn asr_invariants(
+        topo in topology(),
+        ops in prop::collection::vec(0u8..10, 50..300),
+        seed in 0u64..1000,
+    ) {
+        let window = 16usize;
+        let mut asr = SwatAsr::new(topo.clone(), window);
+        let mut ledger = MessageLedger::new();
+        let mut data = Dataset::Weather.stream(seed);
+        let mut gens: Vec<QueryGenerator> = topo
+            .clients()
+            .map(|c| QueryGenerator::new(seed, c.index(), window, 50.0, QueryShape::Linear))
+            .collect();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            match op {
+                // Weighted mix: data arrivals, queries, phase ends.
+                0..=3 => asr.on_data(t, data.next().expect("endless"), &mut ledger),
+                4..=8 => {
+                    let c = 1 + (op as usize + t as usize) % topo.client_count();
+                    let q = gens[c - 1].next_query();
+                    let out = asr.on_query(t, NodeId(c), &q, &mut ledger);
+                    prop_assert!(out.value.is_finite());
+                }
+                _ => asr.on_phase_end(t, &mut ledger),
+            }
+            // Invariant 1: every segment's replica set is a connected
+            // subtree containing the source.
+            for seg in 0..asr.segments().len() {
+                let holders = asr.replica_holders(seg);
+                if holders.is_empty() {
+                    // The stream has not reached this segment yet.
+                    continue;
+                }
+                prop_assert!(holders.contains(&NodeId::SOURCE));
+                for &h in &holders {
+                    if let Some(p) = topo.parent(h) {
+                        prop_assert!(
+                            holders.contains(&p),
+                            "segment {} holder {} parentless in scheme", seg, h
+                        );
+                    }
+                }
+                // Invariant 2: cached ranges enclose the truth.
+                if let Some(truth) = asr.exact_segment_range(seg) {
+                    for node in topo.nodes() {
+                        if let Some(cached) = asr.cached_range(node, seg) {
+                            prop_assert!(
+                                cached.encloses(&truth),
+                                "node {} seg {}: {} !⊇ {}", node, seg, cached, truth
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The query generator always produces queries inside the window,
+    /// whatever the seed and client.
+    #[test]
+    fn generated_queries_in_window(seed in any::<u64>(), client in 0usize..100, window_log in 1u32..8) {
+        let window = 1usize << window_log;
+        let mut g = QueryGenerator::new(seed, client, window, 1.0, QueryShape::Exponential);
+        for _ in 0..50 {
+            let q = g.next_query();
+            prop_assert!(*q.indices().iter().max().expect("nonempty") < window);
+        }
+    }
+
+    /// Message ledgers only grow, and the weighted total is consistent
+    /// with per-kind counts for unit-cost schemes (ASR/APS charge 1 per
+    /// message).
+    #[test]
+    fn ledger_consistency(topo in topology(), cfg in config(), dataset_seed in 0u64..50) {
+        let data = Dataset::Synthetic.series(dataset_seed, 600);
+        for kind in [SchemeKind::SwatAsr, SchemeKind::AdaptivePrecision] {
+            let out = run(kind, &topo, &data, &cfg);
+            prop_assert!(
+                (out.ledger.weighted_total() - out.ledger.total() as f64).abs() < 1e-6,
+                "{}: unit costs must match counts", kind.name()
+            );
+        }
+        // DC's weighted total differs from the raw count only by its
+        // control-message discount.
+        let out = run(SchemeKind::DivergenceCaching, &topo, &data, &cfg);
+        prop_assert!(out.ledger.weighted_total() <= out.ledger.total() as f64 + 1e-6);
+    }
+}

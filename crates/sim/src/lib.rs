@@ -1,0 +1,82 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The SWAT paper evaluates both its centralized summarization ("we built
+//! a discrete event simulator of an environment with a single data
+//! stream") and its distributed replication schemes in simulation, with
+//! periodic data arrivals (period `T_d`), periodic queries (period `T_q`),
+//! and periodic replication phases. This crate provides the kernel those
+//! experiments run on:
+//!
+//! * [`Scheduler`] — a virtual clock plus an event queue with
+//!   deterministic FIFO tie-breaking at equal timestamps,
+//! * [`Periodic`] — fixed-period task helper,
+//! * [`Metrics`] — named counters and running statistics for measuring
+//!   experiments,
+//! * [`rng_stream`] — independent seeded RNG streams so workloads are
+//!   reproducible and independently variable.
+//!
+//! Everything is single-threaded and deterministic by construction: the
+//! same seed and schedule replay identically, which the integration tests
+//! rely on.
+//!
+//! ```
+//! use swat_sim::{Scheduler, Periodic};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Event { Arrival, Query }
+//!
+//! let mut sched = Scheduler::new();
+//! let mut arrivals = Periodic::starting_at(0, 2); // every 2 ticks
+//! sched.schedule(arrivals.next_fire(), Event::Arrival);
+//! sched.schedule(1, Event::Query);
+//!
+//! let (t, e) = sched.next().unwrap();
+//! assert_eq!((t, e), (0, Event::Arrival));
+//! sched.schedule(arrivals.advance(), Event::Arrival);
+//! assert_eq!(sched.next().unwrap(), (1, Event::Query));
+//! assert_eq!(sched.next().unwrap(), (2, Event::Arrival));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod metrics;
+pub mod scheduler;
+
+pub use metrics::{Accumulator, Metrics};
+pub use scheduler::{Periodic, Scheduler};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An independent RNG for stream `stream` under master seed `seed`.
+///
+/// Uses SplitMix64-style mixing so distinct `(seed, stream)` pairs yield
+/// uncorrelated generators; the same pair always yields the same stream.
+pub fn rng_stream(seed: u64, stream: u64) -> StdRng {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_streams_are_deterministic_and_distinct() {
+        let draw = |seed, stream| -> Vec<u32> {
+            let mut r = rng_stream(seed, stream);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(draw(1, 0), draw(1, 0));
+        assert_ne!(draw(1, 0), draw(1, 1));
+        assert_ne!(draw(1, 0), draw(2, 0));
+    }
+}

@@ -1,0 +1,263 @@
+//! Experiment measurement: named counters and running statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A running univariate statistic: count, mean, min, max, variance —
+/// Welford's algorithm, numerically stable.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN observation");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Named counters and statistics for an experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    stats: BTreeMap<String, Accumulator>,
+}
+
+impl Metrics {
+    /// Empty metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increment counter `name` by 1.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment counter `name` by `by`.
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record observation `x` under statistic `name`.
+    pub fn record(&mut self, name: &str, x: f64) {
+        self.stats.entry(name.to_owned()).or_default().record(x);
+    }
+
+    /// The accumulator for statistic `name`, if any observation was made.
+    pub fn stat(&self, name: &str) -> Option<&Accumulator> {
+        self.stats.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All statistics, sorted by name.
+    pub fn stats(&self) -> impl Iterator<Item = (&str, &Accumulator)> {
+        self.stats.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another metrics bag into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, acc) in &other.stats {
+            self.stats.entry(k.clone()).or_default().merge(acc);
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k}: {v}")?;
+        }
+        for (k, acc) in &self.stats {
+            writeln!(f, "{k}: {acc}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_statistics() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.record(x);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert!((a.variance() - 4.0).abs() < 1e-12);
+        assert!((a.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(a.min(), 2.0);
+        assert_eq!(a.max(), 9.0);
+        assert!((a.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_is_sane() {
+        let a = Accumulator::new();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &xs[..20] {
+            left.record(x);
+        }
+        for &x in &xs[20..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn metrics_counters_and_stats() {
+        let mut m = Metrics::new();
+        m.incr("messages");
+        m.add("messages", 4);
+        m.record("latency", 1.0);
+        m.record("latency", 3.0);
+        assert_eq!(m.counter("messages"), 5);
+        assert_eq!(m.counter("unseen"), 0);
+        assert_eq!(m.stat("latency").unwrap().count(), 2);
+        assert!((m.stat("latency").unwrap().mean() - 2.0).abs() < 1e-12);
+        let rendered = m.to_string();
+        assert!(rendered.contains("messages: 5"));
+
+        let mut other = Metrics::new();
+        other.add("messages", 10);
+        other.record("latency", 5.0);
+        m.merge(&other);
+        assert_eq!(m.counter("messages"), 15);
+        assert_eq!(m.stat("latency").unwrap().count(), 3);
+    }
+}

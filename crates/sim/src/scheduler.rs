@@ -1,0 +1,235 @@
+//! Virtual clock and event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A discrete-event scheduler over a virtual clock of integer ticks.
+///
+/// Events scheduled for the same tick are delivered in the order they
+/// were scheduled (FIFO), making simulations fully deterministic.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: BinaryHeap<Entry<E>>,
+    now: u64,
+    seq: u64,
+    delivered: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(u64, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at tick 0.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last delivered event.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute tick `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`< now`); same-tick scheduling is
+    /// allowed and delivers after already-queued same-tick events.
+    pub fn schedule(&mut self, at: u64, event: E) {
+        assert!(at >= self.now, "cannot schedule at {at}, now is {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
+    }
+
+    /// Schedule `event` after `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Timestamp of the next pending event, without consuming it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.queue.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Deliver the next event, advancing the clock to its timestamp.
+    ///
+    /// Named after the scheduler idiom rather than `Iterator::next`
+    /// (delivery advances the clock, a side effect iterators must not
+    /// have).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(u64, E)> {
+        let entry = self.queue.pop()?;
+        let (at, _) = entry.key.0;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.delivered += 1;
+        Some((at, entry.event))
+    }
+
+    /// Deliver events while their timestamp is `< end`, calling `handler`
+    /// for each; `handler` may schedule further events. Returns the number
+    /// delivered. The clock ends at the last delivered timestamp (not
+    /// `end`).
+    pub fn run_until<F: FnMut(&mut Self, u64, E)>(&mut self, end: u64, mut handler: F) -> u64 {
+        let start_count = self.delivered;
+        while let Some(&Entry { key: Reverse((at, _)), .. }) = self.queue.peek() {
+            if at >= end {
+                break;
+            }
+            let (t, e) = self.next().expect("peeked entry exists");
+            handler(self, t, e);
+        }
+        self.delivered - start_count
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-period task: tracks when it next fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Periodic {
+    next_at: u64,
+    period: u64,
+}
+
+impl Periodic {
+    /// A task first firing at `start` and every `period` ticks after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn starting_at(start: u64, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        Periodic {
+            next_at: start,
+            period,
+        }
+    }
+
+    /// When the task next fires.
+    pub fn next_fire(&self) -> u64 {
+        self.next_at
+    }
+
+    /// The period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Consume the pending firing and return the one after it. Call when
+    /// handling the task's event to schedule its successor.
+    pub fn advance(&mut self) -> u64 {
+        self.next_at += self.period;
+        self.next_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order_fifo_within_tick() {
+        let mut s = Scheduler::new();
+        s.schedule(5, "b");
+        s.schedule(3, "a");
+        s.schedule(5, "c");
+        s.schedule(9, "d");
+        let order: Vec<(u64, &str)> = std::iter::from_fn(|| s.next()).collect();
+        assert_eq!(order, vec![(3, "a"), (5, "b"), (5, "c"), (9, "d")]);
+        assert_eq!(s.delivered(), 4);
+        assert_eq!(s.now(), 9);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule(10, ());
+        s.next().unwrap();
+        s.schedule_in(5, ());
+        assert_eq!(s.next().unwrap().0, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn rejects_past_scheduling() {
+        let mut s = Scheduler::new();
+        s.schedule(10, ());
+        s.next().unwrap();
+        s.schedule(9, ());
+    }
+
+    #[test]
+    fn run_until_is_exclusive_and_reentrant() {
+        let mut s = Scheduler::new();
+        s.schedule(0, 0u32);
+        // Each event n < 4 schedules event n+1 two ticks later.
+        let delivered = s.run_until(7, |s, t, n| {
+            if n < 4 {
+                s.schedule(t + 2, n + 1);
+            }
+        });
+        // Events at t = 0, 2, 4, 6 delivered; the one at t = 8 is pending.
+        assert_eq!(delivered, 4);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.next().unwrap(), (8, 4));
+    }
+
+    #[test]
+    fn periodic_progression() {
+        let mut p = Periodic::starting_at(2, 3);
+        assert_eq!(p.next_fire(), 2);
+        assert_eq!(p.advance(), 5);
+        assert_eq!(p.advance(), 8);
+        assert_eq!(p.period(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_rejected() {
+        let _ = Periodic::starting_at(0, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Aggregate queries over window index ranges.
+//!
+//! The problem the paper opens with is "statistics and aggregate
+//! maintenance over data streams"; inner products subsume weighted
+//! aggregates, and this module packages the common unweighted ones —
+//! SUM, MEAN, COUNT-in-band, and guaranteed MIN/MAX bounds — over any
+//! contiguous span of the window, computed from the summaries in
+//! `O(M + log² N)` with sound error bounds.
+//!
+//! The MIN/MAX *bounds* deserve a note: wavelet averages cannot recover
+//! exact extrema, but every covering node carries the exact `[min, max]`
+//! of its block, so the union of covering ranges is a guaranteed
+//! enclosure of every value in the span — often much tighter than the
+//! global value range.
+
+use crate::config::TreeError;
+use crate::query::{InnerProductQuery, QueryOptions};
+use crate::range::ValueRange;
+use crate::tree::SwatTree;
+
+/// Result of an aggregate query over window indices `from..=to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Approximate sum of the span.
+    pub sum: f64,
+    /// Sound bound on `|true sum − sum|`.
+    pub sum_error_bound: f64,
+    /// Approximate mean (`sum / count`).
+    pub mean: f64,
+    /// Number of values aggregated.
+    pub count: usize,
+    /// Guaranteed enclosure of every value in the span (union of the
+    /// covering nodes' exact ranges).
+    pub bounds: ValueRange,
+}
+
+impl SwatTree {
+    /// Aggregate window indices `from..=to` (0 = newest).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::IndexOutOfWindow`] / [`TreeError::Uncovered`] as for
+    /// other queries; [`TreeError::BadQuery`] if `from > to`.
+    pub fn aggregate(&self, from: usize, to: usize) -> Result<Aggregate, TreeError> {
+        self.aggregate_with(from, to, QueryOptions::default())
+    }
+
+    /// [`Self::aggregate`] with explicit [`QueryOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::aggregate`].
+    pub fn aggregate_with(
+        &self,
+        from: usize,
+        to: usize,
+        opts: QueryOptions,
+    ) -> Result<Aggregate, TreeError> {
+        if from > to {
+            return Err(TreeError::BadQuery {
+                reason: "aggregate span is empty (from > to)",
+            });
+        }
+        let count = to - from + 1;
+        let query = InnerProductQuery::new(
+            (from..=to).collect(),
+            vec![1.0; count],
+            f64::INFINITY,
+        )
+        .expect("uniform weights over a nonempty span are valid");
+        let answer = self.inner_product_with(&query, opts)?;
+        // Bounds: union of the ranges of the nodes that actually serve
+        // the span. Reuse the per-point API so reduced-level extrapolation
+        // behaves identically to other queries.
+        let mut bounds: Option<ValueRange> = None;
+        let now = self.arrivals();
+        for (level, _, summary) in self.nodes() {
+            if level < opts.min_level {
+                continue;
+            }
+            let (start, end) = summary.coverage(now);
+            if start <= to && from <= end {
+                let r = *summary.range();
+                bounds = Some(match bounds {
+                    None => r,
+                    Some(b) => b.union(&r),
+                });
+            }
+        }
+        let bounds = bounds.ok_or(TreeError::Uncovered { index: from })?;
+        Ok(Aggregate {
+            sum: answer.value,
+            sum_error_bound: answer.error_bound,
+            mean: answer.value / count as f64,
+            count,
+            bounds,
+        })
+    }
+
+    /// How many values in `from..=to` approximately lie within `band`
+    /// (counted on the reconstructed step function, as in range queries).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::aggregate`].
+    pub fn count_in_band(
+        &self,
+        from: usize,
+        to: usize,
+        band: ValueRange,
+    ) -> Result<usize, TreeError> {
+        if from > to {
+            return Err(TreeError::BadQuery {
+                reason: "span is empty (from > to)",
+            });
+        }
+        let q = crate::query::RangeQuery::new(
+            band.midpoint(),
+            band.width() * 0.5,
+            from,
+            to,
+        );
+        Ok(self.range_query(&q)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwatConfig;
+    use crate::exact::ExactWindow;
+
+    fn rig(n: usize, k: usize, values: &[f64]) -> (SwatTree, ExactWindow) {
+        let mut tree = SwatTree::new(SwatConfig::with_coefficients(n, k).unwrap());
+        let mut truth = ExactWindow::new(n);
+        for &v in values {
+            tree.push(v);
+            truth.push(v);
+        }
+        (tree, truth)
+    }
+
+    #[test]
+    fn sum_bound_is_sound_and_mean_consistent() {
+        let values: Vec<f64> = (0..96).map(|i| ((i * 13) % 41) as f64).collect();
+        let (tree, truth) = rig(32, 1, &values);
+        for (from, to) in [(0usize, 0usize), (0, 7), (3, 20), (0, 31), (16, 31)] {
+            let a = tree.aggregate(from, to).unwrap();
+            let exact: f64 = (from..=to).map(|i| truth.get(i).unwrap()).sum();
+            assert!(
+                (a.sum - exact).abs() <= a.sum_error_bound + 1e-9,
+                "[{from},{to}]: |{} - {exact}| > {}",
+                a.sum,
+                a.sum_error_bound
+            );
+            assert_eq!(a.count, to - from + 1);
+            assert!((a.mean - a.sum / a.count as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lossless_aggregate_is_exact() {
+        let values: Vec<f64> = (0..64).map(|i| ((i * 7) % 19) as f64).collect();
+        let (tree, truth) = rig(32, 32, &values);
+        let a = tree.aggregate(0, 31).unwrap();
+        let exact: f64 = (0..32).map(|i| truth.get(i).unwrap()).sum();
+        assert!((a.sum - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_enclose_every_value_in_span() {
+        let values: Vec<f64> = (0..96).map(|i| 50.0 + 30.0 * ((i as f64) * 0.3).sin()).collect();
+        let (tree, truth) = rig(32, 1, &values);
+        for (from, to) in [(0usize, 3usize), (5, 25), (0, 31)] {
+            let a = tree.aggregate(from, to).unwrap();
+            for i in from..=to {
+                let v = truth.get(i).unwrap();
+                assert!(a.bounds.contains(v), "[{from},{to}] idx {i}: {v} not in {}", a.bounds);
+            }
+        }
+    }
+
+    #[test]
+    fn recent_bounds_are_tighter_than_global() {
+        // A burst long ago should not widen the bounds of a recent span.
+        let mut values = vec![50.0; 64];
+        values[10] = 500.0; // ancient outlier (will age out of fine spans)
+        values.extend(std::iter::repeat_n(50.0, 32));
+        let (tree, _) = rig(64, 1, &values);
+        let recent = tree.aggregate(0, 3).unwrap();
+        assert!(recent.bounds.width() < 1.0, "bounds {}", recent.bounds);
+    }
+
+    #[test]
+    fn count_in_band_matches_range_query() {
+        let values: Vec<f64> = (0..96).map(|i| (i % 16) as f64).collect();
+        let (tree, _) = rig(32, 32, &values);
+        let band = ValueRange::new(4.0, 8.0);
+        let c = tree.count_in_band(0, 31, band).unwrap();
+        // Lossless tree: count equals the true count.
+        let truth: Vec<f64> = values.iter().rev().take(32).copied().collect();
+        let exact = truth.iter().filter(|v| band.contains(**v)).count();
+        assert_eq!(c, exact);
+    }
+
+    #[test]
+    fn rejects_inverted_span() {
+        let (tree, _) = rig(16, 1, &(0..48).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(matches!(
+            tree.aggregate(5, 3),
+            Err(TreeError::BadQuery { .. })
+        ));
+        assert!(matches!(
+            tree.count_in_band(5, 3, ValueRange::new(0.0, 1.0)),
+            Err(TreeError::BadQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_window_span_rejected() {
+        let (tree, _) = rig(16, 1, &(0..48).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(matches!(
+            tree.aggregate(0, 16),
+            Err(TreeError::IndexOutOfWindow { .. })
+        ));
+    }
+}

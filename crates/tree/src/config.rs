@@ -1,0 +1,179 @@
+//! Configuration and error types for the SWAT tree.
+
+use std::fmt;
+use swat_wavelet::is_power_of_two;
+
+/// Configuration of a [`crate::SwatTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwatConfig {
+    window: usize,
+    coefficients: usize,
+}
+
+impl SwatConfig {
+    /// A tree over a sliding window of `window` values (a power of two,
+    /// at least 2) keeping one coefficient per node — the configuration the
+    /// paper uses throughout ("a single coefficient (representing the
+    /// average) is being maintained").
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::BadWindow`] unless `window` is a power of two >= 2.
+    pub fn new(window: usize) -> Result<Self, TreeError> {
+        Self::with_coefficients(window, 1)
+    }
+
+    /// As [`SwatConfig::new`] but keeping up to `k` Haar coefficients per
+    /// node (k >= 1). More coefficients mean finer per-node detail at
+    /// proportionally more space; `k = window` is lossless.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::BadWindow`] or [`TreeError::BadCoefficients`].
+    pub fn with_coefficients(window: usize, k: usize) -> Result<Self, TreeError> {
+        if window < 2 || !is_power_of_two(window) {
+            return Err(TreeError::BadWindow { window });
+        }
+        if k == 0 {
+            return Err(TreeError::BadCoefficients { k });
+        }
+        Ok(SwatConfig {
+            window,
+            coefficients: k,
+        })
+    }
+
+    /// Sliding-window size `N`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Per-node coefficient budget `k`.
+    pub fn coefficients(&self) -> usize {
+        self.coefficients
+    }
+
+    /// Number of tree levels, `n = log2(N)`.
+    pub fn levels(&self) -> usize {
+        swat_wavelet::log2(self.window) as usize
+    }
+
+    /// Total node count, `3 log N - 2` (top level holds a single node).
+    pub fn node_count(&self) -> usize {
+        3 * self.levels() - 2
+    }
+}
+
+/// Errors from constructing or querying a SWAT tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// Window size must be a power of two, at least 2.
+    BadWindow {
+        /// The offending window size.
+        window: usize,
+    },
+    /// Coefficient budget must be at least 1.
+    BadCoefficients {
+        /// The offending budget.
+        k: usize,
+    },
+    /// Bulk initialization got the wrong number of values.
+    BadInitLength {
+        /// Number of values supplied.
+        got: usize,
+        /// Window size expected.
+        want: usize,
+    },
+    /// A queried index lies outside the sliding window.
+    IndexOutOfWindow {
+        /// The offending index.
+        index: usize,
+        /// Window size.
+        window: usize,
+    },
+    /// The tree has not yet seen enough data to cover the queried index
+    /// (still warming up).
+    Uncovered {
+        /// The first index the tree could not cover.
+        index: usize,
+    },
+    /// An inner-product query was malformed (empty, or mismatched
+    /// index/weight lengths, or duplicate indices).
+    BadQuery {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::BadWindow { window } => {
+                write!(f, "window size {window} must be a power of two >= 2")
+            }
+            TreeError::BadCoefficients { k } => {
+                write!(f, "coefficient budget {k} must be >= 1")
+            }
+            TreeError::BadInitLength { got, want } => {
+                write!(f, "initial window has {got} values, expected {want}")
+            }
+            TreeError::IndexOutOfWindow { index, window } => {
+                write!(f, "index {index} outside sliding window of size {window}")
+            }
+            TreeError::Uncovered { index } => write!(
+                f,
+                "index {index} not yet covered by any summary (tree warming up)"
+            ),
+            TreeError::BadQuery { reason } => write!(f, "malformed query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_configs() {
+        let c = SwatConfig::new(16).unwrap();
+        assert_eq!(c.window(), 16);
+        assert_eq!(c.coefficients(), 1);
+        assert_eq!(c.levels(), 4);
+        assert_eq!(c.node_count(), 10); // 3*4 - 2, as in the paper
+
+        let c = SwatConfig::with_coefficients(1024, 8).unwrap();
+        assert_eq!(c.levels(), 10);
+        assert_eq!(c.node_count(), 28);
+        assert_eq!(c.coefficients(), 8);
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(matches!(
+            SwatConfig::new(0),
+            Err(TreeError::BadWindow { window: 0 })
+        ));
+        assert!(matches!(SwatConfig::new(1), Err(TreeError::BadWindow { .. })));
+        assert!(matches!(SwatConfig::new(12), Err(TreeError::BadWindow { .. })));
+        assert!(matches!(
+            SwatConfig::with_coefficients(8, 0),
+            Err(TreeError::BadCoefficients { k: 0 })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            TreeError::BadWindow { window: 3 },
+            TreeError::BadCoefficients { k: 0 },
+            TreeError::BadInitLength { got: 3, want: 8 },
+            TreeError::IndexOutOfWindow { index: 20, window: 16 },
+            TreeError::Uncovered { index: 5 },
+            TreeError::BadQuery { reason: "empty" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Continuous queries over a SWAT tree.
+//!
+//! The paper (§2.1): "Our queries are one-time, but we can extend our
+//! algorithms to continuous queries quite easily." This module is that
+//! extension: clients register standing inner-product queries; every
+//! arrival re-evaluates the due subscriptions against the updated tree
+//! and returns fresh answers. Because evaluation costs
+//! `O(M + log² N)` against an always-current summary, a registered query
+//! is exactly as cheap as an ad-hoc one — there is no separate
+//! materialization path to maintain.
+
+use crate::config::{SwatConfig, TreeError};
+use crate::query::{InnerProductAnswer, InnerProductQuery, QueryOptions};
+use crate::tree::SwatTree;
+
+/// Handle identifying a registered continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(usize);
+
+#[derive(Debug)]
+struct Subscription {
+    query: InnerProductQuery,
+    opts: QueryOptions,
+    /// Evaluate every `every`-th arrival.
+    every: u64,
+    active: bool,
+}
+
+/// One delivered continuous-query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The subscription that fired.
+    pub id: SubscriptionId,
+    /// Arrival count at evaluation time.
+    pub at: u64,
+    /// The evaluated answer.
+    pub answer: InnerProductAnswer,
+}
+
+/// A SWAT tree plus a set of standing queries.
+///
+/// ```
+/// use swat_tree::{continuous::ContinuousEngine, InnerProductQuery, SwatConfig};
+///
+/// let mut engine = ContinuousEngine::new(SwatConfig::new(16).unwrap());
+/// let id = engine.subscribe(InnerProductQuery::exponential(4, 1e9), 1);
+/// let mut fired = 0;
+/// for i in 0..64 {
+///     fired += engine.push(i as f64).len();
+/// }
+/// assert!(fired > 0);
+/// assert!(engine.unsubscribe(id));
+/// assert!(engine.push(0.0).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ContinuousEngine {
+    tree: SwatTree,
+    subs: Vec<Subscription>,
+}
+
+impl ContinuousEngine {
+    /// An engine over a fresh tree.
+    pub fn new(config: SwatConfig) -> Self {
+        ContinuousEngine {
+            tree: SwatTree::new(config),
+            subs: Vec::new(),
+        }
+    }
+
+    /// Wrap an existing (possibly warm) tree.
+    pub fn from_tree(tree: SwatTree) -> Self {
+        ContinuousEngine {
+            tree,
+            subs: Vec::new(),
+        }
+    }
+
+    /// The underlying tree (for ad-hoc queries alongside subscriptions).
+    pub fn tree(&self) -> &SwatTree {
+        &self.tree
+    }
+
+    /// Register `query` for evaluation every `every`-th arrival
+    /// (`every = 1` fires on each arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn subscribe(&mut self, query: InnerProductQuery, every: u64) -> SubscriptionId {
+        self.subscribe_with(query, QueryOptions::default(), every)
+    }
+
+    /// As [`Self::subscribe`] with explicit [`QueryOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn subscribe_with(
+        &mut self,
+        query: InnerProductQuery,
+        opts: QueryOptions,
+        every: u64,
+    ) -> SubscriptionId {
+        assert!(every > 0, "evaluation period must be positive");
+        // Reuse a cancelled slot if one exists.
+        if let Some(i) = self.subs.iter().position(|s| !s.active) {
+            self.subs[i] = Subscription {
+                query,
+                opts,
+                every,
+                active: true,
+            };
+            return SubscriptionId(i);
+        }
+        self.subs.push(Subscription {
+            query,
+            opts,
+            every,
+            active: true,
+        });
+        SubscriptionId(self.subs.len() - 1)
+    }
+
+    /// Cancel a subscription; returns whether it was active.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        match self.subs.get_mut(id.0) {
+            Some(s) if s.active => {
+                s.active = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of active subscriptions.
+    pub fn active_subscriptions(&self) -> usize {
+        self.subs.iter().filter(|s| s.active).count()
+    }
+
+    /// Feed one value; evaluate and return every subscription due at this
+    /// arrival. Subscriptions whose indices the tree cannot cover yet
+    /// (warm-up) are silently skipped this round.
+    pub fn push(&mut self, value: f64) -> Vec<Notification> {
+        self.tree.push(value);
+        let t = self.tree.arrivals();
+        let mut out = Vec::new();
+        for (i, sub) in self.subs.iter().enumerate() {
+            if !sub.active || !t.is_multiple_of(sub.every) {
+                continue;
+            }
+            match self.tree.inner_product_with(&sub.query, sub.opts) {
+                Ok(answer) => out.push(Notification {
+                    id: SubscriptionId(i),
+                    at: t,
+                    answer,
+                }),
+                Err(TreeError::Uncovered { .. }) => {} // still warming up
+                Err(e) => unreachable!("subscription validated at registration: {e}"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(n: usize) -> ContinuousEngine {
+        ContinuousEngine::new(SwatConfig::new(n).unwrap())
+    }
+
+    #[test]
+    fn fires_at_the_subscribed_cadence() {
+        let mut e = engine(16);
+        let every_1 = e.subscribe(InnerProductQuery::exponential(4, 1e9), 1);
+        let every_4 = e.subscribe(InnerProductQuery::linear(4, 1e9), 4);
+        // Warm up fully first.
+        for i in 0..32 {
+            e.push(i as f64);
+        }
+        let mut fired = (0u32, 0u32);
+        for i in 0..16 {
+            for n in e.push(i as f64) {
+                if n.id == every_1 {
+                    fired.0 += 1;
+                } else if n.id == every_4 {
+                    fired.1 += 1;
+                }
+                assert!(n.answer.value.is_finite());
+            }
+        }
+        assert_eq!(fired, (16, 4));
+    }
+
+    #[test]
+    fn warmup_skips_instead_of_failing() {
+        let mut e = engine(16);
+        e.subscribe(InnerProductQuery::point(15, 1e9), 1);
+        // The oldest index is uncovered early on: no notifications, no
+        // panics.
+        let n: usize = (0..8).map(|i| e.push(i as f64).len()).sum();
+        assert_eq!(n, 0);
+        // Once warm, it fires every arrival.
+        for i in 0..32 {
+            e.push(i as f64);
+        }
+        assert_eq!(e.push(1.0).len(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_and_slot_reuse() {
+        let mut e = engine(8);
+        let a = e.subscribe(InnerProductQuery::point(0, 1e9), 1);
+        let b = e.subscribe(InnerProductQuery::point(1, 1e9), 1);
+        assert_eq!(e.active_subscriptions(), 2);
+        assert!(e.unsubscribe(a));
+        assert!(!e.unsubscribe(a), "double-cancel reports false");
+        assert_eq!(e.active_subscriptions(), 1);
+        let c = e.subscribe(InnerProductQuery::point(2, 1e9), 1);
+        assert_eq!(c, a, "cancelled slot is reused");
+        assert_eq!(e.active_subscriptions(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn answers_match_ad_hoc_queries() {
+        let mut e = engine(32);
+        let q = InnerProductQuery::exponential(8, 1e9);
+        e.subscribe(q.clone(), 1);
+        for i in 0..64 {
+            e.push((i % 7) as f64);
+        }
+        let notifications = e.push(3.0);
+        assert_eq!(notifications.len(), 1);
+        let ad_hoc = e.tree().inner_product(&q).unwrap();
+        assert_eq!(notifications[0].answer, ad_hoc);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let mut e = engine(8);
+        e.subscribe(InnerProductQuery::point(0, 1.0), 0);
+    }
+}

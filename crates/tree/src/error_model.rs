@@ -1,0 +1,99 @@
+//! The paper's analytical error model (§2.6).
+//!
+//! Under the smooth-stream assumption — every value exceeds its
+//! predecessor by exactly `ε` — the paper derives per-level weighted error
+//! bounds and totals them over the `O(log M)` levels a length-`M` query
+//! touches:
+//!
+//! * exponential inner-product queries: total error `O(ε log M)`
+//!   (each level contributes at most `2ε`),
+//! * linear inner-product queries: total error `O(ε M²)`
+//!   (level `l` contributes at most `4^l ε`).
+//!
+//! These functions compute the closed-form bounds so tests and benchmarks
+//! can compare measured error against the theory (see the
+//! `error_model_holds` integration test and the fig4 harness).
+
+/// Number of levels a length-`M` query touches: `ceil(log2 M) + 1`
+/// (levels `0ceil(log2 M)` inclusive, as in the paper's summations).
+fn levels_touched(m: usize) -> u32 {
+    assert!(m > 0, "query length must be positive");
+    let ceil_log = usize::BITS - (m - 1).leading_zeros();
+    ceil_log + 1
+}
+
+/// Upper bound on the absolute error of an exponential inner-product
+/// query of length `m` over an ε-increment stream: `Σ_l 2ε = 2ε(⌈log m⌉+1)`.
+pub fn exponential_bound(m: usize, epsilon: f64) -> f64 {
+    2.0 * epsilon * f64::from(levels_touched(m))
+}
+
+/// Upper bound on the absolute error of a linear inner-product query of
+/// length `m` over an ε-increment stream: `Σ_l 4^l ε = ε (4^(⌈log m⌉+1) − 1)/3`.
+pub fn linear_bound(m: usize, epsilon: f64) -> f64 {
+    let l = levels_touched(m);
+    epsilon * (4f64.powi(l as i32) - 1.0) / 3.0
+}
+
+/// The per-level bound for exponential queries (`2ε`, independent of the
+/// level) — equation (2)'s summand.
+pub fn exponential_level_bound(epsilon: f64) -> f64 {
+    2.0 * epsilon
+}
+
+/// The per-level bound for linear queries (`4^l ε`) — equation (3)'s
+/// summand.
+pub fn linear_level_bound(level: u32, epsilon: f64) -> f64 {
+    4f64.powi(level as i32) * epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_counts() {
+        assert_eq!(levels_touched(1), 1);
+        assert_eq!(levels_touched(2), 2);
+        assert_eq!(levels_touched(3), 3);
+        assert_eq!(levels_touched(4), 3);
+        assert_eq!(levels_touched(1024), 11);
+    }
+
+    #[test]
+    fn exponential_bound_is_logarithmic() {
+        let e = 0.5;
+        assert_eq!(exponential_bound(1, e), 2.0 * e);
+        assert_eq!(exponential_bound(4, e), 6.0 * e);
+        // Doubling M adds a constant, not a factor.
+        let b1 = exponential_bound(256, e);
+        let b2 = exponential_bound(512, e);
+        assert!((b2 - b1 - 2.0 * e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_bound_is_quadratic() {
+        let e = 0.1;
+        // Doubling M roughly quadruples the bound.
+        let b1 = linear_bound(64, e);
+        let b2 = linear_bound(128, e);
+        assert!((b2 / b1 - 4.0).abs() < 0.1, "ratio {}", b2 / b1);
+    }
+
+    #[test]
+    fn level_bounds_sum_to_totals() {
+        let e = 0.3;
+        let m = 100;
+        let l = levels_touched(m);
+        let exp_sum: f64 = (0..l).map(|_| exponential_level_bound(e)).sum();
+        assert!((exp_sum - exponential_bound(m, e)).abs() < 1e-12);
+        let lin_sum: f64 = (0..l).map(|lv| linear_level_bound(lv, e)).sum();
+        assert!((lin_sum - linear_bound(m, e)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let _ = exponential_bound(0, 1.0);
+    }
+}

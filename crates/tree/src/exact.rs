@@ -1,0 +1,134 @@
+//! Exact sliding window — ground truth for experiments and tests.
+//!
+//! The discrete-event experiments need the true window contents to measure
+//! approximation error and to drive the replication source. This is a
+//! plain ring buffer with the same window-index convention as the tree
+//! (index 0 = newest).
+
+use crate::range::ValueRange;
+use std::collections::VecDeque;
+
+/// A ring buffer holding the last `N` stream values exactly.
+#[derive(Debug, Clone)]
+pub struct ExactWindow {
+    buf: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl ExactWindow {
+    /// An empty window of capacity `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "window capacity must be positive");
+        ExactWindow {
+            buf: VecDeque::with_capacity(n),
+            capacity: n,
+        }
+    }
+
+    /// Feed one value, evicting the oldest if full.
+    pub fn push(&mut self, v: f64) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_back();
+        }
+        self.buf.push_front(v);
+    }
+
+    /// Value at window index `idx` (0 = newest), if present.
+    pub fn get(&self, idx: usize) -> Option<f64> {
+        self.buf.get(idx).copied()
+    }
+
+    /// Number of values currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no values have arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window has filled to capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Window capacity `N`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate values newest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// The contents as a vector, newest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Exact `[min, max]` over window indices `from..=to` (both must be
+    /// present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty or out of bounds.
+    pub fn range_of(&self, from: usize, to: usize) -> ValueRange {
+        assert!(from <= to && to < self.buf.len(), "bad interval [{from}, {to}]");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in from..=to {
+            let v = self.buf[i];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        ValueRange::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_semantics() {
+        let mut w = ExactWindow::new(3);
+        assert!(w.is_empty() && !w.is_full());
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        assert!(w.is_full());
+        assert_eq!(w.to_vec(), vec![3.0, 2.0, 1.0]);
+        w.push(4.0);
+        assert_eq!(w.to_vec(), vec![4.0, 3.0, 2.0]);
+        assert_eq!(w.get(0), Some(4.0));
+        assert_eq!(w.get(2), Some(2.0));
+        assert_eq!(w.get(3), None);
+        assert_eq!(w.capacity(), 3);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn range_of_interval() {
+        let mut w = ExactWindow::new(4);
+        for v in [5.0, 1.0, 9.0, 3.0] {
+            w.push(v);
+        }
+        // newest first: [3, 9, 1, 5]
+        assert_eq!(w.range_of(0, 3), ValueRange::new(1.0, 9.0));
+        assert_eq!(w.range_of(1, 2), ValueRange::new(1.0, 9.0));
+        assert_eq!(w.range_of(0, 0), ValueRange::point(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad interval")]
+    fn range_of_out_of_bounds() {
+        let w = ExactWindow::new(4);
+        let _ = w.range_of(0, 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Whole-stream summarization: the growing SWAT.
+//!
+//! The paper (§2.1–2.3): "our techniques are also applicable in a model
+//! where the entire stream (and not just the last N values) are of
+//! interest … the number of levels of the approximation tree will grow
+//! logarithmically with the size of the stream."
+//!
+//! [`GrowingSwat`] is that variant: no fixed window, levels appear as the
+//! stream lengthens (level `l` materializes at arrival `2^(l+1)`), and
+//! any index back to the very first value can be queried — recent values
+//! precisely, ancient values through ever coarser summaries. Space is
+//! `O(k log t)` after `t` arrivals.
+
+use std::collections::VecDeque;
+
+use crate::config::TreeError;
+use crate::node::Summary;
+use crate::query::PointAnswer;
+use crate::range::ValueRange;
+use crate::InnerProductAnswer;
+use crate::InnerProductQuery;
+use swat_wavelet::HaarCoeffs;
+
+/// A SWAT summarizing the *entire* stream at multiple resolutions.
+///
+/// ```
+/// use swat_tree::growing::GrowingSwat;
+///
+/// let mut s = GrowingSwat::new(1);
+/// s.extend((0..10_000).map(|i| (i % 100) as f64));
+/// // Index 0 = newest; the whole history is addressable.
+/// assert!(s.point(0).is_ok());
+/// assert!(s.point(9_000).is_ok());
+/// assert!(s.levels() >= 12); // grew logarithmically
+/// ```
+#[derive(Debug, Clone)]
+pub struct GrowingSwat {
+    k: usize,
+    t: u64,
+    last: Option<f64>,
+    /// `levels[l]` holds up to three level-`l` summaries, newest first.
+    levels: Vec<VecDeque<Summary>>,
+}
+
+impl GrowingSwat {
+    /// A new growing summary keeping `k` coefficients per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "coefficient budget must be positive");
+        GrowingSwat {
+            k,
+            t: 0,
+            last: None,
+            levels: Vec::new(),
+        }
+    }
+
+    /// Total arrivals observed.
+    pub fn arrivals(&self) -> u64 {
+        self.t
+    }
+
+    /// Current number of levels (grows as `log t`).
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total summaries retained (`<= 3 levels()`).
+    pub fn summary_count(&self) -> usize {
+        self.levels.iter().map(VecDeque::len).sum()
+    }
+
+    /// Feed one value.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "stream values must be finite");
+        let prev = self.last.replace(value);
+        self.t += 1;
+        let Some(prev) = prev else { return };
+        if self.levels.is_empty() {
+            self.levels.push(VecDeque::with_capacity(3));
+        }
+        let coeffs = HaarCoeffs::merge(
+            &HaarCoeffs::scalar(value),
+            &HaarCoeffs::scalar(prev),
+            self.k,
+        )
+        .expect("scalars always merge");
+        let summary = Summary::new(coeffs, ValueRange::of(&[value, prev]), self.t, 0);
+        push_bounded(&mut self.levels[0], summary);
+        let mut l = 1;
+        while self.t.is_multiple_of(1u64 << l) {
+            if l == self.levels.len() {
+                self.levels.push(VecDeque::with_capacity(3));
+            }
+            let child = &self.levels[l - 1];
+            let (Some(right), Some(left)) = (child.front(), child.get(2)) else {
+                break;
+            };
+            debug_assert_eq!(right.created_at(), self.t);
+            debug_assert_eq!(left.created_at(), self.t - (1 << l));
+            let coeffs = HaarCoeffs::merge(right.coeffs(), left.coeffs(), self.k)
+                .expect("sibling blocks have equal widths");
+            let range = right.range().union(left.range());
+            let summary = Summary::new(coeffs, range, self.t, l);
+            push_bounded(&mut self.levels[l], summary);
+            l += 1;
+        }
+        // Drop a trailing level that never materialized.
+        if self.levels.last().map(VecDeque::is_empty).unwrap_or(false) {
+            self.levels.pop();
+        }
+    }
+
+    /// Feed a sequence of values.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Iterate all summaries in query order (levels ascending, newest
+    /// first within a level).
+    pub fn nodes(&self) -> impl Iterator<Item = &Summary> {
+        self.levels.iter().flat_map(|lvl| lvl.iter())
+    }
+
+    /// Answer a point query for stream index `idx` (0 = newest, `t − 1` =
+    /// the very first value).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::IndexOutOfWindow`] beyond the stream,
+    /// [`TreeError::Uncovered`] for the handful of indices no summary
+    /// covers while the structure is very young.
+    pub fn point(&self, idx: usize) -> Result<PointAnswer, TreeError> {
+        if idx as u64 >= self.t {
+            return Err(TreeError::IndexOutOfWindow {
+                index: idx,
+                window: self.t as usize,
+            });
+        }
+        // The newest value is retained raw (it is the update input d_0).
+        if idx == 0 {
+            if let Some(v) = self.last {
+                return Ok(PointAnswer {
+                    value: v,
+                    error_bound: 0.0,
+                    level: 0,
+                    extrapolated: false,
+                });
+            }
+        }
+        for s in self.nodes() {
+            if s.covers(self.t, idx) {
+                return Ok(PointAnswer {
+                    value: s.value_at(self.t, idx),
+                    error_bound: s.error_bound_at(self.t, idx),
+                    level: s.level(),
+                    extrapolated: false,
+                });
+            }
+        }
+        Err(TreeError::Uncovered { index: idx })
+    }
+
+    /// Answer an inner-product query over stream indices (greedy cover as
+    /// in the windowed tree).
+    ///
+    /// # Errors
+    ///
+    /// As [`GrowingSwat::point`].
+    pub fn inner_product(&self, query: &InnerProductQuery) -> Result<InnerProductAnswer, TreeError> {
+        let indices = query.indices();
+        for &idx in indices {
+            if idx as u64 >= self.t {
+                return Err(TreeError::IndexOutOfWindow {
+                    index: idx,
+                    window: self.t as usize,
+                });
+            }
+        }
+        let mut covered = vec![false; indices.len()];
+        let mut remaining = indices.len();
+        let mut value = 0.0;
+        let mut error_bound = 0.0;
+        let mut nodes_used = 0;
+        for s in self.nodes() {
+            if remaining == 0 {
+                break;
+            }
+            let mut used = false;
+            for (pos, &idx) in indices.iter().enumerate() {
+                if !covered[pos] && s.covers(self.t, idx) {
+                    covered[pos] = true;
+                    remaining -= 1;
+                    used = true;
+                    let w = query.weights()[pos];
+                    value += w * s.value_at(self.t, idx);
+                    error_bound += w.abs() * s.error_bound_at(self.t, idx);
+                }
+            }
+            if used {
+                nodes_used += 1;
+            }
+        }
+        if remaining > 0 {
+            let first = covered.iter().position(|c| !c).expect("remaining > 0");
+            return Err(TreeError::Uncovered {
+                index: indices[first],
+            });
+        }
+        Ok(InnerProductAnswer {
+            value,
+            error_bound,
+            meets_precision: error_bound <= query.delta(),
+            nodes_used,
+            extrapolated: 0,
+        })
+    }
+}
+
+fn push_bounded(level: &mut VecDeque<Summary>, s: Summary) {
+    level.push_front(s);
+    while level.len() > 3 {
+        level.pop_back();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_grow_logarithmically() {
+        let mut s = GrowingSwat::new(1);
+        let mut last_levels = 0;
+        for milestone in [16usize, 64, 256, 1024, 4096] {
+            while s.arrivals() < milestone as u64 {
+                s.push((s.arrivals() % 13) as f64);
+            }
+            let levels = s.levels();
+            assert!(levels > last_levels, "levels must grow");
+            assert!(
+                levels <= (milestone as f64).log2() as usize + 1,
+                "at t={milestone}: {levels} levels"
+            );
+            last_levels = levels;
+        }
+        // Space stays O(log t).
+        assert!(s.summary_count() <= 3 * s.levels());
+    }
+
+    #[test]
+    fn entire_history_is_addressable_once_mature() {
+        let values: Vec<f64> = (0..512).map(|i| ((i * 7) % 23) as f64).collect();
+        let mut s = GrowingSwat::new(1);
+        s.extend(values.iter().copied());
+        let mut covered = 0;
+        for idx in 0..512usize {
+            match s.point(idx) {
+                Ok(a) => {
+                    covered += 1;
+                    let truth = values[511 - idx];
+                    assert!(
+                        (a.value - truth).abs() <= a.error_bound + 1e-9,
+                        "idx {idx}: |{} - {truth}| > {}",
+                        a.value,
+                        a.error_bound
+                    );
+                }
+                Err(TreeError::Uncovered { .. }) => {}
+                Err(e) => panic!("unexpected error at {idx}: {e}"),
+            }
+        }
+        assert!(covered >= 500, "only {covered}/512 indices covered");
+        assert!(s.point(512).is_err(), "beyond the stream");
+    }
+
+    #[test]
+    fn lossless_growing_tree_is_exact_on_covered_indices() {
+        let values: Vec<f64> = (0..256).map(|i| ((i * 31) % 101) as f64).collect();
+        let mut s = GrowingSwat::new(usize::MAX);
+        s.extend(values.iter().copied());
+        for idx in 0..256usize {
+            if let Ok(a) = s.point(idx) {
+                assert!(
+                    (a.value - values[255 - idx]).abs() < 1e-9,
+                    "idx {idx}: {} vs {}",
+                    a.value,
+                    values[255 - idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn older_indices_get_coarser_answers() {
+        let mut s = GrowingSwat::new(1);
+        s.extend((0..4096).map(|i| (i % 50) as f64));
+        let recent = s.point(1).unwrap();
+        let ancient = s.point(3500).unwrap();
+        assert!(recent.level < ancient.level);
+    }
+
+    #[test]
+    fn inner_products_over_history() {
+        let mut s = GrowingSwat::new(2);
+        let values: Vec<f64> = (0..1024).map(|i| 10.0 + ((i % 10) as f64)).collect();
+        s.extend(values.iter().copied());
+        let q = InnerProductQuery::exponential(16, 1e9);
+        let a = s.inner_product(&q).unwrap();
+        let newest_first: Vec<f64> = values.iter().rev().copied().collect();
+        let exact = q.exact(&newest_first);
+        assert!((a.value - exact).abs() <= a.error_bound + 1e-9);
+        assert!(a.nodes_used <= 3 * s.levels());
+    }
+
+    #[test]
+    fn newest_value_is_exact() {
+        let mut s = GrowingSwat::new(1);
+        s.extend([5.0, 9.0, 2.0]);
+        let a = s.point(0).unwrap();
+        assert_eq!(a.value, 2.0);
+        assert_eq!(a.error_bound, 0.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let s = GrowingSwat::new(1);
+        assert!(matches!(
+            s.point(0),
+            Err(TreeError::IndexOutOfWindow { .. })
+        ));
+        let mut s = GrowingSwat::new(1);
+        s.push(7.0);
+        assert_eq!(s.point(0).unwrap().value, 7.0);
+        assert_eq!(s.summary_count(), 0, "a single value forms no pair yet");
+    }
+}

@@ -1,0 +1,266 @@
+//! Multiple streams and correlation estimation.
+//!
+//! The paper's concluding remarks name this as future work: "We plan to
+//! develop efficient techniques to find correlations over multiple data
+//! streams." This module provides the natural SWAT-based realization: a
+//! [`StreamSet`] maintains one tree per stream over a common window, and
+//! correlations between any two streams are estimated from the trees'
+//! reconstructions — `O(M log N)` work per pair instead of touching raw
+//! history, with accuracy inherited from the summaries (exact for
+//! lossless trees).
+
+use crate::config::{SwatConfig, TreeError};
+use crate::query::QueryOptions;
+use crate::tree::SwatTree;
+
+/// A set of synchronized streams, each summarized by its own SWAT.
+///
+/// ```
+/// use swat_tree::{multi::StreamSet, SwatConfig};
+///
+/// let mut set = StreamSet::new(SwatConfig::new(64).unwrap(), 2);
+/// for i in 0..200 {
+///     let x = (i as f64 * 0.2).sin();
+///     set.push_row(&[x, 2.0 * x + 1.0]); // perfectly correlated
+/// }
+/// let rho = set.correlation(0, 1, 64).unwrap();
+/// assert!(rho > 0.99);
+/// ```
+#[derive(Debug)]
+pub struct StreamSet {
+    trees: Vec<SwatTree>,
+}
+
+impl StreamSet {
+    /// `streams` synchronized streams under a shared configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0`.
+    pub fn new(config: SwatConfig, streams: usize) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        StreamSet {
+            trees: (0..streams).map(|_| SwatTree::new(config)).collect(),
+        }
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The tree summarizing stream `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tree(&self, i: usize) -> &SwatTree {
+        &self.trees[i]
+    }
+
+    /// Feed one synchronized row: `row[i]` goes to stream `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != streams()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.trees.len(), "row arity mismatch");
+        for (tree, &v) in self.trees.iter_mut().zip(row) {
+            tree.push(v);
+        }
+    }
+
+    /// Approximate values of stream `i` over the `m` newest window
+    /// indices, evaluated at resolution `opts`.
+    fn recent(&self, i: usize, m: usize, opts: QueryOptions) -> Result<Vec<f64>, TreeError> {
+        let tree = &self.trees[i];
+        let mut out = Vec::with_capacity(m);
+        for idx in 0..m {
+            out.push(tree.point_with(idx, opts)?.value);
+        }
+        Ok(out)
+    }
+
+    /// Approximate inner product `Σ x_a[i] · x_b[i]` over the `m` newest
+    /// values of streams `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coverage errors while the trees warm up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream index is out of range or `m == 0`.
+    pub fn inner_product_between(&self, a: usize, b: usize, m: usize) -> Result<f64, TreeError> {
+        self.inner_product_between_with(a, b, m, QueryOptions::default())
+    }
+
+    /// As [`Self::inner_product_between`] with explicit resolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coverage errors while the trees warm up.
+    pub fn inner_product_between_with(
+        &self,
+        a: usize,
+        b: usize,
+        m: usize,
+        opts: QueryOptions,
+    ) -> Result<f64, TreeError> {
+        assert!(m > 0, "need at least one value");
+        let xa = self.recent(a, m, opts)?;
+        let xb = self.recent(b, m, opts)?;
+        Ok(xa.iter().zip(&xb).map(|(x, y)| x * y).sum())
+    }
+
+    /// Pearson correlation of streams `a` and `b` over their `m` newest
+    /// values, estimated from the summaries (the paper's reference \[17\]
+    /// style normalized-window correlation, §1.1). Returns 0 when either stream
+    /// is constant over the span.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coverage errors while the trees warm up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream index is out of range or `m < 2`.
+    pub fn correlation(&self, a: usize, b: usize, m: usize) -> Result<f64, TreeError> {
+        self.correlation_with(a, b, m, QueryOptions::default())
+    }
+
+    /// As [`Self::correlation`] with explicit resolution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coverage errors while the trees warm up.
+    pub fn correlation_with(
+        &self,
+        a: usize,
+        b: usize,
+        m: usize,
+        opts: QueryOptions,
+    ) -> Result<f64, TreeError> {
+        assert!(m >= 2, "correlation needs at least two values");
+        let xa = self.recent(a, m, opts)?;
+        let xb = self.recent(b, m, opts)?;
+        Ok(pearson(&xa, &xb))
+    }
+}
+
+/// Pearson correlation of two equal-length slices (0 for degenerate
+/// inputs).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(set: &mut StreamSet, n: usize, f: impl Fn(usize) -> Vec<f64>) {
+        for i in 0..n {
+            set.push_row(&f(i));
+        }
+    }
+
+    #[test]
+    fn perfectly_correlated_streams() {
+        let mut set = StreamSet::new(SwatConfig::new(64).unwrap(), 2);
+        feed(&mut set, 200, |i| {
+            let x = (i as f64 * 0.3).sin() * 10.0;
+            vec![x, 3.0 * x - 5.0]
+        });
+        let rho = set.correlation(0, 1, 64).unwrap();
+        assert!(rho > 0.99, "rho = {rho}");
+    }
+
+    #[test]
+    fn anti_correlated_streams() {
+        let mut set = StreamSet::new(SwatConfig::new(64).unwrap(), 2);
+        feed(&mut set, 200, |i| {
+            let x = ((i * 17) % 29) as f64;
+            vec![x, 100.0 - x]
+        });
+        let rho = set.correlation(0, 1, 32).unwrap();
+        assert!(rho < -0.9, "rho = {rho}");
+    }
+
+    #[test]
+    fn independent_streams_have_weak_correlation() {
+        let mut set = StreamSet::new(SwatConfig::with_coefficients(64, 64).unwrap(), 2);
+        // Two decorrelated pseudo-random sequences.
+        feed(&mut set, 400, |i| {
+            vec![((i * 7919) % 104729) as f64, ((i * 104729) % 7919) as f64]
+        });
+        let rho = set.correlation(0, 1, 64).unwrap();
+        assert!(rho.abs() < 0.4, "rho = {rho}");
+    }
+
+    #[test]
+    fn lossless_trees_give_exact_correlation() {
+        let n = 32;
+        let mut set = StreamSet::new(SwatConfig::with_coefficients(n, n).unwrap(), 2);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..3 * n {
+            let x = ((i * 13) % 37) as f64;
+            let y = ((i * 7 + 3) % 23) as f64;
+            set.push_row(&[x, y]);
+            xs.push(x);
+            ys.push(y);
+        }
+        // Exact correlation over the newest n values (newest first).
+        let wx: Vec<f64> = xs.iter().rev().take(n).copied().collect();
+        let wy: Vec<f64> = ys.iter().rev().take(n).copied().collect();
+        let exact = pearson(&wx, &wy);
+        let est = set.correlation(0, 1, n).unwrap();
+        assert!((est - exact).abs() < 1e-9, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn constant_streams_yield_zero() {
+        let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
+        feed(&mut set, 64, |_| vec![5.0, 7.0]);
+        assert_eq!(set.correlation(0, 1, 16).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inner_product_between_matches_reconstructions() {
+        let mut set = StreamSet::new(SwatConfig::new(32).unwrap(), 3);
+        feed(&mut set, 100, |i| {
+            vec![i as f64 % 11.0, i as f64 % 7.0, 1.0]
+        });
+        // Against the all-ones stream, the pairwise inner product is the
+        // sum of stream 0's reconstruction.
+        let ip = set.inner_product_between(0, 2, 16).unwrap();
+        let direct: f64 = (0..16)
+            .map(|idx| set.tree(0).point(idx).unwrap().value)
+            .sum();
+        assert!((ip - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
+        set.push_row(&[1.0]);
+    }
+}

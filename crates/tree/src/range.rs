@@ -1,0 +1,177 @@
+//! Closed value intervals `[lo, hi]`.
+//!
+//! Every SWAT node carries, besides its wavelet coefficients, the exact
+//! `[min, max]` range of the raw values it summarizes. Ranges give sound
+//! per-answer error bounds for the centralized tree, and they are the
+//! "approximations" that the distributed SWAT-ASR scheme caches and
+//! replicates (the paper's §3: "a client caches a range `[d_L, d_H]` for
+//! value `d`").
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl ValueRange {
+    /// A new range; ends may be given in either order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is NaN.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(!a.is_nan() && !b.is_nan(), "NaN range bound");
+        if a <= b {
+            ValueRange { lo: a, hi: b }
+        } else {
+            ValueRange { lo: b, hi: a }
+        }
+    }
+
+    /// The degenerate range containing a single point.
+    pub fn point(v: f64) -> Self {
+        ValueRange::new(v, v)
+    }
+
+    /// Exact range of a nonempty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "range of empty slice");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            assert!(!v.is_nan(), "NaN value");
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        ValueRange { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// `hi - lo`: the paper's precision measure for a cached approximation.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// The midpoint, used as the representative answer value.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `v` lies inside the range.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether this range fully encloses `other` — the paper's test for
+    /// suppressing update propagation ("the old approximation \[30, 40\]
+    /// encloses the new approximation \[32, 38\]").
+    pub fn encloses(&self, other: &ValueRange) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Smallest range covering both operands.
+    pub fn union(&self, other: &ValueRange) -> ValueRange {
+        ValueRange {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Whether the two ranges overlap (share at least a point).
+    pub fn intersects(&self, other: &ValueRange) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// `v` clamped into the range.
+    pub fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.lo, self.hi)
+    }
+
+    /// Widen symmetrically by `pad` on each side.
+    pub fn padded(&self, pad: f64) -> ValueRange {
+        debug_assert!(pad >= 0.0);
+        ValueRange {
+            lo: self.lo - pad,
+            hi: self.hi + pad,
+        }
+    }
+}
+
+impl fmt::Display for ValueRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes_order() {
+        let r = ValueRange::new(5.0, 2.0);
+        assert_eq!(r.lo(), 2.0);
+        assert_eq!(r.hi(), 5.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.midpoint(), 3.5);
+    }
+
+    #[test]
+    fn of_slice() {
+        let r = ValueRange::of(&[3.0, -1.0, 7.0, 2.0]);
+        assert_eq!((r.lo(), r.hi()), (-1.0, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn of_empty_panics() {
+        let _ = ValueRange::of(&[]);
+    }
+
+    #[test]
+    fn enclosure_semantics_match_paper() {
+        // [30, 40] encloses [32, 38] but not [34, 45].
+        let old = ValueRange::new(30.0, 40.0);
+        assert!(old.encloses(&ValueRange::new(32.0, 38.0)));
+        assert!(!old.encloses(&ValueRange::new(34.0, 45.0)));
+        assert!(old.encloses(&old), "enclosure is reflexive");
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = ValueRange::new(0.0, 5.0);
+        let b = ValueRange::new(3.0, 9.0);
+        let c = ValueRange::new(6.0, 7.0);
+        assert_eq!(a.union(&b), ValueRange::new(0.0, 9.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+    }
+
+    #[test]
+    fn contains_clamp_pad() {
+        let r = ValueRange::new(1.0, 2.0);
+        assert!(r.contains(1.0) && r.contains(2.0) && r.contains(1.5));
+        assert!(!r.contains(0.999) && !r.contains(2.001));
+        assert_eq!(r.clamp(0.0), 1.0);
+        assert_eq!(r.clamp(3.0), 2.0);
+        assert_eq!(r.clamp(1.2), 1.2);
+        assert_eq!(r.padded(0.5), ValueRange::new(0.5, 2.5));
+    }
+}

@@ -1,0 +1,318 @@
+//! Checkpointing: serialize a tree's summaries to bytes and restore them.
+//!
+//! A SWAT is tiny (`O(k log N)` numbers), which makes checkpointing it
+//! across process restarts — or shipping it to another site, as the
+//! paper's distributed setting does with ranges — nearly free. The
+//! format is a simple explicit little-endian layout, versioned, with no
+//! external dependencies:
+//!
+//! ```text
+//! magic "SWAT"  u8 version  u64 window  u64 k  u64 t  u8 has_last [f64 last]
+//! u64 summary_count  then per summary:
+//!   u64 level  u64 created_at  f64 lo  f64 hi  u64 n_coeffs  [f64...]
+//! ```
+//!
+//! Restores validate structure; a corrupted or truncated buffer yields
+//! a [`SnapshotError`], never a panic.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::config::SwatConfig;
+use crate::node::Summary;
+use crate::range::ValueRange;
+use crate::tree::SwatTree;
+use swat_wavelet::HaarCoeffs;
+
+const MAGIC: &[u8; 4] = b"SWAT";
+const VERSION: u8 = 1;
+
+/// Errors from [`SwatTree::restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the `SWAT` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A field failed validation (window not a power of two, coefficient
+    /// counts inconsistent, non-finite values, …).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a SWAT snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Invalid(what) => write!(f, "invalid snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.at + n > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        let b = self.take(8)?;
+        let v = f64::from_le_bytes(b.try_into().expect("8 bytes"));
+        if v.is_nan() {
+            return Err(SnapshotError::Invalid("NaN value"));
+        }
+        Ok(v)
+    }
+}
+
+impl SwatTree {
+    /// Serialize the tree's complete state.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.summary_count() * 64);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(self.config().window() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.config().coefficients() as u64).to_le_bytes());
+        out.extend_from_slice(&self.arrivals().to_le_bytes());
+        match self.newest() {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(self.summary_count() as u64).to_le_bytes());
+        // Summaries in query order (levels ascending, newest first): the
+        // restore path rebuilds each level queue in that order.
+        for (level, _, s) in self.nodes() {
+            out.extend_from_slice(&(level as u64).to_le_bytes());
+            out.extend_from_slice(&s.created_at().to_le_bytes());
+            out.extend_from_slice(&s.range().lo().to_le_bytes());
+            out.extend_from_slice(&s.range().hi().to_le_bytes());
+            let coeffs = s.coeffs().coefficients();
+            out.extend_from_slice(&(coeffs.len() as u64).to_le_bytes());
+            for c in coeffs {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Rebuild a tree from [`SwatTree::snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`].
+    pub fn restore(bytes: &[u8]) -> Result<SwatTree, SnapshotError> {
+        let mut r = Reader { buf: bytes, at: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let window = r.u64()? as usize;
+        let k = r.u64()? as usize;
+        let config = SwatConfig::with_coefficients(window, k)
+            .map_err(|_| SnapshotError::Invalid("bad window/coefficient config"))?;
+        let t = r.u64()?;
+        let last = match r.u8()? {
+            0 => None,
+            1 => Some(r.f64()?),
+            _ => return Err(SnapshotError::Invalid("bad last-value tag")),
+        };
+        let count = r.u64()? as usize;
+        let levels = config.levels();
+        if count > 3 * levels {
+            return Err(SnapshotError::Invalid("too many summaries"));
+        }
+        let mut queues: Vec<VecDeque<Summary>> = vec![VecDeque::new(); levels];
+        for _ in 0..count {
+            let level = r.u64()? as usize;
+            if level >= levels {
+                return Err(SnapshotError::Invalid("summary level out of range"));
+            }
+            let created_at = r.u64()?;
+            if created_at > t {
+                return Err(SnapshotError::Invalid("summary from the future"));
+            }
+            let lo = r.f64()?;
+            let hi = r.f64()?;
+            if lo > hi {
+                return Err(SnapshotError::Invalid("inverted range"));
+            }
+            let n_coeffs = r.u64()? as usize;
+            let width = 1usize << (level + 1);
+            if n_coeffs == 0 || n_coeffs > width.min(k) {
+                return Err(SnapshotError::Invalid("bad coefficient count"));
+            }
+            let mut coeffs = Vec::with_capacity(n_coeffs);
+            for _ in 0..n_coeffs {
+                coeffs.push(r.f64()?);
+            }
+            let coeffs = HaarCoeffs::from_parts(width, coeffs)
+                .map_err(|_| SnapshotError::Invalid("bad coefficient vector"))?;
+            let cap = if level + 1 == levels { 1 } else { 3 };
+            let queue = &mut queues[level];
+            if queue.len() == cap {
+                return Err(SnapshotError::Invalid("level over capacity"));
+            }
+            // Written newest-first; appending preserves the order.
+            if let Some(prev) = queue.back() {
+                if prev.created_at() <= created_at {
+                    return Err(SnapshotError::Invalid("summaries out of order"));
+                }
+            }
+            queue.push_back(Summary::new(coeffs, ValueRange::new(lo, hi), created_at, level));
+        }
+        if r.at != bytes.len() {
+            return Err(SnapshotError::Invalid("trailing bytes"));
+        }
+        SwatTree::from_restored(config, t, last, queues)
+            .map_err(|_| SnapshotError::Invalid("inconsistent structure"))
+    }
+}
+
+/// Round-trip helper used by tests: snapshot then restore must preserve
+/// observable behavior.
+pub fn roundtrip(tree: &SwatTree) -> Result<SwatTree, SnapshotError> {
+    SwatTree::restore(&tree.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::InnerProductQuery;
+    use crate::tree::SwatTree;
+
+    fn sample_tree(n: usize, k: usize, arrivals: usize) -> SwatTree {
+        let mut tree = SwatTree::new(SwatConfig::with_coefficients(n, k).unwrap());
+        tree.extend((0..arrivals).map(|i| ((i * 13) % 59) as f64));
+        tree
+    }
+
+    #[test]
+    fn roundtrip_preserves_answers() {
+        for (n, k, arrivals) in [(16, 1, 40), (64, 4, 200), (32, 32, 100)] {
+            let tree = sample_tree(n, k, arrivals);
+            let restored = roundtrip(&tree).unwrap();
+            assert_eq!(restored.arrivals(), tree.arrivals());
+            assert_eq!(restored.summary_count(), tree.summary_count());
+            for idx in 0..n {
+                let a = tree.point(idx).unwrap();
+                let b = restored.point(idx).unwrap();
+                assert_eq!(a, b, "n={n} k={k} idx={idx}");
+            }
+            let q = InnerProductQuery::exponential(n / 2, 1e9);
+            assert_eq!(
+                tree.inner_product(&q).unwrap(),
+                restored.inner_product(&q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn restored_tree_keeps_streaming_identically() {
+        let mut original = sample_tree(32, 2, 150);
+        let mut restored = roundtrip(&original).unwrap();
+        for i in 0..100 {
+            let v = ((i * 31) % 41) as f64;
+            original.push(v);
+            restored.push(v);
+        }
+        for idx in 0..32 {
+            assert_eq!(original.point(idx).unwrap(), restored.point(idx).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_value_trees_roundtrip() {
+        let tree = SwatTree::new(SwatConfig::new(16).unwrap());
+        let restored = roundtrip(&tree).unwrap();
+        assert_eq!(restored.arrivals(), 0);
+        assert_eq!(restored.summary_count(), 0);
+
+        let mut tree = SwatTree::new(SwatConfig::new(16).unwrap());
+        tree.push(7.5);
+        let restored = roundtrip(&tree).unwrap();
+        assert_eq!(restored.newest(), Some(7.5));
+        assert_eq!(restored.arrivals(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(SwatTree::restore(b"nope").unwrap_err(), SnapshotError::BadMagic);
+        assert_eq!(SwatTree::restore(b"no").unwrap_err(), SnapshotError::Truncated);
+        assert_eq!(
+            SwatTree::restore(b"BLOBxxxxxxxxxxxxxxxxxxxxxxxxxxx").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut bytes = sample_tree(16, 1, 40).snapshot();
+        bytes[4] = 99; // version
+        assert_eq!(SwatTree::restore(&bytes).unwrap_err(), SnapshotError::BadVersion(99));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = sample_tree(16, 1, 40).snapshot();
+        // Chopping the buffer at any point must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let err = SwatTree::restore(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} unexpectedly succeeded");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = sample_tree(16, 1, 40).snapshot();
+        bytes.push(0);
+        assert_eq!(
+            SwatTree::restore(&bytes).unwrap_err(),
+            SnapshotError::Invalid("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn snapshot_is_small() {
+        let tree = sample_tree(1 << 14, 1, 40_000);
+        let bytes = tree.snapshot();
+        // O(log N) summaries, tens of bytes each.
+        assert!(bytes.len() < 4096, "snapshot is {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            SnapshotError::BadMagic,
+            SnapshotError::BadVersion(3),
+            SnapshotError::Truncated,
+            SnapshotError::Invalid("x"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! The SWAT approximation tree.
+//!
+//! # Structure
+//!
+//! For a sliding window of `N = 2^n` values the tree has `n` levels. Each
+//! level `l < n-1` retains the **three** most recent level-`l` summaries —
+//! the paper's *Right*, *Shift* and *Left* nodes — and the top level
+//! retains one, for `3 log N − 2` nodes total. A level-`l` summary
+//! describes a dyadic block of `2^(l+1)` consecutive stream values and is
+//! immutable; the paper's shift `L := S; S := R; R := new` is realized by
+//! pushing the new summary at the front of a bounded queue.
+//!
+//! # Update (the paper's Figure 3a)
+//!
+//! On each arrival the tree produces a fresh level-0 summary from the two
+//! newest raw values. Whenever the arrival count is divisible by `2^l`,
+//! level `l` produces a fresh summary by *merging* the level-`l−1` Right
+//! node (the `2^l` newest values) with the level-`l−1` Left node (the
+//! `2^l` values before those): `contents(R_l) := DWT(R_{l−1}, L_{l−1})`.
+//! The merge is the exact `O(k)` coefficient merge of `swat-wavelet`, so
+//! one complete cycle of `N` arrivals costs `Σ_l 3·O(k)·N/2^l = O(kN)`
+//! work — `O(k)` amortized per arrival, matching §2.6 of the paper.
+//!
+//! Because refreshes are delayed (level `l` only refreshes every `2^l`
+//! arrivals), a summary *ages*: the block it describes slides into the
+//! past at one window index per arrival. [`Summary::coverage`] accounts
+//! for this, reproducing the paper's execution trace (Figure 2) exactly —
+//! see the `fig2_trace` integration test.
+
+use std::collections::VecDeque;
+
+use crate::config::{SwatConfig, TreeError};
+use crate::node::Summary;
+use crate::range::ValueRange;
+use swat_wavelet::HaarCoeffs;
+
+/// Which of the three per-level nodes a summary currently occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodePos {
+    /// The newest summary at its level (`R` in the paper).
+    Right,
+    /// The middle generation (`S`).
+    Shift,
+    /// The oldest retained generation (`L`).
+    Left,
+}
+
+impl NodePos {
+    /// The paper's query-time traversal order within a level: `R → S → L`.
+    pub const ORDER: [NodePos; 3] = [NodePos::Right, NodePos::Shift, NodePos::Left];
+
+    fn from_queue_index(i: usize) -> NodePos {
+        match i {
+            0 => NodePos::Right,
+            1 => NodePos::Shift,
+            2 => NodePos::Left,
+            _ => unreachable!("levels retain at most three summaries"),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodePos::Right => "R",
+            NodePos::Shift => "S",
+            NodePos::Left => "L",
+        }
+    }
+}
+
+/// One level of the tree: a bounded queue of summaries, newest first.
+#[derive(Debug, Clone)]
+struct Level {
+    nodes: VecDeque<Summary>,
+    capacity: usize,
+}
+
+impl Level {
+    fn new(capacity: usize) -> Self {
+        Level {
+            nodes: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    fn push(&mut self, s: Summary) {
+        self.nodes.push_front(s);
+        while self.nodes.len() > self.capacity {
+            self.nodes.pop_back();
+        }
+    }
+}
+
+/// A SWAT tree summarizing the last `N` values of a data stream at
+/// multiple resolutions.
+///
+/// See the [module docs](self) for the structure and update rules, and the
+/// [`crate::query`] module for the query interface.
+#[derive(Debug, Clone)]
+pub struct SwatTree {
+    config: SwatConfig,
+    /// Total arrivals so far (the paper's time `t`).
+    t: u64,
+    /// The newest raw value (`d_0`), if any.
+    last: Option<f64>,
+    levels: Vec<Level>,
+}
+
+impl SwatTree {
+    /// An empty tree; summaries populate as values arrive (all levels are
+    /// populated after at most `2N` arrivals — see [`SwatTree::is_warm`]).
+    pub fn new(config: SwatConfig) -> Self {
+        let n = config.levels();
+        let levels = (0..n)
+            .map(|l| Level::new(if l + 1 == n { 1 } else { 3 }))
+            .collect();
+        SwatTree {
+            config,
+            t: 0,
+            last: None,
+            levels,
+        }
+    }
+
+    /// A tree bulk-initialized from one full window of values (given in
+    /// arrival order, oldest first), with every level freshly refreshed —
+    /// the state of the paper's Figure 2(a).
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::BadInitLength`] unless exactly `config.window()`
+    /// values are supplied.
+    pub fn from_window(config: SwatConfig, values: &[f64]) -> Result<Self, TreeError> {
+        let n_vals = config.window();
+        if values.len() != n_vals {
+            return Err(TreeError::BadInitLength {
+                got: values.len(),
+                want: n_vals,
+            });
+        }
+        let mut tree = SwatTree::new(config);
+        let t = n_vals as u64;
+        tree.t = t;
+        tree.last = values.last().copied();
+        let k = config.coefficients();
+        for l in 0..config.levels() {
+            let width = 1usize << (l + 1);
+            let generations = tree.levels[l].capacity;
+            // Oldest generation first so the newest ends up at the front.
+            for g in (0..generations).rev() {
+                let created_at = t - (g as u64) * (width as u64 / 2);
+                // Block = absolute positions [created_at - width, created_at).
+                let hi = created_at as usize;
+                let lo = hi - width;
+                // Signals are stored newest-first (window index order).
+                let mut block: Vec<f64> = values[lo..hi].to_vec();
+                block.reverse();
+                let coeffs = HaarCoeffs::from_signal(&block, k)
+                    .expect("window blocks are powers of two");
+                let summary = Summary::new(coeffs, ValueRange::of(&block), created_at, l);
+                tree.levels[l].push(summary);
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Assemble a tree from restored parts (the snapshot module's restore
+    /// path). Queues must hold summaries newest-first with levels matching
+    /// their position.
+    pub(crate) fn from_restored(
+        config: SwatConfig,
+        t: u64,
+        last: Option<f64>,
+        queues: Vec<VecDeque<Summary>>,
+    ) -> Result<Self, TreeError> {
+        if queues.len() != config.levels() {
+            return Err(TreeError::BadInitLength {
+                got: queues.len(),
+                want: config.levels(),
+            });
+        }
+        let mut tree = SwatTree::new(config);
+        tree.t = t;
+        tree.last = last;
+        for (l, queue) in queues.into_iter().enumerate() {
+            for s in &queue {
+                if s.level() != l || s.created_at() > t {
+                    return Err(TreeError::BadInitLength {
+                        got: s.level(),
+                        want: l,
+                    });
+                }
+            }
+            if queue.len() > tree.levels[l].capacity {
+                return Err(TreeError::BadInitLength {
+                    got: queue.len(),
+                    want: tree.levels[l].capacity,
+                });
+            }
+            tree.levels[l].nodes = queue;
+        }
+        Ok(tree)
+    }
+
+    /// Feed one new stream value, updating the affected levels
+    /// (`O(k)` amortized).
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "stream values must be finite");
+        let prev = self.last.replace(value);
+        self.t += 1;
+        let Some(prev) = prev else {
+            return; // First value ever: no pair to summarize yet.
+        };
+        let k = self.config.coefficients();
+        // Level 0: summarize the two newest raw values (d_0, d_1).
+        let coeffs = HaarCoeffs::merge(&HaarCoeffs::scalar(value), &HaarCoeffs::scalar(prev), k)
+            .expect("scalars always merge");
+        let summary = Summary::new(coeffs, ValueRange::of(&[value, prev]), self.t, 0);
+        self.levels[0].push(summary);
+        // Cascade: level l refreshes when 2^l divides t, consuming the
+        // level-(l-1) Right (newest) and Left (two generations back) nodes.
+        for l in 1..self.levels.len() {
+            if !self.t.is_multiple_of(1u64 << l) {
+                break;
+            }
+            let child = &self.levels[l - 1].nodes;
+            let (Some(right), Some(left)) = (child.front(), child.get(2)) else {
+                break; // Still warming up.
+            };
+            debug_assert_eq!(right.created_at(), self.t);
+            debug_assert_eq!(left.created_at(), self.t - (1 << l));
+            let coeffs = HaarCoeffs::merge(right.coeffs(), left.coeffs(), k)
+                .expect("sibling blocks have equal widths");
+            let range = right.range().union(left.range());
+            let summary = Summary::new(coeffs, range, self.t, l);
+            self.levels[l].push(summary);
+        }
+    }
+
+    /// Feed a sequence of values in arrival order.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Total number of arrivals observed.
+    pub fn arrivals(&self) -> u64 {
+        self.t
+    }
+
+    /// The configuration this tree was built with.
+    pub fn config(&self) -> &SwatConfig {
+        &self.config
+    }
+
+    /// The newest raw value, if any has arrived.
+    pub fn newest(&self) -> Option<f64> {
+        self.last
+    }
+
+    /// Whether every node of the tree is populated (guaranteed after `2N`
+    /// arrivals; [`SwatTree::from_window`] trees are warm immediately).
+    pub fn is_warm(&self) -> bool {
+        self.levels
+            .iter()
+            .all(|lvl| lvl.nodes.len() == lvl.capacity)
+    }
+
+    /// The summary at `(level, pos)`, if populated.
+    pub fn node(&self, level: usize, pos: NodePos) -> Option<&Summary> {
+        let idx = match pos {
+            NodePos::Right => 0,
+            NodePos::Shift => 1,
+            NodePos::Left => 2,
+        };
+        self.levels.get(level)?.nodes.get(idx)
+    }
+
+    /// Iterate all populated summaries in the paper's query order: levels
+    /// ascending, `R → S → L` within a level.
+    pub fn nodes(&self) -> impl Iterator<Item = (usize, NodePos, &Summary)> {
+        self.levels.iter().enumerate().flat_map(|(l, lvl)| {
+            lvl.nodes
+                .iter()
+                .enumerate()
+                .map(move |(i, s)| (l, NodePos::from_queue_index(i), s))
+        })
+    }
+
+    /// Number of populated summaries (`3 log N − 2` once warm).
+    pub fn summary_count(&self) -> usize {
+        self.levels.iter().map(|lvl| lvl.nodes.len()).sum()
+    }
+
+    /// Approximate memory footprint of the summaries, in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .nodes()
+                .map(|(_, _, s)| s.space_bytes())
+                .sum::<usize>()
+    }
+
+    /// Render the populated nodes with their current coverages — a
+    /// diagnostic mirroring the paper's Figure 2 diagrams.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "t = {}", self.t);
+        for (l, lvl) in self.levels.iter().enumerate().rev() {
+            let _ = write!(out, "level {l}:");
+            for (i, s) in lvl.nodes.iter().enumerate() {
+                let (a, b) = s.coverage(self.t);
+                let _ = write!(
+                    out,
+                    "  {}=[{a}-{b}] avg {:.3}",
+                    NodePos::from_queue_index(i).name(),
+                    s.coeffs().average()
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> SwatConfig {
+        SwatConfig::new(n).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_shape() {
+        let tree = SwatTree::new(cfg(16));
+        assert_eq!(tree.arrivals(), 0);
+        assert_eq!(tree.summary_count(), 0);
+        assert!(!tree.is_warm());
+        assert!(tree.newest().is_none());
+    }
+
+    #[test]
+    fn warmup_completes_within_two_windows() {
+        let mut tree = SwatTree::new(cfg(16));
+        tree.extend((0..32).map(|i| i as f64));
+        assert!(tree.is_warm(), "not warm after 2N arrivals:\n{}", tree.render());
+        assert_eq!(tree.summary_count(), 10); // 3*4 - 2
+    }
+
+    #[test]
+    fn from_window_is_warm_and_counts_match_paper() {
+        let values: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let tree = SwatTree::from_window(cfg(16), &values).unwrap();
+        assert!(tree.is_warm());
+        assert_eq!(tree.summary_count(), 10);
+        assert_eq!(tree.arrivals(), 16);
+        // Fresh coverages match Figure 2(a): R_l = [0, 2^(l+1)-1], etc.
+        for l in 0..3 {
+            let w = 1usize << (l + 1);
+            let r = tree.node(l, NodePos::Right).unwrap().coverage(16);
+            let s = tree.node(l, NodePos::Shift).unwrap().coverage(16);
+            let left = tree.node(l, NodePos::Left).unwrap().coverage(16);
+            assert_eq!(r, (0, w - 1));
+            assert_eq!(s, (w / 2, w / 2 + w - 1));
+            assert_eq!(left, (w, 2 * w - 1));
+        }
+        assert_eq!(tree.node(3, NodePos::Right).unwrap().coverage(16), (0, 15));
+        assert!(tree.node(3, NodePos::Shift).is_none());
+    }
+
+    #[test]
+    fn from_window_rejects_wrong_length() {
+        assert!(matches!(
+            SwatTree::from_window(cfg(8), &[1.0; 7]),
+            Err(TreeError::BadInitLength { got: 7, want: 8 })
+        ));
+    }
+
+    #[test]
+    fn averages_are_exact() {
+        // With k = 1 each node stores the exact average of its block.
+        let values: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+        let tree = SwatTree::from_window(cfg(16), &values).unwrap();
+        // R_3 = average of everything.
+        let root = tree.node(3, NodePos::Right).unwrap();
+        assert!((root.coeffs().average() - 8.5).abs() < 1e-12);
+        // R_0 = average of the two newest (16, 15).
+        let r0 = tree.node(0, NodePos::Right).unwrap();
+        assert!((r0.coeffs().average() - 15.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_matches_from_window_at_refresh_points() {
+        // Stream 32 values into an empty tree; at t = 32 every level just
+        // refreshed, so every node must equal the bulk-initialized tree
+        // over the last 16 values.
+        let values: Vec<f64> = (0..32).map(|i| ((i * 7) % 13) as f64).collect();
+        let mut streamed = SwatTree::new(cfg(16));
+        streamed.extend(values.iter().copied());
+        let bulk = SwatTree::from_window(cfg(16), &values[16..]).unwrap();
+        for (l, pos, s) in bulk.nodes() {
+            let other = streamed.node(l, pos).unwrap();
+            assert_eq!(
+                s.coverage(16),
+                {
+                    let (a, b) = other.coverage(32);
+                    (a, b)
+                },
+                "coverage mismatch at level {l} {}",
+                pos.name()
+            );
+            assert!(
+                (s.coeffs().average() - other.coeffs().average()).abs() < 1e-9,
+                "average mismatch at level {l} {}",
+                pos.name()
+            );
+        }
+    }
+
+    #[test]
+    fn node_ranges_enclose_block_values() {
+        let values: Vec<f64> = (0..64).map(|i| ((i * 31) % 17) as f64).collect();
+        let mut tree = SwatTree::new(cfg(16));
+        for &v in &values {
+            tree.push(v);
+        }
+        let t = tree.arrivals() as usize;
+        for (_, _, s) in tree.nodes() {
+            let created = s.created_at() as usize;
+            let block = &values[created - s.width()..created];
+            for &v in block {
+                assert!(s.range().contains(v), "range {} missing {v}", s.range());
+            }
+            // And the range is tight: its endpoints are attained.
+            let lo = block.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = block.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(s.range().lo(), lo);
+            assert_eq!(s.range().hi(), hi);
+        }
+        let _ = t;
+    }
+
+    #[test]
+    fn refresh_cadence_matches_levels() {
+        // Level l refreshes exactly when 2^l divides t.
+        let mut tree = SwatTree::new(cfg(16));
+        tree.extend((0..64).map(|i| i as f64));
+        for extra in 1..=16u64 {
+            tree.push(extra as f64);
+            let t = tree.arrivals();
+            for l in 0..4 {
+                let r = tree.node(l, NodePos::Right).unwrap();
+                let expected_refresh = t - t % (1u64 << l);
+                assert_eq!(
+                    r.created_at(),
+                    expected_refresh,
+                    "level {l} at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_humane() {
+        let tree = SwatTree::from_window(cfg(8), &[1.0; 8]).unwrap();
+        let r = tree.render();
+        assert!(r.contains("level 0:"));
+        assert!(r.contains("R=[0-1]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_values() {
+        let mut tree = SwatTree::new(cfg(4));
+        tree.push(f64::NAN);
+    }
+}

@@ -1,0 +1,158 @@
+//! Golden test reproducing the paper's Figure 2 execution trace.
+//!
+//! The paper walks a SWAT over a window of N = 16 through five arrivals
+//! (4, 6, 2, 10, 4) and quotes intermediate node contents and coverages.
+//! The initial window is only partially determined by the text; we pick a
+//! window consistent with every quoted number:
+//!
+//! * R_0 holds sum 26 (avg 13) -> window indices [0, 1] = 14, 12,
+//! * S_0 holds sum 14 (avg 7)  -> indices [1, 2] = 12, 2,
+//! * R_1 holds sum 32 (avg 8)  -> indices [0..3] = 14, 12, 2, 4,
+//! * S_1 holds sum 8 (avg 2)   -> indices [2..5] = 2, 4, 1, 1.
+//!
+//! Everything the text asserts is then checked against the
+//! implementation.
+
+use swat_tree::{InnerProductQuery, NodePos, SwatConfig, SwatTree};
+
+/// The initial window, newest value first (window-index order).
+const WINDOW_NEWEST_FIRST: [f64; 16] = [
+    14.0, 12.0, 2.0, 4.0, 1.0, 1.0, 3.0, 5.0, 2.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0,
+];
+
+fn initial_tree() -> SwatTree {
+    let mut oldest_first = WINDOW_NEWEST_FIRST;
+    oldest_first.reverse();
+    SwatTree::from_window(SwatConfig::new(16).unwrap(), &oldest_first).unwrap()
+}
+
+fn avg(tree: &SwatTree, level: usize, pos: NodePos) -> f64 {
+    tree.node(level, pos)
+        .unwrap_or_else(|| panic!("missing node {level}/{}", pos.name()))
+        .coeffs()
+        .average()
+}
+
+fn coverage(tree: &SwatTree, level: usize, pos: NodePos) -> (usize, usize) {
+    tree.node(level, pos).unwrap().coverage(tree.arrivals())
+}
+
+#[test]
+fn figure_2a_initial_state() {
+    let tree = initial_tree();
+    // "At t = 0, every node is up-to-date."
+    assert_eq!(coverage(&tree, 0, NodePos::Right), (0, 1));
+    assert_eq!(coverage(&tree, 0, NodePos::Shift), (1, 2));
+    assert_eq!(coverage(&tree, 0, NodePos::Left), (2, 3));
+    assert_eq!(coverage(&tree, 1, NodePos::Right), (0, 3));
+    assert_eq!(coverage(&tree, 1, NodePos::Shift), (2, 5));
+    assert_eq!(coverage(&tree, 1, NodePos::Left), (4, 7));
+    assert_eq!(coverage(&tree, 2, NodePos::Right), (0, 7));
+    assert_eq!(coverage(&tree, 2, NodePos::Shift), (4, 11));
+    assert_eq!(coverage(&tree, 2, NodePos::Left), (8, 15));
+    assert_eq!(coverage(&tree, 3, NodePos::Right), (0, 15));
+    // Node contents implied by the trace arithmetic.
+    assert_eq!(avg(&tree, 0, NodePos::Right), 13.0); // 26/2
+    assert_eq!(avg(&tree, 0, NodePos::Shift), 7.0); // 14/2
+    assert_eq!(avg(&tree, 1, NodePos::Right), 8.0); // 32/4
+    assert_eq!(avg(&tree, 1, NodePos::Shift), 2.0); // 8/4
+}
+
+#[test]
+fn figure_2b_after_arrival_of_4() {
+    let mut tree = initial_tree();
+    tree.push(4.0);
+    // "L0 gets the summary stored in S0, 14/2, and S0 gets 26/2 from R0.
+    //  R0 computes the average of 14 and 4. The average 18/2 is stored."
+    assert_eq!(avg(&tree, 0, NodePos::Left), 7.0);
+    assert_eq!(avg(&tree, 0, NodePos::Shift), 13.0);
+    assert_eq!(avg(&tree, 0, NodePos::Right), 9.0);
+    // "All nodes at higher levels are shifted up by 1 time unit. For
+    //  example, L2 now stores an approximation to [9-16] instead of [8-15]."
+    assert_eq!(coverage(&tree, 2, NodePos::Left), (9, 16));
+    assert_eq!(coverage(&tree, 1, NodePos::Right), (1, 4));
+}
+
+#[test]
+fn figure_2c_after_arrival_of_6() {
+    let mut tree = initial_tree();
+    tree.push(4.0);
+    tree.push(6.0);
+    // "At level 0, L0 gets 26/2 from S0, and S0 gets 18/2 from R0. The new
+    //  average of [0,1], 10/2, is stored in R0."
+    assert_eq!(avg(&tree, 0, NodePos::Left), 13.0);
+    assert_eq!(avg(&tree, 0, NodePos::Shift), 9.0);
+    assert_eq!(avg(&tree, 0, NodePos::Right), 5.0);
+    // "At level 1, L1 gets 8/4 from S1, and S1 gets 32/4 from R1. Lastly,
+    //  R1 computes and stores the average of R0 and L0, which is 36/4."
+    assert_eq!(avg(&tree, 1, NodePos::Left), 2.0);
+    assert_eq!(avg(&tree, 1, NodePos::Shift), 8.0);
+    assert_eq!(avg(&tree, 1, NodePos::Right), 9.0);
+}
+
+#[test]
+fn figure_2d_coverages_match_query_walkthrough() {
+    let mut tree = initial_tree();
+    for v in [4.0, 6.0, 2.0] {
+        tree.push(v);
+    }
+    // The paper's §2.4 walkthrough of query Q = ([0,3,8,13], ...) on the
+    // t = 3 tree quotes these coverages:
+    assert_eq!(coverage(&tree, 0, NodePos::Right), (0, 1)); // "R0 approximates [0-1]"
+    assert_eq!(coverage(&tree, 0, NodePos::Shift), (1, 2)); // "S0 approximates [1-2]"
+    assert_eq!(coverage(&tree, 0, NodePos::Left), (2, 3)); // "L0 approximates [2-3]"
+    assert_eq!(coverage(&tree, 1, NodePos::Left), (5, 8)); // "L1 approximates [5-8]"
+    assert_eq!(coverage(&tree, 2, NodePos::Shift), (7, 14)); // "S2 approximates [7-14]"
+}
+
+#[test]
+fn figure_2d_query_selects_the_papers_node_set() {
+    let mut tree = initial_tree();
+    for v in [4.0, 6.0, 2.0] {
+        tree.push(v);
+    }
+    // Q = ([0, 3, 8, 13], [10, 8, 4, 1], 50): the paper's greedy cover
+    // selects V = {R0, L0, L1, S2} — exactly four nodes.
+    let q = InnerProductQuery::new(vec![0, 3, 8, 13], vec![10.0, 8.0, 4.0, 1.0], 50.0).unwrap();
+    let ans = tree.inner_product(&q).unwrap();
+    assert_eq!(ans.nodes_used, 4, "paper's V has exactly 4 nodes");
+    assert_eq!(ans.extrapolated, 0);
+    // The nodes serving indices 0, 3, 8, 13 are at levels 0, 0, 1, 2.
+    assert_eq!(tree.point(0).unwrap().level, 0);
+    assert_eq!(tree.point(3).unwrap().level, 0);
+    assert_eq!(tree.point(8).unwrap().level, 1);
+    assert_eq!(tree.point(13).unwrap().level, 2);
+}
+
+#[test]
+fn figure_2e_level_2_refreshes_at_t4() {
+    let mut tree = initial_tree();
+    for v in [4.0, 6.0, 2.0, 10.0] {
+        tree.push(v);
+    }
+    // At t = 4 levels 0, 1, 2 refresh. R1 = avg of the four newest
+    // (10, 2, 6, 4) = 22/4; R2 = merge of R1 with the t = 0 L1 block
+    // (14, 12, 2, 4 -> sum 32): (22 + 32) / 8.
+    assert_eq!(coverage(&tree, 1, NodePos::Right), (0, 3));
+    assert_eq!(avg(&tree, 1, NodePos::Right), 5.5);
+    assert_eq!(coverage(&tree, 2, NodePos::Right), (0, 7));
+    assert_eq!(avg(&tree, 2, NodePos::Right), 54.0 / 8.0);
+    // Level 3 did not refresh (t = 4 is not a multiple of 8): it aged.
+    assert_eq!(coverage(&tree, 3, NodePos::Right), (4, 19));
+}
+
+#[test]
+fn figure_2f_after_all_five_arrivals() {
+    let mut tree = initial_tree();
+    for v in [4.0, 6.0, 2.0, 10.0, 4.0] {
+        tree.push(v);
+    }
+    assert_eq!(tree.arrivals(), 21);
+    // t = 5: only level 0 refreshed; R0 = avg(4, 10) = 7.
+    assert_eq!(avg(&tree, 0, NodePos::Right), 7.0);
+    assert_eq!(coverage(&tree, 0, NodePos::Right), (0, 1));
+    // Level 1 aged by one.
+    assert_eq!(coverage(&tree, 1, NodePos::Right), (1, 4));
+    // The whole window is still covered.
+    assert!(tree.reconstruct_window().is_ok());
+}

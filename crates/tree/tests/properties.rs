@@ -1,0 +1,250 @@
+//! Property-based tests for the SWAT tree's structural invariants.
+
+use proptest::prelude::*;
+use swat_tree::{InnerProductQuery, QueryOptions, SwatConfig, SwatTree};
+
+/// Arbitrary window exponent (window 4..=256) and a stream of values.
+fn tree_inputs() -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (2u32..=8).prop_flat_map(|log_n| {
+        let n = 1usize << log_n;
+        // Stream long enough to fully warm up (> 2N) plus arbitrary extra.
+        prop::collection::vec(0.0..100.0f64, 2 * n + 1..4 * n).prop_map(move |v| (n, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Once warm, every window index is covered at every subsequent time.
+    #[test]
+    fn window_always_covered((n, values) in tree_inputs()) {
+        let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+        for (i, &v) in values.iter().enumerate() {
+            tree.push(v);
+            if i + 1 >= 2 * n {
+                prop_assert!(tree.is_warm());
+                prop_assert!(tree.reconstruct_window().is_ok(), "gap at t={}", i + 1);
+            }
+        }
+    }
+
+    /// Structural bounds from §2.6: 3 log N − 2 summaries once warm.
+    #[test]
+    fn summary_count_matches_paper((n, values) in tree_inputs()) {
+        let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+        tree.extend(values.iter().copied());
+        let log_n = n.trailing_zeros() as usize;
+        prop_assert_eq!(tree.summary_count(), 3 * log_n - 2);
+    }
+
+    /// Point-query error bounds are sound against ground truth at all
+    /// indices and times.
+    #[test]
+    fn point_bounds_sound((n, values) in tree_inputs()) {
+        let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+        let mut truth = swat_tree::ExactWindow::new(n);
+        for &v in &values {
+            tree.push(v);
+            truth.push(v);
+        }
+        for idx in 0..n {
+            let a = tree.point(idx).unwrap();
+            let t = truth.get(idx).unwrap();
+            prop_assert!(
+                (a.value - t).abs() <= a.error_bound + 1e-9,
+                "idx {}: |{} - {}| > {}", idx, a.value, t, a.error_bound
+            );
+        }
+    }
+
+    /// With a full coefficient budget (k = N) the tree is lossless: every
+    /// point query returns the exact stream value at every time.
+    #[test]
+    fn full_budget_tree_is_exact((n, values) in tree_inputs()) {
+        let mut tree = SwatTree::new(SwatConfig::with_coefficients(n, n).unwrap());
+        let mut truth = swat_tree::ExactWindow::new(n);
+        for &v in &values {
+            tree.push(v);
+            truth.push(v);
+        }
+        for idx in 0..n {
+            let a = tree.point(idx).unwrap();
+            let t = truth.get(idx).unwrap();
+            prop_assert!((a.value - t).abs() < 1e-9, "idx {}: {} vs {}", idx, a.value, t);
+        }
+        // Inner products are exact too.
+        let q = InnerProductQuery::exponential(n.min(16), 1e-6);
+        let ans = tree.inner_product(&q).unwrap();
+        let exact = q.exact(&truth.to_vec());
+        prop_assert!((ans.value - exact).abs() < 1e-6);
+    }
+
+    /// Inner-product error bounds are sound for random query shapes.
+    #[test]
+    fn inner_product_bounds_sound(
+        (n, values) in tree_inputs(),
+        start_frac in 0.0..0.5f64,
+        len_frac in 0.01..0.5f64,
+    ) {
+        let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+        let mut truth = swat_tree::ExactWindow::new(n);
+        for &v in &values {
+            tree.push(v);
+            truth.push(v);
+        }
+        let start = ((n as f64) * start_frac) as usize;
+        let m = (((n as f64) * len_frac) as usize).clamp(1, n - start);
+        for q in [
+            InnerProductQuery::exponential_at(start, m, 1.0),
+            InnerProductQuery::linear_at(start, m, 1.0),
+        ] {
+            let ans = tree.inner_product(&q).unwrap();
+            let exact = q.exact(&truth.to_vec());
+            prop_assert!(
+                (ans.value - exact).abs() <= ans.error_bound + 1e-9,
+                "|{} - {}| > {}", ans.value, exact, ans.error_bound
+            );
+        }
+    }
+
+    /// Space grows with k but stays logarithmic in N: doubling N adds a
+    /// constant number of summaries.
+    #[test]
+    fn space_is_logarithmic(log_n in 3u32..9, k in 1usize..5) {
+        let build = |n: usize| {
+            let mut t = SwatTree::new(SwatConfig::with_coefficients(n, k).unwrap());
+            t.extend((0..2 * n).map(|i| (i % 97) as f64));
+            t
+        };
+        let n = 1usize << log_n;
+        let small = build(n);
+        let big = build(2 * n);
+        prop_assert_eq!(big.summary_count() - small.summary_count(), 3);
+    }
+
+    /// Range queries return exactly the reconstructed values inside the
+    /// band, and nothing else.
+    #[test]
+    fn range_query_consistent_with_reconstruction((n, values) in tree_inputs()) {
+        let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+        tree.extend(values.iter().copied());
+        let window = tree.reconstruct_window().unwrap();
+        let q = swat_tree::RangeQuery::new(50.0, 10.0, 0, n - 1);
+        let matches = tree.range_query(&q).unwrap();
+        let expected: Vec<usize> = (0..n)
+            .filter(|&i| (window[i] - 50.0).abs() <= 10.0)
+            .collect();
+        let got: Vec<usize> = matches.iter().map(|m| m.index).collect();
+        prop_assert_eq!(got, expected);
+        for m in &matches {
+            prop_assert!((m.value - window[m.index]).abs() < 1e-9);
+        }
+    }
+
+    /// Snapshots round-trip: the restored tree answers identically and
+    /// keeps streaming identically.
+    #[test]
+    fn snapshot_roundtrip((n, values) in tree_inputs()) {
+        let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+        // (kept mutable: streaming continues after the roundtrip check)
+        tree.extend(values.iter().copied());
+        let bytes = tree.snapshot();
+        let mut restored = SwatTree::restore(&bytes).expect("own snapshots restore");
+        for idx in 0..n {
+            prop_assert_eq!(tree.point(idx).unwrap(), restored.point(idx).unwrap());
+        }
+        // Continue streaming both.
+        for i in 0..(n as u64) {
+            let v = (i % 13) as f64;
+            tree.push(v);
+            restored.push(v);
+        }
+        for idx in 0..n {
+            prop_assert_eq!(tree.point(idx).unwrap(), restored.point(idx).unwrap());
+        }
+    }
+
+    /// Arbitrary bytes never panic the restore path.
+    #[test]
+    fn restore_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = SwatTree::restore(&bytes);
+    }
+
+    /// Flipping any single byte of a valid snapshot either fails cleanly
+    /// or yields a structurally valid tree — never a panic.
+    #[test]
+    fn corrupted_snapshots_fail_cleanly(
+        (n, values) in tree_inputs(),
+        pos_frac in 0.0..1.0f64,
+        xor in 1u8..=255,
+    ) {
+        let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+        tree.extend(values.iter().copied());
+        let mut bytes = tree.snapshot();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= xor;
+        if let Ok(restored) = SwatTree::restore(&bytes) {
+            // If it restored, it must at least be internally consistent.
+            prop_assert!(restored.summary_count() <= 3 * restored.config().levels());
+        }
+    }
+
+    /// Reduced-level queries never fail once warm, and flag extrapolation.
+    #[test]
+    fn reduced_level_total((n, values) in tree_inputs(), m in 1usize..4) {
+        let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+        tree.extend(values.iter().copied());
+        let levels = n.trailing_zeros() as usize;
+        let m = m.min(levels - 1);
+        for idx in 0..n {
+            let a = tree.point_with(idx, QueryOptions::at_level(m)).unwrap();
+            prop_assert!(a.level >= m);
+            prop_assert!(a.value.is_finite());
+        }
+    }
+}
+
+/// The §2.6 error model holds empirically on the ε-increment stream it
+/// assumes (with slack for node aging, which the closed form idealizes
+/// away).
+#[test]
+fn error_model_holds_on_ramp_stream() {
+    use swat_tree::error_model;
+    let n = 256;
+    let eps = 0.01;
+    let mut tree = SwatTree::new(SwatConfig::new(n).unwrap());
+    let mut truth = swat_tree::ExactWindow::new(n);
+    let mut worst_exp: f64 = 0.0;
+    let mut worst_lin: f64 = 0.0;
+    let m = 64;
+    for (i, v) in swat_data::walk::RandomWalk::ramp(0.0, 1e9, eps)
+        .take(4 * n)
+        .enumerate()
+    {
+        tree.push(v);
+        truth.push(v);
+        if i + 1 >= 2 * n {
+            let w = truth.to_vec();
+            let qe = InnerProductQuery::exponential(m, 1.0);
+            let ql = InnerProductQuery::linear(m, 1.0);
+            let ae = tree.inner_product(&qe).unwrap();
+            let al = tree.inner_product(&ql).unwrap();
+            worst_exp = worst_exp.max((ae.value - qe.exact(&w)).abs());
+            worst_lin = worst_lin.max((al.value - ql.exact(&w)).abs());
+        }
+    }
+    let bound_exp = error_model::exponential_bound(m, eps);
+    let bound_lin = error_model::linear_bound(m, eps);
+    // Slack factor 3 accounts for node aging between refreshes.
+    assert!(
+        worst_exp <= 3.0 * bound_exp,
+        "exp error {worst_exp} exceeds 3x bound {bound_exp}"
+    );
+    assert!(
+        worst_lin <= 3.0 * bound_lin,
+        "lin error {worst_lin} exceeds 3x bound {bound_lin}"
+    );
+    // And the exponential bound is far tighter than the linear one — the
+    // paper's central asymptotic contrast (O(ε log M) vs O(ε M²)).
+    assert!(worst_exp < worst_lin, "exp {worst_exp} vs lin {worst_lin}");
+}

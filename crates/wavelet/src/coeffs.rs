@@ -1,0 +1,452 @@
+//! Truncated Haar coefficient vectors and the exact `O(k)` sibling merge.
+//!
+//! [`HaarCoeffs`] is the summary every SWAT tree node stores: the first `k`
+//! breadth-first coefficients of the non-normalized Haar decomposition of
+//! the window segment the node covers, together with the segment length.
+//!
+//! The crucial operation is [`HaarCoeffs::merge`]: given the summaries of
+//! two adjacent equal-length segments it produces the summary of their
+//! concatenation *exactly* (the result equals what a fresh transform of the
+//! concatenated raw data, truncated to `k`, would produce) in `O(k)` time.
+//! This is what makes the SWAT update rule
+//! `contents(R_l) := DWT(R_{l-1}, L_{l-1})` constant-cost per level and the
+//! whole per-arrival maintenance O(1) amortized.
+//!
+//! # Why the merge is exact
+//!
+//! For signals `x` (newer half) and `y` (older half) of length `2^d` each,
+//! the parent decomposition of `x ++ y` is:
+//!
+//! * root: `(avg(x) + avg(y)) / 2`,
+//! * depth-1 detail: `(avg(x) − avg(y)) / 2`,
+//! * depth-`j` details (`j ≥ 2`): concatenation of `x`'s and `y`'s
+//!   depth-`(j−1)` detail blocks.
+//!
+//! Therefore the parent's first `k` BFS coefficients only reference the
+//! children's first `k` BFS coefficients, and truncation commutes with the
+//! merge.
+//!
+//! # Representation
+//!
+//! Small coefficient budgets are stored inline (no heap allocation): the
+//! paper's default `k = 1` — and anything up to three coefficients — never
+//! allocates, which keeps the per-arrival maintenance cost of the tree at
+//! a handful of arithmetic operations.
+
+use crate::error::WaveletError;
+use crate::{haar, is_power_of_two, log2};
+
+/// Coefficient budgets up to this size are stored inline.
+const INLINE_CAP: usize = 3;
+
+/// Inline-or-heap storage for the coefficient prefix.
+#[derive(Debug, Clone)]
+enum Store {
+    Inline { len: u8, buf: [f64; INLINE_CAP] },
+    Heap(Vec<f64>),
+}
+
+impl Store {
+    #[inline]
+    fn one(value: f64) -> Store {
+        Store::Inline {
+            len: 1,
+            buf: [value, 0.0, 0.0],
+        }
+    }
+
+    #[inline]
+    fn with_capacity(cap: usize) -> Store {
+        if cap <= INLINE_CAP {
+            Store::Inline {
+                len: 0,
+                buf: [0.0; INLINE_CAP],
+            }
+        } else {
+            Store::Heap(Vec::with_capacity(cap))
+        }
+    }
+
+    fn from_vec(v: Vec<f64>) -> Store {
+        if v.len() <= INLINE_CAP {
+            let mut buf = [0.0; INLINE_CAP];
+            buf[..v.len()].copy_from_slice(&v);
+            Store::Inline {
+                len: v.len() as u8,
+                buf,
+            }
+        } else {
+            Store::Heap(v)
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Store::Inline { len, buf } => &buf[..*len as usize],
+            Store::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Store::Inline { len, .. } => *len as usize,
+            Store::Heap(v) => v.len(),
+        }
+    }
+
+    /// Append a coefficient. The caller sized the store with
+    /// `with_capacity`, so inline stores never overflow.
+    #[inline]
+    fn push(&mut self, value: f64) {
+        match self {
+            Store::Inline { len, buf } => {
+                debug_assert!((*len as usize) < INLINE_CAP, "inline store sized too small");
+                buf[*len as usize] = value;
+                *len += 1;
+            }
+            Store::Heap(v) => v.push(value),
+        }
+    }
+}
+
+/// A truncated breadth-first Haar coefficient vector summarizing a signal
+/// of power-of-two length.
+///
+/// Storing `k = len` coefficients is lossless; `k = 1` keeps only the
+/// segment average — the configuration used throughout the SWAT paper.
+#[derive(Debug, Clone)]
+pub struct HaarCoeffs {
+    /// Length of the summarized signal (a power of two).
+    len: usize,
+    /// First `min(k, len)` coefficients in breadth-first order.
+    store: Store,
+}
+
+impl PartialEq for HaarCoeffs {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.store.as_slice() == other.store.as_slice()
+    }
+}
+
+impl HaarCoeffs {
+    /// Summary of a single raw value (a length-1 "signal").
+    #[inline]
+    pub fn scalar(value: f64) -> Self {
+        HaarCoeffs {
+            len: 1,
+            store: Store::one(value),
+        }
+    }
+
+    /// Transform `signal` and keep its first `k` breadth-first coefficients.
+    ///
+    /// # Errors
+    ///
+    /// * [`WaveletError::NotPowerOfTwo`] if the length is not a nonzero
+    ///   power of two.
+    /// * [`WaveletError::ZeroBudget`] if `k == 0`.
+    pub fn from_signal(signal: &[f64], k: usize) -> Result<Self, WaveletError> {
+        if k == 0 {
+            return Err(WaveletError::ZeroBudget);
+        }
+        let mut coeffs = haar::forward(signal)?;
+        coeffs.truncate(k);
+        Ok(HaarCoeffs {
+            len: signal.len(),
+            store: Store::from_vec(coeffs),
+        })
+    }
+
+    /// Construct directly from a breadth-first coefficient prefix.
+    ///
+    /// # Errors
+    ///
+    /// * [`WaveletError::NotPowerOfTwo`] if `len` is not a power of two.
+    /// * [`WaveletError::ZeroBudget`] if `coeffs` is empty.
+    /// * [`WaveletError::TooShort`] if more than `len` coefficients are
+    ///   supplied.
+    pub fn from_parts(len: usize, coeffs: Vec<f64>) -> Result<Self, WaveletError> {
+        if !is_power_of_two(len) {
+            return Err(WaveletError::NotPowerOfTwo { len });
+        }
+        if coeffs.is_empty() {
+            return Err(WaveletError::ZeroBudget);
+        }
+        if coeffs.len() > len {
+            return Err(WaveletError::TooShort {
+                len,
+                min: coeffs.len(),
+            });
+        }
+        Ok(HaarCoeffs {
+            len,
+            store: Store::from_vec(coeffs),
+        })
+    }
+
+    /// Merge the summaries of two adjacent equal-length segments into the
+    /// summary of their concatenation, keeping at most `k` coefficients.
+    ///
+    /// `newer` summarizes the more recent half (lower stream indices in the
+    /// SWAT convention), `older` the half before it. The merge is *exact*:
+    /// truncation commutes with it (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// * [`WaveletError::LengthMismatch`] if the operands summarize
+    ///   segments of different lengths.
+    /// * [`WaveletError::ZeroBudget`] if `k == 0`.
+    pub fn merge(newer: &Self, older: &Self, k: usize) -> Result<Self, WaveletError> {
+        if k == 0 {
+            return Err(WaveletError::ZeroBudget);
+        }
+        if newer.len != older.len {
+            return Err(WaveletError::LengthMismatch {
+                newer: newer.len,
+                older: older.len,
+            });
+        }
+        let half = newer.len;
+        let parent_len = 2 * half;
+        let keep = k.min(parent_len);
+        let newer_c = newer.store.as_slice();
+        let older_c = older.store.as_slice();
+        let mut store = Store::with_capacity(keep);
+        // Root and depth-1 detail from the children's averages.
+        let a = newer_c[0];
+        let b = older_c[0];
+        store.push((a + b) * 0.5);
+        if keep >= 2 {
+            store.push((a - b) * 0.5);
+        }
+        // Parent depth-j block (j >= 2, BFS offset 2^(j-1), size 2^(j-1)) is
+        // the concatenation of the children's depth-(j-1) blocks (offset
+        // 2^(j-2), size 2^(j-2) each).
+        let child_depth = log2(half) as usize;
+        'outer: for j in 2..=(child_depth + 1) {
+            let child_off = 1usize << (j - 2);
+            let block = 1usize << (j - 2);
+            for src in [newer_c, older_c] {
+                for i in 0..block {
+                    if store.len() == keep {
+                        break 'outer;
+                    }
+                    store.push(src.get(child_off + i).copied().unwrap_or(0.0));
+                }
+            }
+        }
+        Ok(HaarCoeffs {
+            len: parent_len,
+            store,
+        })
+    }
+
+    /// Length of the summarized signal.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: a summary covers at least one value.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of coefficients actually stored.
+    #[inline]
+    pub fn stored(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of coefficients stored on the heap (0 for small budgets,
+    /// which live inline) — for space accounting.
+    pub fn heap_coefficients(&self) -> usize {
+        match &self.store {
+            Store::Inline { .. } => 0,
+            Store::Heap(v) => v.len(),
+        }
+    }
+
+    /// The exact average of the summarized segment (the root coefficient).
+    #[inline]
+    pub fn average(&self) -> f64 {
+        self.store.as_slice()[0]
+    }
+
+    /// The stored coefficient prefix, breadth-first.
+    #[inline]
+    pub fn coefficients(&self) -> &[f64] {
+        self.store.as_slice()
+    }
+
+    /// Reconstruct the full approximate signal (zero-padding truncated
+    /// details). Costs `O(len)`; for a single value use [`Self::value_at`].
+    pub fn reconstruct(&self) -> Vec<f64> {
+        haar::inverse(self.store.as_slice(), self.len).expect("invariant: len is a power of two")
+    }
+
+    /// Approximate signal value at position `idx` in `O(log len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn value_at(&self, idx: usize) -> f64 {
+        haar::point(self.store.as_slice(), self.len, idx)
+            .expect("invariant: len is a power of two")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let c = HaarCoeffs::scalar(42.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.average(), 42.0);
+        assert_eq!(c.reconstruct(), vec![42.0]);
+        assert_eq!(c.value_at(0), 42.0);
+        assert_eq!(c.heap_coefficients(), 0, "scalars live inline");
+    }
+
+    #[test]
+    fn small_budgets_stay_inline_large_spill() {
+        let sig: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        for k in 1..=3 {
+            let c = HaarCoeffs::from_signal(&sig, k).unwrap();
+            assert_eq!(c.heap_coefficients(), 0, "k={k} should be inline");
+            assert_eq!(c.stored(), k);
+        }
+        let c = HaarCoeffs::from_signal(&sig, 4).unwrap();
+        assert_eq!(c.heap_coefficients(), 4);
+    }
+
+    #[test]
+    fn inline_merge_never_allocates_semantically() {
+        // k = 1 merges produce inline results whose contents match the
+        // heap-backed computation.
+        let a = HaarCoeffs::scalar(14.0);
+        let b = HaarCoeffs::scalar(4.0);
+        let m = HaarCoeffs::merge(&a, &b, 1).unwrap();
+        assert_eq!(m.heap_coefficients(), 0);
+        assert_eq!(m.average(), 9.0);
+        let m3 = HaarCoeffs::merge(&a, &b, 3).unwrap();
+        assert_eq!(m3.heap_coefficients(), 0);
+        assert_eq!(m3.coefficients(), &[9.0, 5.0]);
+    }
+
+    #[test]
+    fn lossless_merge_equals_concatenated_transform() {
+        let x = [14.0, 4.0];
+        let y = [7.0, 19.0];
+        let newer = HaarCoeffs::from_signal(&x, usize::MAX).unwrap();
+        let older = HaarCoeffs::from_signal(&y, usize::MAX).unwrap();
+        let merged = HaarCoeffs::merge(&newer, &older, usize::MAX).unwrap();
+        let direct = HaarCoeffs::from_signal(&[14.0, 4.0, 7.0, 19.0], usize::MAX).unwrap();
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn truncation_commutes_with_merge() {
+        // merge(truncate_k(x), truncate_k(y), k) == truncate_k(transform(x ++ y))
+        let x: Vec<f64> = (0..8).map(|i| ((i * 5) % 11) as f64).collect();
+        let y: Vec<f64> = (0..8).map(|i| ((i * 3 + 1) % 13) as f64).collect();
+        let mut combined = x.clone();
+        combined.extend_from_slice(&y);
+        for k in 1..=16 {
+            let newer = HaarCoeffs::from_signal(&x, k).unwrap();
+            let older = HaarCoeffs::from_signal(&y, k).unwrap();
+            let merged = HaarCoeffs::merge(&newer, &older, k).unwrap();
+            let direct = HaarCoeffs::from_signal(&combined, k).unwrap();
+            assert_eq!(merged, direct, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn one_coefficient_merge_tracks_averages() {
+        // With k = 1 the merge is exactly the paper's running-average scheme.
+        let newer = HaarCoeffs::scalar(14.0);
+        let older = HaarCoeffs::scalar(4.0);
+        let parent = HaarCoeffs::merge(&newer, &older, 1).unwrap();
+        assert_eq!(parent.average(), 9.0);
+        assert_eq!(parent.stored(), 1);
+        assert_eq!(parent.reconstruct(), vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn merge_chain_builds_levels() {
+        // Build a height-3 summary by chained merges of scalars, as the
+        // SWAT tree does, and compare against the direct transform.
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let k = 4;
+        let s: Vec<HaarCoeffs> = data.iter().map(|&v| HaarCoeffs::scalar(v)).collect();
+        let l1: Vec<HaarCoeffs> = (0..4)
+            .map(|i| HaarCoeffs::merge(&s[2 * i], &s[2 * i + 1], k).unwrap())
+            .collect();
+        let l2: Vec<HaarCoeffs> = (0..2)
+            .map(|i| HaarCoeffs::merge(&l1[2 * i], &l1[2 * i + 1], k).unwrap())
+            .collect();
+        let root = HaarCoeffs::merge(&l2[0], &l2[1], k).unwrap();
+        let direct = HaarCoeffs::from_signal(&data, k).unwrap();
+        assert_eq!(root, direct);
+    }
+
+    #[test]
+    fn value_at_matches_reconstruct() {
+        let data: Vec<f64> = (0..32).map(|i| (i as f64).sqrt() * 7.0).collect();
+        for k in [1, 2, 5, 32] {
+            let c = HaarCoeffs::from_signal(&data, k).unwrap();
+            let full = c.reconstruct();
+            for (i, v) in full.iter().enumerate() {
+                assert!((c.value_at(i) - v).abs() < 1e-9, "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(HaarCoeffs::from_parts(3, vec![1.0]).is_err());
+        assert!(HaarCoeffs::from_parts(4, vec![]).is_err());
+        assert!(HaarCoeffs::from_parts(2, vec![1.0, 2.0, 3.0]).is_err());
+        let c = HaarCoeffs::from_parts(4, vec![5.0]).unwrap();
+        assert_eq!(c.reconstruct(), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn merge_validation() {
+        let a = HaarCoeffs::scalar(1.0);
+        let b = HaarCoeffs::from_signal(&[1.0, 2.0], 2).unwrap();
+        assert!(matches!(
+            HaarCoeffs::merge(&a, &b, 1),
+            Err(WaveletError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            HaarCoeffs::merge(&a, &a, 0),
+            Err(WaveletError::ZeroBudget)
+        ));
+    }
+
+    #[test]
+    fn average_is_exact_regardless_of_k() {
+        let data: Vec<f64> = (0..64).map(|i| ((i * 29) % 97) as f64).collect();
+        let mean = data.iter().sum::<f64>() / 64.0;
+        for k in [1, 2, 8, 64] {
+            let c = HaarCoeffs::from_signal(&data, k).unwrap();
+            assert!((c.average() - mean).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        // Inline and heap stores with the same logical contents compare
+        // equal (from_parts picks representation by size).
+        let a = HaarCoeffs::from_parts(8, vec![1.0, 2.0]).unwrap();
+        let b = HaarCoeffs::from_parts(8, vec![1.0, 2.0]).unwrap();
+        assert_eq!(a, b);
+        let c = HaarCoeffs::from_parts(8, vec![1.0, 2.0, 0.5, 0.25]).unwrap();
+        assert_ne!(a, c);
+    }
+}

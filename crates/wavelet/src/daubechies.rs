@@ -1,0 +1,202 @@
+//! Periodic Daubechies-4 (D4) transform.
+//!
+//! The SWAT paper notes that the approximation tree can use "any of the
+//! wavelet bases such as Haar, Daubechies, Coiflets, Symlets and Meyer".
+//! This module provides the classic four-tap Daubechies filter with
+//! periodic boundary handling as a second, smoother basis. It is exposed
+//! for experimentation; the tree itself uses the Haar machinery because
+//! Haar admits the exact O(k) sibling merge that makes the incremental
+//! update O(1) amortized.
+//!
+//! Coefficients are emitted in *pyramid* order: the final (coarsest)
+//! approximation block first, followed by detail blocks from coarsest to
+//! finest.
+
+use crate::error::WaveletError;
+use crate::is_power_of_two;
+
+// The four D4 scaling filter taps.
+const H: [f64; 4] = [
+    0.482_962_913_144_690_2,  // (1 + sqrt(3)) / (4 sqrt(2))
+    0.836_516_303_737_469,    // (3 + sqrt(3)) / (4 sqrt(2))
+    0.224_143_868_041_857_36, // (3 - sqrt(3)) / (4 sqrt(2))
+    -0.129_409_522_550_921_42, // (1 - sqrt(3)) / (4 sqrt(2))
+];
+// Wavelet filter: g[i] = (-1)^i h[3 - i].
+const G: [f64; 4] = [H[3], -H[2], H[1], -H[0]];
+
+/// One periodic D4 analysis step: `signal` (even length >= 4) into `avg` and
+/// `det`, each of length `signal.len() / 2`.
+pub fn forward_step(signal: &[f64], avg: &mut [f64], det: &mut [f64]) {
+    let n = signal.len();
+    let m = n / 2;
+    debug_assert!(n >= 4 && n.is_multiple_of(2));
+    debug_assert_eq!(avg.len(), m);
+    debug_assert_eq!(det.len(), m);
+    for i in 0..m {
+        let s0 = signal[2 * i];
+        let s1 = signal[2 * i + 1];
+        let s2 = signal[(2 * i + 2) % n];
+        let s3 = signal[(2 * i + 3) % n];
+        avg[i] = H[0] * s0 + H[1] * s1 + H[2] * s2 + H[3] * s3;
+        det[i] = G[0] * s0 + G[1] * s1 + G[2] * s2 + G[3] * s3;
+    }
+}
+
+/// One periodic D4 synthesis step, the exact inverse of [`forward_step`].
+pub fn inverse_step(avg: &[f64], det: &[f64], signal: &mut [f64]) {
+    let m = avg.len();
+    debug_assert_eq!(det.len(), m);
+    debug_assert_eq!(signal.len(), 2 * m);
+    for i in 0..m {
+        let prev = (i + m - 1) % m;
+        signal[2 * i] = H[2] * avg[prev] + G[2] * det[prev] + H[0] * avg[i] + G[0] * det[i];
+        signal[2 * i + 1] = H[3] * avg[prev] + G[3] * det[prev] + H[1] * avg[i] + G[1] * det[i];
+    }
+}
+
+/// Full multilevel periodic D4 decomposition in pyramid order.
+///
+/// Recursion stops when the approximation block reaches length 2 (the D4
+/// filter needs at least four samples). For signals shorter than 4 the
+/// signal is returned unchanged.
+///
+/// # Errors
+///
+/// Returns [`WaveletError::NotPowerOfTwo`] unless `signal.len()` is a
+/// nonzero power of two.
+pub fn forward(signal: &[f64]) -> Result<Vec<f64>, WaveletError> {
+    let n = signal.len();
+    if !is_power_of_two(n) {
+        return Err(WaveletError::NotPowerOfTwo { len: n });
+    }
+    if n < 4 {
+        return Ok(signal.to_vec());
+    }
+    let mut out = vec![0.0; n];
+    let mut current = signal.to_vec();
+    let mut detail_end = n;
+    while current.len() >= 4 {
+        let m = current.len() / 2;
+        let mut avg = vec![0.0; m];
+        {
+            let det = &mut out[detail_end - m..detail_end];
+            let mut det_tmp = vec![0.0; m];
+            forward_step(&current, &mut avg, &mut det_tmp);
+            det.copy_from_slice(&det_tmp);
+        }
+        detail_end -= m;
+        current = avg;
+    }
+    out[..current.len()].copy_from_slice(&current);
+    Ok(out)
+}
+
+/// Full multilevel periodic D4 reconstruction (inverse of [`forward`]).
+///
+/// # Errors
+///
+/// Returns [`WaveletError::NotPowerOfTwo`] unless `coeffs.len()` is a
+/// nonzero power of two.
+pub fn inverse(coeffs: &[f64]) -> Result<Vec<f64>, WaveletError> {
+    let n = coeffs.len();
+    if !is_power_of_two(n) {
+        return Err(WaveletError::NotPowerOfTwo { len: n });
+    }
+    if n < 4 {
+        return Ok(coeffs.to_vec());
+    }
+    // The coarsest approximation block has length 2.
+    let mut current = coeffs[..2].to_vec();
+    let mut detail_start = 2;
+    while detail_start < n {
+        let m = current.len();
+        let det = &coeffs[detail_start..detail_start + m];
+        let mut next = vec![0.0; 2 * m];
+        inverse_step(&current, det, &mut next);
+        current = next;
+        detail_start += m;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_are_orthonormal() {
+        let h_norm: f64 = H.iter().map(|x| x * x).sum();
+        let g_norm: f64 = G.iter().map(|x| x * x).sum();
+        let dot: f64 = H.iter().zip(&G).map(|(a, b)| a * b).sum();
+        assert!((h_norm - 1.0).abs() < 1e-12);
+        assert!((g_norm - 1.0).abs() < 1e-12);
+        assert!(dot.abs() < 1e-12);
+        // Scaling filter sums to sqrt(2); wavelet filter sums to zero.
+        let h_sum: f64 = H.iter().sum();
+        let g_sum: f64 = G.iter().sum();
+        assert!((h_sum - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(g_sum.abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_step_roundtrip() {
+        let sig: Vec<f64> = (0..16).map(|i| ((i * 13) % 7) as f64).collect();
+        let mut avg = vec![0.0; 8];
+        let mut det = vec![0.0; 8];
+        forward_step(&sig, &mut avg, &mut det);
+        let mut back = vec![0.0; 16];
+        inverse_step(&avg, &det, &mut back);
+        for (a, b) in sig.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn multilevel_roundtrip() {
+        for n in [4usize, 8, 64, 512] {
+            let sig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() * 9.0 + 3.0).collect();
+            let coeffs = forward(&sig).unwrap();
+            let back = inverse(&coeffs).unwrap();
+            for (a, b) in sig.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-8, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_preserved() {
+        let sig: Vec<f64> = (0..128).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let coeffs = forward(&sig).unwrap();
+        let e1: f64 = sig.iter().map(|x| x * x).sum();
+        let e2: f64 = coeffs.iter().map(|x| x * x).sum();
+        assert!((e1 - e2).abs() < 1e-6 * e1.max(1.0));
+    }
+
+    #[test]
+    fn d4_kills_linear_signals() {
+        // D4 has two vanishing moments: details of a linear ramp vanish
+        // (away from the periodic wrap-around).
+        let sig: Vec<f64> = (0..32).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let mut avg = vec![0.0; 16];
+        let mut det = vec![0.0; 16];
+        forward_step(&sig, &mut avg, &mut det);
+        for d in &det[..15] {
+            assert!(d.abs() < 1e-9, "interior detail {d} should vanish");
+        }
+        // The last detail straddles the wrap-around and is nonzero.
+        assert!(det[15].abs() > 1.0);
+    }
+
+    #[test]
+    fn short_signals_pass_through() {
+        assert_eq!(forward(&[5.0, 7.0]).unwrap(), vec![5.0, 7.0]);
+        assert_eq!(inverse(&[5.0, 7.0]).unwrap(), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(forward(&[1.0; 12]).is_err());
+        assert!(inverse(&[1.0; 12]).is_err());
+    }
+}

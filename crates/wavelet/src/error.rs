@@ -1,0 +1,67 @@
+//! Error type shared by the transforms in this crate.
+
+use std::fmt;
+
+/// Errors produced by wavelet transforms and coefficient operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveletError {
+    /// The input signal length must be a power of two (and nonzero).
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// Two coefficient vectors being merged must summarize segments of the
+    /// same length.
+    LengthMismatch {
+        /// Length of the first (newer) operand's underlying signal.
+        newer: usize,
+        /// Length of the second (older) operand's underlying signal.
+        older: usize,
+    },
+    /// The coefficient budget `k` must be at least one.
+    ZeroBudget,
+    /// The input signal is too short for the requested operation.
+    TooShort {
+        /// Actual length.
+        len: usize,
+        /// Minimum required length.
+        min: usize,
+    },
+}
+
+impl fmt::Display for WaveletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveletError::NotPowerOfTwo { len } => {
+                write!(f, "signal length {len} is not a nonzero power of two")
+            }
+            WaveletError::LengthMismatch { newer, older } => write!(
+                f,
+                "cannot merge coefficient vectors over segments of different \
+                 lengths ({newer} vs {older})"
+            ),
+            WaveletError::ZeroBudget => write!(f, "coefficient budget k must be >= 1"),
+            WaveletError::TooShort { len, min } => {
+                write!(f, "signal length {len} is below the minimum {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaveletError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = WaveletError::NotPowerOfTwo { len: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = WaveletError::LengthMismatch { newer: 4, older: 8 };
+        assert!(e.to_string().contains("4 vs 8"));
+        assert!(WaveletError::ZeroBudget.to_string().contains("k"));
+        let e = WaveletError::TooShort { len: 2, min: 4 };
+        assert!(e.to_string().contains("minimum 4"));
+    }
+}

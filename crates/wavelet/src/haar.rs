@@ -1,0 +1,267 @@
+//! Non-normalized Haar transform: pairwise averages and half-differences.
+//!
+//! This is the transform the SWAT paper uses throughout ("we will assume
+//! that Haar wavelets are being used"). A single forward step maps a signal
+//! `s` of even length `2m` to `m` averages and `m` details:
+//!
+//! ```text
+//! avg[i] = (s[2i] + s[2i+1]) / 2
+//! det[i] = (s[2i] - s[2i+1]) / 2
+//! ```
+//!
+//! The multilevel decomposition recurses on the averages. The inverse step
+//! is exact: `s[2i] = avg[i] + det[i]`, `s[2i+1] = avg[i] - det[i]`.
+//!
+//! Coefficients of the full decomposition are reported in breadth-first
+//! (coarsest-first) order; see the crate-level documentation.
+
+use crate::error::WaveletError;
+use crate::{is_power_of_two, log2};
+
+/// One forward Haar step over `signal` (even length), writing `avg` and
+/// `det`, each of length `signal.len() / 2`.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths are inconsistent.
+#[inline]
+pub fn forward_step(signal: &[f64], avg: &mut [f64], det: &mut [f64]) {
+    let m = signal.len() / 2;
+    debug_assert_eq!(signal.len() % 2, 0);
+    debug_assert_eq!(avg.len(), m);
+    debug_assert_eq!(det.len(), m);
+    for i in 0..m {
+        let a = signal[2 * i];
+        let b = signal[2 * i + 1];
+        avg[i] = (a + b) * 0.5;
+        det[i] = (a - b) * 0.5;
+    }
+}
+
+/// One inverse Haar step: reconstruct `signal` (length `2 * avg.len()`) from
+/// averages and details.
+#[inline]
+pub fn inverse_step(avg: &[f64], det: &[f64], signal: &mut [f64]) {
+    let m = avg.len();
+    debug_assert_eq!(det.len(), m);
+    debug_assert_eq!(signal.len(), 2 * m);
+    for i in 0..m {
+        signal[2 * i] = avg[i] + det[i];
+        signal[2 * i + 1] = avg[i] - det[i];
+    }
+}
+
+/// Full multilevel forward transform.
+///
+/// Returns the `signal.len()` coefficients in breadth-first order:
+/// `[overall average, depth-1 detail, depth-2 details, ..., finest details]`.
+///
+/// # Errors
+///
+/// Returns [`WaveletError::NotPowerOfTwo`] unless `signal.len()` is a
+/// nonzero power of two.
+pub fn forward(signal: &[f64]) -> Result<Vec<f64>, WaveletError> {
+    let n = signal.len();
+    if !is_power_of_two(n) {
+        return Err(WaveletError::NotPowerOfTwo { len: n });
+    }
+    let depth = log2(n) as usize;
+    let mut out = vec![0.0; n];
+    let mut current = signal.to_vec();
+    // Details produced at pass p (1-based from finest) belong to BFS depth
+    // (depth - p + 1), i.e. they land at BFS offset 2^(depth - p).
+    for pass in 1..=depth {
+        let m = current.len() / 2;
+        let mut avg = vec![0.0; m];
+        let offset = 1usize << (depth - pass);
+        {
+            let (_, tail) = out.split_at_mut(offset);
+            forward_step(&current, &mut avg, &mut tail[..m]);
+        }
+        current = avg;
+    }
+    out[0] = current[0];
+    Ok(out)
+}
+
+/// Full multilevel inverse transform of breadth-first coefficients.
+///
+/// Coefficient vectors shorter than the signal length are implicitly
+/// zero-padded: `inverse(&coeffs[..k], n)` reconstructs the signal that the
+/// coarsest `k` coefficients describe, with all finer details set to zero.
+///
+/// # Errors
+///
+/// Returns [`WaveletError::NotPowerOfTwo`] unless `n` is a nonzero power of
+/// two, and [`WaveletError::TooShort`] if `coeffs` is empty.
+pub fn inverse(coeffs: &[f64], n: usize) -> Result<Vec<f64>, WaveletError> {
+    if !is_power_of_two(n) {
+        return Err(WaveletError::NotPowerOfTwo { len: n });
+    }
+    if coeffs.is_empty() {
+        return Err(WaveletError::TooShort { len: 0, min: 1 });
+    }
+    let depth = log2(n) as usize;
+    let mut current = vec![coeffs[0]];
+    for d in 1..=depth {
+        let m = current.len();
+        let offset = 1usize << (d - 1);
+        let mut next = vec![0.0; 2 * m];
+        for i in 0..m {
+            let det = coeffs.get(offset + i).copied().unwrap_or(0.0);
+            next[2 * i] = current[i] + det;
+            next[2 * i + 1] = current[i] - det;
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Reconstruct a single point of the signal from breadth-first coefficients
+/// in `O(log n)` time without materializing the whole signal.
+///
+/// `idx` is the position within the signal of length `n`.
+///
+/// # Errors
+///
+/// Same validation as [`inverse`]; additionally `idx` must be `< n`.
+pub fn point(coeffs: &[f64], n: usize, idx: usize) -> Result<f64, WaveletError> {
+    if !is_power_of_two(n) {
+        return Err(WaveletError::NotPowerOfTwo { len: n });
+    }
+    if coeffs.is_empty() {
+        return Err(WaveletError::TooShort { len: 0, min: 1 });
+    }
+    assert!(idx < n, "point index {idx} out of bounds for signal of {n}");
+    let depth = log2(n) as usize;
+    let mut value = coeffs[0];
+    // Walk from the root toward the leaf holding `idx`. At BFS depth d the
+    // signal is split into 2^d blocks; `idx` falls into block
+    // `idx >> (depth - d)`, and the sign of the detail contribution depends
+    // on whether idx is in the left (+) or right (−) half of that block.
+    for d in 1..=depth {
+        let block = idx >> (depth - d);
+        let det = coeffs.get((1usize << (d - 1)) + (block >> 1)).copied().unwrap_or(0.0);
+        if block & 1 == 0 {
+            value += det;
+        } else {
+            value -= det;
+        }
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(signal: &[f64]) {
+        let coeffs = forward(signal).unwrap();
+        let back = inverse(&coeffs, signal.len()).unwrap();
+        for (a, b) in signal.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9, "roundtrip mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_step_matches_definition() {
+        let s = [14.0, 4.0];
+        let mut avg = [0.0];
+        let mut det = [0.0];
+        forward_step(&s, &mut avg, &mut det);
+        assert_eq!(avg[0], 9.0);
+        assert_eq!(det[0], 5.0);
+        let mut back = [0.0; 2];
+        inverse_step(&avg, &det, &mut back);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn forward_of_constant_signal_is_average_only() {
+        let coeffs = forward(&[3.0; 8]).unwrap();
+        assert_eq!(coeffs[0], 3.0);
+        for c in &coeffs[1..] {
+            assert_eq!(*c, 0.0);
+        }
+    }
+
+    #[test]
+    fn forward_bfs_layout() {
+        // Signal [8, 6, 4, 2]:
+        //   depth-2 (finest) details: (8-6)/2 = 1, (4-2)/2 = 1
+        //   averages: 7, 3 -> depth-1 detail: (7-3)/2 = 2, root = 5
+        let coeffs = forward(&[8.0, 6.0, 4.0, 2.0]).unwrap();
+        assert_eq!(coeffs, vec![5.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn roundtrips_various_lengths() {
+        roundtrip(&[42.0]);
+        roundtrip(&[1.0, -1.0]);
+        roundtrip(&[8.0, 6.0, 4.0, 2.0]);
+        let sig: Vec<f64> = (0..1024).map(|i| ((i * 37) % 101) as f64).collect();
+        roundtrip(&sig);
+    }
+
+    #[test]
+    fn truncated_inverse_keeps_coarse_structure() {
+        let coeffs = forward(&[8.0, 6.0, 4.0, 2.0]).unwrap();
+        // Keep only the root: reconstruction is the flat average.
+        let flat = inverse(&coeffs[..1], 4).unwrap();
+        assert_eq!(flat, vec![5.0; 4]);
+        // Keep root + depth-1 detail: half averages.
+        let halves = inverse(&coeffs[..2], 4).unwrap();
+        assert_eq!(halves, vec![7.0, 7.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn point_matches_full_inverse() {
+        let sig: Vec<f64> = (0..64).map(|i| (i as f64).sin() * 10.0).collect();
+        let coeffs = forward(&sig).unwrap();
+        for k in [1, 2, 3, 7, 16, 64] {
+            let full = inverse(&coeffs[..k], 64).unwrap();
+            for (idx, &f) in full.iter().enumerate() {
+                let p = point(&coeffs[..k], 64, idx).unwrap();
+                assert!((p - f).abs() < 1e-9, "point({k}, {idx}) = {p}, full = {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            forward(&[1.0, 2.0, 3.0]),
+            Err(WaveletError::NotPowerOfTwo { len: 3 })
+        ));
+        assert!(matches!(
+            inverse(&[1.0], 6),
+            Err(WaveletError::NotPowerOfTwo { len: 6 })
+        ));
+        assert!(matches!(
+            inverse(&[], 4),
+            Err(WaveletError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn point_index_out_of_bounds_panics() {
+        let coeffs = forward(&[1.0, 2.0]).unwrap();
+        let _ = point(&coeffs, 2, 2);
+    }
+
+    #[test]
+    fn average_preserved_under_truncation() {
+        // The BFS-order root coefficient is always the exact mean, no matter
+        // how hard the details are truncated.
+        let sig = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+        let coeffs = forward(&sig).unwrap();
+        let mean: f64 = sig.iter().sum::<f64>() / sig.len() as f64;
+        assert!((coeffs[0] - mean).abs() < 1e-12);
+        for k in 1..=8 {
+            let rec = inverse(&coeffs[..k], 8).unwrap();
+            let rec_mean: f64 = rec.iter().sum::<f64>() / 8.0;
+            assert!((rec_mean - mean).abs() < 1e-9, "k={k}");
+        }
+    }
+}

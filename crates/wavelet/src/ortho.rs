@@ -1,0 +1,131 @@
+//! Orthonormal Haar transform.
+//!
+//! The non-normalized transform in [`crate::haar`] is the one the paper
+//! uses (averages are directly interpretable as segment summaries), but the
+//! orthonormal variant — scaling both outputs by `1/sqrt(2)` instead of
+//! `1/2` — preserves the signal's L2 energy (Parseval's identity), which is
+//! the form used when reasoning about largest-`B`-coefficient synopses
+//! (e.g. Gilbert et al., VLDB'01, discussed in the paper's related work).
+//! We provide it for completeness and for energy-based extensions.
+
+use crate::error::WaveletError;
+use crate::{is_power_of_two, log2};
+
+const SQRT2_INV: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Full multilevel orthonormal forward transform, breadth-first coefficient
+/// order (same layout as [`crate::haar::forward`]).
+///
+/// # Errors
+///
+/// Returns [`WaveletError::NotPowerOfTwo`] unless `signal.len()` is a
+/// nonzero power of two.
+pub fn forward(signal: &[f64]) -> Result<Vec<f64>, WaveletError> {
+    let n = signal.len();
+    if !is_power_of_two(n) {
+        return Err(WaveletError::NotPowerOfTwo { len: n });
+    }
+    let depth = log2(n) as usize;
+    let mut out = vec![0.0; n];
+    let mut current = signal.to_vec();
+    for pass in 1..=depth {
+        let m = current.len() / 2;
+        let mut avg = vec![0.0; m];
+        let offset = 1usize << (depth - pass);
+        for i in 0..m {
+            let a = current[2 * i];
+            let b = current[2 * i + 1];
+            avg[i] = (a + b) * SQRT2_INV;
+            out[offset + i] = (a - b) * SQRT2_INV;
+        }
+        current = avg;
+    }
+    out[0] = current[0];
+    Ok(out)
+}
+
+/// Full multilevel orthonormal inverse transform; zero-pads coefficient
+/// vectors shorter than `n`.
+///
+/// # Errors
+///
+/// Returns [`WaveletError::NotPowerOfTwo`] unless `n` is a nonzero power of
+/// two, and [`WaveletError::TooShort`] if `coeffs` is empty.
+pub fn inverse(coeffs: &[f64], n: usize) -> Result<Vec<f64>, WaveletError> {
+    if !is_power_of_two(n) {
+        return Err(WaveletError::NotPowerOfTwo { len: n });
+    }
+    if coeffs.is_empty() {
+        return Err(WaveletError::TooShort { len: 0, min: 1 });
+    }
+    let depth = log2(n) as usize;
+    let mut current = vec![coeffs[0]];
+    for d in 1..=depth {
+        let m = current.len();
+        let offset = 1usize << (d - 1);
+        let mut next = vec![0.0; 2 * m];
+        for i in 0..m {
+            let det = coeffs.get(offset + i).copied().unwrap_or(0.0);
+            next[2 * i] = (current[i] + det) * SQRT2_INV;
+            next[2 * i + 1] = (current[i] - det) * SQRT2_INV;
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// L2 energy of a slice: the sum of squares.
+pub fn energy(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let sig: Vec<f64> = (0..256).map(|i| ((i * 17) % 23) as f64 - 11.0).collect();
+        let coeffs = forward(&sig).unwrap();
+        let back = inverse(&coeffs, 256).unwrap();
+        for (a, b) in sig.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let sig: Vec<f64> = (0..128).map(|i| (i as f64 * 0.37).cos() * 5.0).collect();
+        let coeffs = forward(&sig).unwrap();
+        let e_sig = energy(&sig);
+        let e_coeffs = energy(&coeffs);
+        assert!(
+            (e_sig - e_coeffs).abs() < 1e-6 * e_sig.max(1.0),
+            "energy {e_sig} vs {e_coeffs}"
+        );
+    }
+
+    #[test]
+    fn truncation_error_equals_dropped_energy() {
+        // Parseval: the squared L2 reconstruction error from dropping a set
+        // of orthonormal coefficients equals the sum of their squares.
+        let sig: Vec<f64> = (0..64).map(|i| ((i * i) % 31) as f64).collect();
+        let coeffs = forward(&sig).unwrap();
+        let k = 9;
+        let approx = inverse(&coeffs[..k], 64).unwrap();
+        let err: f64 = sig
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let dropped: f64 = coeffs[k..].iter().map(|c| c * c).sum();
+        assert!((err - dropped).abs() < 1e-6 * dropped.max(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(forward(&[1.0, 2.0, 3.0]).is_err());
+        assert!(inverse(&[1.0], 3).is_err());
+        assert!(inverse(&[], 4).is_err());
+    }
+}

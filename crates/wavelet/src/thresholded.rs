@@ -1,0 +1,245 @@
+//! Largest-`k` (thresholded) wavelet synopses.
+//!
+//! The related work the SWAT paper builds on (Gilbert, Kotidis,
+//! Muthukrishnan & Strauss, VLDB'01) summarizes a stream "through its
+//! largest B wavelet coefficients". This module provides that synopsis
+//! for a static signal: keep the `k` coefficients of largest *weighted*
+//! magnitude (orthonormal weighting, so retained energy — and hence L2
+//! error — is optimal among all k-subsets), remembering their positions.
+//!
+//! The contrast with [`crate::HaarCoeffs`] is the point: largest-`k`
+//! minimizes L2 error for a *fixed* signal, but the retained positions
+//! depend on the data, so two siblings' syntheses cannot be merged into
+//! their parent's within `O(k)` — which is why the SWAT tree uses the
+//! mergeable coarsest-prefix form instead. The `summary_k` benchmark
+//! group and the unit tests below quantify what that trade costs.
+
+use crate::error::WaveletError;
+use crate::{haar, is_power_of_two, log2};
+
+/// A largest-`k` Haar synopsis of a signal: sparse (position, value)
+/// pairs in the non-normalized BFS coefficient space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdedCoeffs {
+    len: usize,
+    /// (BFS position, non-normalized coefficient), sorted by position.
+    entries: Vec<(u32, f64)>,
+}
+
+impl ThresholdedCoeffs {
+    /// Keep the `k` coefficients of `signal` with the largest orthonormal
+    /// (energy) magnitude. Ties broken toward coarser coefficients.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveletError::NotPowerOfTwo`] / [`WaveletError::ZeroBudget`] as
+    /// for [`crate::HaarCoeffs::from_signal`].
+    pub fn from_signal(signal: &[f64], k: usize) -> Result<Self, WaveletError> {
+        if k == 0 {
+            return Err(WaveletError::ZeroBudget);
+        }
+        let n = signal.len();
+        let coeffs = haar::forward(signal)?;
+        // Energy weight of a BFS coefficient at depth d over a signal of
+        // 2^depth values: the non-normalized coefficient c corresponds to
+        // an orthonormal coefficient c * sqrt(block), where block is the
+        // number of samples the basis vector spans.
+        let depth = log2(n) as usize;
+        let mut weighted: Vec<(usize, f64, f64)> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(pos, &c)| {
+                let d = if pos == 0 {
+                    0
+                } else {
+                    (usize::BITS - 1 - pos.leading_zeros()) as usize + 1
+                };
+                // Depth-d detail spans 2^(depth - d + 1) samples; the root
+                // spans all 2^depth.
+                let span = if pos == 0 {
+                    n as f64
+                } else {
+                    (1usize << (depth + 1 - d)) as f64
+                };
+                (pos, c, c.abs() * span.sqrt())
+            })
+            .collect();
+        weighted.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("finite energies")
+                .then(a.0.cmp(&b.0))
+        });
+        let mut entries: Vec<(u32, f64)> = weighted
+            .into_iter()
+            .take(k.min(n))
+            .map(|(pos, c, _)| (pos as u32, c))
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        Ok(ThresholdedCoeffs { len: n, entries })
+    }
+
+    /// Length of the summarized signal.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never empty (construction keeps at least one coefficient).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of retained coefficients.
+    pub fn stored(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The retained (BFS position, coefficient) pairs, by position.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Reconstruct the approximate signal (missing coefficients are
+    /// zero).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let mut dense = vec![0.0; self.len];
+        for &(pos, c) in &self.entries {
+            dense[pos as usize] = c;
+        }
+        haar::inverse(&dense, self.len).expect("len is a power of two")
+    }
+
+    /// Value at position `idx` in `O(k + log n)` (walks the retained
+    /// coefficients on the root-to-leaf path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn value_at(&self, idx: usize) -> f64 {
+        assert!(idx < self.len, "index {idx} out of bounds");
+        let depth = log2(self.len) as usize;
+        let mut value = 0.0;
+        for &(pos, c) in &self.entries {
+            let pos = pos as usize;
+            if pos == 0 {
+                value += c;
+                continue;
+            }
+            let d = (usize::BITS - 1 - pos.leading_zeros()) as usize + 1;
+            let block = idx >> (depth - d);
+            if (1usize << (d - 1)) + (block >> 1) == pos {
+                if block & 1 == 0 {
+                    value += c;
+                } else {
+                    value -= c;
+                }
+            }
+        }
+        value
+    }
+
+    /// Squared L2 reconstruction error against the original signal.
+    pub fn l2_error(&self, signal: &[f64]) -> f64 {
+        assert!(is_power_of_two(signal.len()) && signal.len() == self.len);
+        let rec = self.reconstruct();
+        signal
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HaarCoeffs;
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 37) % 23) as f64 + if i == n / 2 { 100.0 } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn full_budget_is_lossless() {
+        let sig = test_signal(64);
+        let t = ThresholdedCoeffs::from_signal(&sig, 64).unwrap();
+        assert!(t.l2_error(&sig) < 1e-9);
+        for (i, &v) in sig.iter().enumerate() {
+            assert!((t.value_at(i) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn value_at_matches_reconstruct() {
+        let sig = test_signal(128);
+        for k in [1usize, 4, 17, 64] {
+            let t = ThresholdedCoeffs::from_signal(&sig, k).unwrap();
+            let rec = t.reconstruct();
+            for (i, &v) in rec.iter().enumerate() {
+                assert!((t.value_at(i) - v).abs() < 1e-9, "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn beats_or_ties_prefix_k_in_l2() {
+        // The whole point: for the same budget, largest-k (energy-
+        // weighted) L2 error <= coarsest-prefix L2 error.
+        let sig = test_signal(256);
+        for k in [1usize, 2, 4, 8, 16, 32, 64] {
+            let thresholded = ThresholdedCoeffs::from_signal(&sig, k).unwrap();
+            let prefix = HaarCoeffs::from_signal(&sig, k).unwrap();
+            let e_thresh = thresholded.l2_error(&sig);
+            let rec = prefix.reconstruct();
+            let e_prefix: f64 = sig
+                .iter()
+                .zip(&rec)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(
+                e_thresh <= e_prefix + 1e-6,
+                "k={k}: thresholded {e_thresh} > prefix {e_prefix}"
+            );
+        }
+    }
+
+    #[test]
+    fn spike_is_captured_early() {
+        // A lone spike holds most of the energy; largest-k finds it with
+        // a tiny budget while prefix-k needs full depth.
+        let mut sig = vec![10.0; 64];
+        sig[20] = 500.0;
+        let t = ThresholdedCoeffs::from_signal(&sig, 8).unwrap();
+        assert!(
+            (t.value_at(20) - 500.0).abs() < 60.0,
+            "spike reconstructed as {}",
+            t.value_at(20)
+        );
+        let p = HaarCoeffs::from_signal(&sig, 8).unwrap();
+        assert!(
+            (p.value_at(20) - 500.0).abs() > (t.value_at(20) - 500.0).abs(),
+            "prefix-k should be worse at the spike"
+        );
+    }
+
+    #[test]
+    fn error_monotone_in_budget() {
+        let sig = test_signal(128);
+        let mut prev = f64::INFINITY;
+        for k in 1..=128 {
+            let e = ThresholdedCoeffs::from_signal(&sig, k).unwrap().l2_error(&sig);
+            assert!(e <= prev + 1e-9, "k={k}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ThresholdedCoeffs::from_signal(&[1.0; 3], 2).is_err());
+        assert!(ThresholdedCoeffs::from_signal(&[1.0; 4], 0).is_err());
+        let t = ThresholdedCoeffs::from_signal(&[5.0], 3).unwrap();
+        assert_eq!(t.stored(), 1);
+        assert_eq!(t.len(), 1);
+    }
+}

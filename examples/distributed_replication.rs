@@ -1,0 +1,88 @@
+//! Distributed stream replication — the paper's §3/§5 scenario.
+//!
+//! A central data-processing facility (the source) ingests a stream;
+//! operation centers (clients) across a spanning tree ask inner-product
+//! queries with precision requirements. We run SWAT-ASR against the
+//! Divergence Caching and Adaptive Precision Setting baselines on the
+//! identical workload and report message costs, hit rates, and space.
+//!
+//! ```sh
+//! cargo run --release --example distributed_replication
+//! ```
+
+use swat::net::Topology;
+use swat::replication::asr::SwatAsr;
+use swat::replication::harness::{run, run_scheme, WorkloadConfig};
+use swat::replication::SchemeKind;
+
+fn main() {
+    // Six operation centers in a complete binary tree under the source.
+    let topo = Topology::complete_binary(2);
+    println!(
+        "topology: source + {} clients (complete binary tree)",
+        topo.client_count()
+    );
+
+    let cfg = WorkloadConfig {
+        window: 64,
+        t_data: 2,  // a new value every 2 ticks
+        t_query: 1, // every client queries every tick (read-heavy)
+        delta: 30.0,
+        horizon: 6_000,
+        warmup: 1_200,
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
+    let data = swat::data::Dataset::Weather.series(7, 3_100);
+
+    println!(
+        "workload: N={}, T_d={}, T_q={}, delta={}, {} ticks measured after {} warm-up\n",
+        cfg.window,
+        cfg.t_data,
+        cfg.t_query,
+        cfg.delta,
+        cfg.horizon - cfg.warmup,
+        cfg.warmup
+    );
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>8} {:>14}",
+        "scheme", "messages", "updates", "forwards", "hit rate", "approximations"
+    );
+    for kind in SchemeKind::ALL {
+        let out = run(kind, &topo, &data, &cfg);
+        let hits = out.metrics.counter("local_hits") as f64;
+        let queries = out.metrics.counter("queries").max(1) as f64;
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>7.1}% {:>14}",
+            out.scheme,
+            out.ledger.total(),
+            out.ledger.count(swat::net::MsgKind::Update),
+            out.ledger.count(swat::net::MsgKind::QueryForward),
+            100.0 * hits / queries,
+            out.approximations,
+        );
+    }
+
+    // The paper's §3 "general case": replicate k coefficients plus a
+    // deviation bound instead of plain ranges.
+    let mut coeff = SwatAsr::with_coefficients(topo.clone(), cfg.window, 4);
+    let out = run_scheme(&mut coeff, &topo, &data, &cfg);
+    let hits = out.metrics.counter("local_hits") as f64;
+    let queries = out.metrics.counter("queries").max(1) as f64;
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>7.1}% {:>14}   <- k=4 coefficients/segment",
+        "ASR-k4",
+        out.ledger.total(),
+        out.ledger.count(swat::net::MsgKind::Update),
+        out.ledger.count(swat::net::MsgKind::QueryForward),
+        100.0 * hits / queries,
+        out.approximations,
+    );
+
+    println!(
+        "\nSWAT-ASR replicates O(log N) window *segments* per site and shares them\n\
+         down the hierarchy; DC and APS cache every window item per client, so they\n\
+         pay per-item refresh and miss traffic — the paper reports 3-5x more messages."
+    );
+}

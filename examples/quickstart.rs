@@ -1,0 +1,64 @@
+//! Quickstart: summarize a stream and ask the three query types.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use swat::tree::{InnerProductQuery, RangeQuery, SwatConfig, SwatTree};
+
+fn main() {
+    // A SWAT over the last 256 values, one Haar coefficient per node —
+    // the paper's configuration. O(log N) space, O(1) amortized updates.
+    let config = SwatConfig::new(256).expect("256 is a power of two");
+    let mut tree = SwatTree::new(config);
+
+    // Feed a noisy sine wave. Any f64 stream works.
+    let stream = (0..2000).map(|i| {
+        let t = i as f64;
+        50.0 + 30.0 * (t * 0.02).sin() + 5.0 * (t * 0.9).cos()
+    });
+    tree.extend(stream);
+    println!(
+        "ingested {} values into {} summaries ({} bytes)",
+        tree.arrivals(),
+        tree.summary_count(),
+        tree.space_bytes()
+    );
+
+    // 1. Point query: window index 0 is the newest value.
+    let p = tree.point(0).expect("tree is warm");
+    println!(
+        "newest value ~ {:.2} (guaranteed within ±{:.2}, served by level {})",
+        p.value, p.error_bound, p.level
+    );
+    let old = tree.point(200).expect("tree is warm");
+    println!(
+        "value 200 steps ago ~ {:.2} (±{:.2}, level {} — coarser for older data)",
+        old.value, old.error_bound, old.level
+    );
+
+    // 2. Inner-product query: exponentially weighted recent average,
+    //    precision requirement 10.
+    let q = InnerProductQuery::exponential(32, 10.0);
+    let a = tree.inner_product(&q).expect("tree is warm");
+    println!(
+        "exponential inner product over 32 newest = {:.2} (error bound {:.2}, {} nodes, precision {})",
+        a.value,
+        a.error_bound,
+        a.nodes_used,
+        if a.meets_precision { "met" } else { "NOT met" }
+    );
+
+    // 3. Range query: when in the last window was the signal near 80?
+    let rq = RangeQuery::new(80.0, 2.5, 0, 255);
+    let matches = tree.range_query(&rq).expect("tree is warm");
+    println!(
+        "{} window positions approximately within 80 ± 2.5; first few: {:?}",
+        matches.len(),
+        matches
+            .iter()
+            .take(5)
+            .map(|m| (m.index, (m.value * 100.0).round() / 100.0))
+            .collect::<Vec<_>>()
+    );
+}

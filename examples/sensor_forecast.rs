@@ -1,0 +1,70 @@
+//! Forecasting from biased summaries — the paper's §1 motivation:
+//! "Applications in forecasting involve predicting the future conditions
+//! using the last few measurements … a system which maintains better
+//! approximations for the recent data is useful."
+//!
+//! A weather sensor streams daily maximum temperatures. We keep a SWAT
+//! over the last 512 days and, each day, forecast tomorrow from an
+//! exponentially weighted inner product over the recent past — computed
+//! purely from the O(log N) summary. The punchline: the summary-based
+//! forecast tracks the exact-data forecast almost perfectly while
+//! storing ~25 numbers instead of 512.
+//!
+//! ```sh
+//! cargo run --release --example sensor_forecast
+//! ```
+
+use swat::data::weather;
+use swat::tree::{ExactWindow, InnerProductQuery, SwatConfig, SwatTree};
+
+fn main() {
+    let window = 512;
+    let mut tree = SwatTree::new(SwatConfig::new(window).expect("valid"));
+    let mut truth = ExactWindow::new(window);
+
+    // Normalizing constant of the exponential weights (sums to ~2).
+    let m = 16;
+    let q = InnerProductQuery::exponential(m, f64::INFINITY);
+    let weight_sum: f64 = q.weights().iter().sum();
+
+    let mut n_days = 0u32;
+    let mut err_summary = 0.0; // |summary forecast - actual|
+    let mut err_exact = 0.0; // |exact-data forecast - actual|
+    let mut err_persist = 0.0; // |yesterday - actual| (naive baseline)
+    let mut divergence = 0.0; // |summary forecast - exact forecast|
+
+    let days = weather::Weather::new(11).take(3000);
+    for (day, temp) in days.enumerate() {
+        if day >= 2 * window {
+            // Forecast BEFORE observing today's value.
+            let summary_forecast =
+                tree.inner_product(&q).expect("warm").value / weight_sum;
+            let exact_forecast = q.exact(&truth.to_vec()) / weight_sum;
+            let persistence = truth.get(0).expect("has data");
+            err_summary += (summary_forecast - temp).abs();
+            err_exact += (exact_forecast - temp).abs();
+            err_persist += (persistence - temp).abs();
+            divergence += (summary_forecast - exact_forecast).abs();
+            n_days += 1;
+        }
+        tree.push(temp);
+        truth.push(temp);
+    }
+
+    let n = f64::from(n_days);
+    println!("forecasting daily max temperature over {n_days} evaluation days\n");
+    println!("mean absolute forecast error (°F):");
+    println!("  exponentially weighted, from SWAT summary : {:.3}", err_summary / n);
+    println!("  exponentially weighted, from exact window : {:.3}", err_exact / n);
+    println!("  persistence (yesterday = tomorrow)        : {:.3}", err_persist / n);
+    println!(
+        "\nsummary-vs-exact forecast divergence: {:.4} °F on average",
+        divergence / n
+    );
+    println!(
+        "\nstate kept: {} summaries ({} bytes) instead of {} raw values",
+        tree.summary_count(),
+        tree.space_bytes(),
+        window
+    );
+}

@@ -1,0 +1,49 @@
+//! # SWAT — hierarchical stream summarization in large networks
+//!
+//! A from-scratch Rust implementation of *SWAT: Hierarchical Stream
+//! Summarization in Large Networks* (Bulut & Singh, ICDE 2003): a
+//! wavelet-based approximation tree that summarizes a sliding window of a
+//! data stream at multiple resolutions with `O(log N)` space and `O(1)`
+//! amortized per-arrival maintenance, answering point, range, and
+//! inner-product queries biased toward recent data — plus its extension to
+//! adaptive replication of stream summaries across a network of clients.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`tree`] — the SWAT approximation tree (the paper's core contribution),
+//! * [`wavelet`] — Haar / Daubechies transform machinery,
+//! * [`histogram`] — the Guha–Koudas sliding-window histogram baseline,
+//! * [`sim`] — a deterministic discrete-event simulation kernel,
+//! * [`net`] — spanning-tree network topologies with message accounting,
+//! * [`replication`] — SWAT-ASR and the Divergence Caching / Adaptive
+//!   Precision Setting baselines,
+//! * [`data`] — synthetic and weather-like workload generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use swat::tree::{SwatTree, SwatConfig, InnerProductQuery};
+//!
+//! // Summarize a sliding window of 16 values, 1 coefficient per node.
+//! let mut tree = SwatTree::new(SwatConfig::new(16).unwrap());
+//! for i in 0..100 {
+//!     tree.push((i % 10) as f64);
+//! }
+//!
+//! // Approximate the most recent value (index 0 = newest).
+//! let p = tree.point(0).unwrap();
+//! assert!((p.value - 9.0).abs() <= 5.0);
+//!
+//! // An exponentially weighted inner product over the 4 newest values.
+//! let q = InnerProductQuery::exponential(4, 20.0);
+//! let answer = tree.inner_product(&q).unwrap();
+//! assert!(answer.value.is_finite());
+//! ```
+
+pub use swat_data as data;
+pub use swat_histogram as histogram;
+pub use swat_net as net;
+pub use swat_replication as replication;
+pub use swat_sim as sim;
+pub use swat_tree as tree;
+pub use swat_wavelet as wavelet;

@@ -1,0 +1,150 @@
+//! Cross-crate integration: the distributed replication stack — network
+//! topologies, the simulation harness, and all three schemes on shared
+//! workloads.
+
+use swat::data::Dataset;
+use swat::net::Topology;
+use swat::replication::harness::{run, run_scheme, WorkloadConfig};
+use swat::replication::{asr::SwatAsr, SchemeKind};
+
+fn cfg(window: usize, t_data: u64, t_query: u64, delta: f64) -> WorkloadConfig {
+    WorkloadConfig {
+        window,
+        t_data,
+        t_query,
+        delta,
+        horizon: 3_000,
+        warmup: 600,
+        seed: 17,
+        ..WorkloadConfig::default()
+    }
+}
+
+#[test]
+fn identical_workloads_replay_identically_across_topologies() {
+    for topo in [
+        Topology::single_client(),
+        Topology::chain(3),
+        Topology::star(4),
+        Topology::complete_binary(2),
+    ] {
+        let data = Dataset::Weather.series(3, 1600);
+        let c = cfg(32, 2, 1, 25.0);
+        for kind in SchemeKind::ALL {
+            let a = run(kind, &topo, &data, &c);
+            let b = run(kind, &topo, &data, &c);
+            assert_eq!(a.ledger, b.ledger, "{} on {} clients", kind.name(), topo.client_count());
+            assert_eq!(a.approximations, b.approximations);
+        }
+    }
+}
+
+#[test]
+fn asr_wins_on_read_heavy_workloads_across_topologies() {
+    // The paper's §5 headline: SWAT-ASR needs fewer messages than both
+    // per-item baselines, and the gap holds as the network grows.
+    for topo in [Topology::single_client(), Topology::complete_binary(2)] {
+        let data = Dataset::Weather.series(5, 1600);
+        let c = cfg(32, 4, 1, 25.0);
+        let asr = run(SchemeKind::SwatAsr, &topo, &data, &c);
+        let dc = run(SchemeKind::DivergenceCaching, &topo, &data, &c);
+        let aps = run(SchemeKind::AdaptivePrecision, &topo, &data, &c);
+        assert!(
+            asr.ledger.total() < dc.ledger.total() && asr.ledger.total() < aps.ledger.total(),
+            "{} clients: ASR {} vs DC {} vs APS {}",
+            topo.client_count(),
+            asr.ledger.total(),
+            dc.ledger.total(),
+            aps.ledger.total()
+        );
+    }
+}
+
+#[test]
+fn message_cost_grows_with_precision_for_every_scheme() {
+    let topo = Topology::single_client();
+    let data = Dataset::Weather.series(7, 1600);
+    for kind in SchemeKind::ALL {
+        let loose = run(kind, &topo, &data, &cfg(32, 2, 1, 120.0));
+        let tight = run(kind, &topo, &data, &cfg(32, 2, 1, 2.0));
+        assert!(
+            tight.ledger.total() >= loose.ledger.total(),
+            "{}: tight {} < loose {}",
+            kind.name(),
+            tight.ledger.total(),
+            loose.ledger.total()
+        );
+    }
+}
+
+#[test]
+fn asr_invariants_hold_under_the_full_harness() {
+    // Run SWAT-ASR through the harness, then probe its public state: the
+    // replication scheme of every segment must be a connected subtree
+    // containing the source, and every cached range must enclose the
+    // segment's true values.
+    let topo = Topology::complete_binary(2);
+    let data = Dataset::Synthetic.series(9, 1600);
+    let c = cfg(64, 2, 1, 200.0);
+    let mut asr = SwatAsr::new(topo.clone(), c.window);
+    let _ = run_scheme(&mut asr, &topo, &data, &c);
+    for seg in 0..asr.segments().len() {
+        let holders = asr.replica_holders(seg);
+        assert!(!holders.is_empty(), "source always holds segment {seg}");
+        assert!(holders.contains(&swat::net::NodeId::SOURCE));
+        for &h in &holders {
+            if let Some(p) = topo.parent(h) {
+                assert!(holders.contains(&p), "disconnected holder {h} for segment {seg}");
+            }
+        }
+        let truth = asr.exact_segment_range(seg).expect("window is full");
+        for node in topo.nodes() {
+            if let Some(cached) = asr.cached_range(node, seg) {
+                assert!(
+                    cached.encloses(&truth),
+                    "node {node} segment {seg}: {cached} does not enclose {truth}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deeper_trees_cost_more_for_per_item_schemes() {
+    // DC/APS pay per-edge per-item; their cost grows with client count
+    // much faster than SWAT-ASR's.
+    let data = Dataset::Weather.series(4, 1600);
+    let c = cfg(32, 2, 1, 30.0);
+    let small = Topology::complete_binary(1); // 2 clients
+    let big = Topology::complete_binary(3); // 14 clients
+    for kind in SchemeKind::ALL {
+        let s = run(kind, &small, &data, &c).ledger.total();
+        let b = run(kind, &big, &data, &c).ledger.total();
+        assert!(b > s, "{}: {b} !> {s}", kind.name());
+    }
+    let asr_ratio = run(SchemeKind::SwatAsr, &big, &data, &c).ledger.total() as f64
+        / run(SchemeKind::SwatAsr, &small, &data, &c).ledger.total() as f64;
+    let dc_ratio = run(SchemeKind::DivergenceCaching, &big, &data, &c).ledger.total() as f64
+        / run(SchemeKind::DivergenceCaching, &small, &data, &c)
+            .ledger
+            .total() as f64;
+    assert!(
+        asr_ratio < dc_ratio,
+        "ASR should scale better: {asr_ratio:.2} vs DC {dc_ratio:.2}"
+    );
+}
+
+#[test]
+fn warmup_messages_are_reported_separately() {
+    let topo = Topology::single_client();
+    let data = Dataset::Weather.series(2, 1600);
+    let out = run(SchemeKind::SwatAsr, &topo, &data, &cfg(32, 2, 1, 25.0));
+    assert!(out.warmup_ledger.total() > 0, "warm-up traffic exists");
+    // Metrics only cover the measured interval.
+    let expected_queries = 3_000 - 600;
+    let got = out.metrics.counter("queries");
+    assert!(
+        (got as i64 - expected_queries as i64).abs() <= 2,
+        "expected ~{expected_queries} measured queries, got {got}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration: the centralized summarization pipeline —
+//! data generators feeding the SWAT tree, the histogram baseline, and
+//! ground truth, with queries evaluated against all three.
+
+use swat::data::Dataset;
+use swat::histogram::{HistogramConfig, SlidingHistogram};
+use swat::tree::{ExactWindow, InnerProductQuery, SwatConfig, SwatTree};
+
+const N: usize = 256;
+
+struct Rig {
+    tree: SwatTree,
+    hist: SlidingHistogram,
+    truth: ExactWindow,
+}
+
+fn rig(dataset: Dataset, arrivals: usize, seed: u64) -> Rig {
+    let mut r = Rig {
+        tree: SwatTree::new(SwatConfig::new(N).expect("valid")),
+        hist: SlidingHistogram::new(HistogramConfig::new(N, 24, 0.1).expect("valid")),
+        truth: ExactWindow::new(N),
+    };
+    for v in dataset.series(seed, arrivals) {
+        r.tree.push(v);
+        r.hist.push(v);
+        r.truth.push(v);
+    }
+    assert!(r.tree.is_warm());
+    r
+}
+
+#[test]
+fn all_summaries_agree_with_truth_within_bounds() {
+    let r = rig(Dataset::Weather, 3 * N, 1);
+    let window = r.truth.to_vec();
+    for q in [
+        InnerProductQuery::exponential(32, 1e9),
+        InnerProductQuery::linear(64, 1e9),
+        InnerProductQuery::exponential_at(40, 16, 1e9),
+        InnerProductQuery::point(0, 1e9),
+        InnerProductQuery::point(N - 1, 1e9),
+    ] {
+        let exact = q.exact(&window);
+        let swat = r.tree.inner_product(&q).expect("warm");
+        assert!(
+            (swat.value - exact).abs() <= swat.error_bound + 1e-9,
+            "SWAT bound violated: |{} - {}| > {}",
+            swat.value,
+            exact,
+            swat.error_bound
+        );
+        // The histogram answers without bounds; sanity-check it is in the
+        // right ballpark (within the window's value spread times weights).
+        let h = r.hist.build();
+        let hv = h.inner_product(q.indices(), q.weights());
+        let spread: f64 = window.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - window.iter().cloned().fold(f64::INFINITY, f64::min);
+        let weight_sum: f64 = q.weights().iter().map(|w| w.abs()).sum();
+        assert!(
+            (hv - exact).abs() <= spread * weight_sum,
+            "histogram answer wildly off: {hv} vs {exact}"
+        );
+    }
+}
+
+#[test]
+fn swat_beats_histogram_on_recency_biased_queries() {
+    // The paper's central accuracy claim at integration-test scale.
+    let mut swat_err = 0.0;
+    let mut hist_err = 0.0;
+    let mut r = rig(Dataset::Weather, 2 * N, 2);
+    let extra = Dataset::Weather.series(99, 300);
+    let q = InnerProductQuery::exponential(32, 1e9);
+    for &v in &extra {
+        r.tree.push(v);
+        r.hist.push(v);
+        r.truth.push(v);
+        let exact = q.exact(&r.truth.to_vec());
+        swat_err += (r.tree.inner_product(&q).expect("warm").value - exact).abs();
+        let h = r.hist.build();
+        hist_err += (h.inner_product(q.indices(), q.weights()) - exact).abs();
+    }
+    assert!(
+        swat_err < hist_err,
+        "SWAT total error {swat_err} should beat histogram {hist_err}"
+    );
+}
+
+#[test]
+fn space_complexity_contrast() {
+    let r = rig(Dataset::Synthetic, 3 * N, 3);
+    // SWAT: 3 log N - 2 summaries; Histogram: N retained values.
+    assert_eq!(r.tree.summary_count(), 3 * 8 - 2);
+    assert_eq!(r.hist.len(), N);
+    assert!(r.tree.space_bytes() < r.hist.space_bytes());
+    // The gap widens with N: O(log N) vs O(N).
+    let big = 1 << 14;
+    let mut tree = SwatTree::new(SwatConfig::new(big).expect("valid"));
+    let mut hist = SlidingHistogram::new(HistogramConfig::new(big, 24, 0.1).expect("valid"));
+    for v in Dataset::Synthetic.series(3, 2 * big) {
+        tree.push(v);
+        hist.push(v);
+    }
+    assert!(tree.space_bytes() * 20 < hist.space_bytes());
+}
+
+#[test]
+fn query_cost_contrast() {
+    // SWAT touches at most 3 log N summaries per query; the histogram
+    // must rebuild all B buckets over N values.
+    let r = rig(Dataset::Synthetic, 3 * N, 4);
+    let q = InnerProductQuery::exponential(N, 1e9);
+    let a = r.tree.inner_product(&q).expect("warm");
+    assert!(a.nodes_used <= 3 * 8);
+    let h = r.hist.build();
+    assert!(h.buckets().len() <= 24);
+    assert_eq!(h.len(), N);
+}
+
+#[test]
+fn reconstruction_pipeline_roundtrip() {
+    // Reconstructing the window from the lossless tree equals truth; the
+    // lossy tree's reconstruction stays within per-node ranges.
+    let data = Dataset::Weather.series(5, 3 * N);
+    let mut lossless = SwatTree::new(SwatConfig::with_coefficients(N, N).expect("valid"));
+    let mut lossy = SwatTree::new(SwatConfig::new(N).expect("valid"));
+    let mut truth = ExactWindow::new(N);
+    for &v in &data {
+        lossless.push(v);
+        lossy.push(v);
+        truth.push(v);
+    }
+    let window = truth.to_vec();
+    let exact_rec = lossless.reconstruct_window().expect("warm");
+    for (i, (a, b)) in exact_rec.iter().zip(&window).enumerate() {
+        assert!((a - b).abs() < 1e-9, "lossless mismatch at {i}: {a} vs {b}");
+    }
+    let approx_rec = lossy.reconstruct_window().expect("warm");
+    for i in 0..N {
+        let p = lossy.point(i).expect("warm");
+        assert!((approx_rec[i] - p.value).abs() < 1e-9);
+        assert!((approx_rec[i] - window[i]).abs() <= p.error_bound + 1e-9);
+    }
+}
+
+#[test]
+fn csv_roundtrip_feeds_the_tree() {
+    // data crate -> CSV -> tree: the loader integrates with everything.
+    let dir = std::env::temp_dir().join("swat-e2e");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("stream.csv");
+    let series = Dataset::Weather.series(8, 2 * N);
+    let text: String = series.iter().map(|v| format!("{v}\n")).collect();
+    std::fs::write(&path, text).expect("write csv");
+    let loaded = swat::data::csv::load_values(&path).expect("load csv");
+    assert_eq!(loaded.len(), series.len());
+    let mut tree = SwatTree::new(SwatConfig::new(N).expect("valid"));
+    tree.extend(loaded.iter().copied());
+    assert!(tree.is_warm());
+}

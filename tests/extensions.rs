@@ -1,0 +1,167 @@
+//! Cross-crate integration for the paper's extension features: the
+//! growing (whole-stream) summary, continuous queries, multi-stream
+//! correlation, aggregates, snapshots, and the k-coefficient replication
+//! — exercised together against ground truth.
+
+use swat::data::Dataset;
+use swat::net::{MessageLedger, NodeId, Topology};
+use swat::replication::asr::SwatAsr;
+use swat::replication::ReplicationScheme;
+use swat::tree::{
+    ContinuousEngine, ExactWindow, GrowingSwat, InnerProductQuery, SwatConfig, SwatTree,
+    ValueRange,
+};
+
+#[test]
+fn growing_and_windowed_trees_agree_on_recent_history() {
+    let n = 128;
+    let data = Dataset::Weather.series(31, 4 * n);
+    let mut windowed = SwatTree::new(SwatConfig::new(n).expect("valid"));
+    let mut growing = GrowingSwat::new(1);
+    let mut truth = ExactWindow::new(n);
+    for &v in &data {
+        windowed.push(v);
+        growing.push(v);
+        truth.push(v);
+    }
+    for idx in [0usize, 1, 5, 17, 64, 127] {
+        let w = windowed.point(idx).expect("warm");
+        let g = growing.point(idx).expect("covered");
+        let t = truth.get(idx).expect("full");
+        assert!((w.value - t).abs() <= w.error_bound + 1e-9);
+        assert!((g.value - t).abs() <= g.error_bound + 1e-9);
+    }
+}
+
+#[test]
+fn snapshot_survives_a_trip_through_continuous_queries() {
+    let config = SwatConfig::new(64).expect("valid");
+    let mut engine = ContinuousEngine::new(config);
+    engine.subscribe(InnerProductQuery::exponential(8, 1e9), 4);
+    for v in Dataset::Synthetic.series(3, 300) {
+        engine.push(v);
+    }
+    // Snapshot the inner tree, restore, and wrap a new engine around it.
+    let bytes = engine.tree().snapshot();
+    let restored = SwatTree::restore(&bytes).expect("valid snapshot");
+    let mut engine2 = ContinuousEngine::from_tree(restored);
+    let id = engine2.subscribe(InnerProductQuery::exponential(8, 1e9), 4);
+    // Both engines see the same stream continuation and produce the same
+    // answers.
+    let tail = Dataset::Synthetic.series(4, 64);
+    let mut answers1 = Vec::new();
+    let mut answers2 = Vec::new();
+    for &v in &tail {
+        answers1.extend(engine.push(v).into_iter().map(|n| n.answer.value));
+        answers2.extend(
+            engine2
+                .push(v)
+                .into_iter()
+                .filter(|n| n.id == id)
+                .map(|n| n.answer.value),
+        );
+    }
+    assert_eq!(answers1, answers2);
+}
+
+#[test]
+fn aggregates_track_replication_truth() {
+    // Use the tree's aggregate over the same stream a replication source
+    // sees; the segment ranges and the aggregate bounds must agree on
+    // enclosure.
+    let n = 32;
+    let data = Dataset::Weather.series(8, 200);
+    let mut tree = SwatTree::new(SwatConfig::new(n).expect("valid"));
+    let mut asr = SwatAsr::new(Topology::single_client(), n);
+    let mut ledger = MessageLedger::new();
+    for (i, &v) in data.iter().enumerate() {
+        tree.push(v);
+        asr.on_data(i as u64, v, &mut ledger);
+    }
+    for (seg_idx, seg) in asr.segments().to_vec().iter().enumerate() {
+        let agg = tree.aggregate(seg.lo, seg.hi).expect("warm");
+        let source_range = asr
+            .cached_range(NodeId::SOURCE, seg_idx)
+            .expect("source holds every segment");
+        // The tree's bound is a union of covering node ranges, which may
+        // be wider than the exact segment range but must contain it.
+        assert!(
+            agg.bounds.encloses(&source_range),
+            "segment {seg_idx}: tree bounds {} vs source range {}",
+            agg.bounds,
+            source_range
+        );
+    }
+}
+
+#[test]
+fn coefficient_replication_is_exact_with_full_budget() {
+    // k = segment width makes every replica lossless (deviation zero).
+    // Lossless replicas of *changing* data are exact caching — every
+    // arrival is a write — so drive the stream to a steady state first;
+    // once writes stop, expansion installs replicas and local answers
+    // equal the exact inner product.
+    let n = 16;
+    let mut asr = SwatAsr::with_coefficients(Topology::single_client(), n, n);
+    let mut ledger = MessageLedger::new();
+    let mut data = Dataset::Weather.series(12, 80);
+    data.extend(std::iter::repeat_n(61.25, 80)); // steady state
+    let mut truth = ExactWindow::new(n);
+    let q = InnerProductQuery::linear(6, 0.5); // very tight precision
+    for (i, &v) in data.iter().enumerate() {
+        asr.on_data(i as u64, v, &mut ledger);
+        truth.push(v);
+        asr.on_query(i as u64, NodeId(1), &q, &mut ledger);
+        if i % 10 == 9 {
+            asr.on_phase_end(i as u64, &mut ledger);
+        }
+    }
+    // Lossless replicas advertise (near-)zero deviation.
+    let mut held = 0;
+    for seg in 0..asr.segments().len() {
+        if let Some(a) = asr.cached_approx(NodeId(1), seg) {
+            held += 1;
+            assert!(a.deviation() < 1e-9, "segment {seg} deviation {}", a.deviation());
+        }
+    }
+    assert!(held > 0, "steady state should install replicas");
+    let out = asr.on_query(999, NodeId(1), &q, &mut ledger);
+    assert!(out.local_hit, "lossless replicas satisfy any precision");
+    let exact = q.exact(&truth.to_vec());
+    assert!((out.value - exact).abs() < 1e-9);
+}
+
+#[test]
+fn correlation_uses_the_same_summaries_queries_do() {
+    let n = 64;
+    let mut set = swat::tree::StreamSet::new(SwatConfig::new(n).expect("valid"), 2);
+    let a_vals = Dataset::Weather.series(1, 200);
+    for (i, &a) in a_vals.iter().enumerate() {
+        set.push_row(&[a, a + (i % 3) as f64]);
+    }
+    // The correlation path reads point queries; spot-check it against a
+    // manual computation from the same tree reconstructions.
+    let m = 32;
+    let xa: Vec<f64> = (0..m).map(|i| set.tree(0).point(i).expect("warm").value).collect();
+    let xb: Vec<f64> = (0..m).map(|i| set.tree(1).point(i).expect("warm").value).collect();
+    let manual = swat::tree::multi::pearson(&xa, &xb);
+    let api = set.correlation(0, 1, m).expect("warm");
+    assert!((manual - api).abs() < 1e-12);
+    assert!(api > 0.9, "near-identical streams must correlate, got {api}");
+}
+
+#[test]
+fn count_in_band_spans_the_stack() {
+    let n = 64;
+    let mut tree = SwatTree::new(SwatConfig::with_coefficients(n, n).expect("valid"));
+    let data = Dataset::Synthetic.series(77, 3 * n);
+    let mut truth = ExactWindow::new(n);
+    for &v in &data {
+        tree.push(v);
+        truth.push(v);
+    }
+    let band = ValueRange::new(25.0, 75.0);
+    let counted = tree.count_in_band(0, n - 1, band).expect("warm");
+    let exact = truth.iter().filter(|v| band.contains(*v)).count();
+    assert_eq!(counted, exact, "lossless tree counts exactly");
+}

@@ -1,0 +1,106 @@
+//! Long-running deterministic soak test combining every subsystem:
+//! centralized summaries with continuous subscriptions, multi-stream
+//! correlation, whole-stream history, and a replication network — all
+//! fed from one workload, with invariants checked continuously.
+//!
+//! This is the closest thing to production traffic the test suite runs;
+//! it exists to catch interaction bugs the per-crate tests cannot see.
+
+use swat::data::Dataset;
+use swat::net::{MessageLedger, NodeId, Topology};
+use swat::replication::asr::SwatAsr;
+use swat::replication::ReplicationScheme;
+use swat::tree::{
+    ContinuousEngine, ExactWindow, GrowingSwat, InnerProductQuery, StreamSet, SwatConfig,
+    SwatTree,
+};
+
+#[test]
+fn combined_soak() {
+    let n = 64;
+    let config = SwatConfig::new(n).expect("valid");
+    let mut tree = SwatTree::new(config);
+    let mut truth = ExactWindow::new(n);
+    let mut engine = ContinuousEngine::new(config);
+    let sub = engine.subscribe(InnerProductQuery::exponential(16, 1e9), 8);
+    let mut history = GrowingSwat::new(2);
+    let mut streams = StreamSet::new(config, 2);
+
+    let topo = Topology::complete_binary(2);
+    let mut asr = SwatAsr::new(topo.clone(), n);
+    let mut ledger = MessageLedger::new();
+
+    let primary = Dataset::Weather.series(123, 6000);
+    let secondary = Dataset::Synthetic.series(321, 6000);
+
+    let mut notifications = 0usize;
+    for (i, (&a, &b)) in primary.iter().zip(&secondary).enumerate() {
+        let t = i as u64;
+        tree.push(a);
+        truth.push(a);
+        history.push(a);
+        streams.push_row(&[a, b]);
+        notifications += engine.push(a).len();
+        asr.on_data(t, a, &mut ledger);
+
+        // A rotating client queries the network every third arrival.
+        if i % 3 == 0 && i > 0 {
+            let client = NodeId(1 + (i / 3) % topo.client_count());
+            let q = InnerProductQuery::linear_at(i % 8, 8, 40.0);
+            let out = asr.on_query(t, client, &q, &mut ledger);
+            assert!(out.value.is_finite());
+        }
+        if i % 25 == 24 {
+            asr.on_phase_end(t, &mut ledger);
+        }
+
+        // Continuous invariants, sampled to keep the test fast.
+        if i > 2 * n && i % 97 == 0 {
+            // 1. Point soundness on the windowed tree.
+            for idx in [0usize, 1, n / 2, n - 1] {
+                let p = tree.point(idx).expect("warm");
+                let exact = truth.get(idx).expect("full");
+                assert!(
+                    (p.value - exact).abs() <= p.error_bound + 1e-9,
+                    "step {i} idx {idx}"
+                );
+            }
+            // 2. Growing summary agrees with the windowed one on shared
+            //    recent indices within combined bounds.
+            let pw = tree.point(3).expect("warm");
+            let pg = history.point(3).expect("covered");
+            assert!(
+                (pw.value - pg.value).abs() <= pw.error_bound + pg.error_bound + 1e-9,
+                "step {i}: windowed {} vs growing {}",
+                pw.value,
+                pg.value
+            );
+            // 3. ASR enclosure invariant.
+            for seg in 0..asr.segments().len() {
+                if let Some(exact) = asr.exact_segment_range(seg) {
+                    for node in topo.nodes() {
+                        if let Some(cached) = asr.cached_range(node, seg) {
+                            assert!(cached.encloses(&exact), "step {i} seg {seg} node {node}");
+                        }
+                    }
+                }
+            }
+            // 4. Correlation estimate stays a valid coefficient.
+            let rho = streams.correlation(0, 1, 32).expect("warm");
+            assert!((-1.0..=1.0).contains(&rho), "rho {rho} out of range");
+        }
+    }
+
+    // The subscription fired at its cadence (every 8th arrival, minus
+    // warm-up skips).
+    assert!(
+        notifications >= (6000 / 8) - 2 * (n / 8) - 2,
+        "only {notifications} notifications"
+    );
+    assert!(engine.unsubscribe(sub));
+    // The network did real work and ASR kept its space promise.
+    assert!(ledger.total() > 0);
+    assert!(asr.approximation_count() <= topo.len() * asr.segments().len());
+    // The growing summary's space stayed logarithmic.
+    assert!(history.summary_count() <= 3 * 13);
+}
