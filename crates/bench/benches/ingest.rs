@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the three ingestion paths: per-value
+//! `push`, single-tree `push_batch`, and sharded multi-stream
+//! `extend_batched`. The kernels are the same ones the `swat ingest-bench`
+//! CLI harness times (see `swat_bench::ingest`), so criterion numbers and
+//! the `results/BENCH_ingest.json` artifact stay comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swat_bench::ingest::{ingest_batched, ingest_per_push, ingest_sharded};
+use swat_data::Dataset;
+use swat_tree::SwatConfig;
+
+const VALUES: usize = 1 << 14;
+
+fn bench_push_vs_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest/push_vs_batch");
+    g.sample_size(20);
+    let data = Dataset::Synthetic.series(1, VALUES);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    for (n, k) in [(1024usize, 1usize), (1024, 8), (16384, 1), (16384, 8)] {
+        let config = SwatConfig::with_coefficients(n, k).expect("valid");
+        g.bench_with_input(
+            BenchmarkId::new("push", format!("n{n}_k{k}")),
+            &config,
+            |b, &config| b.iter(|| ingest_per_push(config, black_box(&data))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("batch", format!("n{n}_k{k}")),
+            &config,
+            |b, &config| b.iter(|| ingest_batched(config, black_box(&data))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest/sharded");
+    g.sample_size(20);
+    let streams = 8usize;
+    let per_stream = VALUES / streams;
+    let columns: Vec<Vec<f64>> = (0..streams)
+        .map(|s| Dataset::Synthetic.series(s as u64, per_stream))
+        .collect();
+    g.throughput(Throughput::Elements((streams * per_stream) as u64));
+    let config = SwatConfig::with_coefficients(1024, 1).expect("valid");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| ingest_sharded(config, black_box(&columns), threads)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_push_vs_batch, bench_sharded);
+criterion_main!(benches);

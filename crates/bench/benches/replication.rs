@@ -29,9 +29,11 @@ fn bench_full_runs(c: &mut Criterion) {
     let data = Dataset::Weather.series(9, 500);
     let cfg = small_cfg();
     for kind in SchemeKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| black_box(run(kind, &topo, &data, &cfg)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| black_box(run(kind, &topo, &data, &cfg))),
+        );
     }
     g.finish();
 }

@@ -79,16 +79,12 @@ fn bench_thresholded(c: &mut Criterion) {
     g.sample_size(20);
     let data = Dataset::Weather.series(7, 1024);
     for k in [16usize, 64] {
-        g.bench_with_input(
-            BenchmarkId::new("largest_k", k),
-            &k,
-            |b, &k| b.iter(|| black_box(ThresholdedCoeffs::from_signal(&data, k).expect("ok"))),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("prefix_k", k),
-            &k,
-            |b, &k| b.iter(|| black_box(HaarCoeffs::from_signal(&data, k).expect("ok"))),
-        );
+        g.bench_with_input(BenchmarkId::new("largest_k", k), &k, |b, &k| {
+            b.iter(|| black_box(ThresholdedCoeffs::from_signal(&data, k).expect("ok")))
+        });
+        g.bench_with_input(BenchmarkId::new("prefix_k", k), &k, |b, &k| {
+            b.iter(|| black_box(HaarCoeffs::from_signal(&data, k).expect("ok")))
+        });
     }
     g.finish();
 }

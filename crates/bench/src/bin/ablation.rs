@@ -102,7 +102,13 @@ fn summary_form_ablation(seed: u64) {
     }
     print_table(
         "Ablation 4: mergeable prefix-k vs energy-optimal largest-k (static L2 error)",
-        &["dataset", "k", "prefix-k L2", "largest-k L2", "prefix/largest"],
+        &[
+            "dataset",
+            "k",
+            "prefix-k L2",
+            "largest-k L2",
+            "prefix/largest",
+        ],
         &rows,
     );
 }

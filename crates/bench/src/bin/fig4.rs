@@ -104,7 +104,11 @@ fn fig4c(seed: u64, quick: bool) {
             if min_level == 0 {
                 "-".into()
             } else {
-                format!("{} / {}", fmt(exp_err - prev.0), fmt(lin_err / prev.1.max(1e-12)))
+                format!(
+                    "{} / {}",
+                    fmt(exp_err - prev.0),
+                    fmt(lin_err / prev.1.max(1e-12))
+                )
             },
         ]);
         prev = (exp_err, lin_err);

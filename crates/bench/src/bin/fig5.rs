@@ -35,17 +35,83 @@ fn main() {
     let total = warmup + 8 * max_queries * 4;
 
     let panels = [
-        Panel { name: "5(a/b) real, fixed, exponential, eps=0.1", dataset: Dataset::Weather, mode: Mode::Fixed, shape: Shape::Exponential, epsilon: 0.1 },
-        Panel { name: "5(a/b) real, fixed, linear, eps=0.1", dataset: Dataset::Weather, mode: Mode::Fixed, shape: Shape::Linear, epsilon: 0.1 },
-        Panel { name: "5(c) synthetic, fixed, exponential, eps=0.001", dataset: Dataset::Synthetic, mode: Mode::Fixed, shape: Shape::Exponential, epsilon: 0.001 },
-        Panel { name: "5(c) synthetic, fixed, linear, eps=0.001", dataset: Dataset::Synthetic, mode: Mode::Fixed, shape: Shape::Linear, epsilon: 0.001 },
-        Panel { name: "5(d) real, random, linear, eps=0.1", dataset: Dataset::Weather, mode: Mode::AnchoredRandom, shape: Shape::Linear, epsilon: 0.1 },
-        Panel { name: "5(d) real, random, linear, eps=0.01", dataset: Dataset::Weather, mode: Mode::AnchoredRandom, shape: Shape::Linear, epsilon: 0.01 },
-        Panel { name: "5(d) real, random, linear, eps=0.001", dataset: Dataset::Weather, mode: Mode::AnchoredRandom, shape: Shape::Linear, epsilon: 0.001 },
-        Panel { name: "5(e) real, random, exponential, eps=0.1", dataset: Dataset::Weather, mode: Mode::AnchoredRandom, shape: Shape::Exponential, epsilon: 0.1 },
-        Panel { name: "5(e) real, random, exponential, eps=0.001", dataset: Dataset::Weather, mode: Mode::AnchoredRandom, shape: Shape::Exponential, epsilon: 0.001 },
-        Panel { name: "5(f) synthetic, random, exponential, eps=0.001", dataset: Dataset::Synthetic, mode: Mode::AnchoredRandom, shape: Shape::Exponential, epsilon: 0.001 },
-        Panel { name: "5(f) synthetic, random, linear, eps=0.001", dataset: Dataset::Synthetic, mode: Mode::AnchoredRandom, shape: Shape::Linear, epsilon: 0.001 },
+        Panel {
+            name: "5(a/b) real, fixed, exponential, eps=0.1",
+            dataset: Dataset::Weather,
+            mode: Mode::Fixed,
+            shape: Shape::Exponential,
+            epsilon: 0.1,
+        },
+        Panel {
+            name: "5(a/b) real, fixed, linear, eps=0.1",
+            dataset: Dataset::Weather,
+            mode: Mode::Fixed,
+            shape: Shape::Linear,
+            epsilon: 0.1,
+        },
+        Panel {
+            name: "5(c) synthetic, fixed, exponential, eps=0.001",
+            dataset: Dataset::Synthetic,
+            mode: Mode::Fixed,
+            shape: Shape::Exponential,
+            epsilon: 0.001,
+        },
+        Panel {
+            name: "5(c) synthetic, fixed, linear, eps=0.001",
+            dataset: Dataset::Synthetic,
+            mode: Mode::Fixed,
+            shape: Shape::Linear,
+            epsilon: 0.001,
+        },
+        Panel {
+            name: "5(d) real, random, linear, eps=0.1",
+            dataset: Dataset::Weather,
+            mode: Mode::AnchoredRandom,
+            shape: Shape::Linear,
+            epsilon: 0.1,
+        },
+        Panel {
+            name: "5(d) real, random, linear, eps=0.01",
+            dataset: Dataset::Weather,
+            mode: Mode::AnchoredRandom,
+            shape: Shape::Linear,
+            epsilon: 0.01,
+        },
+        Panel {
+            name: "5(d) real, random, linear, eps=0.001",
+            dataset: Dataset::Weather,
+            mode: Mode::AnchoredRandom,
+            shape: Shape::Linear,
+            epsilon: 0.001,
+        },
+        Panel {
+            name: "5(e) real, random, exponential, eps=0.1",
+            dataset: Dataset::Weather,
+            mode: Mode::AnchoredRandom,
+            shape: Shape::Exponential,
+            epsilon: 0.1,
+        },
+        Panel {
+            name: "5(e) real, random, exponential, eps=0.001",
+            dataset: Dataset::Weather,
+            mode: Mode::AnchoredRandom,
+            shape: Shape::Exponential,
+            epsilon: 0.001,
+        },
+        Panel {
+            name: "5(f) synthetic, random, exponential, eps=0.001",
+            dataset: Dataset::Synthetic,
+            mode: Mode::AnchoredRandom,
+            shape: Shape::Exponential,
+            epsilon: 0.001,
+        },
+        Panel {
+            name: "5(f) synthetic, random, linear, eps=0.001",
+            dataset: Dataset::Synthetic,
+            mode: Mode::AnchoredRandom,
+            shape: Shape::Linear,
+            epsilon: 0.001,
+        },
     ];
 
     let mut rows = Vec::new();

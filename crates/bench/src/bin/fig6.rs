@@ -43,8 +43,7 @@ fn fig6a(seed: u64, quick: bool) {
         let swat_time = start.elapsed();
 
         let mut src = Dataset::Synthetic.stream(seed);
-        let mut hist =
-            SlidingHistogram::new(HistogramConfig::new(window, 30, 0.1).expect("valid"));
+        let mut hist = SlidingHistogram::new(HistogramConfig::new(window, 30, 0.1).expect("valid"));
         let start = Instant::now();
         for _ in 0..n {
             hist.push(src.next().expect("endless"));

@@ -153,9 +153,17 @@ impl ExperimentResult {
 /// Panics if `data` is shorter than `cfg.total`, the window is not a
 /// power of two, or the query length exceeds the window.
 pub fn error_experiment(data: &[f64], cfg: &ExperimentConfig) -> ExperimentResult {
-    assert!(data.len() >= cfg.total, "need {} values, got {}", cfg.total, data.len());
+    assert!(
+        data.len() >= cfg.total,
+        "need {} values, got {}",
+        cfg.total,
+        data.len()
+    );
     assert!(cfg.query_len <= cfg.window, "query longer than window");
-    assert!(cfg.warmup >= 2 * cfg.window, "warmup must cover tree warm-up (2N)");
+    assert!(
+        cfg.warmup >= 2 * cfg.window,
+        "warmup must cover tree warm-up (2N)"
+    );
 
     let mut tree = SwatTree::new(
         SwatConfig::with_coefficients(cfg.window, cfg.coefficients).expect("valid config"),

@@ -1,0 +1,316 @@
+//! Ingestion throughput harness: per-push vs batched vs sharded.
+//!
+//! Measures the three ingestion paths the tree offers —
+//! [`SwatTree::push`] per value, [`SwatTree::push_batch`] over a block,
+//! and [`StreamSet::extend_batched`] sharding many streams across scoped
+//! threads — over a grid of window sizes and coefficient budgets, and
+//! renders the result both as a table (via [`crate::report`]) and as the
+//! `results/BENCH_ingest.json` perf-baseline artifact (schema documented
+//! in EXPERIMENTS.md). Runs outside criterion so the CLI's `ingest-bench`
+//! subcommand and CI can produce the artifact directly; the criterion
+//! target in `benches/ingest.rs` reuses the same kernels.
+
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::report;
+use swat_data::Dataset;
+use swat_tree::{multi::StreamSet, SwatConfig, SwatTree};
+
+/// The measurement grid.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Window sizes to measure (powers of two).
+    pub windows: Vec<usize>,
+    /// Coefficient budgets to measure.
+    pub coefficients: Vec<usize>,
+    /// Total values ingested per case (split across streams in sharded
+    /// mode, so every case does the same amount of work).
+    pub values: usize,
+    /// Stream count for the sharded mode.
+    pub streams: usize,
+    /// Thread counts for the sharded mode.
+    pub threads: Vec<usize>,
+    /// Timed repetitions per case; the fastest is reported.
+    pub repetitions: usize,
+    /// Seed for the synthetic input data.
+    pub seed: u64,
+}
+
+impl IngestConfig {
+    /// The default full-size grid (a few seconds of wall clock).
+    pub fn full(seed: u64) -> Self {
+        IngestConfig {
+            windows: vec![1024, 16384],
+            coefficients: vec![1, 8],
+            values: 1 << 20,
+            streams: 8,
+            threads: vec![1, 2, 4, 8],
+            repetitions: 3,
+            seed,
+        }
+    }
+
+    /// A drastically shrunk grid for smoke tests (`SWAT_QUICK` style).
+    pub fn quick(seed: u64) -> Self {
+        IngestConfig {
+            windows: vec![256],
+            coefficients: vec![1, 4],
+            values: 1 << 14,
+            streams: 4,
+            threads: vec![1, 2],
+            repetitions: 1,
+            seed,
+        }
+    }
+}
+
+/// One measured (mode, window, k, streams, threads) point.
+#[derive(Debug, Clone)]
+pub struct IngestCase {
+    /// `"push"`, `"batch"`, or `"sharded"`.
+    pub mode: &'static str,
+    /// Window size `N`.
+    pub window: usize,
+    /// Coefficient budget `k`.
+    pub k: usize,
+    /// Number of streams ingested (1 except in sharded mode).
+    pub streams: usize,
+    /// Worker threads used (1 except in sharded mode).
+    pub threads: usize,
+    /// Total values ingested.
+    pub values: u64,
+    /// Fastest repetition's wall time.
+    pub elapsed: Duration,
+    /// Throughput, `values / elapsed`.
+    pub values_per_sec: f64,
+}
+
+/// A full run: the grid plus every measured case.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Seed the input data was generated from.
+    pub seed: u64,
+    /// Total values ingested per case.
+    pub values_per_case: usize,
+    /// Measured cases, in measurement order.
+    pub cases: Vec<IngestCase>,
+}
+
+/// Kernel: per-value `push` ingestion (the baseline path).
+pub fn ingest_per_push(config: SwatConfig, data: &[f64]) -> SwatTree {
+    let mut tree = SwatTree::new(config);
+    for &v in data {
+        tree.push(v);
+    }
+    tree
+}
+
+/// Kernel: single-tree batched ingestion.
+pub fn ingest_batched(config: SwatConfig, data: &[f64]) -> SwatTree {
+    let mut tree = SwatTree::new(config);
+    tree.push_batch(data);
+    tree
+}
+
+/// Kernel: multi-stream sharded ingestion.
+pub fn ingest_sharded(config: SwatConfig, columns: &[Vec<f64>], threads: usize) -> StreamSet {
+    let mut set = StreamSet::new(config, columns.len());
+    set.extend_batched(columns, threads);
+    set
+}
+
+fn time_best<T>(repetitions: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..repetitions.max(1) {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed());
+        drop(out);
+    }
+    best
+}
+
+/// Measure the whole grid.
+pub fn run(cfg: &IngestConfig) -> IngestReport {
+    let data = Dataset::Synthetic.series(cfg.seed, cfg.values);
+    let per_stream = cfg.values / cfg.streams.max(1);
+    let columns: Vec<Vec<f64>> = (0..cfg.streams)
+        .map(|s| Dataset::Synthetic.series(cfg.seed.wrapping_add(s as u64), per_stream))
+        .collect();
+    let mut cases = Vec::new();
+    for &window in &cfg.windows {
+        for &k in &cfg.coefficients {
+            let config =
+                SwatConfig::with_coefficients(window, k).expect("bench windows are powers of two");
+            let case = |mode, streams, threads, values: u64, elapsed: Duration| IngestCase {
+                mode,
+                window,
+                k,
+                streams,
+                threads,
+                values,
+                elapsed,
+                values_per_sec: values as f64 / elapsed.as_secs_f64().max(1e-12),
+            };
+            let elapsed = time_best(cfg.repetitions, || ingest_per_push(config, &data));
+            cases.push(case("push", 1, 1, data.len() as u64, elapsed));
+            let elapsed = time_best(cfg.repetitions, || ingest_batched(config, &data));
+            cases.push(case("batch", 1, 1, data.len() as u64, elapsed));
+            let sharded_total = (per_stream * cfg.streams) as u64;
+            for &threads in &cfg.threads {
+                let elapsed = time_best(cfg.repetitions, || {
+                    ingest_sharded(config, &columns, threads)
+                });
+                cases.push(case(
+                    "sharded",
+                    cfg.streams,
+                    threads,
+                    sharded_total,
+                    elapsed,
+                ));
+            }
+        }
+    }
+    IngestReport {
+        seed: cfg.seed,
+        values_per_case: cfg.values,
+        cases,
+    }
+}
+
+impl IngestReport {
+    /// Render the cases as a table on stdout.
+    pub fn print(&self) {
+        let rows: Vec<Vec<String>> = self
+            .cases
+            .iter()
+            .map(|c| {
+                vec![
+                    c.mode.to_owned(),
+                    c.window.to_string(),
+                    c.k.to_string(),
+                    c.streams.to_string(),
+                    c.threads.to_string(),
+                    c.values.to_string(),
+                    report::fmt_duration(c.elapsed),
+                    report::fmt(c.values_per_sec),
+                ]
+            })
+            .collect();
+        report::print_table(
+            "ingestion throughput",
+            &[
+                "mode", "window", "k", "streams", "threads", "values", "time", "values/s",
+            ],
+            &rows,
+        );
+    }
+
+    /// Serialize as the `BENCH_ingest.json` artifact (schema in
+    /// EXPERIMENTS.md). Hand-rolled: the workspace deliberately has no
+    /// serialization dependency.
+    pub fn to_json(&self) -> String {
+        let now_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let mut out = String::with_capacity(256 + 160 * self.cases.len());
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"ingest\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"generated_unix_ms\": {now_ms},\n"));
+        out.push_str(&format!(
+            "  \"values_per_case\": {},\n",
+            self.values_per_case
+        ));
+        out.push_str("  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"window\": {}, \"k\": {}, \"streams\": {}, \
+                 \"threads\": {}, \"values\": {}, \"elapsed_ns\": {}, \"values_per_sec\": {:.1}}}{}\n",
+                c.mode,
+                c.window,
+                c.k,
+                c.streams,
+                c.threads,
+                c.values,
+                c.elapsed.as_nanos(),
+                c.values_per_sec,
+                if i + 1 == self.cases.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON artifact, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from directory creation or the write.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_runs_and_reports() {
+        let mut cfg = IngestConfig::quick(7);
+        cfg.values = 1 << 10;
+        let report = run(&cfg);
+        // windows × ks × (push + batch + |threads| sharded cases)
+        assert_eq!(
+            report.cases.len(),
+            cfg.windows.len() * cfg.coefficients.len() * (2 + cfg.threads.len())
+        );
+        for c in &report.cases {
+            assert!(c.values > 0);
+            assert!(c.values_per_sec > 0.0, "{}: no throughput", c.mode);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"ingest\""));
+        assert!(json.contains("\"mode\": \"sharded\""));
+        assert_eq!(
+            json.matches("\"mode\"").count(),
+            report.cases.len(),
+            "one JSON object per case"
+        );
+    }
+
+    #[test]
+    fn kernels_agree_on_final_state() {
+        let config = SwatConfig::with_coefficients(64, 4).unwrap();
+        let data = Dataset::Synthetic.series(3, 500);
+        let a = ingest_per_push(config, &data);
+        let b = ingest_batched(config, &data);
+        assert_eq!(a.arrivals(), b.arrivals());
+        let na: Vec<_> = a.nodes().collect();
+        let nb: Vec<_> = b.nodes().collect();
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn write_json_creates_directories() {
+        let dir = std::env::temp_dir().join("swat-ingest-bench-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = IngestConfig::quick(1);
+        cfg.values = 1 << 9;
+        cfg.windows = vec![64];
+        cfg.coefficients = vec![1];
+        cfg.threads = vec![1];
+        let report = run(&cfg);
+        let path = dir.join("nested").join("BENCH_ingest.json");
+        report.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("values_per_sec"));
+    }
+}

@@ -16,11 +16,17 @@
 //! The shared experiment engines live here so the binaries stay thin and
 //! the integration tests can exercise the same code paths at reduced
 //! scale. Criterion micro-benchmarks are under `benches/`.
+//!
+//! Beyond the figures, [`ingest`] measures ingestion throughput
+//! (per-push vs batched vs sharded) and writes the
+//! `results/BENCH_ingest.json` regression baseline; it backs the
+//! `swat ingest-bench` CLI subcommand.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod centralized;
+pub mod ingest;
 pub mod report;
 
 /// Default seed used by all figure binaries (override with `SWAT_SEED`).
@@ -29,7 +35,9 @@ pub const DEFAULT_SEED: u64 = 20030226; // the paper's date
 /// Read an environment override for quick smoke runs: `SWAT_QUICK=1`
 /// shrinks every experiment drastically (used by CI-style checks).
 pub fn quick_mode() -> bool {
-    std::env::var("SWAT_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SWAT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The seed, honoring `SWAT_SEED`.

@@ -41,9 +41,16 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "no command given (try `swat help`)"),
             ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
             ArgError::UnexpectedPositional(arg) => {
-                write!(f, "unexpected argument {arg:?} (flags look like --name value)")
+                write!(
+                    f,
+                    "unexpected argument {arg:?} (flags look like --name value)"
+                )
             }
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} {value:?}: expected {expected}")
             }
         }
@@ -53,7 +60,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switch flags (no value).
-const SWITCHES: &[&str] = &["render", "stdin", "help"];
+const SWITCHES: &[&str] = &["render", "stdin", "help", "quick"];
 
 impl Args {
     /// Parse an iterator of arguments (without the program name).
@@ -153,7 +160,14 @@ mod tests {
     #[test]
     fn parses_command_flags_switches() {
         let a = Args::parse([
-            "summarize", "--window", "64", "--point", "0", "--point", "5", "--render",
+            "summarize",
+            "--window",
+            "64",
+            "--point",
+            "0",
+            "--point",
+            "5",
+            "--render",
         ])
         .unwrap();
         assert_eq!(a.command(), "summarize");
@@ -177,7 +191,10 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(Args::parse(Vec::<String>::new()), Err(ArgError::MissingCommand));
+        assert_eq!(
+            Args::parse(Vec::<String>::new()),
+            Err(ArgError::MissingCommand)
+        );
         assert_eq!(
             Args::parse(["--window", "x"]),
             Err(ArgError::MissingCommand)
@@ -216,7 +233,11 @@ mod tests {
             ArgError::MissingCommand,
             ArgError::MissingValue("x".into()),
             ArgError::UnexpectedPositional("y".into()),
-            ArgError::BadValue { flag: "f".into(), value: "v".into(), expected: "int" },
+            ArgError::BadValue {
+                flag: "f".into(),
+                value: "v".into(),
+                expected: "int",
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

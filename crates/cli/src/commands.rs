@@ -1,4 +1,4 @@
-//! The three CLI commands: `summarize`, `simulate`, `generate`.
+//! The CLI commands: `summarize`, `simulate`, `generate`, `ingest-bench`.
 
 use std::io::Read;
 
@@ -15,9 +15,10 @@ pub fn print_help() {
         "swat — hierarchical stream summarization (Bulut & Singh, ICDE 2003)
 
 USAGE
-  swat summarize [input] [summary options] [queries...]
-  swat simulate  [workload options]
-  swat generate  --dataset weather|synthetic --count N [--seed S]
+  swat summarize    [input] [summary options] [queries...]
+  swat simulate     [workload options]
+  swat generate     --dataset weather|synthetic --count N [--seed S]
+  swat ingest-bench [grid options] [--out PATH] [--quick]
   swat help
 
 SUMMARIZE — build a SWAT over a stream and answer queries
@@ -35,7 +36,13 @@ SIMULATE — compare replication schemes on one workload
   --td TICKS --tq TICKS --delta D         --horizon T --warmup T --seed S
 
 GENERATE — emit a dataset as CSV on stdout
-  --dataset weather|synthetic --count N [--seed S]"
+  --dataset weather|synthetic --count N [--seed S]
+
+INGEST-BENCH — measure per-push vs batched vs sharded ingestion
+  grid:      --windows N,N,..   --coeffs K,K,..   --values N
+             --streams N        --threads T,T,..  --seed S
+  output:    --out PATH (default results/BENCH_ingest.json)
+  --quick    shrunk grid for smoke runs"
     );
 }
 
@@ -55,7 +62,9 @@ fn load_values(a: &Args) -> Result<Vec<f64>, String> {
         let count = a
             .get_parsed("count", 1024usize, "a positive integer")
             .map_err(|e| e.to_string())?;
-        let seed = a.get_parsed("seed", 42u64, "an integer").map_err(|e| e.to_string())?;
+        let seed = a
+            .get_parsed("seed", 42u64, "an integer")
+            .map_err(|e| e.to_string())?;
         return Ok(dataset.series(seed, count));
     }
     Err("no input: use --file, --stdin, or --dataset (see `swat help`)".into())
@@ -80,7 +89,9 @@ pub fn summarize(a: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let config = SwatConfig::with_coefficients(window, coeffs).map_err(|e| e.to_string())?;
     let mut tree = SwatTree::new(config);
-    tree.extend(values.iter().copied());
+    // Fallible batched ingestion: malformed input (e.g. a NaN that survived
+    // parsing) is a user-facing error, not a panic.
+    tree.try_push_batch(&values).map_err(|e| e.to_string())?;
     println!(
         "ingested {} values; window {}, {} coefficients/node; {} summaries, {} bytes",
         values.len(),
@@ -100,7 +111,10 @@ pub fn summarize(a: &Args) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("--point {raw:?}: expected an index"))?;
         let p = tree.point(idx).map_err(|e| e.to_string())?;
-        println!("point[{idx}] = {:.4} (±{:.4}, level {})", p.value, p.error_bound, p.level);
+        println!(
+            "point[{idx}] = {:.4} (±{:.4}, level {})",
+            p.value, p.error_bound, p.level
+        );
     }
     for raw in a.get_all("inner") {
         let q = parse_inner(raw)?;
@@ -110,7 +124,11 @@ pub fn summarize(a: &Args) -> Result<(), String> {
             ans.value,
             ans.error_bound,
             ans.nodes_used,
-            if ans.meets_precision { "met" } else { "NOT met" }
+            if ans.meets_precision {
+                "met"
+            } else {
+                "NOT met"
+            }
         );
     }
     for raw in a.get_all("range") {
@@ -159,7 +177,9 @@ fn parse_inner(raw: &str) -> Result<InnerProductQuery, String> {
         return Err(format!("--inner {raw:?}: length must be positive"));
     }
     let delta: f64 = match rest.get(1) {
-        Some(d) => d.parse().map_err(|_| format!("--inner {raw:?}: bad delta"))?,
+        Some(d) => d
+            .parse()
+            .map_err(|_| format!("--inner {raw:?}: bad delta"))?,
         None => f64::INFINITY,
     };
     match *shape {
@@ -173,8 +193,12 @@ fn parse_range(raw: &str, window: usize) -> Result<RangeQuery, String> {
     let parts = split_spec(raw);
     match parts.as_slice() {
         [center, radius] | [center, radius, ..] => {
-            let center: f64 = center.parse().map_err(|_| format!("bad CENTER in {raw:?}"))?;
-            let radius: f64 = radius.parse().map_err(|_| format!("bad RADIUS in {raw:?}"))?;
+            let center: f64 = center
+                .parse()
+                .map_err(|_| format!("bad CENTER in {raw:?}"))?;
+            let radius: f64 = radius
+                .parse()
+                .map_err(|_| format!("bad RADIUS in {raw:?}"))?;
             if radius < 0.0 {
                 return Err(format!("--range {raw:?}: radius must be >= 0"));
             }
@@ -197,15 +221,29 @@ fn parse_range(raw: &str, window: usize) -> Result<RangeQuery, String> {
 
 /// `swat simulate`.
 pub fn simulate(a: &Args) -> Result<(), String> {
-    let window = a.get_parsed("window", 32usize, "a power of two").map_err(|e| e.to_string())?;
+    let window = a
+        .get_parsed("window", 32usize, "a power of two")
+        .map_err(|e| e.to_string())?;
     let cfg = WorkloadConfig {
         window,
-        t_data: a.get_parsed("td", 2u64, "ticks").map_err(|e| e.to_string())?,
-        t_query: a.get_parsed("tq", 1u64, "ticks").map_err(|e| e.to_string())?,
-        delta: a.get_parsed("delta", 20.0f64, "a number").map_err(|e| e.to_string())?,
-        horizon: a.get_parsed("horizon", 5000u64, "ticks").map_err(|e| e.to_string())?,
-        warmup: a.get_parsed("warmup", 1000u64, "ticks").map_err(|e| e.to_string())?,
-        seed: a.get_parsed("seed", 42u64, "an integer").map_err(|e| e.to_string())?,
+        t_data: a
+            .get_parsed("td", 2u64, "ticks")
+            .map_err(|e| e.to_string())?,
+        t_query: a
+            .get_parsed("tq", 1u64, "ticks")
+            .map_err(|e| e.to_string())?,
+        delta: a
+            .get_parsed("delta", 20.0f64, "a number")
+            .map_err(|e| e.to_string())?,
+        horizon: a
+            .get_parsed("horizon", 5000u64, "ticks")
+            .map_err(|e| e.to_string())?,
+        warmup: a
+            .get_parsed("warmup", 1000u64, "ticks")
+            .map_err(|e| e.to_string())?,
+        seed: a
+            .get_parsed("seed", 42u64, "an integer")
+            .map_err(|e| e.to_string())?,
         ..WorkloadConfig::default()
     };
     if cfg.warmup >= cfg.horizon {
@@ -252,8 +290,12 @@ pub fn simulate(a: &Args) -> Result<(), String> {
 }
 
 fn parse_topology(a: &Args) -> Result<Topology, String> {
-    let clients = a.get_parsed("clients", 1usize, "a count").map_err(|e| e.to_string())?;
-    let depth = a.get_parsed("depth", 2usize, "a depth").map_err(|e| e.to_string())?;
+    let clients = a
+        .get_parsed("clients", 1usize, "a count")
+        .map_err(|e| e.to_string())?;
+    let depth = a
+        .get_parsed("depth", 2usize, "a depth")
+        .map_err(|e| e.to_string())?;
     match a.get("topology").unwrap_or("single") {
         "single" => Ok(Topology::single_client()),
         "chain" => {
@@ -274,7 +316,71 @@ fn parse_topology(a: &Args) -> Result<Topology, String> {
             }
             Ok(Topology::complete_binary(depth))
         }
-        other => Err(format!("unknown topology {other:?} (single|chain|star|binary)")),
+        other => Err(format!(
+            "unknown topology {other:?} (single|chain|star|binary)"
+        )),
+    }
+}
+
+/// `swat ingest-bench`: the perf-regression harness, outside criterion.
+pub fn ingest_bench(a: &Args) -> Result<(), String> {
+    use swat_bench::ingest::{run, IngestConfig};
+    let seed = a
+        .get_parsed("seed", swat_bench::DEFAULT_SEED, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut cfg = if a.switch("quick") {
+        IngestConfig::quick(seed)
+    } else {
+        IngestConfig::full(seed)
+    };
+    if let Some(raw) = a.get("windows") {
+        cfg.windows = parse_usize_list("windows", raw)?;
+    }
+    if let Some(raw) = a.get("coeffs") {
+        cfg.coefficients = parse_usize_list("coeffs", raw)?;
+    }
+    if let Some(raw) = a.get("threads") {
+        cfg.threads = parse_usize_list("threads", raw)?;
+    }
+    cfg.values = a
+        .get_parsed("values", cfg.values, "a count")
+        .map_err(|e| e.to_string())?;
+    cfg.streams = a
+        .get_parsed("streams", cfg.streams, "a count")
+        .map_err(|e| e.to_string())?;
+    if cfg.streams == 0 {
+        return Err("--streams must be positive".into());
+    }
+    if cfg.values < cfg.streams {
+        return Err("--values must be at least --streams".into());
+    }
+    for (&w, &k) in cfg
+        .windows
+        .iter()
+        .flat_map(|w| cfg.coefficients.iter().map(move |k| (w, k)))
+    {
+        SwatConfig::with_coefficients(w, k).map_err(|e| e.to_string())?;
+    }
+    for &t in &cfg.threads {
+        if t == 0 {
+            return Err("--threads entries must be positive".into());
+        }
+    }
+    let report = run(&cfg);
+    report.print();
+    let out = a.get("out").unwrap_or("results/BENCH_ingest.json");
+    report
+        .write_json(std::path::Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+fn parse_usize_list(flag: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let list: Result<Vec<usize>, _> = raw.split(',').map(|s| s.trim().parse()).collect();
+    match list {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(format!("--{flag} {raw:?}: expected comma-separated counts")),
     }
 }
 
@@ -284,8 +390,12 @@ pub fn generate(a: &Args) -> Result<(), String> {
         a.get("dataset")
             .ok_or("--dataset is required (weather|synthetic)")?,
     )?;
-    let count = a.get_parsed("count", 1024usize, "a count").map_err(|e| e.to_string())?;
-    let seed = a.get_parsed("seed", 42u64, "an integer").map_err(|e| e.to_string())?;
+    let count = a
+        .get_parsed("count", 1024usize, "a count")
+        .map_err(|e| e.to_string())?;
+    let seed = a
+        .get_parsed("seed", 42u64, "an integer")
+        .map_err(|e| e.to_string())?;
     let mut out = String::with_capacity(count * 8);
     for v in dataset.series(seed, count) {
         out.push_str(&format!("{v}\n"));
@@ -315,7 +425,10 @@ mod tests {
     #[test]
     fn range_spec_parsing() {
         let q = parse_range("80:2.5", 128).unwrap();
-        assert_eq!((q.center, q.radius, q.newest, q.oldest), (80.0, 2.5, 0, 127));
+        assert_eq!(
+            (q.center, q.radius, q.newest, q.oldest),
+            (80.0, 2.5, 0, 127)
+        );
         let q = parse_range("10:1:5:20", 128).unwrap();
         assert_eq!((q.newest, q.oldest), (5, 20));
         assert!(parse_range("80", 128).is_err());
@@ -366,7 +479,13 @@ mod tests {
     #[test]
     fn simulate_end_to_end() {
         let a = Args::parse([
-            "simulate", "--horizon", "600", "--warmup", "200", "--window", "16",
+            "simulate",
+            "--horizon",
+            "600",
+            "--warmup",
+            "200",
+            "--window",
+            "16",
         ])
         .unwrap();
         simulate(&a).unwrap();

@@ -4,6 +4,7 @@
 //! swat summarize --window 256 --file data.csv --point 0 --inner exp:32:10
 //! swat simulate --scheme all --topology binary --depth 2 --window 64
 //! swat generate --dataset weather --count 1000 --seed 7
+//! swat ingest-bench --quick --out results/BENCH_ingest.json
 //! swat help
 //! ```
 
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "summarize" => commands::summarize(&parsed),
         "simulate" => commands::simulate(&parsed),
         "generate" => commands::generate(&parsed),
+        "ingest-bench" => commands::ingest_bench(&parsed),
         other => Err(format!("unknown command {other:?} (try `swat help`)")),
     };
     match result {

@@ -17,7 +17,9 @@ use std::path::Path;
 /// # Errors
 ///
 /// Returns [`io::ErrorKind::InvalidData`] if a non-header line's value
-/// field fails to parse as `f64`.
+/// field fails to parse as `f64`, or parses as a non-finite value
+/// (`NaN`/`inf`) — those would poison every wavelet coefficient they
+/// touch, so the loader rejects them up front.
 pub fn parse_values(text: &str) -> io::Result<Vec<f64>> {
     let mut out = Vec::new();
     let mut first_record = true;
@@ -28,6 +30,12 @@ pub fn parse_values(text: &str) -> io::Result<Vec<f64>> {
         }
         let field = line.rsplit(',').next().unwrap_or(line).trim();
         match field.parse::<f64>() {
+            Ok(v) if !v.is_finite() => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: non-finite value {field:?}", lineno + 1),
+                ))
+            }
             Ok(v) => out.push(v),
             Err(_) if first_record => { /* header line */ }
             Err(_) => {
@@ -79,6 +87,24 @@ mod tests {
         let e = parse_values("1.0\nnot-a-number\n").unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::InvalidData);
         assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for text in [
+            "1.0\nNaN\n",
+            "1.0\ninf\n",
+            "1.0\n-inf\n",
+            "1.0\n2,infinity\n",
+        ] {
+            let e = parse_values(text).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "input {text:?}");
+            assert!(e.to_string().contains("line 2"), "input {text:?}: {e}");
+        }
+        // Even in first-record (header) position: "NaN" parses as f64, so it
+        // is data, not a header, and must be rejected rather than skipped.
+        let e = parse_values("NaN\n1.0\n").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

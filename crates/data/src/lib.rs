@@ -42,7 +42,10 @@ impl Uniform {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn new(seed: u64, lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         Uniform {
             rng: StdRng::seed_from_u64(seed),
             lo,

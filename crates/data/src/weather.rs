@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn values_stay_in_plausible_range() {
         for v in series(0, 5000) {
-            assert!((MIN_TEMP..=MAX_TEMP).contains(&v), "temperature {v} out of range");
+            assert!(
+                (MIN_TEMP..=MAX_TEMP).contains(&v),
+                "temperature {v} out of range"
+            );
         }
     }
 
@@ -100,9 +103,15 @@ mod tests {
         let xs = series(1, 3000);
         let deltas: Vec<f64> = xs.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
         let mean_delta = deltas.iter().sum::<f64>() / deltas.len() as f64;
-        assert!(mean_delta < 3.0, "mean daily change {mean_delta:.2} too large");
+        assert!(
+            mean_delta < 3.0,
+            "mean daily change {mean_delta:.2} too large"
+        );
         let max_delta = deltas.iter().cloned().fold(0.0, f64::max);
-        assert!(max_delta < 20.0, "max daily change {max_delta:.2} implausible");
+        assert!(
+            max_delta < 20.0,
+            "max daily change {max_delta:.2} implausible"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn approximate_voptimal(values: &[f64], b: usize, epsilon: f64) -> Histogram
     let n = values.len();
     assert!(n > 0, "cannot build a histogram of nothing");
     assert!(b > 0, "need at least one bucket");
-    assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+    assert!(
+        epsilon > 0.0 && epsilon.is_finite(),
+        "epsilon must be positive"
+    );
     let b = b.min(n);
     let p = PrefixSums::new(values);
     // Per-row multiplicative slack compounding to (1 + epsilon) over b rows.
@@ -115,7 +118,11 @@ fn probe_points(err: &[f64], delta: f64) -> Vec<usize> {
         }
         let here = err[j];
         let next = err[j + 1];
-        let threshold = if here == 0.0 { 0.0 } else { here * (1.0 + delta) };
+        let threshold = if here == 0.0 {
+            0.0
+        } else {
+            here * (1.0 + delta)
+        };
         if next > threshold {
             probes.push(j);
         }

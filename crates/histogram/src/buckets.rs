@@ -87,9 +87,7 @@ impl Histogram {
     pub fn value_at(&self, idx: usize) -> f64 {
         assert!(idx < self.n, "index {idx} out of bounds for {}", self.n);
         let pos = self.n - 1 - idx; // newest-first -> natural order
-        let i = self
-            .buckets
-            .partition_point(|b| b.end < pos);
+        let i = self.buckets.partition_point(|b| b.end < pos);
         self.buckets[i].value
     }
 
@@ -127,9 +125,24 @@ mod tests {
     fn hist() -> Histogram {
         Histogram::new(
             vec![
-                Bucket { start: 0, end: 2, value: 1.0, sse: 0.5 },
-                Bucket { start: 3, end: 3, value: 9.0, sse: 0.0 },
-                Bucket { start: 4, end: 7, value: 4.0, sse: 1.5 },
+                Bucket {
+                    start: 0,
+                    end: 2,
+                    value: 1.0,
+                    sse: 0.5,
+                },
+                Bucket {
+                    start: 3,
+                    end: 3,
+                    value: 9.0,
+                    sse: 0.0,
+                },
+                Bucket {
+                    start: 4,
+                    end: 7,
+                    value: 4.0,
+                    sse: 1.5,
+                },
             ],
             8,
         )
@@ -172,8 +185,18 @@ mod tests {
     fn rejects_gappy_buckets() {
         let _ = Histogram::new(
             vec![
-                Bucket { start: 0, end: 1, value: 0.0, sse: 0.0 },
-                Bucket { start: 3, end: 3, value: 0.0, sse: 0.0 },
+                Bucket {
+                    start: 0,
+                    end: 1,
+                    value: 0.0,
+                    sse: 0.0,
+                },
+                Bucket {
+                    start: 3,
+                    end: 3,
+                    value: 0.0,
+                    sse: 0.0,
+                },
             ],
             4,
         );

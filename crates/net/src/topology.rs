@@ -271,7 +271,10 @@ mod tests {
     fn chain_shape() {
         let t = Topology::chain(3);
         assert_eq!(t.len(), 4);
-        assert_eq!(t.path_to_source(NodeId(3)), vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            t.path_to_source(NodeId(3)),
+            vec![NodeId(2), NodeId(1), NodeId(0)]
+        );
         assert_eq!(t.depth(NodeId(3)), 3);
         assert_eq!(t.children(NodeId(1)), &[NodeId(2)]);
     }

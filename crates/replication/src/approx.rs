@@ -103,8 +103,8 @@ impl SegmentApprox for CoeffApprox {
         let mut padded = values.to_vec();
         let n = values.len().next_power_of_two();
         padded.resize(n, *values.last().expect("nonempty"));
-        let coeffs = HaarCoeffs::from_signal(&padded, k.max(1))
-            .expect("padded segment is a power of two");
+        let coeffs =
+            HaarCoeffs::from_signal(&padded, k.max(1)).expect("padded segment is a power of two");
         let deviation = padded
             .iter()
             .enumerate()

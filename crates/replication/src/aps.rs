@@ -93,7 +93,9 @@ impl ReplicationScheme for AdaptivePrecision {
             for item in 0..filled {
                 let truth = self.window.get(item).expect("within filled range");
                 let st = &mut self.items[client.index() - 1][item];
-                let Some(interval) = st.interval else { continue };
+                let Some(interval) = st.interval else {
+                    continue;
+                };
                 if !interval.contains(truth) {
                     // Value-initiated refresh: enlarge (W' = W·(1+α)),
                     // escaping exact caching via the τ0/2 growth floor.

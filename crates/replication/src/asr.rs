@@ -214,7 +214,11 @@ impl<A: SegmentApprox> SwatAsr<A> {
             return None;
         }
         let hi = s.hi.min(self.window.len() - 1);
-        Some((s.lo..=hi).map(|i| self.window.get(i).expect("in range")).collect())
+        Some(
+            (s.lo..=hi)
+                .map(|i| self.window.get(i).expect("in range"))
+                .collect(),
+        )
     }
 
     /// Push `approx` down the subscription tree from `node`, charging one
@@ -355,10 +359,7 @@ impl<A: SegmentApprox> ReplicationScheme for SwatAsr<A> {
                     local_hit: hops == 0,
                 };
             }
-            let parent = self
-                .topo
-                .parent(node)
-                .expect("the source always answers");
+            let parent = self.topo.parent(node).expect("the source always answers");
             ledger.charge(MsgKind::QueryForward);
             from = Some(node);
             node = parent;
@@ -558,7 +559,10 @@ mod tests {
         let mut asr = SwatAsr::new(Topology::single_client(), 8);
         let mut ledger = MessageLedger::new();
         // Oscillate widely so segment ranges are wide, then subscribe.
-        feed(&mut asr, (0..16).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }));
+        feed(
+            &mut asr,
+            (0..16).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }),
+        );
         let q = InnerProductQuery::linear(2, 1000.0);
         for _ in 0..3 {
             asr.on_query(0, NodeId(1), &q, &mut ledger);
@@ -567,7 +571,10 @@ mod tests {
         assert!(asr.cached_range(NodeId(1), 0).is_some());
         // Keep oscillating inside [0, 100]: every new segment range is
         // enclosed by the cached [0, 100], so no updates flow.
-        let l2 = feed(&mut asr, (0..40).map(|i| if i % 2 == 0 { 10.0 } else { 90.0 }));
+        let l2 = feed(
+            &mut asr,
+            (0..40).map(|i| if i % 2 == 0 { 10.0 } else { 90.0 }),
+        );
         assert_eq!(l2.total(), 0, "enclosed ranges must not propagate");
     }
 
@@ -577,7 +584,9 @@ mod tests {
         // true current values, at every step.
         let mut asr = SwatAsr::new(Topology::chain(3), 16);
         let mut ledger = MessageLedger::new();
-        let data: Vec<f64> = (0..300).map(|i| (((i * 17) % 83) as f64).sin() * 40.0 + 50.0).collect();
+        let data: Vec<f64> = (0..300)
+            .map(|i| (((i * 17) % 83) as f64).sin() * 40.0 + 50.0)
+            .collect();
         let q = InnerProductQuery::linear(8, 60.0);
         for (i, &v) in data.iter().enumerate() {
             asr.on_data(0, v, &mut ledger);
@@ -588,7 +597,9 @@ mod tests {
                 asr.on_phase_end(0, &mut ledger);
             }
             for seg in 0..asr.segments().len() {
-                let Some(truth) = asr.exact_segment_range(seg) else { continue };
+                let Some(truth) = asr.exact_segment_range(seg) else {
+                    continue;
+                };
                 for node in asr.topology().nodes() {
                     if let Some(cached) = asr.cached_range(node, seg) {
                         assert!(
@@ -619,7 +630,10 @@ mod tests {
                 if holders.is_empty() {
                     continue;
                 }
-                assert!(holders.contains(&NodeId::SOURCE), "source must hold seg {seg}");
+                assert!(
+                    holders.contains(&NodeId::SOURCE),
+                    "source must hold seg {seg}"
+                );
                 for &h in &holders {
                     if let Some(p) = asr.topology().parent(h) {
                         assert!(
@@ -649,9 +663,15 @@ mod tests {
             asr.on_query(t, NodeId(1), &q, &mut ledger);
         }
         asr.on_phase_end(1, &mut ledger);
-        assert!(asr.cached_approx(NodeId(1), 0).is_some(), "replica installed");
+        assert!(
+            asr.cached_approx(NodeId(1), 0).is_some(),
+            "replica installed"
+        );
         let out = asr.on_query(9, NodeId(1), &q, &mut ledger);
-        assert!(out.local_hit, "lossless coefficient replicas satisfy delta=5");
+        assert!(
+            out.local_hit,
+            "lossless coefficient replicas satisfy delta=5"
+        );
         assert!(out.value.is_finite());
     }
 
@@ -678,12 +698,13 @@ mod tests {
             }
             for (seg_idx, seg) in asr.segments().to_vec().iter().enumerate() {
                 for node in asr.topology().nodes() {
-                    let Some(approx) = asr.cached_approx(node, seg_idx) else { continue };
+                    let Some(approx) = asr.cached_approx(node, seg_idx) else {
+                        continue;
+                    };
                     for offset in 0..seg.width() {
                         let truth = data[i - (seg.lo + offset)];
                         assert!(
-                            (truth - approx.value_at(offset)).abs()
-                                <= approx.deviation() + 1e-9,
+                            (truth - approx.value_at(offset)).abs() <= approx.deviation() + 1e-9,
                             "step {i} node {node} seg {seg_idx} offset {offset}"
                         );
                     }
@@ -701,10 +722,7 @@ mod tests {
         let data: Vec<f64> = (0..400)
             .map(|i| 50.0 + 10.0 * ((i as f64) * 0.8).sin())
             .collect();
-        fn drive<A: crate::approx::SegmentApprox>(
-            mut asr: SwatAsr<A>,
-            data: &[f64],
-        ) -> u32 {
+        fn drive<A: crate::approx::SegmentApprox>(mut asr: SwatAsr<A>, data: &[f64]) -> u32 {
             let mut ledger = MessageLedger::new();
             let q = InnerProductQuery::linear(4, 4.0);
             let mut hits = 0u32;

@@ -187,7 +187,9 @@ impl ReplicationScheme for DivergenceCaching {
                 let truth = self.window.get(item).expect("within filled range");
                 let st = &mut self.items[client.index() - 1][item];
                 st.record(Event::Write { at: now });
-                let Some(interval) = st.interval else { continue };
+                let Some(interval) = st.interval else {
+                    continue;
+                };
                 if !interval.contains(truth) {
                     // The refresh message is being paid for anyway, so the
                     // server attaches a newly optimized refresh rate —

@@ -102,9 +102,7 @@ pub fn make_scheme(
             cfg.value_span,
             cfg.control_weight,
         )),
-        SchemeKind::AdaptivePrecision => {
-            Box::new(AdaptivePrecision::new(topo.clone(), cfg.window))
-        }
+        SchemeKind::AdaptivePrecision => Box::new(AdaptivePrecision::new(topo.clone(), cfg.window)),
     }
 }
 
@@ -141,7 +139,10 @@ pub fn run_scheme(
         .map(|c| Periodic::starting_at(1 + (c.index() as u64 % cfg.t_query.max(1)), cfg.t_query))
         .collect();
     for (i, c) in topo.clients().enumerate() {
-        sched.schedule(query_tasks[i].next_fire(), Event::Query { client: c.index() });
+        sched.schedule(
+            query_tasks[i].next_fire(),
+            Event::Query { client: c.index() },
+        );
     }
     let mut phase_task = Periodic::starting_at(cfg.phase, cfg.phase);
     sched.schedule(phase_task.next_fire(), Event::PhaseEnd);
@@ -162,7 +163,11 @@ pub fn run_scheme(
         }
         let (now, event) = sched.next().expect("peeked");
         let measuring = now >= cfg.warmup;
-        let target = if measuring { &mut ledger } else { &mut warmup_ledger };
+        let target = if measuring {
+            &mut ledger
+        } else {
+            &mut warmup_ledger
+        };
         match event {
             Event::Data => {
                 let v = values[data_idx % values.len()];

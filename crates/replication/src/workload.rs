@@ -77,7 +77,9 @@ mod tests {
     fn deterministic_per_seed_and_client() {
         let draw = |seed, client| {
             let mut g = QueryGenerator::new(seed, client, 16, 1.0, QueryShape::Linear);
-            (0..10).map(|_| g.next_query().indices().to_vec()).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| g.next_query().indices().to_vec())
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(7, 1), draw(7, 1));
         assert_ne!(draw(7, 1), draw(7, 2));

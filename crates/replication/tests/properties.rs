@@ -31,17 +31,19 @@ fn config() -> impl Strategy<Value = WorkloadConfig> {
         5u64..40,
         0u64..1000,
     )
-        .prop_map(|(window, t_data, t_query, delta, phase, seed)| WorkloadConfig {
-            window,
-            t_data,
-            t_query,
-            delta,
-            horizon: 500,
-            warmup: 100,
-            seed,
-            phase,
-            ..WorkloadConfig::default()
-        })
+        .prop_map(
+            |(window, t_data, t_query, delta, phase, seed)| WorkloadConfig {
+                window,
+                t_data,
+                t_query,
+                delta,
+                horizon: 500,
+                warmup: 100,
+                seed,
+                phase,
+                ..WorkloadConfig::default()
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,308 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace's
+//! micro-benchmarks run on this minimal wall-clock harness exposing the
+//! criterion API subset they use: benchmark groups, `bench_function` /
+//! `bench_with_input`, `iter` / `iter_batched`, throughput annotation, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is simple and honest rather than statistical: after one
+//! warm-up call, each benchmark runs batches of iterations until either
+//! `sample_size` samples or a ~250 ms budget is reached, and reports the
+//! minimum per-iteration time (the usual low-noise estimator). Under
+//! `cargo test` (which executes `harness = false` bench targets with the
+//! `--test` flag) every benchmark runs exactly once, as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for parity with criterion.
+pub use std::hint::black_box;
+
+/// Top-level harness handle: a factory for benchmark groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.benchmark_group(id.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// How much work one benchmark iteration represents.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Strategy for handing setup products to [`Bencher::iter_batched`].
+/// The shim times each routine call individually, so the distinction is
+/// informational only.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Many small inputs per batch.
+    SmallInput,
+    /// One large input per batch.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            best: None,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.best);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            best: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.best);
+        self
+    }
+
+    /// End the group (purely cosmetic here).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, best: Option<Duration>) {
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        match best {
+            Some(d) => {
+                let per_iter = d.as_secs_f64();
+                let rate = self.throughput.and_then(|t| match t {
+                    Throughput::Elements(n) if per_iter > 0.0 => {
+                        Some(format!("  {:.0} elem/s", n as f64 / per_iter))
+                    }
+                    Throughput::Bytes(n) if per_iter > 0.0 => {
+                        Some(format!("  {:.0} B/s", n as f64 / per_iter))
+                    }
+                    _ => None,
+                });
+                println!(
+                    "bench {label:<40} {:>12}{}",
+                    format_duration(d),
+                    rate.unwrap_or_default()
+                );
+            }
+            None => println!("bench {label:<40} (no measurement)"),
+        }
+    }
+}
+
+/// Runs and times the benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    best: Option<Duration>,
+}
+
+/// Per-benchmark wall-clock budget (ignored in `--test` smoke mode).
+const BUDGET: Duration = Duration::from_millis(250);
+
+fn smoke_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly, keeping the fastest sample.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up
+        if smoke_test_mode() {
+            return;
+        }
+        let started = Instant::now();
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            best = best.min(t0.elapsed());
+            if started.elapsed() > BUDGET {
+                break;
+            }
+        }
+        self.best = Some(best);
+    }
+
+    /// Time `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        if smoke_test_mode() {
+            return;
+        }
+        let started = Instant::now();
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            best = best.min(t0.elapsed());
+            if started.elapsed() > BUDGET {
+                break;
+            }
+        }
+        self.best = Some(best);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+/// Declare a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim/demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("k=1").to_string(), "k=1");
+    }
+}

@@ -71,7 +71,11 @@ impl<E> Scheduler<E> {
     /// Panics if `at` is in the past (`< now`); same-tick scheduling is
     /// allowed and delivers after already-queued same-tick events.
     pub fn schedule(&mut self, at: u64, event: E) {
-        assert!(at >= self.now, "cannot schedule at {at}, now is {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at}, now is {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Entry {
@@ -111,7 +115,11 @@ impl<E> Scheduler<E> {
     /// `end`).
     pub fn run_until<F: FnMut(&mut Self, u64, E)>(&mut self, end: u64, mut handler: F) -> u64 {
         let start_count = self.delivered;
-        while let Some(&Entry { key: Reverse((at, _)), .. }) = self.queue.peek() {
+        while let Some(&Entry {
+            key: Reverse((at, _)),
+            ..
+        }) = self.queue.peek()
+        {
             if at >= end {
                 break;
             }

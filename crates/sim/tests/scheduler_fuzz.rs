@@ -1,0 +1,136 @@
+//! Fuzz-style tests for [`Scheduler`]'s ordering guarantee: events with
+//! equal timestamps are delivered in scheduling order (FIFO), even when
+//! handlers reentrantly schedule more events — including at the tick
+//! currently being delivered.
+//!
+//! The binary-heap scheduler is checked against a trivially-correct
+//! reference model that picks the pending entry with the smallest
+//! `(timestamp, schedule sequence)` by linear scan.
+
+use proptest::prelude::*;
+use swat_sim::Scheduler;
+
+/// What a delivery spawns: `count` children scheduled `delta` ticks after
+/// the delivered event's timestamp (`delta == 0` is same-tick reentrancy).
+type SpawnSpec = (u8, u8);
+
+/// Reference implementation: linear-scan stable selection over a `Vec`.
+/// Mirrors `run_until` semantics (exclusive `end`, handlers may schedule)
+/// with the same id-assignment discipline as the real run below.
+fn model_run(initial: &[u64], spawns: &[SpawnSpec], end: u64) -> Vec<(u64, u32)> {
+    let mut pending: Vec<(u64, u64, u32)> = Vec::new(); // (at, seq, id)
+    let mut seq = 0u64;
+    let mut next_id = 0u32;
+    for &at in initial {
+        pending.push((at, seq, next_id));
+        seq += 1;
+        next_id += 1;
+    }
+    let mut delivered = Vec::new();
+    while let Some(min_idx) = pending
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| (e.0, e.1))
+        .map(|(i, _)| i)
+    {
+        let (at, _, id) = pending[min_idx];
+        if at >= end {
+            break;
+        }
+        pending.remove(min_idx);
+        // Each delivery consults the spawn plan once, by delivery index.
+        if let Some(&(delta, count)) = spawns.get(delivered.len()) {
+            for _ in 0..count {
+                pending.push((at + u64::from(delta), seq, next_id));
+                seq += 1;
+                next_id += 1;
+            }
+        }
+        delivered.push((at, id));
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The heap scheduler delivers exactly the reference order for
+    /// arbitrary initial schedules and reentrant spawn plans.
+    #[test]
+    fn run_until_matches_linear_scan_model(
+        initial in prop::collection::vec(0u64..24, 1..24),
+        spawns in prop::collection::vec((0u8..4, 0u8..4), 0..32),
+        end in 1u64..40,
+    ) {
+        let expected = model_run(&initial, &spawns, end);
+
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        let mut next_id = 0u32;
+        for &at in &initial {
+            sched.schedule(at, next_id);
+            next_id += 1;
+        }
+        let mut delivered: Vec<(u64, u32)> = Vec::new();
+        sched.run_until(end, |s, t, id| {
+            if let Some(&(delta, count)) = spawns.get(delivered.len()) {
+                for _ in 0..count {
+                    s.schedule(t + u64::from(delta), next_id);
+                    next_id += 1;
+                }
+            }
+            delivered.push((t, id));
+        });
+
+        prop_assert_eq!(&delivered, &expected);
+        // Delivery never runs backwards and respects the horizon.
+        prop_assert!(delivered.windows(2).all(|w| w[0].0 <= w[1].0));
+        prop_assert!(delivered.iter().all(|&(t, _)| t < end));
+        prop_assert_eq!(sched.delivered(), delivered.len() as u64);
+    }
+
+    /// Same-tick FIFO specifically: everything lands on one tick, every
+    /// delivery spawns same-tick children for a while, and ids must come
+    /// out in exactly the order they were scheduled.
+    #[test]
+    fn same_tick_reentrancy_is_fifo(
+        seeds in 1usize..8,
+        spawn_rounds in 0usize..16,
+    ) {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        let mut next_id = 0u32;
+        for _ in 0..seeds {
+            sched.schedule(5, next_id);
+            next_id += 1;
+        }
+        let mut order = Vec::new();
+        sched.run_until(6, |s, t, id| {
+            assert_eq!(t, 5, "everything lives on tick 5");
+            if order.len() < spawn_rounds {
+                s.schedule(5, next_id); // reentrant same-tick scheduling
+                next_id += 1;
+            }
+            order.push(id);
+        });
+        // FIFO: scheduling order == delivery order.
+        let expected: Vec<u32> = (0..next_id).collect();
+        prop_assert_eq!(order, expected);
+    }
+}
+
+/// Deterministic pinned case: a same-tick child scheduled *during* tick-5
+/// delivery runs after the already-queued tick-5 events but before tick 6.
+#[test]
+fn reentrant_same_tick_child_runs_after_queued_peers() {
+    let mut sched: Scheduler<&'static str> = Scheduler::new();
+    sched.schedule(5, "a");
+    sched.schedule(5, "b");
+    sched.schedule(6, "d");
+    let mut order = Vec::new();
+    sched.run_until(10, |s, t, name| {
+        if name == "a" {
+            s.schedule(t, "c"); // same-tick, scheduled mid-delivery
+        }
+        order.push((t, name));
+    });
+    assert_eq!(order, vec![(5, "a"), (5, "b"), (5, "c"), (6, "d")]);
+}

@@ -62,12 +62,8 @@ impl SwatTree {
             });
         }
         let count = to - from + 1;
-        let query = InnerProductQuery::new(
-            (from..=to).collect(),
-            vec![1.0; count],
-            f64::INFINITY,
-        )
-        .expect("uniform weights over a nonempty span are valid");
+        let query = InnerProductQuery::new((from..=to).collect(), vec![1.0; count], f64::INFINITY)
+            .expect("uniform weights over a nonempty span are valid");
         let answer = self.inner_product_with(&query, opts)?;
         // Bounds: union of the ranges of the nodes that actually serve
         // the span. Reuse the per-point API so reduced-level extrapolation
@@ -114,12 +110,7 @@ impl SwatTree {
                 reason: "span is empty (from > to)",
             });
         }
-        let q = crate::query::RangeQuery::new(
-            band.midpoint(),
-            band.width() * 0.5,
-            from,
-            to,
-        );
+        let q = crate::query::RangeQuery::new(band.midpoint(), band.width() * 0.5, from, to);
         Ok(self.range_query(&q)?.len())
     }
 }
@@ -169,13 +160,19 @@ mod tests {
 
     #[test]
     fn bounds_enclose_every_value_in_span() {
-        let values: Vec<f64> = (0..96).map(|i| 50.0 + 30.0 * ((i as f64) * 0.3).sin()).collect();
+        let values: Vec<f64> = (0..96)
+            .map(|i| 50.0 + 30.0 * ((i as f64) * 0.3).sin())
+            .collect();
         let (tree, truth) = rig(32, 1, &values);
         for (from, to) in [(0usize, 3usize), (5, 25), (0, 31)] {
             let a = tree.aggregate(from, to).unwrap();
             for i in from..=to {
                 let v = truth.get(i).unwrap();
-                assert!(a.bounds.contains(v), "[{from},{to}] idx {i}: {v} not in {}", a.bounds);
+                assert!(
+                    a.bounds.contains(v),
+                    "[{from},{to}] idx {i}: {v} not in {}",
+                    a.bounds
+                );
             }
         }
     }

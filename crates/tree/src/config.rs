@@ -103,6 +103,44 @@ pub enum TreeError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A stream value was NaN or infinite (fallible ingestion only; the
+    /// panicking entry points assert instead).
+    NonFinite {
+        /// Zero-based stream position of the offending value (the arrival
+        /// count it would have had).
+        position: u64,
+    },
+    /// Restoring a tree supplied the wrong number of level queues.
+    RestoredLevelCount {
+        /// Queues supplied.
+        got: usize,
+        /// Levels the configuration demands.
+        want: usize,
+    },
+    /// A restored summary sat in the queue of a different level.
+    RestoredLevelMismatch {
+        /// Level of the queue the summary was found in.
+        queue: usize,
+        /// Level recorded in the summary itself.
+        summary: usize,
+    },
+    /// A restored summary claimed a creation time after the tree's clock.
+    RestoredFromFuture {
+        /// The summary's creation time.
+        created_at: u64,
+        /// The tree's arrival count.
+        now: u64,
+    },
+    /// A restored level queue held more generations than the level
+    /// retains.
+    RestoredOverCapacity {
+        /// The offending level.
+        level: usize,
+        /// Summaries supplied for it.
+        got: usize,
+        /// Generations the level retains (3, or 1 at the top).
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -125,6 +163,28 @@ impl fmt::Display for TreeError {
                 "index {index} not yet covered by any summary (tree warming up)"
             ),
             TreeError::BadQuery { reason } => write!(f, "malformed query: {reason}"),
+            TreeError::NonFinite { position } => {
+                write!(f, "stream value at position {position} is not finite")
+            }
+            TreeError::RestoredLevelCount { got, want } => {
+                write!(f, "restored tree has {got} level queues, expected {want}")
+            }
+            TreeError::RestoredLevelMismatch { queue, summary } => write!(
+                f,
+                "restored summary labeled level {summary} found in level-{queue} queue"
+            ),
+            TreeError::RestoredFromFuture { created_at, now } => write!(
+                f,
+                "restored summary created at {created_at}, after the tree's clock {now}"
+            ),
+            TreeError::RestoredOverCapacity {
+                level,
+                got,
+                capacity,
+            } => write!(
+                f,
+                "restored level {level} has {got} summaries, retains at most {capacity}"
+            ),
         }
     }
 }
@@ -155,8 +215,14 @@ mod tests {
             SwatConfig::new(0),
             Err(TreeError::BadWindow { window: 0 })
         ));
-        assert!(matches!(SwatConfig::new(1), Err(TreeError::BadWindow { .. })));
-        assert!(matches!(SwatConfig::new(12), Err(TreeError::BadWindow { .. })));
+        assert!(matches!(
+            SwatConfig::new(1),
+            Err(TreeError::BadWindow { .. })
+        ));
+        assert!(matches!(
+            SwatConfig::new(12),
+            Err(TreeError::BadWindow { .. })
+        ));
         assert!(matches!(
             SwatConfig::with_coefficients(8, 0),
             Err(TreeError::BadCoefficients { k: 0 })
@@ -169,9 +235,27 @@ mod tests {
             TreeError::BadWindow { window: 3 },
             TreeError::BadCoefficients { k: 0 },
             TreeError::BadInitLength { got: 3, want: 8 },
-            TreeError::IndexOutOfWindow { index: 20, window: 16 },
+            TreeError::IndexOutOfWindow {
+                index: 20,
+                window: 16,
+            },
             TreeError::Uncovered { index: 5 },
             TreeError::BadQuery { reason: "empty" },
+            TreeError::NonFinite { position: 12 },
+            TreeError::RestoredLevelCount { got: 3, want: 4 },
+            TreeError::RestoredLevelMismatch {
+                queue: 1,
+                summary: 2,
+            },
+            TreeError::RestoredFromFuture {
+                created_at: 9,
+                now: 4,
+            },
+            TreeError::RestoredOverCapacity {
+                level: 0,
+                got: 4,
+                capacity: 3,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -79,7 +79,10 @@ impl ExactWindow {
     ///
     /// Panics if the interval is empty or out of bounds.
     pub fn range_of(&self, from: usize, to: usize) -> ValueRange {
-        assert!(from <= to && to < self.buf.len(), "bad interval [{from}, {to}]");
+        assert!(
+            from <= to && to < self.buf.len(),
+            "bad interval [{from}, {to}]"
+        );
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for i in from..=to {

@@ -195,9 +195,7 @@ mod tests {
         let mut tree = SwatTree::new(SwatConfig::new(64).unwrap());
         tree.extend((0..200).map(|i| i as f64));
         let q = InnerProductQuery::point(0, 1e9);
-        let plan = tree
-            .explain_with(&q, QueryOptions::at_level(5))
-            .unwrap();
+        let plan = tree.explain_with(&q, QueryOptions::at_level(5)).unwrap();
         // Index 0 may or may not precede level-5 coverage depending on
         // phase; either the plan covers it at level >= 5 or reports it.
         if plan.uncovered.is_empty() {

@@ -172,7 +172,10 @@ impl GrowingSwat {
     /// # Errors
     ///
     /// As [`GrowingSwat::point`].
-    pub fn inner_product(&self, query: &InnerProductQuery) -> Result<InnerProductAnswer, TreeError> {
+    pub fn inner_product(
+        &self,
+        query: &InnerProductQuery,
+    ) -> Result<InnerProductAnswer, TreeError> {
         let indices = query.indices();
         for &idx in indices {
             if idx as u64 >= self.t {

@@ -70,6 +70,55 @@ impl StreamSet {
         }
     }
 
+    /// Feed a block of synchronized arrivals column-wise: `columns[i]` is
+    /// the next batch of values for stream `i`, and all columns must have
+    /// equal length. The independent trees are partitioned across at most
+    /// `threads` scoped worker threads ([`std::thread::scope`], so no new
+    /// dependencies and no `'static` bounds), each running the
+    /// single-stream batched fast path [`SwatTree::push_batch`].
+    ///
+    /// Because every stream's values are applied by exactly one worker in
+    /// arrival order, the final state is **deterministic and identical for
+    /// every thread count** — including `threads == 1`, which degenerates
+    /// to a plain loop without spawning. The
+    /// `extend_batched_matches_rows_for_any_thread_count` test proves this
+    /// node-by-node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns.len() != streams()`, if column lengths differ,
+    /// if `threads == 0`, or if any value is non-finite (the underlying
+    /// `push_batch` checks each column before ingesting it).
+    pub fn extend_batched<C: AsRef<[f64]> + Sync>(&mut self, columns: &[C], threads: usize) {
+        assert_eq!(columns.len(), self.trees.len(), "column arity mismatch");
+        assert!(threads > 0, "need at least one thread");
+        let len = columns[0].as_ref().len();
+        assert!(
+            columns.iter().all(|c| c.as_ref().len() == len),
+            "columns must have equal lengths"
+        );
+        let workers = threads.min(self.trees.len());
+        if workers == 1 {
+            for (tree, col) in self.trees.iter_mut().zip(columns) {
+                tree.push_batch(col.as_ref());
+            }
+            return;
+        }
+        // Contiguous shards of ceil(streams / workers) trees each; the
+        // shard boundaries depend only on the stream count and `workers`,
+        // never on scheduling.
+        let shard = self.trees.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (tree_shard, col_shard) in self.trees.chunks_mut(shard).zip(columns.chunks(shard)) {
+                scope.spawn(move || {
+                    for (tree, col) in tree_shard.iter_mut().zip(col_shard) {
+                        tree.push_batch(col.as_ref());
+                    }
+                });
+            }
+        });
+    }
+
     /// Approximate values of stream `i` over the `m` newest window
     /// indices, evaluated at resolution `opts`.
     fn recent(&self, i: usize, m: usize, opts: QueryOptions) -> Result<Vec<f64>, TreeError> {
@@ -262,5 +311,79 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
         set.push_row(&[1.0]);
+    }
+
+    /// Per-stream synthetic columns, deterministic in (stream, index).
+    fn columns(streams: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..streams)
+            .map(|s| {
+                (0..len)
+                    .map(|i| ((i * (2 * s + 3) + s) % 53) as f64 - 26.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extend_batched_matches_rows_for_any_thread_count() {
+        for (n, k, streams) in [(16, 1, 5), (32, 4, 8), (8, 8, 3)] {
+            let config = SwatConfig::with_coefficients(n, k).unwrap();
+            let cols = columns(streams, 3 * n + 1);
+            // Reference: row-at-a-time sequential ingestion.
+            let mut reference = StreamSet::new(config, streams);
+            for i in 0..cols[0].len() {
+                let row: Vec<f64> = cols.iter().map(|c| c[i]).collect();
+                reference.push_row(&row);
+            }
+            for threads in [1usize, 2, 3, 7, 16] {
+                let mut sharded = StreamSet::new(config, streams);
+                sharded.extend_batched(&cols, threads);
+                for s in 0..streams {
+                    let a = reference.tree(s);
+                    let b = sharded.tree(s);
+                    assert_eq!(a.arrivals(), b.arrivals());
+                    assert_eq!(a.newest(), b.newest());
+                    let nodes_a: Vec<_> = a.nodes().collect();
+                    let nodes_b: Vec<_> = b.nodes().collect();
+                    assert_eq!(
+                        nodes_a, nodes_b,
+                        "n={n} k={k} streams={streams} threads={threads} stream {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_batched_supports_incremental_blocks() {
+        let config = SwatConfig::new(16).unwrap();
+        let cols = columns(4, 40);
+        let mut whole = StreamSet::new(config, 4);
+        whole.extend_batched(&cols, 2);
+        let mut blocks = StreamSet::new(config, 4);
+        for start in (0..40).step_by(9) {
+            let end = (start + 9).min(40);
+            let part: Vec<&[f64]> = cols.iter().map(|c| &c[start..end]).collect();
+            blocks.extend_batched(&part, 3);
+        }
+        for s in 0..4 {
+            let a: Vec<_> = whole.tree(s).nodes().collect();
+            let b: Vec<_> = blocks.tree(s).nodes().collect();
+            assert_eq!(a, b, "stream {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column arity")]
+    fn extend_batched_rejects_wrong_arity() {
+        let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
+        set.extend_batched(&columns(3, 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn extend_batched_rejects_ragged_columns() {
+        let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
+        set.extend_batched(&[vec![1.0, 2.0], vec![3.0]], 2);
     }
 }

@@ -81,6 +81,12 @@ impl Summary {
         &self.coeffs
     }
 
+    /// Consume the summary, yielding its coefficient vector — used by the
+    /// ingestion paths to recycle the heap storage of evicted generations.
+    pub fn into_coeffs(self) -> HaarCoeffs {
+        self.coeffs
+    }
+
     /// Window indices `[start, end]` covered at arrival count `now`
     /// (index 0 = newest value).
     ///

@@ -79,7 +79,9 @@ impl InnerProductQuery {
     /// lengths, contain non-finite weights, or repeat an index.
     pub fn new(indices: Vec<usize>, weights: Vec<f64>, delta: f64) -> Result<Self, TreeError> {
         if indices.is_empty() {
-            return Err(TreeError::BadQuery { reason: "empty index vector" });
+            return Err(TreeError::BadQuery {
+                reason: "empty index vector",
+            });
         }
         if indices.len() != weights.len() {
             return Err(TreeError::BadQuery {
@@ -87,16 +89,22 @@ impl InnerProductQuery {
             });
         }
         if weights.iter().any(|w| !w.is_finite()) {
-            return Err(TreeError::BadQuery { reason: "non-finite weight" });
+            return Err(TreeError::BadQuery {
+                reason: "non-finite weight",
+            });
         }
         let mut seen = indices.clone();
         seen.sort_unstable();
         if seen.windows(2).any(|w| w[0] == w[1]) {
-            return Err(TreeError::BadQuery { reason: "duplicate index" });
+            return Err(TreeError::BadQuery {
+                reason: "duplicate index",
+            });
         }
         // +infinity is allowed: "no precision requirement".
         if delta.is_nan() || delta < 0.0 {
-            return Err(TreeError::BadQuery { reason: "precision must be >= 0" });
+            return Err(TreeError::BadQuery {
+                reason: "precision must be >= 0",
+            });
         }
         Ok(InnerProductQuery {
             indices,
@@ -482,7 +490,8 @@ impl SwatTree {
                 index: indices[uncovered[0]],
             });
         }
-        let band = crate::range::ValueRange::new(query.center - query.radius, query.center + query.radius);
+        let band =
+            crate::range::ValueRange::new(query.center - query.radius, query.center + query.radius);
         let mut matches = Vec::new();
         for entry in &selected {
             let s = entry.summary;
@@ -495,7 +504,10 @@ impl SwatTree {
                 let idx = indices[pos];
                 let v = s.value_at(now, idx);
                 if (v - query.center).abs() <= query.radius {
-                    matches.push(RangeMatch { index: idx, value: v });
+                    matches.push(RangeMatch {
+                        index: idx,
+                        value: v,
+                    });
                 }
             }
         }
@@ -515,7 +527,9 @@ impl SwatTree {
         let now = self.arrivals();
         let (selected, uncovered) = self.cover(&indices, QueryOptions::default());
         if !uncovered.is_empty() {
-            return Err(TreeError::Uncovered { index: uncovered[0] });
+            return Err(TreeError::Uncovered {
+                index: uncovered[0],
+            });
         }
         let mut out = vec![0.0; n];
         for entry in &selected {
@@ -580,7 +594,10 @@ mod tests {
         let tree = warm_tree(16, (0..48).map(|i| i as f64));
         assert!(matches!(
             tree.point(16),
-            Err(TreeError::IndexOutOfWindow { index: 16, window: 16 })
+            Err(TreeError::IndexOutOfWindow {
+                index: 16,
+                window: 16
+            })
         ));
         let cold = SwatTree::new(SwatConfig::new(16).unwrap());
         assert!(matches!(cold.point(0), Err(TreeError::Uncovered { .. })));

@@ -187,7 +187,12 @@ impl SwatTree {
                     return Err(SnapshotError::Invalid("summaries out of order"));
                 }
             }
-            queue.push_back(Summary::new(coeffs, ValueRange::new(lo, hi), created_at, level));
+            queue.push_back(Summary::new(
+                coeffs,
+                ValueRange::new(lo, hi),
+                created_at,
+                level,
+            ));
         }
         if r.at != bytes.len() {
             return Err(SnapshotError::Invalid("trailing bytes"));
@@ -265,15 +270,24 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(SwatTree::restore(b"nope").unwrap_err(), SnapshotError::BadMagic);
-        assert_eq!(SwatTree::restore(b"no").unwrap_err(), SnapshotError::Truncated);
+        assert_eq!(
+            SwatTree::restore(b"nope").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        assert_eq!(
+            SwatTree::restore(b"no").unwrap_err(),
+            SnapshotError::Truncated
+        );
         assert_eq!(
             SwatTree::restore(b"BLOBxxxxxxxxxxxxxxxxxxxxxxxxxxx").unwrap_err(),
             SnapshotError::BadMagic
         );
         let mut bytes = sample_tree(16, 1, 40).snapshot();
         bytes[4] = 99; // version
-        assert_eq!(SwatTree::restore(&bytes).unwrap_err(), SnapshotError::BadVersion(99));
+        assert_eq!(
+            SwatTree::restore(&bytes).unwrap_err(),
+            SnapshotError::BadVersion(99)
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::collections::VecDeque;
 use crate::config::{SwatConfig, TreeError};
 use crate::node::Summary;
 use crate::range::ValueRange;
-use swat_wavelet::HaarCoeffs;
+use swat_wavelet::{HaarCoeffs, MergeScratch};
 
 /// Which of the three per-level nodes a summary currently occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,10 +83,14 @@ impl Level {
         }
     }
 
-    fn push(&mut self, s: Summary) {
+    /// Install a fresh summary, returning the generation it evicts (if the
+    /// level was at capacity) so callers can recycle its heap storage.
+    fn push(&mut self, s: Summary) -> Option<Summary> {
         self.nodes.push_front(s);
-        while self.nodes.len() > self.capacity {
-            self.nodes.pop_back();
+        if self.nodes.len() > self.capacity {
+            self.nodes.pop_back()
+        } else {
+            None
         }
     }
 }
@@ -155,8 +159,8 @@ impl SwatTree {
                 // Signals are stored newest-first (window index order).
                 let mut block: Vec<f64> = values[lo..hi].to_vec();
                 block.reverse();
-                let coeffs = HaarCoeffs::from_signal(&block, k)
-                    .expect("window blocks are powers of two");
+                let coeffs =
+                    HaarCoeffs::from_signal(&block, k).expect("window blocks are powers of two");
                 let summary = Summary::new(coeffs, ValueRange::of(&block), created_at, l);
                 tree.levels[l].push(summary);
             }
@@ -174,7 +178,7 @@ impl SwatTree {
         queues: Vec<VecDeque<Summary>>,
     ) -> Result<Self, TreeError> {
         if queues.len() != config.levels() {
-            return Err(TreeError::BadInitLength {
+            return Err(TreeError::RestoredLevelCount {
                 got: queues.len(),
                 want: config.levels(),
             });
@@ -184,17 +188,24 @@ impl SwatTree {
         tree.last = last;
         for (l, queue) in queues.into_iter().enumerate() {
             for s in &queue {
-                if s.level() != l || s.created_at() > t {
-                    return Err(TreeError::BadInitLength {
-                        got: s.level(),
-                        want: l,
+                if s.level() != l {
+                    return Err(TreeError::RestoredLevelMismatch {
+                        queue: l,
+                        summary: s.level(),
+                    });
+                }
+                if s.created_at() > t {
+                    return Err(TreeError::RestoredFromFuture {
+                        created_at: s.created_at(),
+                        now: t,
                     });
                 }
             }
             if queue.len() > tree.levels[l].capacity {
-                return Err(TreeError::BadInitLength {
+                return Err(TreeError::RestoredOverCapacity {
+                    level: l,
                     got: queue.len(),
-                    want: tree.levels[l].capacity,
+                    capacity: tree.levels[l].capacity,
                 });
             }
             tree.levels[l].nodes = queue;
@@ -204,44 +215,161 @@ impl SwatTree {
 
     /// Feed one new stream value, updating the affected levels
     /// (`O(k)` amortized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite; see [`SwatTree::try_push`] for the
+    /// fallible variant.
     pub fn push(&mut self, value: f64) {
         assert!(value.is_finite(), "stream values must be finite");
+        let k = self.config.coefficients();
+        let mut scratch = MergeScratch::new();
+        self.push_one(value, k, &mut scratch);
+    }
+
+    /// As [`SwatTree::push`], but rejecting non-finite input with an error
+    /// instead of panicking — the form a production ingest path wants.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::NonFinite`] if `value` is NaN or infinite; the tree is
+    /// left unchanged.
+    pub fn try_push(&mut self, value: f64) -> Result<(), TreeError> {
+        if !value.is_finite() {
+            return Err(TreeError::NonFinite { position: self.t });
+        }
+        self.push(value);
+        Ok(())
+    }
+
+    /// Feed a block of arrivals in one pass — the batched fast path.
+    ///
+    /// Equivalent to calling [`SwatTree::push`] per value (the final tree
+    /// state is bit-identical; the `push_batch_matches_sequential_push`
+    /// test proves it node by node), but the per-value loop hoists the
+    /// cascade bookkeeping: the coefficient budget is read once, the
+    /// cascade depth for arrival `t` is bounded by `t.trailing_zeros()`
+    /// instead of per-level divisibility checks, and one
+    /// [`MergeScratch`] recycles the heap buffers of evicted summaries so
+    /// budgets `k <= 3` allocate nothing across the whole batch and larger
+    /// budgets reach steady-state zero allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not finite (checked up front, before any
+    /// value is ingested); see [`SwatTree::try_push_batch`].
+    pub fn push_batch(&mut self, values: &[f64]) {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "stream values must be finite"
+        );
+        let k = self.config.coefficients();
+        let mut scratch = MergeScratch::new();
+        for &value in values {
+            self.push_one(value, k, &mut scratch);
+        }
+    }
+
+    /// As [`SwatTree::push_batch`], but rejecting non-finite input with an
+    /// error. The whole block is validated before any value is ingested,
+    /// so on error the tree is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::NonFinite`] naming the stream position of the first
+    /// offending value.
+    pub fn try_push_batch(&mut self, values: &[f64]) -> Result<(), TreeError> {
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(TreeError::NonFinite {
+                position: self.t + i as u64,
+            });
+        }
+        let k = self.config.coefficients();
+        let mut scratch = MergeScratch::new();
+        for &value in values {
+            self.push_one(value, k, &mut scratch);
+        }
+        Ok(())
+    }
+
+    /// The shared per-arrival update: every ingestion entry point funnels
+    /// here, so the sequential and batched paths cannot diverge.
+    fn push_one(&mut self, value: f64, k: usize, scratch: &mut MergeScratch) {
+        debug_assert!(value.is_finite(), "callers validate finiteness");
         let prev = self.last.replace(value);
         self.t += 1;
         let Some(prev) = prev else {
             return; // First value ever: no pair to summarize yet.
         };
-        let k = self.config.coefficients();
         // Level 0: summarize the two newest raw values (d_0, d_1).
-        let coeffs = HaarCoeffs::merge(&HaarCoeffs::scalar(value), &HaarCoeffs::scalar(prev), k)
-            .expect("scalars always merge");
+        let coeffs = HaarCoeffs::merge_with(
+            &HaarCoeffs::scalar(value),
+            &HaarCoeffs::scalar(prev),
+            k,
+            scratch,
+        )
+        .expect("scalars always merge");
         let summary = Summary::new(coeffs, ValueRange::of(&[value, prev]), self.t, 0);
-        self.levels[0].push(summary);
+        if let Some(evicted) = self.levels[0].push(summary) {
+            scratch.reclaim(evicted.into_coeffs());
+        }
         // Cascade: level l refreshes when 2^l divides t, consuming the
         // level-(l-1) Right (newest) and Left (two generations back) nodes.
-        for l in 1..self.levels.len() {
-            if !self.t.is_multiple_of(1u64 << l) {
-                break;
-            }
+        // 2^l | t exactly when l <= trailing_zeros(t), which bounds the
+        // cascade without per-level divisibility checks (odd arrivals skip
+        // the loop entirely).
+        let top = (self.t.trailing_zeros() as usize).min(self.levels.len() - 1);
+        for l in 1..=top {
             let child = &self.levels[l - 1].nodes;
             let (Some(right), Some(left)) = (child.front(), child.get(2)) else {
                 break; // Still warming up.
             };
             debug_assert_eq!(right.created_at(), self.t);
             debug_assert_eq!(left.created_at(), self.t - (1 << l));
-            let coeffs = HaarCoeffs::merge(right.coeffs(), left.coeffs(), k)
+            let coeffs = HaarCoeffs::merge_with(right.coeffs(), left.coeffs(), k, scratch)
                 .expect("sibling blocks have equal widths");
             let range = right.range().union(left.range());
             let summary = Summary::new(coeffs, range, self.t, l);
-            self.levels[l].push(summary);
+            if let Some(evicted) = self.levels[l].push(summary) {
+                scratch.reclaim(evicted.into_coeffs());
+            }
         }
     }
 
     /// Feed a sequence of values in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values; see [`SwatTree::try_extend`].
     pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        let k = self.config.coefficients();
+        let mut scratch = MergeScratch::new();
         for v in values {
-            self.push(v);
+            assert!(v.is_finite(), "stream values must be finite");
+            self.push_one(v, k, &mut scratch);
         }
+    }
+
+    /// Feed a sequence of values, stopping at the first non-finite one.
+    ///
+    /// Values before the offending one are ingested (streams cannot be
+    /// rewound); callers needing all-or-nothing semantics over a slice
+    /// should use [`SwatTree::try_push_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::NonFinite`] naming the stream position of the first
+    /// non-finite value.
+    pub fn try_extend<I: IntoIterator<Item = f64>>(&mut self, values: I) -> Result<(), TreeError> {
+        let k = self.config.coefficients();
+        let mut scratch = MergeScratch::new();
+        for v in values {
+            if !v.is_finite() {
+                return Err(TreeError::NonFinite { position: self.t });
+            }
+            self.push_one(v, k, &mut scratch);
+        }
+        Ok(())
     }
 
     /// Total number of arrivals observed.
@@ -295,11 +423,7 @@ impl SwatTree {
 
     /// Approximate memory footprint of the summaries, in bytes.
     pub fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self
-                .nodes()
-                .map(|(_, _, s)| s.space_bytes())
-                .sum::<usize>()
+        std::mem::size_of::<Self>() + self.nodes().map(|(_, _, s)| s.space_bytes()).sum::<usize>()
     }
 
     /// Render the populated nodes with their current coverages — a
@@ -346,7 +470,11 @@ mod tests {
     fn warmup_completes_within_two_windows() {
         let mut tree = SwatTree::new(cfg(16));
         tree.extend((0..32).map(|i| i as f64));
-        assert!(tree.is_warm(), "not warm after 2N arrivals:\n{}", tree.render());
+        assert!(
+            tree.is_warm(),
+            "not warm after 2N arrivals:\n{}",
+            tree.render()
+        );
         assert_eq!(tree.summary_count(), 10); // 3*4 - 2
     }
 
@@ -454,11 +582,7 @@ mod tests {
             for l in 0..4 {
                 let r = tree.node(l, NodePos::Right).unwrap();
                 let expected_refresh = t - t % (1u64 << l);
-                assert_eq!(
-                    r.created_at(),
-                    expected_refresh,
-                    "level {l} at t={t}"
-                );
+                assert_eq!(r.created_at(), expected_refresh, "level {l} at t={t}");
             }
         }
     }
@@ -476,5 +600,190 @@ mod tests {
     fn rejects_non_finite_values() {
         let mut tree = SwatTree::new(cfg(4));
         tree.push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_batch_rejects_non_finite_values() {
+        let mut tree = SwatTree::new(cfg(4));
+        tree.push_batch(&[1.0, f64::INFINITY]);
+    }
+
+    /// Assert two trees are bit-identical: same clock, same newest value,
+    /// and every node equal (coefficients, range, creation time, level —
+    /// `Summary`'s derived `PartialEq` compares all of them, and f64
+    /// equality is exact).
+    fn assert_trees_identical(a: &SwatTree, b: &SwatTree, ctx: &str) {
+        assert_eq!(a.arrivals(), b.arrivals(), "{ctx}: arrivals");
+        assert_eq!(a.newest(), b.newest(), "{ctx}: newest");
+        assert_eq!(a.summary_count(), b.summary_count(), "{ctx}: summary count");
+        for (l, pos, s) in a.nodes() {
+            let other = b
+                .node(l, pos)
+                .unwrap_or_else(|| panic!("{ctx}: missing node at level {l} {}", pos.name()));
+            assert_eq!(s, other, "{ctx}: node at level {l} {}", pos.name());
+            assert_eq!(
+                s.coeffs().coefficients(),
+                other.coeffs().coefficients(),
+                "{ctx}: coefficients at level {l} {}",
+                pos.name()
+            );
+        }
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_push() {
+        for n in [4usize, 16, 64, 256] {
+            for k in [1usize, 2, 3, 4, 8, 17] {
+                let config = SwatConfig::with_coefficients(n, k).unwrap();
+                let values: Vec<f64> = (0..3 * n + 5)
+                    .map(|i| ((i * 31 + 7) % 101) as f64 - 50.0 + (i as f64) * 0.001)
+                    .collect();
+                let mut sequential = SwatTree::new(config);
+                for &v in &values {
+                    sequential.push(v);
+                }
+                let mut batched = SwatTree::new(config);
+                batched.push_batch(&values);
+                assert_trees_identical(&sequential, &batched, &format!("n={n} k={k} one batch"));
+                // Split into uneven chunks: batch boundaries must not matter.
+                let mut chunked = SwatTree::new(config);
+                for chunk in values.chunks(7) {
+                    chunked.push_batch(chunk);
+                }
+                assert_trees_identical(&sequential, &chunked, &format!("n={n} k={k} chunked"));
+            }
+        }
+    }
+
+    #[test]
+    fn try_push_rejects_and_leaves_tree_unchanged() {
+        let mut tree = SwatTree::new(cfg(8));
+        tree.extend([1.0, 2.0, 3.0]);
+        let before = tree.clone();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                tree.try_push(bad),
+                Err(TreeError::NonFinite { position: 3 })
+            );
+        }
+        assert_trees_identical(&before, &tree, "after rejected try_push");
+        tree.try_push(4.0).unwrap();
+        assert_eq!(tree.arrivals(), 4);
+    }
+
+    #[test]
+    fn try_push_batch_is_all_or_nothing() {
+        let mut tree = SwatTree::new(cfg(8));
+        tree.extend([1.0, 2.0]);
+        let before = tree.clone();
+        assert_eq!(
+            tree.try_push_batch(&[3.0, 4.0, f64::NAN, 5.0]),
+            Err(TreeError::NonFinite { position: 4 })
+        );
+        assert_trees_identical(&before, &tree, "after rejected try_push_batch");
+        tree.try_push_batch(&[3.0, 4.0]).unwrap();
+        assert_eq!(tree.arrivals(), 4);
+    }
+
+    #[test]
+    fn try_extend_stops_at_first_bad_value() {
+        let mut tree = SwatTree::new(cfg(8));
+        let err = tree.try_extend([1.0, 2.0, f64::NAN, 4.0]).unwrap_err();
+        assert_eq!(err, TreeError::NonFinite { position: 2 });
+        // Streaming semantics: the values before the bad one were ingested.
+        assert_eq!(tree.arrivals(), 2);
+        assert_eq!(tree.newest(), Some(2.0));
+        tree.try_extend((0..30).map(|i| i as f64)).unwrap();
+        assert_eq!(tree.arrivals(), 32);
+    }
+
+    #[test]
+    fn try_paths_match_panicking_paths() {
+        let values: Vec<f64> = (0..100).map(|i| ((i * 13) % 29) as f64).collect();
+        let mut plain = SwatTree::new(cfg(16));
+        plain.extend(values.iter().copied());
+        let mut fallible = SwatTree::new(cfg(16));
+        fallible.try_extend(values.iter().copied()).unwrap();
+        assert_trees_identical(&plain, &fallible, "try_extend vs extend");
+        let mut batched = SwatTree::new(cfg(16));
+        batched.try_push_batch(&values).unwrap();
+        assert_trees_identical(&plain, &batched, "try_push_batch vs extend");
+    }
+
+    /// Build valid restore parts from a streamed tree, for mutation below.
+    fn restore_parts(
+        n: usize,
+        arrivals: usize,
+    ) -> (SwatConfig, u64, Option<f64>, Vec<VecDeque<Summary>>) {
+        let config = cfg(n);
+        let mut tree = SwatTree::new(config);
+        tree.extend((0..arrivals).map(|i| ((i * 7) % 19) as f64));
+        let t = tree.arrivals();
+        let last = tree.newest();
+        let queues: Vec<VecDeque<Summary>> =
+            tree.levels.iter().map(|lvl| lvl.nodes.clone()).collect();
+        (config, t, last, queues)
+    }
+
+    #[test]
+    fn from_restored_accepts_valid_parts() {
+        let (config, t, last, queues) = restore_parts(16, 40);
+        let tree = SwatTree::from_restored(config, t, last, queues).unwrap();
+        assert_eq!(tree.arrivals(), 40);
+    }
+
+    #[test]
+    fn from_restored_rejects_wrong_level_count() {
+        let (config, t, last, mut queues) = restore_parts(16, 40);
+        queues.pop();
+        assert_eq!(
+            SwatTree::from_restored(config, t, last, queues).unwrap_err(),
+            TreeError::RestoredLevelCount { got: 3, want: 4 }
+        );
+    }
+
+    #[test]
+    fn from_restored_rejects_level_mismatch() {
+        let (config, t, last, mut queues) = restore_parts(16, 40);
+        // Move a level-1 summary into the level-0 queue.
+        let stray = queues[1].pop_front().unwrap();
+        queues[0].pop_front();
+        queues[0].push_front(stray);
+        assert_eq!(
+            SwatTree::from_restored(config, t, last, queues).unwrap_err(),
+            TreeError::RestoredLevelMismatch {
+                queue: 0,
+                summary: 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_restored_rejects_future_summaries() {
+        let (config, t, last, queues) = restore_parts(16, 40);
+        let newest_creation = queues[0].front().unwrap().created_at();
+        assert_eq!(
+            SwatTree::from_restored(config, t - 1, last, queues).unwrap_err(),
+            TreeError::RestoredFromFuture {
+                created_at: newest_creation,
+                now: t - 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_restored_rejects_over_capacity_queues() {
+        let (config, t, last, mut queues) = restore_parts(16, 40);
+        let extra = queues[0].back().unwrap().clone();
+        queues[0].push_back(extra);
+        assert_eq!(
+            SwatTree::from_restored(config, t, last, queues).unwrap_err(),
+            TreeError::RestoredOverCapacity {
+                level: 0,
+                got: 4,
+                capacity: 3
+            }
+        );
     }
 }

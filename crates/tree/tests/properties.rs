@@ -189,6 +189,78 @@ proptest! {
         }
     }
 
+    /// Streaming `push` agrees with `from_window` at *arbitrary* arrival
+    /// counts, not just the full-refresh instants the seed's
+    /// `streaming_matches_from_window_at_refresh_points` checked. At any
+    /// time `T`, level `l` last refreshed at `s_l = T - T mod 2^l`, so a
+    /// bulk tree over the window ending there must carry bit-identical
+    /// level-`l` nodes (coefficients AND ranges — the merge is exact and
+    /// shares its arithmetic with the direct transform).
+    #[test]
+    fn streaming_matches_from_window_at_arbitrary_counts(
+        (n, k, values) in (2u32..=6, 1usize..=6).prop_flat_map(|(log_n, k)| {
+            let n = 1usize << log_n;
+            prop::collection::vec(-50.0..50.0f64, 2 * n..4 * n + 3)
+                .prop_map(move |v| (n, k, v))
+        })
+    ) {
+        let config = SwatConfig::with_coefficients(n, k).unwrap();
+        let mut streamed = SwatTree::new(config);
+        streamed.extend(values.iter().copied());
+        let t = values.len();
+        for l in 0..config.levels() {
+            // T >= 2N guarantees s_l >= 2N - 2^l >= N, so a full window
+            // ends at the refresh instant.
+            let s = t - t % (1usize << l);
+            let bulk = SwatTree::from_window(config, &values[s - n..s]).unwrap();
+            for pos in swat_tree::NodePos::ORDER {
+                let Some(want) = bulk.node(l, pos) else { continue };
+                let got = streamed.node(l, pos).unwrap();
+                prop_assert_eq!(
+                    got.coeffs(), want.coeffs(),
+                    "coefficients at T={} level {} {}", t, l, pos.name()
+                );
+                prop_assert_eq!(
+                    got.range(), want.range(),
+                    "range at T={} level {} {}", t, l, pos.name()
+                );
+                // Creation times differ only by the window offset.
+                prop_assert_eq!(
+                    got.created_at(),
+                    want.created_at() + (s - n) as u64,
+                    "created_at at T={} level {} {}", t, l, pos.name()
+                );
+            }
+        }
+    }
+
+    /// Batched ingestion is indistinguishable from sequential pushes for
+    /// random windows, budgets, values, and batch splits.
+    #[test]
+    fn push_batch_equivalent_for_random_splits(
+        (n, k, values) in (2u32..=6, 1usize..=6).prop_flat_map(|(log_n, k)| {
+            let n = 1usize << log_n;
+            prop::collection::vec(-1e6..1e6f64, 1..3 * n)
+                .prop_map(move |v| (n, k, v))
+        }),
+        chunk in 1usize..40,
+    ) {
+        let config = SwatConfig::with_coefficients(n, k).unwrap();
+        let mut sequential = SwatTree::new(config);
+        for &v in &values {
+            sequential.push(v);
+        }
+        let mut batched = SwatTree::new(config);
+        for block in values.chunks(chunk) {
+            batched.push_batch(block);
+        }
+        prop_assert_eq!(sequential.arrivals(), batched.arrivals());
+        prop_assert_eq!(sequential.newest(), batched.newest());
+        let a: Vec<_> = sequential.nodes().collect();
+        let b: Vec<_> = batched.nodes().collect();
+        prop_assert_eq!(a, b);
+    }
+
     /// Reduced-level queries never fail once warm, and flag extrapolation.
     #[test]
     fn reduced_level_total((n, values) in tree_inputs(), m in 1usize..4) {

@@ -199,6 +199,46 @@ impl HaarCoeffs {
     ///   segments of different lengths.
     /// * [`WaveletError::ZeroBudget`] if `k == 0`.
     pub fn merge(newer: &Self, older: &Self, k: usize) -> Result<Self, WaveletError> {
+        let keep = Self::merge_budget(newer, older, k)?;
+        let mut store = Store::with_capacity(keep);
+        Self::merge_fill(newer, older, keep, &mut store);
+        Ok(HaarCoeffs {
+            len: 2 * newer.len,
+            store,
+        })
+    }
+
+    /// As [`Self::merge`], but drawing any heap buffer the result needs
+    /// from `scratch` instead of the allocator. The output is identical to
+    /// `merge` (same coefficients, same logical representation); only the
+    /// provenance of the backing buffer differs. Budgets of `k <= 3` stay
+    /// inline and never touch the scratch, so batched callers pay zero
+    /// allocations for the paper's default configurations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::merge`].
+    pub fn merge_with(
+        newer: &Self,
+        older: &Self,
+        k: usize,
+        scratch: &mut MergeScratch,
+    ) -> Result<Self, WaveletError> {
+        let keep = Self::merge_budget(newer, older, k)?;
+        let mut store = if keep <= INLINE_CAP {
+            Store::with_capacity(keep)
+        } else {
+            Store::Heap(scratch.take(keep))
+        };
+        Self::merge_fill(newer, older, keep, &mut store);
+        Ok(HaarCoeffs {
+            len: 2 * newer.len,
+            store,
+        })
+    }
+
+    /// Validate a merge and compute how many coefficients the parent keeps.
+    fn merge_budget(newer: &Self, older: &Self, k: usize) -> Result<usize, WaveletError> {
         if k == 0 {
             return Err(WaveletError::ZeroBudget);
         }
@@ -208,12 +248,16 @@ impl HaarCoeffs {
                 older: older.len,
             });
         }
-        let half = newer.len;
-        let parent_len = 2 * half;
-        let keep = k.min(parent_len);
+        Ok(k.min(2 * newer.len))
+    }
+
+    /// The merge core shared by [`Self::merge`] and [`Self::merge_with`]:
+    /// push exactly `keep` parent coefficients into `store`. Keeping a
+    /// single code path guarantees the two entry points produce
+    /// bit-identical coefficients.
+    fn merge_fill(newer: &Self, older: &Self, keep: usize, store: &mut Store) {
         let newer_c = newer.store.as_slice();
         let older_c = older.store.as_slice();
-        let mut store = Store::with_capacity(keep);
         // Root and depth-1 detail from the children's averages.
         let a = newer_c[0];
         let b = older_c[0];
@@ -224,7 +268,7 @@ impl HaarCoeffs {
         // Parent depth-j block (j >= 2, BFS offset 2^(j-1), size 2^(j-1)) is
         // the concatenation of the children's depth-(j-1) blocks (offset
         // 2^(j-2), size 2^(j-2) each).
-        let child_depth = log2(half) as usize;
+        let child_depth = log2(newer.len) as usize;
         'outer: for j in 2..=(child_depth + 1) {
             let child_off = 1usize << (j - 2);
             let block = 1usize << (j - 2);
@@ -237,10 +281,6 @@ impl HaarCoeffs {
                 }
             }
         }
-        Ok(HaarCoeffs {
-            len: parent_len,
-            store,
-        })
     }
 
     /// Length of the summarized signal.
@@ -250,6 +290,8 @@ impl HaarCoeffs {
     }
 
     /// Always `false`: a summary covers at least one value.
+    #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         false
     }
@@ -293,8 +335,56 @@ impl HaarCoeffs {
     ///
     /// Panics if `idx >= self.len()`.
     pub fn value_at(&self, idx: usize) -> f64 {
-        haar::point(self.store.as_slice(), self.len, idx)
-            .expect("invariant: len is a power of two")
+        haar::point(self.store.as_slice(), self.len, idx).expect("invariant: len is a power of two")
+    }
+}
+
+/// A pool of reusable heap buffers for [`HaarCoeffs::merge_with`].
+///
+/// Streaming maintenance with a coefficient budget `k > 3` (beyond the
+/// inline capacity) would otherwise allocate one `Vec<f64>` per merge.
+/// A `MergeScratch` lets a batched caller recycle the buffers of
+/// summaries it evicts: [`MergeScratch::reclaim`] returns a retired
+/// summary's heap storage to the pool and the next `merge_with` reuses
+/// it, so steady-state ingestion does no allocation at all.
+///
+/// `new()` allocates nothing; the pool only materializes once a heap
+/// buffer is actually reclaimed.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    pool: Vec<Vec<f64>>,
+}
+
+impl MergeScratch {
+    /// An empty pool (no allocation).
+    pub fn new() -> Self {
+        MergeScratch { pool: Vec::new() }
+    }
+
+    /// Number of buffers currently pooled (for tests and accounting).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Take a cleared buffer with at least `cap` capacity.
+    fn take(&mut self, cap: usize) -> Vec<f64> {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(cap);
+                buf
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a retired summary's heap buffer to the pool. Inline
+    /// summaries (budgets `<= 3`) carry no heap storage and are simply
+    /// dropped.
+    pub fn reclaim(&mut self, coeffs: HaarCoeffs) {
+        if let Store::Heap(buf) = coeffs.store {
+            self.pool.push(buf);
+        }
     }
 }
 
@@ -437,6 +527,68 @@ mod tests {
             let c = HaarCoeffs::from_signal(&data, k).unwrap();
             assert!((c.average() - mean).abs() < 1e-9, "k={k}");
         }
+    }
+
+    #[test]
+    fn merge_with_matches_merge_bit_for_bit() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * 5) % 11) as f64 + 0.125).collect();
+        let y: Vec<f64> = (0..16).map(|i| ((i * 3 + 1) % 13) as f64 - 0.5).collect();
+        let mut scratch = MergeScratch::new();
+        for k in 1..=32 {
+            let newer = HaarCoeffs::from_signal(&x, k).unwrap();
+            let older = HaarCoeffs::from_signal(&y, k).unwrap();
+            let plain = HaarCoeffs::merge(&newer, &older, k).unwrap();
+            let pooled = HaarCoeffs::merge_with(&newer, &older, k, &mut scratch).unwrap();
+            assert_eq!(plain.len(), pooled.len(), "k = {k}");
+            assert_eq!(plain.coefficients(), pooled.coefficients(), "k = {k}");
+            assert_eq!(
+                plain.heap_coefficients(),
+                pooled.heap_coefficients(),
+                "k = {k}: representation must agree"
+            );
+            scratch.reclaim(pooled);
+        }
+    }
+
+    #[test]
+    fn merge_with_small_budgets_skip_the_pool() {
+        let a = HaarCoeffs::scalar(14.0);
+        let b = HaarCoeffs::scalar(4.0);
+        let mut scratch = MergeScratch::new();
+        let m = HaarCoeffs::merge_with(&a, &b, 3, &mut scratch).unwrap();
+        assert_eq!(m.heap_coefficients(), 0);
+        scratch.reclaim(m);
+        assert_eq!(scratch.pooled(), 0, "inline results carry no buffer");
+    }
+
+    #[test]
+    fn merge_with_recycles_reclaimed_buffers() {
+        let sig: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let newer = HaarCoeffs::from_signal(&sig, 8).unwrap();
+        let older = HaarCoeffs::from_signal(&sig, 8).unwrap();
+        let mut scratch = MergeScratch::new();
+        let first = HaarCoeffs::merge_with(&newer, &older, 8, &mut scratch).unwrap();
+        assert!(first.heap_coefficients() > 0);
+        scratch.reclaim(first);
+        assert_eq!(scratch.pooled(), 1);
+        let second = HaarCoeffs::merge_with(&newer, &older, 8, &mut scratch).unwrap();
+        assert_eq!(scratch.pooled(), 0, "the pooled buffer was reused");
+        assert_eq!(second, HaarCoeffs::merge(&newer, &older, 8).unwrap());
+    }
+
+    #[test]
+    fn merge_with_validation_matches_merge() {
+        let a = HaarCoeffs::scalar(1.0);
+        let b = HaarCoeffs::from_signal(&[1.0, 2.0], 2).unwrap();
+        let mut scratch = MergeScratch::new();
+        assert!(matches!(
+            HaarCoeffs::merge_with(&a, &b, 1, &mut scratch),
+            Err(WaveletError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            HaarCoeffs::merge_with(&a, &a, 0, &mut scratch),
+            Err(WaveletError::ZeroBudget)
+        ));
     }
 
     #[test]

@@ -17,9 +17,9 @@ use crate::is_power_of_two;
 
 // The four D4 scaling filter taps.
 const H: [f64; 4] = [
-    0.482_962_913_144_690_2,  // (1 + sqrt(3)) / (4 sqrt(2))
-    0.836_516_303_737_469,    // (3 + sqrt(3)) / (4 sqrt(2))
-    0.224_143_868_041_857_36, // (3 - sqrt(3)) / (4 sqrt(2))
+    0.482_962_913_144_690_2,   // (1 + sqrt(3)) / (4 sqrt(2))
+    0.836_516_303_737_469,     // (3 + sqrt(3)) / (4 sqrt(2))
+    0.224_143_868_041_857_36,  // (3 - sqrt(3)) / (4 sqrt(2))
     -0.129_409_522_550_921_42, // (1 - sqrt(3)) / (4 sqrt(2))
 ];
 // Wavelet filter: g[i] = (-1)^i h[3 - i].
@@ -155,7 +155,9 @@ mod tests {
     #[test]
     fn multilevel_roundtrip() {
         for n in [4usize, 8, 64, 512] {
-            let sig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() * 9.0 + 3.0).collect();
+            let sig: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.21).sin() * 9.0 + 3.0)
+                .collect();
             let coeffs = forward(&sig).unwrap();
             let back = inverse(&coeffs).unwrap();
             for (a, b) in sig.iter().zip(&back) {

@@ -103,7 +103,10 @@ impl OrthogonalFilter {
     ///
     /// Panics if fewer than two taps or an odd count is supplied.
     pub fn new(name: &'static str, taps: Vec<f64>) -> Self {
-        assert!(taps.len() >= 2 && taps.len().is_multiple_of(2), "need an even tap count >= 2");
+        assert!(
+            taps.len() >= 2 && taps.len().is_multiple_of(2),
+            "need an even tap count >= 2"
+        );
         OrthogonalFilter { name, taps }
     }
 
@@ -284,7 +287,9 @@ mod tests {
     fn multilevel_roundtrip_all_filters() {
         for f in predefined() {
             for n in [16usize, 64, 256] {
-                let sig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin() * 5.0 + 1.0).collect();
+                let sig: Vec<f64> = (0..n)
+                    .map(|i| (i as f64 * 0.17).sin() * 5.0 + 1.0)
+                    .collect();
                 let coeffs = f.forward(&sig).unwrap();
                 let back = f.inverse(&coeffs).unwrap();
                 for (i, (a, b)) in sig.iter().zip(&back).enumerate() {
@@ -326,7 +331,9 @@ mod tests {
         // (boundary coefficients are excluded — periodic wrap-around sees
         // the polynomial's jump).
         let n = 256;
-        let sig: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64).powi(2) * 10.0).collect();
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (i as f64 / n as f64).powi(2) * 10.0)
+            .collect();
         let interior_energy = |f: &OrthogonalFilter| {
             let m = n / 2;
             let mut avg = vec![0.0; m];
@@ -343,8 +350,14 @@ mod tests {
     #[test]
     fn short_signals_pass_through() {
         let f = symlet_4(); // 8 taps
-        assert_eq!(f.forward(&[1.0, 2.0, 3.0, 4.0]).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(f.inverse(&[1.0, 2.0, 3.0, 4.0]).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            f.forward(&[1.0, 2.0, 3.0, 4.0]).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+        assert_eq!(
+            f.inverse(&[1.0, 2.0, 3.0, 4.0]).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]

@@ -141,7 +141,10 @@ pub fn point(coeffs: &[f64], n: usize, idx: usize) -> Result<f64, WaveletError> 
     // on whether idx is in the left (+) or right (−) half of that block.
     for d in 1..=depth {
         let block = idx >> (depth - d);
-        let det = coeffs.get((1usize << (d - 1)) + (block >> 1)).copied().unwrap_or(0.0);
+        let det = coeffs
+            .get((1usize << (d - 1)) + (block >> 1))
+            .copied()
+            .unwrap_or(0.0);
         if block & 1 == 0 {
             value += det;
         } else {

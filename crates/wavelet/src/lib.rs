@@ -69,9 +69,9 @@ pub mod haar;
 pub mod ortho;
 pub mod thresholded;
 
-pub use coeffs::HaarCoeffs;
-pub use filterbank::OrthogonalFilter;
+pub use coeffs::{HaarCoeffs, MergeScratch};
 pub use error::WaveletError;
+pub use filterbank::OrthogonalFilter;
 pub use thresholded::ThresholdedCoeffs;
 
 /// Returns `true` if `n` is a power of two (and nonzero).

@@ -192,11 +192,7 @@ mod tests {
             let prefix = HaarCoeffs::from_signal(&sig, k).unwrap();
             let e_thresh = thresholded.l2_error(&sig);
             let rec = prefix.reconstruct();
-            let e_prefix: f64 = sig
-                .iter()
-                .zip(&rec)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let e_prefix: f64 = sig.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum();
             assert!(
                 e_thresh <= e_prefix + 1e-6,
                 "k={k}: thresholded {e_thresh} > prefix {e_prefix}"
@@ -228,7 +224,9 @@ mod tests {
         let sig = test_signal(128);
         let mut prev = f64::INFINITY;
         for k in 1..=128 {
-            let e = ThresholdedCoeffs::from_signal(&sig, k).unwrap().l2_error(&sig);
+            let e = ThresholdedCoeffs::from_signal(&sig, k)
+                .unwrap()
+                .l2_error(&sig);
             assert!(e <= prev + 1e-9, "k={k}");
             prev = e;
         }

@@ -37,8 +37,7 @@ fn main() {
     for (day, temp) in days.enumerate() {
         if day >= 2 * window {
             // Forecast BEFORE observing today's value.
-            let summary_forecast =
-                tree.inner_product(&q).expect("warm").value / weight_sum;
+            let summary_forecast = tree.inner_product(&q).expect("warm").value / weight_sum;
             let exact_forecast = q.exact(&truth.to_vec()) / weight_sum;
             let persistence = truth.get(0).expect("has data");
             err_summary += (summary_forecast - temp).abs();
@@ -54,9 +53,18 @@ fn main() {
     let n = f64::from(n_days);
     println!("forecasting daily max temperature over {n_days} evaluation days\n");
     println!("mean absolute forecast error (°F):");
-    println!("  exponentially weighted, from SWAT summary : {:.3}", err_summary / n);
-    println!("  exponentially weighted, from exact window : {:.3}", err_exact / n);
-    println!("  persistence (yesterday = tomorrow)        : {:.3}", err_persist / n);
+    println!(
+        "  exponentially weighted, from SWAT summary : {:.3}",
+        err_summary / n
+    );
+    println!(
+        "  exponentially weighted, from exact window : {:.3}",
+        err_exact / n
+    );
+    println!(
+        "  persistence (yesterday = tomorrow)        : {:.3}",
+        err_persist / n
+    );
     println!(
         "\nsummary-vs-exact forecast divergence: {:.4} °F on average",
         divergence / n

@@ -14,9 +14,7 @@
 //! cargo run --release --example stream_correlation
 //! ```
 
-use swat::tree::{
-    ContinuousEngine, GrowingSwat, InnerProductQuery, StreamSet, SwatConfig,
-};
+use swat::tree::{ContinuousEngine, GrowingSwat, InnerProductQuery, StreamSet, SwatConfig};
 
 fn main() {
     let config = SwatConfig::new(128).expect("valid");

@@ -54,9 +54,15 @@ fn main() {
     let a = tree.inner_product(&q).expect("warm");
     let exact = q.exact(&truth.to_vec());
     println!("recency-weighted load index:");
-    println!("  SWAT estimate  = {:.1} (bound ±{:.1}, {} nodes touched)", a.value, a.error_bound, a.nodes_used);
+    println!(
+        "  SWAT estimate  = {:.1} (bound ±{:.1}, {} nodes touched)",
+        a.value, a.error_bound, a.nodes_used
+    );
     println!("  exact          = {exact:.1}");
-    println!("  relative error = {:.5}\n", (a.value - exact).abs() / exact);
+    println!(
+        "  relative error = {:.5}\n",
+        (a.value - exact).abs() / exact
+    );
 
     // The same index from the histogram baseline, for comparison.
     let h = hist.build();

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_ingest.json — the ingestion-throughput
+# regression baseline (per-push vs batched vs sharded). Pass --quick for
+# a fast smoke-sized grid; any extra flags are forwarded to the CLI
+# (see `swat help`, INGEST-BENCH section, for the grid options).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- ingest-bench --out results/BENCH_ingest.json "$@"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the tier-1 build+test cycle.
+# Run from anywhere; the script cds to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings denied) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "OK: fmt, clippy, and tier-1 all green"

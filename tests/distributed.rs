@@ -33,7 +33,13 @@ fn identical_workloads_replay_identically_across_topologies() {
         for kind in SchemeKind::ALL {
             let a = run(kind, &topo, &data, &c);
             let b = run(kind, &topo, &data, &c);
-            assert_eq!(a.ledger, b.ledger, "{} on {} clients", kind.name(), topo.client_count());
+            assert_eq!(
+                a.ledger,
+                b.ledger,
+                "{} on {} clients",
+                kind.name(),
+                topo.client_count()
+            );
             assert_eq!(a.approximations, b.approximations);
         }
     }
@@ -94,7 +100,10 @@ fn asr_invariants_hold_under_the_full_harness() {
         assert!(holders.contains(&swat::net::NodeId::SOURCE));
         for &h in &holders {
             if let Some(p) = topo.parent(h) {
-                assert!(holders.contains(&p), "disconnected holder {h} for segment {seg}");
+                assert!(
+                    holders.contains(&p),
+                    "disconnected holder {h} for segment {seg}"
+                );
             }
         }
         let truth = asr.exact_segment_range(seg).expect("window is full");
@@ -124,7 +133,9 @@ fn deeper_trees_cost_more_for_per_item_schemes() {
     }
     let asr_ratio = run(SchemeKind::SwatAsr, &big, &data, &c).ledger.total() as f64
         / run(SchemeKind::SwatAsr, &small, &data, &c).ledger.total() as f64;
-    let dc_ratio = run(SchemeKind::DivergenceCaching, &big, &data, &c).ledger.total() as f64
+    let dc_ratio = run(SchemeKind::DivergenceCaching, &big, &data, &c)
+        .ledger
+        .total() as f64
         / run(SchemeKind::DivergenceCaching, &small, &data, &c)
             .ledger
             .total() as f64;

@@ -8,8 +8,7 @@ use swat::net::{MessageLedger, NodeId, Topology};
 use swat::replication::asr::SwatAsr;
 use swat::replication::ReplicationScheme;
 use swat::tree::{
-    ContinuousEngine, ExactWindow, GrowingSwat, InnerProductQuery, SwatConfig, SwatTree,
-    ValueRange,
+    ContinuousEngine, ExactWindow, GrowingSwat, InnerProductQuery, SwatConfig, SwatTree, ValueRange,
 };
 
 #[test]
@@ -121,7 +120,11 @@ fn coefficient_replication_is_exact_with_full_budget() {
     for seg in 0..asr.segments().len() {
         if let Some(a) = asr.cached_approx(NodeId(1), seg) {
             held += 1;
-            assert!(a.deviation() < 1e-9, "segment {seg} deviation {}", a.deviation());
+            assert!(
+                a.deviation() < 1e-9,
+                "segment {seg} deviation {}",
+                a.deviation()
+            );
         }
     }
     assert!(held > 0, "steady state should install replicas");
@@ -142,12 +145,19 @@ fn correlation_uses_the_same_summaries_queries_do() {
     // The correlation path reads point queries; spot-check it against a
     // manual computation from the same tree reconstructions.
     let m = 32;
-    let xa: Vec<f64> = (0..m).map(|i| set.tree(0).point(i).expect("warm").value).collect();
-    let xb: Vec<f64> = (0..m).map(|i| set.tree(1).point(i).expect("warm").value).collect();
+    let xa: Vec<f64> = (0..m)
+        .map(|i| set.tree(0).point(i).expect("warm").value)
+        .collect();
+    let xb: Vec<f64> = (0..m)
+        .map(|i| set.tree(1).point(i).expect("warm").value)
+        .collect();
     let manual = swat::tree::multi::pearson(&xa, &xb);
     let api = set.correlation(0, 1, m).expect("warm");
     assert!((manual - api).abs() < 1e-12);
-    assert!(api > 0.9, "near-identical streams must correlate, got {api}");
+    assert!(
+        api > 0.9,
+        "near-identical streams must correlate, got {api}"
+    );
 }
 
 #[test]

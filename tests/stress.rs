@@ -11,8 +11,7 @@ use swat::net::{MessageLedger, NodeId, Topology};
 use swat::replication::asr::SwatAsr;
 use swat::replication::ReplicationScheme;
 use swat::tree::{
-    ContinuousEngine, ExactWindow, GrowingSwat, InnerProductQuery, StreamSet, SwatConfig,
-    SwatTree,
+    ContinuousEngine, ExactWindow, GrowingSwat, InnerProductQuery, StreamSet, SwatConfig, SwatTree,
 };
 
 #[test]
