@@ -20,12 +20,15 @@
 //! Beyond the figures, [`ingest`] measures ingestion throughput
 //! (per-push vs batched vs sharded) and writes the
 //! `results/BENCH_ingest.json` regression baseline; it backs the
-//! `swat ingest-bench` CLI subcommand.
+//! `swat ingest-bench` CLI subcommand. [`chaos`] sweeps SWAT-ASR under
+//! fault injection (drop rate × delay, optional crash windows) and
+//! writes `results/BENCH_chaos.json`; it backs `swat chaos`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod centralized;
+pub mod chaos;
 pub mod ingest;
 pub mod report;
 

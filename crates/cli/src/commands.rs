@@ -1,4 +1,5 @@
-//! The CLI commands: `summarize`, `simulate`, `generate`, `ingest-bench`.
+//! The CLI commands: `summarize`, `simulate`, `generate`, `ingest-bench`,
+//! `chaos`.
 
 use std::io::Read;
 
@@ -19,6 +20,7 @@ USAGE
   swat simulate     [workload options]
   swat generate     --dataset weather|synthetic --count N [--seed S]
   swat ingest-bench [grid options] [--out PATH] [--quick]
+  swat chaos        [sweep options] [--out PATH] [--quick]
   swat help
 
 SUMMARIZE — build a SWAT over a stream and answer queries
@@ -42,7 +44,15 @@ INGEST-BENCH — measure per-push vs batched vs sharded ingestion
   grid:      --windows N,N,..   --coeffs K,K,..   --values N
              --streams N        --threads T,T,..  --seed S
   output:    --out PATH (default results/BENCH_ingest.json)
-  --quick    shrunk grid for smoke runs"
+  --quick    shrunk grid for smoke runs
+
+CHAOS — sweep SWAT-ASR under deterministic fault injection
+  sweep:     --drops P,P,..     per-edge drop probabilities
+             --delays D,D,..    max per-edge delays in ticks (uniform 0..=D)
+             --depth D          complete binary client tree depth
+             --window N --horizon T --warmup T --delta D --seed S
+  output:    --out PATH (default results/BENCH_chaos.json)
+  --quick    shrunk grid for smoke runs (no crash variant)"
     );
 }
 
@@ -246,9 +256,7 @@ pub fn simulate(a: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?,
         ..WorkloadConfig::default()
     };
-    if cfg.warmup >= cfg.horizon {
-        return Err("warmup must be below horizon".into());
-    }
+    cfg.validate().map_err(|e| e.to_string())?;
     let topo = parse_topology(a)?;
     let dataset = parse_dataset(a.get("dataset").unwrap_or("weather"))?;
     let data = dataset.series(cfg.seed, (cfg.horizon / cfg.t_data + 2) as usize);
@@ -374,6 +382,91 @@ pub fn ingest_bench(a: &Args) -> Result<(), String> {
         .map_err(|e| format!("writing {out}: {e}"))?;
     println!("\nwrote {out}");
     Ok(())
+}
+
+/// `swat chaos`: sweep SWAT-ASR under fault injection and write the
+/// `BENCH_chaos.json` artifact.
+pub fn chaos(a: &Args) -> Result<(), String> {
+    use swat_bench::chaos::{run, ChaosConfig};
+    let seed = a
+        .get_parsed("seed", swat_bench::DEFAULT_SEED, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut cfg = if a.switch("quick") {
+        ChaosConfig::quick(seed)
+    } else {
+        ChaosConfig::full(seed)
+    };
+    if let Some(raw) = a.get("drops") {
+        cfg.drops = parse_f64_list("drops", raw)?;
+        if cfg.drops.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err("--drops entries must be probabilities in [0, 1]".into());
+        }
+    }
+    if let Some(raw) = a.get("delays") {
+        cfg.delays = parse_u64_list("delays", raw)?;
+    }
+    cfg.depth = a
+        .get_parsed("depth", cfg.depth, "a tree depth")
+        .map_err(|e| e.to_string())?;
+    if cfg.depth == 0 {
+        return Err("--depth must be positive".into());
+    }
+    cfg.window = a
+        .get_parsed("window", cfg.window, "a power of two")
+        .map_err(|e| e.to_string())?;
+    cfg.horizon = a
+        .get_parsed("horizon", cfg.horizon, "ticks")
+        .map_err(|e| e.to_string())?;
+    cfg.warmup = a
+        .get_parsed("warmup", cfg.warmup, "ticks")
+        .map_err(|e| e.to_string())?;
+    cfg.delta = a
+        .get_parsed("delta", cfg.delta, "a number")
+        .map_err(|e| e.to_string())?;
+    // Fail early with the workload's own diagnostics (window shape,
+    // warmup vs horizon, delta) before paying for the sweep.
+    WorkloadConfig {
+        window: cfg.window,
+        delta: cfg.delta,
+        horizon: cfg.horizon,
+        warmup: cfg.warmup,
+        seed,
+        ..WorkloadConfig::default()
+    }
+    .validate()
+    .map_err(|e| e.to_string())?;
+    let report = run(&cfg);
+    report.print();
+    let violations: usize = report.cases.iter().map(|c| c.violations).sum();
+    if violations > 0 {
+        return Err(format!(
+            "{violations} correctness violations under faults — this is a bug"
+        ));
+    }
+    let out = a.get("out").unwrap_or("results/BENCH_chaos.json");
+    report
+        .write_json(std::path::Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+fn parse_f64_list(flag: &str, raw: &str) -> Result<Vec<f64>, String> {
+    let list: Result<Vec<f64>, _> = raw.split(',').map(|s| s.trim().parse()).collect();
+    match list {
+        Ok(v) if !v.is_empty() && v.iter().all(|x| x.is_finite()) => Ok(v),
+        _ => Err(format!(
+            "--{flag} {raw:?}: expected comma-separated numbers"
+        )),
+    }
+}
+
+fn parse_u64_list(flag: &str, raw: &str) -> Result<Vec<u64>, String> {
+    let list: Result<Vec<u64>, _> = raw.split(',').map(|s| s.trim().parse()).collect();
+    match list {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(format!("--{flag} {raw:?}: expected comma-separated counts")),
+    }
 }
 
 fn parse_usize_list(flag: &str, raw: &str) -> Result<Vec<usize>, String> {

@@ -1,0 +1,530 @@
+//! Deterministic fault injection for the network substrate.
+//!
+//! The paper's §5 experiments assume an ideal spanning tree: every message
+//! crosses its edges instantly and losslessly. A production deployment
+//! does not get that luxury, so this module models the three failure
+//! modes that matter on a tree network — per-edge message loss, per-edge
+//! delivery delay, and node crash/recovery windows — behind a single
+//! *adjudication* API:
+//!
+//! * [`FaultPlan`] — a declarative, validated description of the faults
+//!   (seeded, so every run replays identically),
+//! * [`Link`] — the stateful adjudicator: every message that would cross
+//!   an edge is first submitted to [`Link::adjudicate`], which rules it
+//!   [`Delivery::Delivered`] at some tick, [`Delivery::Dropped`], or
+//!   [`Delivery::EndpointDown`].
+//!
+//! [`FaultPlan::none`] is the ideal network: every adjudication returns
+//! `Delivered { at: now }` without consuming randomness, so a fault-free
+//! run through the adjudicated path is bit-identical to one that never
+//! heard of faults.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delay distribution of one edge, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DelayDist {
+    /// Instant delivery (the ideal-network default).
+    #[default]
+    Instant,
+    /// A fixed delay of the given number of ticks.
+    Const(u64),
+    /// Uniform over `lo..=hi` ticks.
+    Uniform {
+        /// Smallest possible delay.
+        lo: u64,
+        /// Largest possible delay (inclusive).
+        hi: u64,
+    },
+}
+
+impl DelayDist {
+    /// Whether this distribution always yields zero delay.
+    pub fn is_instant(&self) -> bool {
+        matches!(self, DelayDist::Instant | DelayDist::Const(0))
+            || matches!(self, DelayDist::Uniform { lo: 0, hi: 0 })
+    }
+
+    /// Draw one delay. Only `Uniform` consumes randomness.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            DelayDist::Instant => 0,
+            DelayDist::Const(d) => d,
+            DelayDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+impl fmt::Display for DelayDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayDist::Instant => write!(f, "instant"),
+            DelayDist::Const(d) => write!(f, "{d} ticks"),
+            DelayDist::Uniform { lo, hi } => write!(f, "uniform[{lo}, {hi}] ticks"),
+        }
+    }
+}
+
+/// A scheduled crash: the node is down for `from..until` (half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashing node (never the source).
+    pub node: NodeId,
+    /// First down tick.
+    pub from: u64,
+    /// First tick the node is back up (exclusive end).
+    pub until: u64,
+}
+
+/// Errors from fault-plan construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A drop probability outside `[0, 1]`.
+    BadProbability(f64),
+    /// A uniform delay with `lo > hi`.
+    BadDelay {
+        /// Lower bound given.
+        lo: u64,
+        /// Upper bound given.
+        hi: u64,
+    },
+    /// A crash window targeting the source (node 0 owns the stream; a
+    /// crashed source has nothing to degrade to).
+    SourceCrash,
+    /// A crash window with `from >= until`.
+    EmptyCrashWindow {
+        /// Window start.
+        from: u64,
+        /// Window end.
+        until: u64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::BadProbability(p) => {
+                write!(f, "drop probability {p} outside [0, 1]")
+            }
+            FaultPlanError::BadDelay { lo, hi } => {
+                write!(f, "uniform delay needs lo <= hi, got [{lo}, {hi}]")
+            }
+            FaultPlanError::SourceCrash => write!(f, "the source (node 0) cannot crash"),
+            FaultPlanError::EmptyCrashWindow { from, until } => {
+                write!(f, "crash window [{from}, {until}) is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Normalize an edge to an order-independent key (tree edges are
+/// physical links; faults apply to both directions).
+fn edge_key(a: NodeId, b: NodeId) -> (usize, usize) {
+    let (a, b) = (a.index(), b.index());
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A deterministic, seeded description of every fault a run injects.
+///
+/// Built fluently; every constructor validates its inputs with a typed
+/// [`FaultPlanError`]:
+///
+/// ```
+/// use swat_net::{DelayDist, FaultPlan, NodeId};
+///
+/// let plan = FaultPlan::new(7)
+///     .with_drop(0.05).unwrap()
+///     .with_delay(DelayDist::Uniform { lo: 0, hi: 3 }).unwrap()
+///     .with_crash(NodeId(2), 100, 150).unwrap();
+/// assert!(!plan.is_ideal());
+/// assert!(plan.is_down(NodeId(2), 120));
+/// assert!(!plan.is_down(NodeId(2), 150));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop: f64,
+    edge_drop: BTreeMap<(usize, usize), f64>,
+    delay: DelayDist,
+    edge_delay: BTreeMap<(usize, usize), DelayDist>,
+    crashes: Vec<CrashWindow>,
+}
+
+impl FaultPlan {
+    /// The ideal network: nothing drops, nothing delays, nobody crashes.
+    pub fn none() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// An ideal plan carrying `seed` (faults are added fluently).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            edge_drop: BTreeMap::new(),
+            delay: DelayDist::Instant,
+            edge_delay: BTreeMap::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Set the default per-edge drop probability.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::BadProbability`] unless `0 <= p <= 1`.
+    pub fn with_drop(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        validate_probability(p)?;
+        self.drop = p;
+        Ok(self)
+    }
+
+    /// Override the drop probability of the edge `{a, b}` (direction
+    /// independent).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::BadProbability`] unless `0 <= p <= 1`.
+    pub fn with_edge_drop(mut self, a: NodeId, b: NodeId, p: f64) -> Result<Self, FaultPlanError> {
+        validate_probability(p)?;
+        self.edge_drop.insert(edge_key(a, b), p);
+        Ok(self)
+    }
+
+    /// Set the default per-edge delay distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::BadDelay`] for a uniform range with `lo > hi`.
+    pub fn with_delay(mut self, d: DelayDist) -> Result<Self, FaultPlanError> {
+        validate_delay(&d)?;
+        self.delay = d;
+        Ok(self)
+    }
+
+    /// Override the delay distribution of the edge `{a, b}`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::BadDelay`] for a uniform range with `lo > hi`.
+    pub fn with_edge_delay(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        d: DelayDist,
+    ) -> Result<Self, FaultPlanError> {
+        validate_delay(&d)?;
+        self.edge_delay.insert(edge_key(a, b), d);
+        Ok(self)
+    }
+
+    /// Schedule `node` to be down for ticks `from..until`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::SourceCrash`] for node 0;
+    /// [`FaultPlanError::EmptyCrashWindow`] if `from >= until`.
+    pub fn with_crash(
+        mut self,
+        node: NodeId,
+        from: u64,
+        until: u64,
+    ) -> Result<Self, FaultPlanError> {
+        if node == NodeId::SOURCE {
+            return Err(FaultPlanError::SourceCrash);
+        }
+        if from >= until {
+            return Err(FaultPlanError::EmptyCrashWindow { from, until });
+        }
+        self.crashes.push(CrashWindow { node, from, until });
+        Ok(self)
+    }
+
+    /// The seed the adjudicating RNG derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_ideal(&self) -> bool {
+        self.drop == 0.0
+            && self.edge_drop.values().all(|&p| p == 0.0)
+            && self.delay.is_instant()
+            && self.edge_delay.values().all(DelayDist::is_instant)
+            && self.crashes.is_empty()
+    }
+
+    /// Whether messages can be lost outright (drops or crashes) — the
+    /// condition under which a sender must run acknowledgements and
+    /// retries. Pure delays never lose messages.
+    pub fn can_lose(&self) -> bool {
+        self.drop > 0.0 || self.edge_drop.values().any(|&p| p > 0.0) || !self.crashes.is_empty()
+    }
+
+    /// Whether `node` is down at `tick`.
+    pub fn is_down(&self, node: NodeId, tick: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|w| w.node == node && (w.from..w.until).contains(&tick))
+    }
+
+    /// The crash windows, in insertion order.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// Drop probability of the edge `{a, b}`.
+    pub fn drop_on(&self, a: NodeId, b: NodeId) -> f64 {
+        self.edge_drop
+            .get(&edge_key(a, b))
+            .copied()
+            .unwrap_or(self.drop)
+    }
+
+    /// Delay distribution of the edge `{a, b}`.
+    pub fn delay_on(&self, a: NodeId, b: NodeId) -> DelayDist {
+        self.edge_delay
+            .get(&edge_key(a, b))
+            .copied()
+            .unwrap_or(self.delay)
+    }
+
+    /// Largest node index the plan references, if any (callers bound it
+    /// against their topology).
+    pub fn max_node(&self) -> Option<usize> {
+        let edges = self
+            .edge_drop
+            .keys()
+            .chain(self.edge_delay.keys())
+            .map(|&(_, b)| b);
+        let crashed = self.crashes.iter().map(|w| w.node.index());
+        edges.chain(crashed).max()
+    }
+}
+
+fn validate_probability(p: f64) -> Result<(), FaultPlanError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(FaultPlanError::BadProbability(p))
+    }
+}
+
+fn validate_delay(d: &DelayDist) -> Result<(), FaultPlanError> {
+    match *d {
+        DelayDist::Uniform { lo, hi } if lo > hi => Err(FaultPlanError::BadDelay { lo, hi }),
+        _ => Ok(()),
+    }
+}
+
+/// The fate of one adjudicated message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrives at tick `at` (`at == now` on an ideal edge).
+    Delivered {
+        /// Arrival tick.
+        at: u64,
+    },
+    /// The edge lost the message.
+    Dropped,
+    /// The sender or receiver is inside a crash window; the message goes
+    /// nowhere.
+    EndpointDown,
+}
+
+/// The stateful fault adjudicator: one per simulation run.
+///
+/// Owns the plan plus a deterministic RNG, so the same plan over the same
+/// message sequence always rules identically.
+#[derive(Debug, Clone)]
+pub struct Link {
+    plan: FaultPlan,
+    rng: StdRng,
+    ideal: bool,
+}
+
+impl Link {
+    /// A fresh adjudicator for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        // Decorrelate from other consumers of the same seed.
+        let rng = StdRng::seed_from_u64(plan.seed ^ 0xFA_17_CA_5E_00_D1_CE_00);
+        let ideal = plan.is_ideal();
+        Link { plan, rng, ideal }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Rule on one message crossing the edge `from -> to` at tick `now`.
+    ///
+    /// Ideal plans short-circuit to `Delivered { at: now }` without
+    /// consuming randomness.
+    pub fn adjudicate(&mut self, now: u64, from: NodeId, to: NodeId) -> Delivery {
+        if self.ideal {
+            return Delivery::Delivered { at: now };
+        }
+        if self.plan.is_down(from, now) || self.plan.is_down(to, now) {
+            return Delivery::EndpointDown;
+        }
+        let p = self.plan.drop_on(from, to);
+        if p > 0.0 && self.rng.gen_bool(p) {
+            return Delivery::Dropped;
+        }
+        let delay = self.plan.delay_on(from, to).sample(&mut self.rng);
+        Delivery::Delivered { at: now + delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_validation() {
+        assert_eq!(
+            FaultPlan::new(1).with_drop(1.5),
+            Err(FaultPlanError::BadProbability(1.5))
+        );
+        assert!(matches!(
+            FaultPlan::new(1).with_drop(f64::NAN).unwrap_err(),
+            FaultPlanError::BadProbability(p) if p.is_nan()
+        ));
+        assert_eq!(
+            FaultPlan::new(1).with_delay(DelayDist::Uniform { lo: 4, hi: 2 }),
+            Err(FaultPlanError::BadDelay { lo: 4, hi: 2 })
+        );
+        assert_eq!(
+            FaultPlan::new(1).with_crash(NodeId::SOURCE, 0, 10),
+            Err(FaultPlanError::SourceCrash)
+        );
+        assert_eq!(
+            FaultPlan::new(1).with_crash(NodeId(1), 10, 10),
+            Err(FaultPlanError::EmptyCrashWindow {
+                from: 10,
+                until: 10
+            })
+        );
+        for e in [
+            FaultPlanError::BadProbability(2.0),
+            FaultPlanError::BadDelay { lo: 3, hi: 1 },
+            FaultPlanError::SourceCrash,
+            FaultPlanError::EmptyCrashWindow { from: 1, until: 1 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ideal_plan_delivers_instantly() {
+        let mut link = Link::new(FaultPlan::none());
+        for t in [0u64, 5, 99] {
+            assert_eq!(
+                link.adjudicate(t, NodeId(0), NodeId(1)),
+                Delivery::Delivered { at: t }
+            );
+        }
+        assert!(FaultPlan::none().is_ideal());
+        assert!(!FaultPlan::none().can_lose());
+    }
+
+    #[test]
+    fn classification_flags() {
+        let delay_only = FaultPlan::new(3).with_delay(DelayDist::Const(2)).unwrap();
+        assert!(!delay_only.is_ideal());
+        assert!(!delay_only.can_lose());
+
+        let drops = FaultPlan::new(3).with_drop(0.1).unwrap();
+        assert!(drops.can_lose());
+
+        let crashes = FaultPlan::new(3).with_crash(NodeId(1), 5, 9).unwrap();
+        assert!(crashes.can_lose());
+        assert_eq!(crashes.max_node(), Some(1));
+        assert_eq!(FaultPlan::none().max_node(), None);
+    }
+
+    #[test]
+    fn edge_overrides_take_precedence() {
+        let plan = FaultPlan::new(1)
+            .with_drop(0.5)
+            .unwrap()
+            .with_edge_drop(NodeId(2), NodeId(1), 0.0)
+            .unwrap()
+            .with_edge_delay(NodeId(1), NodeId(2), DelayDist::Const(7))
+            .unwrap();
+        // Direction independent.
+        assert_eq!(plan.drop_on(NodeId(1), NodeId(2)), 0.0);
+        assert_eq!(plan.drop_on(NodeId(2), NodeId(1)), 0.0);
+        assert_eq!(plan.drop_on(NodeId(0), NodeId(1)), 0.5);
+        assert_eq!(plan.delay_on(NodeId(2), NodeId(1)), DelayDist::Const(7));
+        assert_eq!(plan.delay_on(NodeId(0), NodeId(1)), DelayDist::Instant);
+    }
+
+    #[test]
+    fn crash_windows_are_half_open() {
+        let plan = FaultPlan::new(1).with_crash(NodeId(3), 10, 20).unwrap();
+        assert!(!plan.is_down(NodeId(3), 9));
+        assert!(plan.is_down(NodeId(3), 10));
+        assert!(plan.is_down(NodeId(3), 19));
+        assert!(!plan.is_down(NodeId(3), 20));
+        assert!(!plan.is_down(NodeId(2), 15));
+        let mut link = Link::new(plan);
+        assert_eq!(
+            link.adjudicate(15, NodeId(0), NodeId(3)),
+            Delivery::EndpointDown
+        );
+        assert_eq!(
+            link.adjudicate(15, NodeId(3), NodeId(0)),
+            Delivery::EndpointDown
+        );
+    }
+
+    #[test]
+    fn adjudication_is_deterministic_and_seed_sensitive() {
+        let plan = |seed| {
+            FaultPlan::new(seed)
+                .with_drop(0.3)
+                .unwrap()
+                .with_delay(DelayDist::Uniform { lo: 0, hi: 4 })
+                .unwrap()
+        };
+        let trace = |seed| {
+            let mut link = Link::new(plan(seed));
+            (0..200)
+                .map(|t| link.adjudicate(t, NodeId(0), NodeId(1)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(trace(1), trace(1));
+        assert_ne!(trace(1), trace(2));
+        // Both outcomes actually occur at drop = 0.3.
+        let t = trace(1);
+        assert!(t.iter().any(|d| matches!(d, Delivery::Dropped)));
+        assert!(t.iter().any(|d| matches!(d, Delivery::Delivered { .. })));
+    }
+
+    #[test]
+    fn delays_land_in_range() {
+        let plan = FaultPlan::new(9)
+            .with_delay(DelayDist::Uniform { lo: 1, hi: 3 })
+            .unwrap();
+        let mut link = Link::new(plan);
+        for _ in 0..500 {
+            match link.adjudicate(100, NodeId(0), NodeId(1)) {
+                Delivery::Delivered { at } => assert!((101..=103).contains(&at)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

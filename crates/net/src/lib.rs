@@ -14,13 +14,18 @@
 //! * [`MessageLedger`] — per-kind message accounting; every edge traversal
 //!   is one message, with an optional weight for control messages (the
 //!   Divergence Caching model charges control messages `w` and data
-//!   messages 1).
+//!   messages 1),
+//! * [`FaultPlan`] / [`Link`] — deterministic fault injection: before a
+//!   charged message is considered sent, the link adjudicates it as
+//!   delivered-at-tick, dropped, or endpoint-down.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod fault;
 pub mod ledger;
 pub mod topology;
 
+pub use fault::{CrashWindow, DelayDist, Delivery, FaultPlan, FaultPlanError, Link};
 pub use ledger::{MessageLedger, MsgKind};
 pub use topology::{NodeId, Topology, TopologyError};

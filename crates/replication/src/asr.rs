@@ -43,21 +43,32 @@ use swat_tree::{ExactWindow, InnerProductQuery, ValueRange};
 
 /// Per-node, per-segment replication state — one row of the paper's
 /// directory (Table 1) plus the phase counters of §3.
+///
+/// `pub(crate)` so the fault-aware driver in [`crate::chaos`] can run the
+/// same rows through an adjudicated, delayed transport.
 #[derive(Debug, Clone)]
-struct SegmentRow<A> {
+pub(crate) struct SegmentRow<A> {
     /// The cached approximation; `None` means this node is not in the
     /// segment's replication scheme.
-    approx: Option<A>,
+    pub(crate) approx: Option<A>,
     /// Children holding replicas (the subscription list).
-    subscribed: Vec<NodeId>,
+    pub(crate) subscribed: Vec<NodeId>,
     /// Children that asked queries but hold no replica.
-    interested: Vec<NodeId>,
+    pub(crate) interested: Vec<NodeId>,
     /// Reads served per child this phase.
-    read_counts: BTreeMap<NodeId, u64>,
+    pub(crate) read_counts: BTreeMap<NodeId, u64>,
     /// Queries answered locally for this node's own clients this phase.
-    local_reads: u64,
+    pub(crate) local_reads: u64,
     /// Updates received (approximation moved unsoundly) this phase.
-    writes: u64,
+    pub(crate) writes: u64,
+    /// Sequence number of the approximation held (the source's write
+    /// epoch for this segment at adoption time). Always 0 on the
+    /// synchronous path; maintained by the chaos driver.
+    pub(crate) seq: u64,
+    /// Whether the held approximation is known to no longer soundly stand
+    /// in for the segment's truth (a missed or in-flight update). Stale
+    /// rows never answer queries. Always `false` on the synchronous path.
+    pub(crate) stale: bool,
 }
 
 impl<A> Default for SegmentRow<A> {
@@ -69,6 +80,8 @@ impl<A> Default for SegmentRow<A> {
             read_counts: BTreeMap::new(),
             local_reads: 0,
             writes: 0,
+            seq: 0,
+            stale: false,
         }
     }
 }
@@ -82,7 +95,7 @@ impl<A> SegmentRow<A> {
         self.interested.contains(&v)
     }
 
-    fn note_read(&mut self, from: Option<NodeId>) {
+    pub(crate) fn note_read(&mut self, from: Option<NodeId>) {
         match from {
             None => self.local_reads += 1,
             Some(v) => {
@@ -94,15 +107,24 @@ impl<A> SegmentRow<A> {
         }
     }
 
-    fn reads_served(&self) -> u64 {
+    pub(crate) fn reads_served(&self) -> u64 {
         self.local_reads + self.read_counts.values().sum::<u64>()
     }
 
-    fn reset_phase(&mut self) {
+    pub(crate) fn reset_phase(&mut self) {
         self.read_counts.clear();
         self.local_reads = 0;
         self.writes = 0;
         self.interested.clear();
+    }
+
+    /// The approximation usable for answering: present and not stale.
+    pub(crate) fn usable(&self) -> Option<&A> {
+        if self.stale {
+            None
+        } else {
+            self.approx.as_ref()
+        }
     }
 }
 
@@ -207,8 +229,16 @@ impl<A: SegmentApprox> SwatAsr<A> {
         Some(self.window.range_of(s.lo, hi))
     }
 
+    /// Whether the sliding window has filled to capacity. While filling,
+    /// queries may touch indices with no value yet; exact answers treat
+    /// those as zero while approximations extrapolate, so the `δ`
+    /// guarantee only bites once the window is full.
+    pub(crate) fn window_full(&self) -> bool {
+        self.window.len() == self.window.capacity()
+    }
+
     /// Current values of segment `seg`, newest first (`None` while empty).
-    fn segment_values(&self, seg: usize) -> Option<Vec<f64>> {
+    pub(crate) fn segment_values(&self, seg: usize) -> Option<Vec<f64>> {
         let s = self.segments[seg];
         if self.window.len() <= s.lo {
             return None;
@@ -245,14 +275,16 @@ impl<A: SegmentApprox> SwatAsr<A> {
     /// Whether `node` can answer `query` from its cached approximations,
     /// and the answer if so. The source answers unconditionally, falling
     /// back to exact values when its own approximations are too coarse.
-    fn try_answer(&self, node: NodeId, query: &InnerProductQuery) -> Option<f64> {
+    /// Stale rows (chaos driver only) count as uncached: a replica that
+    /// missed an update disowns its bound rather than serve it.
+    pub(crate) fn try_answer(&self, node: NodeId, query: &InnerProductQuery) -> Option<f64> {
         let n = self.window.capacity();
         let rows = &self.rows[node.index()];
         let mut err = 0.0;
         let mut value = 0.0;
         for (pos, &idx) in query.indices().iter().enumerate() {
             let seg = segment_of(n, idx);
-            let Some(approx) = rows[seg].approx.as_ref() else {
+            let Some(approx) = rows[seg].usable() else {
                 if self.topo.is_source(node) {
                     // The source owns the stream: answer exactly.
                     return Some(self.answer_exact(query));
@@ -272,7 +304,7 @@ impl<A: SegmentApprox> SwatAsr<A> {
         }
     }
 
-    fn answer_exact(&self, query: &InnerProductQuery) -> f64 {
+    pub(crate) fn answer_exact(&self, query: &InnerProductQuery) -> f64 {
         query
             .indices()
             .iter()
@@ -282,7 +314,7 @@ impl<A: SegmentApprox> SwatAsr<A> {
     }
 
     /// Segment indices a query touches (deduplicated, ascending).
-    fn touched_segments(&self, query: &InnerProductQuery) -> Vec<usize> {
+    pub(crate) fn touched_segments(&self, query: &InnerProductQuery) -> Vec<usize> {
         let n = self.window.capacity();
         let mut segs: Vec<usize> = query
             .indices()
@@ -307,13 +339,31 @@ impl<A: SegmentApprox> SwatAsr<A> {
     pub fn topology(&self) -> &Topology {
         &self.topo
     }
-}
 
-impl<A: SegmentApprox> ReplicationScheme for SwatAsr<A> {
-    fn on_data(&mut self, _now: u64, value: f64, ledger: &mut MessageLedger) {
+    /// The row of `node` for segment `seg` (chaos-driver access).
+    pub(crate) fn row(&self, node: NodeId, seg: usize) -> &SegmentRow<A> {
+        &self.rows[node.index()][seg]
+    }
+
+    /// Mutable row access (chaos-driver transport effects).
+    pub(crate) fn row_mut(&mut self, node: NodeId, seg: usize) -> &mut SegmentRow<A> {
+        &mut self.rows[node.index()][seg]
+    }
+
+    /// Whether enclosure-based update suppression is on.
+    pub(crate) fn suppression_enabled(&self) -> bool {
+        self.suppress_enclosed
+    }
+
+    /// Absorb one arrival at the source: push into the window, recompute
+    /// every segment's approximation, and return the `(segment, approx)`
+    /// pairs whose stored copy could not soundly stand in (the *writes*
+    /// that must propagate). Shared by the synchronous [`Self::on_data`]
+    /// and the chaos driver, which replaces direct propagation with
+    /// adjudicated sends.
+    pub(crate) fn ingest(&mut self, value: f64) -> Vec<(usize, A)> {
         self.window.push(value);
-        // Recompute every segment's approximation; one the stale stored
-        // copy cannot soundly stand in for is a write.
+        let mut out = Vec::new();
         for seg in 0..self.segments.len() {
             let Some(values) = self.segment_values(seg) else {
                 continue;
@@ -329,8 +379,19 @@ impl<A: SegmentApprox> ReplicationScheme for SwatAsr<A> {
             row.approx = Some(new_approx.clone());
             if !quiet {
                 row.writes += 1;
-                self.propagate(NodeId::SOURCE, seg, &new_approx, ledger);
+                out.push((seg, new_approx));
             }
+        }
+        out
+    }
+}
+
+impl<A: SegmentApprox> ReplicationScheme for SwatAsr<A> {
+    fn on_data(&mut self, _now: u64, value: f64, ledger: &mut MessageLedger) {
+        // Recompute every segment's approximation; one the stale stored
+        // copy cannot soundly stand in for is a write.
+        for (seg, new_approx) in self.ingest(value) {
+            self.propagate(NodeId::SOURCE, seg, &new_approx, ledger);
         }
     }
 

@@ -13,6 +13,8 @@
 //! identically, and all three schemes see the same data and query
 //! sequences.
 
+use std::fmt;
+
 use crate::aps::AdaptivePrecision;
 use crate::asr::SwatAsr;
 use crate::divergence::DivergenceCaching;
@@ -66,6 +68,80 @@ impl Default for WorkloadConfig {
     }
 }
 
+/// Typed validation error for a [`WorkloadConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadConfigError {
+    /// A periodic task period (`t_data`, `t_query`, or `phase`) is zero.
+    ZeroPeriod(&'static str),
+    /// `warmup >= horizon`: nothing would ever be measured.
+    WarmupBeyondHorizon {
+        /// The configured warmup.
+        warmup: u64,
+        /// The configured horizon.
+        horizon: u64,
+    },
+    /// `window` is not a power of two `>= 2` (SWAT's dyadic segments
+    /// require one).
+    WindowNotPowerOfTwo(usize),
+    /// `delta` is not finite and nonnegative.
+    BadDelta(f64),
+}
+
+impl fmt::Display for WorkloadConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadConfigError::ZeroPeriod(field) => {
+                write!(f, "{field} must be nonzero")
+            }
+            WorkloadConfigError::WarmupBeyondHorizon { warmup, horizon } => {
+                write!(f, "warmup {warmup} must be < horizon {horizon}")
+            }
+            WorkloadConfigError::WindowNotPowerOfTwo(w) => {
+                write!(f, "window {w} must be a power of two >= 2")
+            }
+            WorkloadConfigError::BadDelta(d) => {
+                write!(f, "delta {d} must be finite and nonnegative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadConfigError {}
+
+impl WorkloadConfig {
+    /// Validate the configuration, reporting the first problem as a typed
+    /// error (instead of the scattered panics the periods, window
+    /// segmentation, and query generator would otherwise raise downstream).
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkloadConfigError`].
+    pub fn validate(&self) -> Result<(), WorkloadConfigError> {
+        if self.t_data == 0 {
+            return Err(WorkloadConfigError::ZeroPeriod("t_data"));
+        }
+        if self.t_query == 0 {
+            return Err(WorkloadConfigError::ZeroPeriod("t_query"));
+        }
+        if self.phase == 0 {
+            return Err(WorkloadConfigError::ZeroPeriod("phase"));
+        }
+        if self.warmup >= self.horizon {
+            return Err(WorkloadConfigError::WarmupBeyondHorizon {
+                warmup: self.warmup,
+                horizon: self.horizon,
+            });
+        }
+        if self.window < 2 || !self.window.is_power_of_two() {
+            return Err(WorkloadConfigError::WindowNotPowerOfTwo(self.window));
+        }
+        if !self.delta.is_finite() || self.delta < 0.0 {
+            return Err(WorkloadConfigError::BadDelta(self.delta));
+        }
+        Ok(())
+    }
+}
+
 /// Result of one run.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -79,6 +155,36 @@ pub struct RunOutput {
     pub approximations: usize,
     /// Scheme name.
     pub scheme: &'static str,
+    /// Order-sensitive FNV-1a digest of every measured query outcome
+    /// `(tick, client, value bits, answering node, local hit)` — two runs
+    /// answered bit-identically iff their digests match.
+    pub answers_digest: u64,
+}
+
+/// FNV-1a offset basis for [`RunOutput::answers_digest`].
+pub(crate) const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold one 64-bit word into an FNV-1a digest, byte by byte.
+pub(crate) fn digest_word(h: u64, word: u64) -> u64 {
+    word.to_le_bytes().iter().fold(h, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Fold one measured query outcome into the digest.
+pub(crate) fn digest_outcome(
+    h: u64,
+    issued: u64,
+    client: usize,
+    value: f64,
+    answered_at: usize,
+    local_hit: bool,
+) -> u64 {
+    let h = digest_word(h, issued);
+    let h = digest_word(h, client as u64);
+    let h = digest_word(h, value.to_bits());
+    let h = digest_word(h, answered_at as u64);
+    digest_word(h, local_hit as u64)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +219,11 @@ pub fn make_scheme(
 ///
 /// Panics if `values` is empty or the topology has no clients.
 pub fn run(kind: SchemeKind, topo: &Topology, values: &[f64], cfg: &WorkloadConfig) -> RunOutput {
+    // Validate before constructing the scheme: schemes assert their own
+    // invariants (e.g. dyadic windows) with less helpful messages.
+    if let Err(e) = cfg.validate() {
+        panic!("invalid workload config: {e}");
+    }
     let mut scheme = make_scheme(kind, topo, cfg);
     run_scheme(scheme.as_mut(), topo, values, cfg)
 }
@@ -121,7 +232,8 @@ pub fn run(kind: SchemeKind, topo: &Topology, values: &[f64], cfg: &WorkloadConf
 ///
 /// # Panics
 ///
-/// Panics if `values` is empty or the topology has no clients.
+/// Panics if `values` is empty, the topology has no clients, or the
+/// configuration fails [`WorkloadConfig::validate`].
 pub fn run_scheme(
     scheme: &mut dyn ReplicationScheme,
     topo: &Topology,
@@ -130,22 +242,31 @@ pub fn run_scheme(
 ) -> RunOutput {
     assert!(!values.is_empty(), "need stream data");
     assert!(topo.client_count() > 0, "need at least one client");
+    if let Err(e) = cfg.validate() {
+        panic!("invalid workload config: {e}");
+    }
 
     let mut sched: Scheduler<Event> = Scheduler::new();
     let mut data_task = Periodic::starting_at(0, cfg.t_data);
-    sched.schedule(data_task.next_fire(), Event::Data);
+    sched
+        .try_schedule(data_task.next_fire(), Event::Data)
+        .expect("initial schedule is never in the past");
     let mut query_tasks: Vec<Periodic> = topo
         .clients()
-        .map(|c| Periodic::starting_at(1 + (c.index() as u64 % cfg.t_query.max(1)), cfg.t_query))
+        .map(|c| Periodic::starting_at(1 + (c.index() as u64 % cfg.t_query), cfg.t_query))
         .collect();
     for (i, c) in topo.clients().enumerate() {
-        sched.schedule(
-            query_tasks[i].next_fire(),
-            Event::Query { client: c.index() },
-        );
+        sched
+            .try_schedule(
+                query_tasks[i].next_fire(),
+                Event::Query { client: c.index() },
+            )
+            .expect("initial schedule is never in the past");
     }
     let mut phase_task = Periodic::starting_at(cfg.phase, cfg.phase);
-    sched.schedule(phase_task.next_fire(), Event::PhaseEnd);
+    sched
+        .try_schedule(phase_task.next_fire(), Event::PhaseEnd)
+        .expect("initial schedule is never in the past");
 
     let mut generators: Vec<QueryGenerator> = topo
         .clients()
@@ -156,6 +277,7 @@ pub fn run_scheme(
     let mut ledger = MessageLedger::new();
     let mut metrics = Metrics::new();
     let mut data_idx = 0usize;
+    let mut digest = DIGEST_SEED;
 
     while let Some(at) = sched.peek_time() {
         if at >= cfg.horizon {
@@ -176,7 +298,9 @@ pub fn run_scheme(
                 if measuring {
                     metrics.incr("data_arrivals");
                 }
-                sched.schedule(data_task.advance(), Event::Data);
+                sched
+                    .try_schedule(data_task.advance(), Event::Data)
+                    .expect("periodic advance is monotone");
             }
             Event::Query { client } => {
                 let gen_idx = client - 1;
@@ -188,15 +312,27 @@ pub fn run_scheme(
                         metrics.incr("local_hits");
                     }
                     metrics.record("answer_depth", topo.depth(out.answered_at) as f64);
+                    digest = digest_outcome(
+                        digest,
+                        now,
+                        client,
+                        out.value,
+                        out.answered_at.index(),
+                        out.local_hit,
+                    );
                 }
-                sched.schedule(query_tasks[gen_idx].advance(), Event::Query { client });
+                sched
+                    .try_schedule(query_tasks[gen_idx].advance(), Event::Query { client })
+                    .expect("periodic advance is monotone");
             }
             Event::PhaseEnd => {
                 scheme.on_phase_end(now, target);
                 if measuring {
                     metrics.incr("phases");
                 }
-                sched.schedule(phase_task.advance(), Event::PhaseEnd);
+                sched
+                    .try_schedule(phase_task.advance(), Event::PhaseEnd)
+                    .expect("periodic advance is monotone");
             }
         }
     }
@@ -209,6 +345,7 @@ pub fn run_scheme(
         metrics,
         approximations,
         scheme: scheme.name(),
+        answers_digest: digest,
     }
 }
 
@@ -239,6 +376,96 @@ mod tests {
         assert_eq!(a.ledger, b.ledger);
         assert_eq!(a.approximations, b.approximations);
         assert_eq!(a.metrics.counter("queries"), b.metrics.counter("queries"));
+        assert_eq!(a.answers_digest, b.answers_digest);
+    }
+
+    #[test]
+    fn answer_digest_distinguishes_workloads() {
+        let topo = Topology::single_client();
+        let data = weather(700);
+        let a = run(SchemeKind::SwatAsr, &topo, &data, &small_cfg());
+        let b = run(
+            SchemeKind::SwatAsr,
+            &topo,
+            &data,
+            &WorkloadConfig {
+                seed: 43,
+                ..small_cfg()
+            },
+        );
+        assert_ne!(a.answers_digest, b.answers_digest);
+    }
+
+    #[test]
+    fn config_validation_catches_each_field() {
+        assert!(WorkloadConfig::default().validate().is_ok());
+        let base = WorkloadConfig::default();
+        let cases = [
+            (
+                WorkloadConfig { t_data: 0, ..base },
+                WorkloadConfigError::ZeroPeriod("t_data"),
+            ),
+            (
+                WorkloadConfig { t_query: 0, ..base },
+                WorkloadConfigError::ZeroPeriod("t_query"),
+            ),
+            (
+                WorkloadConfig { phase: 0, ..base },
+                WorkloadConfigError::ZeroPeriod("phase"),
+            ),
+            (
+                WorkloadConfig {
+                    warmup: 500,
+                    horizon: 500,
+                    ..base
+                },
+                WorkloadConfigError::WarmupBeyondHorizon {
+                    warmup: 500,
+                    horizon: 500,
+                },
+            ),
+            (
+                WorkloadConfig { window: 24, ..base },
+                WorkloadConfigError::WindowNotPowerOfTwo(24),
+            ),
+            (
+                WorkloadConfig { window: 1, ..base },
+                WorkloadConfigError::WindowNotPowerOfTwo(1),
+            ),
+            (
+                WorkloadConfig {
+                    delta: -1.0,
+                    ..base
+                },
+                WorkloadConfigError::BadDelta(-1.0),
+            ),
+            (
+                WorkloadConfig {
+                    delta: f64::INFINITY,
+                    ..base
+                },
+                WorkloadConfigError::BadDelta(f64::INFINITY),
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+            assert!(!want.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload config")]
+    fn run_rejects_invalid_config() {
+        let cfg = WorkloadConfig {
+            window: 24,
+            ..WorkloadConfig::default()
+        };
+        run(
+            SchemeKind::SwatAsr,
+            &Topology::single_client(),
+            &[1.0],
+            &cfg,
+        );
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! `swat_net::MessageLedger`); DC's control messages carry its weight
 //! `w`.
 //!
+//! The fault-aware driver lives in [`chaos`]: it runs SWAT-ASR with every
+//! message adjudicated by a `swat_net::FaultPlan` (drops, delays,
+//! crashes), acks + bounded retries for replication traffic, and
+//! staleness-based graceful degradation — under `FaultPlan::none()` it is
+//! bit-identical to [`harness::run`].
+//!
 //! ```
 //! use swat_net::Topology;
 //! use swat_replication::harness::{run, WorkloadConfig};
@@ -57,6 +63,7 @@
 pub mod approx;
 pub mod aps;
 pub mod asr;
+pub mod chaos;
 pub mod divergence;
 pub mod harness;
 pub mod scheme;
@@ -64,5 +71,7 @@ pub mod segments;
 pub mod workload;
 
 pub use approx::{CoeffApprox, RangeApprox, SegmentApprox};
+pub use chaos::{run_chaos, ChaosError, ChaosOptions, ChaosOutput, RetryPolicy};
+pub use harness::WorkloadConfigError;
 pub use scheme::{QueryOutcome, ReplicationScheme, SchemeKind};
 pub use segments::Segment;

@@ -1,0 +1,165 @@
+//! Property-based tests for the fault-aware chaos driver.
+//!
+//! Two guarantees from the robustness design, checked over random
+//! topologies, workloads, and fault plans:
+//!
+//! 1. **Null-plan identity.** Under `FaultPlan::none()` the chaos driver
+//!    is bit-identical to the synchronous harness — same ledgers, same
+//!    metrics, same answer digest — for every scheme. The fault layer
+//!    costs nothing when there are no faults.
+//! 2. **Zero correctness loss.** Under arbitrary seeded fault plans
+//!    (drops, delays, crashes), every query that *is* answered meets its
+//!    `δ` bound and every cached range still encloses the truth; faults
+//!    are paid for in messages and unanswered queries, never in wrong
+//!    answers.
+
+use proptest::prelude::*;
+use swat_data::Dataset;
+use swat_net::{DelayDist, FaultPlan, NodeId, Topology};
+use swat_replication::harness::{run, WorkloadConfig};
+use swat_replication::{run_chaos, ChaosOptions, SchemeKind};
+
+/// A random small tree topology (1..=7 clients), valid by construction:
+/// each client's parent is an earlier node.
+fn topology() -> impl Strategy<Value = Topology> {
+    prop::collection::vec(0usize..64, 1..7).prop_map(|seeds| {
+        let mut parents: Vec<Option<usize>> = vec![None];
+        for (i, s) in seeds.iter().enumerate() {
+            let child = i + 1;
+            parents.push(Some(s % child));
+        }
+        Topology::from_parents(parents).expect("parents precede children")
+    })
+}
+
+fn config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        prop::sample::select(vec![8usize, 16, 32]),
+        1u64..4,
+        1u64..4,
+        prop::sample::select(vec![2.0f64, 20.0, 200.0]),
+        5u64..40,
+        0u64..1000,
+    )
+        .prop_map(
+            |(window, t_data, t_query, delta, phase, seed)| WorkloadConfig {
+                window,
+                t_data,
+                t_query,
+                delta,
+                horizon: 500,
+                warmup: 100,
+                seed,
+                phase,
+                ..WorkloadConfig::default()
+            },
+        )
+}
+
+/// An arbitrary seeded fault plan: global drop rate, global delay
+/// distribution, and (when the gate bit is set) one crash window on a
+/// client node. Node indices are taken modulo the topology size by the
+/// caller.
+type PlanParams = (u64, f64, DelayDist, (bool, usize, u64, u64));
+
+fn fault_plan() -> impl Strategy<Value = PlanParams> {
+    (
+        0u64..1000,
+        prop::sample::select(vec![0.0f64, 0.05, 0.2, 0.4]),
+        prop::sample::select(vec![
+            DelayDist::Instant,
+            DelayDist::Const(1),
+            DelayDist::Const(3),
+            DelayDist::Uniform { lo: 0, hi: 2 },
+            DelayDist::Uniform { lo: 1, hi: 5 },
+        ]),
+        (any::<bool>(), 1usize..8, 120u64..350, 10u64..120),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under the null fault plan the chaos driver reproduces the
+    /// synchronous harness bit for bit, for every scheme.
+    #[test]
+    fn null_plan_is_bit_identical(topo in topology(), cfg in config(), dataset_seed in 0u64..100) {
+        let data = Dataset::Weather.series(dataset_seed, 600);
+        let options = ChaosOptions::default(); // FaultPlan::none()
+        for kind in SchemeKind::ALL {
+            let sync = run(kind, &topo, &data, &cfg);
+            let chaos = run_chaos(kind, &topo, &data, &cfg, &options)
+                .expect("ideal plans support every scheme");
+            prop_assert_eq!(&chaos.run.ledger, &sync.ledger, "{} ledger", kind.name());
+            prop_assert_eq!(
+                &chaos.run.warmup_ledger,
+                &sync.warmup_ledger,
+                "{} warmup ledger",
+                kind.name()
+            );
+            prop_assert_eq!(
+                chaos.run.answers_digest,
+                sync.answers_digest,
+                "{} answers",
+                kind.name()
+            );
+            prop_assert_eq!(chaos.run.approximations, sync.approximations);
+            for key in ["queries", "local_hits", "data_arrivals", "phases"] {
+                prop_assert_eq!(
+                    chaos.run.metrics.counter(key),
+                    sync.metrics.counter(key),
+                    "{} {}",
+                    kind.name(),
+                    key
+                );
+            }
+        }
+    }
+
+    /// Under arbitrary fault plans, SWAT-ASR never returns a wrong
+    /// answer: the invariant checker (δ bound at every answer, enclosure
+    /// of truth by every non-stale cached range after every event) finds
+    /// nothing, answered queries never exceed issued ones, and the run
+    /// replays identically.
+    #[test]
+    fn faults_never_cost_correctness(
+        topo in topology(),
+        cfg in config(),
+        dataset_seed in 0u64..100,
+        (plan_seed, drop, delay, crash) in fault_plan(),
+    ) {
+        let data = Dataset::Weather.series(dataset_seed, 600);
+        let mut plan = FaultPlan::new(plan_seed)
+            .with_drop(drop)
+            .expect("valid probability")
+            .with_delay(delay)
+            .expect("valid delay");
+        let (crashes, node, from, len) = crash;
+        if crashes {
+            let node = 1 + (node % (topo.len() - 1)); // a client, never the source
+            plan = plan
+                .with_crash(NodeId(node), from, from + len)
+                .expect("valid crash window");
+        }
+        let options = ChaosOptions {
+            plan,
+            check_invariants: true,
+            ..ChaosOptions::default()
+        };
+        let out = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg, &options)
+            .expect("plan is in range");
+        prop_assert!(
+            out.violations.is_empty(),
+            "correctness violations under faults: {:?}",
+            out.violations
+        );
+        prop_assert!(
+            out.net.counter("net.queries_answered") <= out.run.metrics.counter("queries"),
+            "more answers than measured queries"
+        );
+        let replay = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg, &options)
+            .expect("plan is in range");
+        prop_assert_eq!(&replay.run.ledger, &out.run.ledger);
+        prop_assert_eq!(replay.run.answers_digest, out.run.answers_digest);
+    }
+}

@@ -44,7 +44,7 @@ pub mod metrics;
 pub mod scheduler;
 
 pub use metrics::{Accumulator, Metrics};
-pub use scheduler::{Periodic, Scheduler};
+pub use scheduler::{PastTickError, Periodic, Scheduler};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -2,6 +2,25 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Typed error for attempts to schedule an event before the current
+/// virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PastTickError {
+    /// The requested (past) tick.
+    pub at: u64,
+    /// The scheduler's current tick.
+    pub now: u64,
+}
+
+impl fmt::Display for PastTickError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot schedule at {}, now is {}", self.at, self.now)
+    }
+}
+
+impl std::error::Error for PastTickError {}
 
 /// A discrete-event scheduler over a virtual clock of integer ticks.
 ///
@@ -64,24 +83,36 @@ impl<E> Scheduler<E> {
         self.queue.len()
     }
 
-    /// Schedule `event` at absolute tick `at`.
+    /// Schedule `event` at absolute tick `at`, rejecting past ticks with
+    /// a typed error. Same-tick scheduling is allowed and delivers after
+    /// already-queued same-tick events.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `at` is in the past (`< now`); same-tick scheduling is
-    /// allowed and delivers after already-queued same-tick events.
-    pub fn schedule(&mut self, at: u64, event: E) {
-        assert!(
-            at >= self.now,
-            "cannot schedule at {at}, now is {}",
-            self.now
-        );
+    /// [`PastTickError`] if `at < now`; the event is not enqueued.
+    pub fn try_schedule(&mut self, at: u64, event: E) -> Result<(), PastTickError> {
+        if at < self.now {
+            return Err(PastTickError { at, now: self.now });
+        }
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Entry {
             key: Reverse((at, seq)),
             event,
         });
+        Ok(())
+    }
+
+    /// Schedule `event` at absolute tick `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`< now`); use [`Scheduler::try_schedule`]
+    /// for the fallible form.
+    pub fn schedule(&mut self, at: u64, event: E) {
+        if let Err(e) = self.try_schedule(at, event) {
+            panic!("{e}");
+        }
     }
 
     /// Schedule `event` after `delay` ticks from now.
@@ -208,6 +239,20 @@ mod tests {
         s.schedule(10, ());
         s.next().unwrap();
         s.schedule(9, ());
+    }
+
+    #[test]
+    fn try_schedule_reports_past_ticks() {
+        let mut s = Scheduler::new();
+        s.schedule(10, 1u8);
+        s.next().unwrap();
+        let err = s.try_schedule(9, 2).unwrap_err();
+        assert_eq!(err, PastTickError { at: 9, now: 10 });
+        assert_eq!(err.to_string(), "cannot schedule at 9, now is 10");
+        // The rejected event was not enqueued; same-tick is still fine.
+        assert_eq!(s.pending(), 0);
+        s.try_schedule(10, 3).unwrap();
+        assert_eq!(s.next(), Some((10, 3)));
     }
 
     #[test]

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_chaos.json — SWAT-ASR message cost and answer
+# quality under deterministic fault injection (drop rate × delay, with
+# crash-window variants). Pass --quick for a fast smoke-sized grid; any
+# extra flags are forwarded to the CLI (see `swat help`, CHAOS section,
+# for the sweep options).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- chaos --out results/BENCH_chaos.json "$@"

@@ -14,4 +14,8 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
-echo "OK: fmt, clippy, and tier-1 all green"
+echo "== chaos smoke (fault injection, quick grid) =="
+cargo run --release -q -p swat-cli -- chaos --quick --out target/chaos-smoke.json >/dev/null
+echo "chaos smoke clean (target/chaos-smoke.json)"
+
+echo "OK: fmt, clippy, tier-1, and chaos smoke all green"
