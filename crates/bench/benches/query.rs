@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for query serving: the frozen reference
+//! paths vs the zero-allocation scratch engine vs the wavelet-domain
+//! inner-product kernel. The kernels are the same ones the
+//! `swat query-bench` CLI harness times (see `swat_bench::query`), so
+//! criterion numbers and the `results/BENCH_query.json` artifact stay
+//! comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swat_bench::query::{
+    build_queries, inners_batched, inners_kernel, inners_reference, points_batched,
+    points_reference, ranges_reference, ranges_scratch, QueryConfig,
+};
+use swat_data::Dataset;
+use swat_tree::{QueryScratch, SwatConfig, SwatTree};
+
+fn warm_tree(n: usize, k: usize) -> SwatTree {
+    let mut tree = SwatTree::new(SwatConfig::with_coefficients(n, k).expect("valid"));
+    tree.extend(Dataset::Synthetic.series(1, 3 * n));
+    tree
+}
+
+fn queries(n: usize) -> swat_bench::query::QuerySet {
+    let mut cfg = QueryConfig::quick(1);
+    cfg.points = 4096;
+    cfg.inners = 64;
+    cfg.ranges = 16;
+    build_queries(&cfg, n)
+}
+
+fn bench_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query/point");
+    g.sample_size(20);
+    for (n, k) in [(1024usize, 1usize), (1024, 8), (4096, 8)] {
+        let tree = warm_tree(n, k);
+        let qs = queries(n);
+        g.throughput(Throughput::Elements(qs.indices.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("reference", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| b.iter(|| points_reference(tree, black_box(&qs.indices))),
+        );
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        g.bench_with_input(
+            BenchmarkId::new("batched", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| {
+                b.iter(|| points_batched(tree, black_box(&qs.indices), &mut scratch, &mut out))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_inner_product(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query/inner_product");
+    g.sample_size(20);
+    for (n, k) in [(1024usize, 8usize), (4096, 8)] {
+        let tree = warm_tree(n, k);
+        let qs = queries(n);
+        g.throughput(Throughput::Elements(qs.inners.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("reference", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| b.iter(|| inners_reference(tree, black_box(&qs.inners))),
+        );
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        g.bench_with_input(
+            BenchmarkId::new("batched", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| {
+                b.iter(|| inners_batched(tree, black_box(&qs.inners), &mut scratch, &mut out))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("kernel", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| b.iter(|| inners_kernel(tree, black_box(&qs.inners), &mut scratch)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query/range");
+    g.sample_size(20);
+    {
+        let (n, k) = (1024usize, 8usize);
+        let tree = warm_tree(n, k);
+        let qs = queries(n);
+        g.throughput(Throughput::Elements(qs.ranges.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("reference", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| b.iter(|| ranges_reference(tree, black_box(&qs.ranges))),
+        );
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        g.bench_with_input(
+            BenchmarkId::new("scratch", format!("n{n}_k{k}")),
+            &tree,
+            |b, tree| {
+                b.iter(|| ranges_scratch(tree, black_box(&qs.ranges), &mut scratch, &mut out))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_point, bench_inner_product, bench_range);
+criterion_main!(benches);

@@ -20,9 +20,13 @@
 //! Beyond the figures, [`ingest`] measures ingestion throughput
 //! (per-push vs batched vs sharded) and writes the
 //! `results/BENCH_ingest.json` regression baseline; it backs the
-//! `swat ingest-bench` CLI subcommand. [`chaos`] sweeps SWAT-ASR under
-//! fault injection (drop rate × delay, optional crash windows) and
-//! writes `results/BENCH_chaos.json`; it backs `swat chaos`.
+//! `swat ingest-bench` CLI subcommand. [`query`] measures query-serving
+//! throughput (reference vs the zero-allocation engine vs the
+//! wavelet-domain kernel, plus parallel multi-stream fan-out) and writes
+//! `results/BENCH_query.json`; it backs `swat query-bench`. [`chaos`]
+//! sweeps SWAT-ASR under fault injection (drop rate × delay, optional
+//! crash windows) and writes `results/BENCH_chaos.json`; it backs
+//! `swat chaos`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -30,6 +34,7 @@
 pub mod centralized;
 pub mod chaos;
 pub mod ingest;
+pub mod query;
 pub mod report;
 
 /// Default seed used by all figure binaries (override with `SWAT_SEED`).

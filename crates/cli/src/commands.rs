@@ -1,5 +1,5 @@
 //! The CLI commands: `summarize`, `simulate`, `generate`, `ingest-bench`,
-//! `chaos`.
+//! `query-bench`, `chaos`.
 
 use std::io::Read;
 
@@ -20,6 +20,7 @@ USAGE
   swat simulate     [workload options]
   swat generate     --dataset weather|synthetic --count N [--seed S]
   swat ingest-bench [grid options] [--out PATH] [--quick]
+  swat query-bench  [grid options] [--out PATH] [--quick]
   swat chaos        [sweep options] [--out PATH] [--quick]
   swat help
 
@@ -45,6 +46,14 @@ INGEST-BENCH — measure per-push vs batched vs sharded ingestion
              --streams N        --threads T,T,..  --seed S
   output:    --out PATH (default results/BENCH_ingest.json)
   --quick    shrunk grid for smoke runs
+
+QUERY-BENCH — measure query serving: reference vs engine vs kernel
+  grid:      --windows N,N,..   --coeffs K,K,..   --points N
+             --inners N         --ranges N        --streams N
+             --threads T,T,..   --seed S
+  output:    --out PATH (default results/BENCH_query.json)
+  --quick    shrunk grid for smoke runs
+  errors if any fast path disagrees with the reference answers
 
 CHAOS — sweep SWAT-ASR under deterministic fault injection
   sweep:     --drops P,P,..     per-edge drop probabilities
@@ -377,6 +386,73 @@ pub fn ingest_bench(a: &Args) -> Result<(), String> {
     let report = run(&cfg);
     report.print();
     let out = a.get("out").unwrap_or("results/BENCH_ingest.json");
+    report
+        .write_json(std::path::Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+/// `swat query-bench`: query-serving throughput — reference vs the
+/// zero-allocation engine vs the wavelet-domain kernel, plus parallel
+/// multi-stream fan-out — writing the `BENCH_query.json` artifact.
+pub fn query_bench(a: &Args) -> Result<(), String> {
+    use swat_bench::query::{run, QueryConfig};
+    let seed = a
+        .get_parsed("seed", swat_bench::DEFAULT_SEED, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut cfg = if a.switch("quick") {
+        QueryConfig::quick(seed)
+    } else {
+        QueryConfig::full(seed)
+    };
+    if let Some(raw) = a.get("windows") {
+        cfg.windows = parse_usize_list("windows", raw)?;
+    }
+    if let Some(raw) = a.get("coeffs") {
+        cfg.coefficients = parse_usize_list("coeffs", raw)?;
+    }
+    if let Some(raw) = a.get("threads") {
+        cfg.threads = parse_usize_list("threads", raw)?;
+    }
+    cfg.points = a
+        .get_parsed("points", cfg.points, "a count")
+        .map_err(|e| e.to_string())?;
+    cfg.inners = a
+        .get_parsed("inners", cfg.inners, "a count")
+        .map_err(|e| e.to_string())?;
+    cfg.ranges = a
+        .get_parsed("ranges", cfg.ranges, "a count")
+        .map_err(|e| e.to_string())?;
+    cfg.streams = a
+        .get_parsed("streams", cfg.streams, "a count")
+        .map_err(|e| e.to_string())?;
+    if cfg.streams == 0 {
+        return Err("--streams must be positive".into());
+    }
+    for (&w, &k) in cfg
+        .windows
+        .iter()
+        .flat_map(|w| cfg.coefficients.iter().map(move |k| (w, k)))
+    {
+        SwatConfig::with_coefficients(w, k).map_err(|e| e.to_string())?;
+        if w < 4 {
+            return Err("--windows entries must be at least 4".into());
+        }
+    }
+    for &t in &cfg.threads {
+        if t == 0 {
+            return Err("--threads entries must be positive".into());
+        }
+    }
+    let report = run(&cfg);
+    report.print();
+    if !report.agreement {
+        return Err(
+            "fast query paths disagreed with the reference implementation — this is a bug".into(),
+        );
+    }
+    let out = a.get("out").unwrap_or("results/BENCH_query.json");
     report
         .write_json(std::path::Path::new(out))
         .map_err(|e| format!("writing {out}: {e}"))?;

@@ -5,6 +5,7 @@
 //! swat simulate --scheme all --topology binary --depth 2 --window 64
 //! swat generate --dataset weather --count 1000 --seed 7
 //! swat ingest-bench --quick --out results/BENCH_ingest.json
+//! swat query-bench --quick --out results/BENCH_query.json
 //! swat chaos --drops 0,0.05,0.2 --delays 0,2 --depth 3
 //! swat help
 //! ```
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&parsed),
         "generate" => commands::generate(&parsed),
         "ingest-bench" => commands::ingest_bench(&parsed),
+        "query-bench" => commands::query_bench(&parsed),
         "chaos" => commands::chaos(&parsed),
         other => Err(format!("unknown command {other:?} (try `swat help`)")),
     };

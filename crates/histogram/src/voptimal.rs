@@ -16,27 +16,27 @@
 use crate::buckets::{Bucket, Histogram};
 use crate::prefix::PrefixSums;
 
-/// Build the exact V-optimal `b`-bucket histogram of `values`
-/// (natural order). `O(b · n²)` time, `O(b · n)` space.
-///
-/// # Panics
-///
-/// Panics if `values` is empty or `b == 0`.
+/// Run the DP over `values` for `b` rows. Returns the final error row
+/// and, when `track_choices` is set, one choice row per bucket count
+/// (`choice[row][i]` = best split `j`, `usize::MAX` = "didn't split") —
+/// the single implementation behind both [`exact_voptimal`] (which
+/// backtracks the choices) and [`optimal_sse`] (which only needs the
+/// objective and skips recording them).
 #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the DP recurrences
-pub fn exact_voptimal(values: &[f64], b: usize) -> Histogram {
-    let n = values.len();
-    assert!(n > 0, "cannot build a histogram of nothing");
-    assert!(b > 0, "need at least one bucket");
-    let b = b.min(n);
-    let p = PrefixSums::new(values);
-
-    // err[i] for the current row; choice[row][i] = best split.
+fn dp_rows(p: &PrefixSums, n: usize, b: usize, track_choices: bool) -> (Vec<f64>, Vec<Vec<usize>>) {
     let mut err: Vec<f64> = (0..n).map(|i| p.sse(0, i)).collect();
-    let mut choice: Vec<Vec<usize>> = Vec::with_capacity(b);
-    choice.push(vec![0; n]); // row 1 has no split
+    let mut choice: Vec<Vec<usize>> = Vec::new();
+    if track_choices {
+        choice.reserve(b);
+        choice.push(vec![0; n]); // row 1 has no split
+    }
     for _row in 2..=b {
         let mut next = vec![f64::INFINITY; n];
-        let mut ch = vec![0; n];
+        let mut ch = if track_choices {
+            vec![0; n]
+        } else {
+            Vec::new()
+        };
         for i in 0..n {
             // At least one position per bucket: j ranges over the end of
             // the previous partition.
@@ -50,11 +50,31 @@ pub fn exact_voptimal(values: &[f64], b: usize) -> Histogram {
                 }
             }
             next[i] = best;
-            ch[i] = best_j;
+            if track_choices {
+                ch[i] = best_j;
+            }
         }
         err = next;
-        choice.push(ch);
+        if track_choices {
+            choice.push(ch);
+        }
     }
+    (err, choice)
+}
+
+/// Build the exact V-optimal `b`-bucket histogram of `values`
+/// (natural order). `O(b · n²)` time, `O(b · n)` space.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `b == 0`.
+pub fn exact_voptimal(values: &[f64], b: usize) -> Histogram {
+    let n = values.len();
+    assert!(n > 0, "cannot build a histogram of nothing");
+    assert!(b > 0, "need at least one bucket");
+    let b = b.min(n);
+    let p = PrefixSums::new(values);
+    let (_, choice) = dp_rows(&p, n, b, true);
 
     // Backtrack from E[b][n-1]. `choice[row-1][i] == usize::MAX` encodes
     // "row used no new split here" (the optimum at this row equals the
@@ -88,26 +108,14 @@ pub fn exact_voptimal(values: &[f64], b: usize) -> Histogram {
 }
 
 /// The minimal SSE of partitioning `values` into at most `b` buckets —
-/// the objective value alone, without backtracking.
-#[allow(clippy::needless_range_loop)] // index arithmetic mirrors the DP recurrence
+/// the objective value alone, sharing the DP core with
+/// [`exact_voptimal`] but skipping the choice rows and the backtrack.
 pub fn optimal_sse(values: &[f64], b: usize) -> f64 {
     let n = values.len();
     assert!(n > 0 && b > 0);
     let b = b.min(n);
     let p = PrefixSums::new(values);
-    let mut err: Vec<f64> = (0..n).map(|i| p.sse(0, i)).collect();
-    for _ in 2..=b {
-        let mut next = err.clone(); // fewer buckets always feasible
-        for i in 0..n {
-            for j in 0..i {
-                let cand = err[j] + p.sse(j + 1, i);
-                if cand < next[i] {
-                    next[i] = cand;
-                }
-            }
-        }
-        err = next;
-    }
+    let (err, _) = dp_rows(&p, n, b, false);
     err[n - 1]
 }
 

@@ -272,6 +272,12 @@ pub fn run_scheme(
         .clients()
         .map(|c| QueryGenerator::new(cfg.seed, c.index(), cfg.window, cfg.delta, cfg.shape))
         .collect();
+    // One long-lived query per client, refilled in place each draw —
+    // identical draw sequence to allocating a fresh query per event.
+    let mut queries: Vec<swat_tree::InnerProductQuery> = topo
+        .clients()
+        .map(|_| swat_tree::InnerProductQuery::point(0, cfg.delta))
+        .collect();
 
     let mut warmup_ledger = MessageLedger::new();
     let mut ledger = MessageLedger::new();
@@ -304,8 +310,8 @@ pub fn run_scheme(
             }
             Event::Query { client } => {
                 let gen_idx = client - 1;
-                let q = generators[gen_idx].next_query();
-                let out = scheme.on_query(now, swat_net::NodeId(client), &q, target);
+                generators[gen_idx].next_query_into(&mut queries[gen_idx]);
+                let out = scheme.on_query(now, swat_net::NodeId(client), &queries[gen_idx], target);
                 if measuring {
                     metrics.incr("queries");
                     if out.local_hit {

@@ -49,11 +49,22 @@ impl QueryGenerator {
 
     /// Draw the next query: uniform start offset, uniform length.
     pub fn next_query(&mut self) -> InnerProductQuery {
+        let mut q = InnerProductQuery::point(0, self.delta);
+        self.next_query_into(&mut q);
+        q
+    }
+
+    /// Draw the next query **in place**, reusing `q`'s index and weight
+    /// buffers — the same random draws in the same order as
+    /// [`Self::next_query`], so interleaving the two never changes the
+    /// sequence. This is what lets the replication harness serve each
+    /// client from one long-lived query without allocating per draw.
+    pub fn next_query_into(&mut self, q: &mut InnerProductQuery) {
         let start = self.rng.gen_range(0..self.window);
         let len = self.rng.gen_range(1..=self.window - start);
         match self.shape {
-            QueryShape::Linear => InnerProductQuery::linear_at(start, len, self.delta),
-            QueryShape::Exponential => InnerProductQuery::exponential_at(start, len, self.delta),
+            QueryShape::Linear => q.set_linear_at(start, len, self.delta),
+            QueryShape::Exponential => q.set_exponential_at(start, len, self.delta),
         }
     }
 }
@@ -84,6 +95,19 @@ mod tests {
         assert_eq!(draw(7, 1), draw(7, 1));
         assert_ne!(draw(7, 1), draw(7, 2));
         assert_ne!(draw(7, 1), draw(8, 1));
+    }
+
+    #[test]
+    fn next_query_into_matches_next_query() {
+        for shape in [QueryShape::Linear, QueryShape::Exponential] {
+            let mut fresh = QueryGenerator::new(11, 4, 64, 2.5, shape);
+            let mut reused = QueryGenerator::new(11, 4, 64, 2.5, shape);
+            let mut q = InnerProductQuery::point(0, 2.5);
+            for _ in 0..200 {
+                reused.next_query_into(&mut q);
+                assert_eq!(q, fresh.next_query());
+            }
+        }
     }
 
     #[test]

@@ -42,6 +42,9 @@
 //!
 //! * [`tree`] — the structure and its update algorithm (Figure 3a),
 //! * [`query`] — point / range / inner-product evaluation (Figure 3b),
+//! * [`scratch`] — the zero-allocation query engine: reusable
+//!   [`QueryScratch`] buffers, a cached serving-map cover index, batched
+//!   entry points, and the wavelet-domain inner-product kernel,
 //! * [`node`] — immutable per-block summaries with aging coverage,
 //! * [`range`] — `[min, max]` ranges backing sound error bounds,
 //! * [`error_model`] — the paper's §2.6 closed-form error bounds,
@@ -72,6 +75,7 @@ pub mod multi;
 pub mod node;
 pub mod query;
 pub mod range;
+pub mod scratch;
 pub mod snapshot;
 pub mod tree;
 
@@ -85,7 +89,9 @@ pub use multi::StreamSet;
 pub use node::Summary;
 pub use query::{
     InnerProductAnswer, InnerProductQuery, PointAnswer, QueryOptions, RangeMatch, RangeQuery,
+    WeightProfile,
 };
 pub use range::ValueRange;
+pub use scratch::QueryScratch;
 pub use snapshot::SnapshotError;
 pub use tree::{NodePos, SwatTree};

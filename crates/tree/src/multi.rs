@@ -10,7 +10,8 @@
 //! lossless trees).
 
 use crate::config::{SwatConfig, TreeError};
-use crate::query::QueryOptions;
+use crate::query::{InnerProductAnswer, InnerProductQuery, PointAnswer, QueryOptions};
+use crate::scratch::QueryScratch;
 use crate::tree::SwatTree;
 
 /// A set of synchronized streams, each summarized by its own SWAT.
@@ -120,14 +121,112 @@ impl StreamSet {
     }
 
     /// Approximate values of stream `i` over the `m` newest window
-    /// indices, evaluated at resolution `opts`.
+    /// indices, evaluated at resolution `opts` — served through the
+    /// batched engine so the whole span shares one cover-cache lookup
+    /// table.
     fn recent(&self, i: usize, m: usize, opts: QueryOptions) -> Result<Vec<f64>, TreeError> {
         let tree = &self.trees[i];
         let mut out = Vec::with_capacity(m);
-        for idx in 0..m {
-            out.push(tree.point_with(idx, opts)?.value);
-        }
+        crate::scratch::with_thread_scratch(|scratch| {
+            tree.point_span_into(0, m, opts, scratch, &mut out)
+        })?;
         Ok(out)
+    }
+
+    /// Answer the same block of point queries against **every** stream,
+    /// fanning the independent trees out across at most `threads` scoped
+    /// worker threads exactly as [`Self::extend_batched`] shards
+    /// ingestion: contiguous shards of `ceil(streams / workers)` trees,
+    /// one [`QueryScratch`] per worker, `threads == 1` degenerating to a
+    /// plain loop without spawning.
+    ///
+    /// Returns one answer vector per stream, in stream order. Each answer
+    /// is bit-identical to [`SwatTree::point_with`] on that stream's tree,
+    /// **for every thread count** — workers only partition read-only trees
+    /// and write disjoint result slots, so scheduling cannot influence any
+    /// value. On error, the error the lowest-numbered failing stream would
+    /// report sequentially is returned.
+    ///
+    /// # Errors
+    ///
+    /// As [`SwatTree::point_with`] per stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn point_many(
+        &self,
+        indices: &[usize],
+        opts: QueryOptions,
+        threads: usize,
+    ) -> Result<Vec<Vec<PointAnswer>>, TreeError> {
+        self.query_fan_out(threads, |tree, scratch, out| {
+            tree.point_many(indices, opts, scratch, out)
+        })
+    }
+
+    /// Answer the same block of inner-product queries against **every**
+    /// stream, sharded like [`Self::point_many`]. Returns one answer
+    /// vector per stream, in stream order, each bit-identical to
+    /// [`SwatTree::inner_product_with`] per query for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`SwatTree::inner_product_with`] per stream; the error of the
+    /// lowest-numbered failing stream wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn inner_product_many(
+        &self,
+        queries: &[InnerProductQuery],
+        opts: QueryOptions,
+        threads: usize,
+    ) -> Result<Vec<Vec<InnerProductAnswer>>, TreeError> {
+        self.query_fan_out(threads, |tree, scratch, out| {
+            tree.inner_product_many(queries, opts, scratch, out)
+        })
+    }
+
+    /// Deterministic query fan-out: run `eval` once per tree, partitioned
+    /// into the same contiguous shards as [`Self::extend_batched`], and
+    /// collect per-stream results in stream order.
+    fn query_fan_out<T: Send>(
+        &self,
+        threads: usize,
+        eval: impl Fn(&SwatTree, &mut QueryScratch, &mut Vec<T>) -> Result<(), TreeError> + Sync,
+    ) -> Result<Vec<Vec<T>>, TreeError> {
+        assert!(threads > 0, "need at least one thread");
+        let workers = threads.min(self.trees.len());
+        let mut results: Vec<Result<Vec<T>, TreeError>> =
+            (0..self.trees.len()).map(|_| Ok(Vec::new())).collect();
+        if workers == 1 {
+            let mut scratch = QueryScratch::new();
+            for (tree, slot) in self.trees.iter().zip(results.iter_mut()) {
+                let mut out = Vec::new();
+                *slot = eval(tree, &mut scratch, &mut out).map(|()| out);
+            }
+        } else {
+            let shard = self.trees.len().div_ceil(workers);
+            let eval = &eval;
+            std::thread::scope(|scope| {
+                for (tree_shard, slot_shard) in
+                    self.trees.chunks(shard).zip(results.chunks_mut(shard))
+                {
+                    scope.spawn(move || {
+                        let mut scratch = QueryScratch::new();
+                        for (tree, slot) in tree_shard.iter().zip(slot_shard.iter_mut()) {
+                            let mut out = Vec::new();
+                            *slot = eval(tree, &mut scratch, &mut out).map(|()| out);
+                        }
+                    });
+                }
+            });
+        }
+        // First error in stream order, independent of which worker hit it
+        // first in wall-clock time.
+        results.into_iter().collect()
     }
 
     /// Approximate inner product `Σ x_a[i] · x_b[i]` over the `m` newest
@@ -370,6 +469,59 @@ mod tests {
             let a: Vec<_> = whole.tree(s).nodes().collect();
             let b: Vec<_> = blocks.tree(s).nodes().collect();
             assert_eq!(a, b, "stream {s}");
+        }
+    }
+
+    #[test]
+    fn query_fan_out_matches_sequential_for_any_thread_count() {
+        use crate::query::InnerProductQuery;
+        let streams = 7;
+        let mut set = StreamSet::new(SwatConfig::with_coefficients(32, 4).unwrap(), streams);
+        set.extend_batched(&columns(streams, 100), 2);
+        let indices: Vec<usize> = vec![0, 1, 5, 17, 31];
+        let queries = [
+            InnerProductQuery::exponential(16, 1e9),
+            InnerProductQuery::linear_at(3, 20, 1e9),
+        ];
+        // Sequential reference: one-at-a-time public API per tree.
+        let pts_ref: Vec<Vec<_>> = (0..streams)
+            .map(|s| {
+                indices
+                    .iter()
+                    .map(|&i| set.tree(s).point(i).unwrap())
+                    .collect()
+            })
+            .collect();
+        let ips_ref: Vec<Vec<_>> = (0..streams)
+            .map(|s| {
+                queries
+                    .iter()
+                    .map(|q| set.tree(s).inner_product(q).unwrap())
+                    .collect()
+            })
+            .collect();
+        for threads in [1usize, 2, 3, 7, 16] {
+            let pts = set
+                .point_many(&indices, QueryOptions::default(), threads)
+                .unwrap();
+            assert_eq!(pts, pts_ref, "points, threads={threads}");
+            let ips = set
+                .inner_product_many(&queries, QueryOptions::default(), threads)
+                .unwrap();
+            assert_eq!(ips, ips_ref, "inner products, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn query_fan_out_reports_first_stream_error() {
+        // Cold trees: every stream fails; the stream-order-first error for
+        // index 0 must come back regardless of thread count.
+        let set = StreamSet::new(SwatConfig::new(16).unwrap(), 5);
+        for threads in [1usize, 2, 4, 8] {
+            let err = set
+                .point_many(&[0], QueryOptions::default(), threads)
+                .unwrap_err();
+            assert_eq!(err, TreeError::Uncovered { index: 0 });
         }
     }
 

@@ -22,6 +22,12 @@
 //! within `error_bound` of the reported value (except for explicitly
 //! flagged *extrapolated* answers under reduced-level operation, where no
 //! sound bound exists — see [`QueryOptions::min_level`]).
+//!
+//! Evaluation is carried out by the zero-allocation engine in
+//! [`crate::scratch`]; the public methods here route through a
+//! thread-local [`crate::QueryScratch`]. The [`reference`] module keeps
+//! the original allocating implementations frozen as the bit-identity
+//! baseline for property tests and benchmarks.
 
 use crate::config::TreeError;
 use crate::node::Summary;
@@ -61,13 +67,41 @@ pub struct PointAnswer {
     pub extrapolated: bool,
 }
 
+/// The shape of an inner-product weight vector.
+///
+/// The profile constructors tag their queries so the coefficient-domain
+/// kernel ([`SwatTree::inner_product_coeffs`]) can use closed-form
+/// transformed weights; [`WeightProfile::General`] queries fall back to a
+/// dense adjoint transform. The tag never affects the exact evaluation
+/// path or query equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightProfile {
+    /// Arbitrary weights with no known closed form (explicit vectors and
+    /// point queries).
+    General,
+    /// The §2.6 exponential profile: `w_j = (1/2)^j` over a contiguous
+    /// index run.
+    Exponential,
+    /// The linear profile: `w_j = (m − j)/m` over a contiguous index run.
+    Linear,
+}
+
 /// An inner-product query `(I, W, δ)`: estimate `Σ W[j] · d[I[j]]` to
 /// within precision `δ`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct InnerProductQuery {
     indices: Vec<usize>,
     weights: Vec<f64>,
     delta: f64,
+    profile: WeightProfile,
+}
+
+// Equality ignores the profile tag: it is a kernel hint derivable from the
+// weights, not part of the query's meaning.
+impl PartialEq for InnerProductQuery {
+    fn eq(&self, other: &Self) -> bool {
+        self.indices == other.indices && self.weights == other.weights && self.delta == other.delta
+    }
 }
 
 impl InnerProductQuery {
@@ -93,12 +127,30 @@ impl InnerProductQuery {
                 reason: "non-finite weight",
             });
         }
-        let mut seen = indices.clone();
-        seen.sort_unstable();
-        if seen.windows(2).any(|w| w[0] == w[1]) {
-            return Err(TreeError::BadQuery {
-                reason: "duplicate index",
-            });
+        // Duplicate detection without scratch allocation: a single pass
+        // settles strictly ascending vectors (the common case — the
+        // profile constructors and most explicit queries); only unsorted
+        // input falls back to the quadratic scan.
+        let mut ascending = true;
+        for w in indices.windows(2) {
+            if w[1] == w[0] {
+                return Err(TreeError::BadQuery {
+                    reason: "duplicate index",
+                });
+            }
+            if w[1] < w[0] {
+                ascending = false;
+                break;
+            }
+        }
+        if !ascending {
+            for (i, &idx) in indices.iter().enumerate() {
+                if indices[..i].contains(&idx) {
+                    return Err(TreeError::BadQuery {
+                        reason: "duplicate index",
+                    });
+                }
+            }
         }
         // +infinity is allowed: "no precision requirement".
         if delta.is_nan() || delta < 0.0 {
@@ -110,6 +162,7 @@ impl InnerProductQuery {
             indices,
             weights,
             delta,
+            profile: WeightProfile::General,
         })
     }
 
@@ -120,6 +173,7 @@ impl InnerProductQuery {
             indices: vec![idx],
             weights: vec![1.0],
             delta,
+            profile: WeightProfile::General,
         }
     }
 
@@ -137,7 +191,26 @@ impl InnerProductQuery {
             indices: (start..start + m).collect(),
             weights: (0..m).map(|j| 0.5f64.powi(j as i32)).collect(),
             delta,
+            profile: WeightProfile::Exponential,
         }
+    }
+
+    /// Rewrite `self` in place into [`Self::exponential_at`] form, reusing
+    /// the existing vector storage — the identical index and weight
+    /// sequences, with zero allocation once capacity has grown to the
+    /// largest `m` seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn set_exponential_at(&mut self, start: usize, m: usize, delta: f64) {
+        assert!(m > 0, "query length must be positive");
+        self.indices.clear();
+        self.indices.extend(start..start + m);
+        self.weights.clear();
+        self.weights.extend((0..m).map(|j| 0.5f64.powi(j as i32)));
+        self.delta = delta;
+        self.profile = WeightProfile::Exponential;
     }
 
     /// [`Self::exponential_at`] anchored at the newest value (`start = 0`)
@@ -158,7 +231,25 @@ impl InnerProductQuery {
             indices: (start..start + m).collect(),
             weights: (0..m).map(|j| (m - j) as f64 / m as f64).collect(),
             delta,
+            profile: WeightProfile::Linear,
         }
+    }
+
+    /// Rewrite `self` in place into [`Self::linear_at`] form, reusing the
+    /// existing vector storage (see [`Self::set_exponential_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn set_linear_at(&mut self, start: usize, m: usize, delta: f64) {
+        assert!(m > 0, "query length must be positive");
+        self.indices.clear();
+        self.indices.extend(start..start + m);
+        self.weights.clear();
+        self.weights
+            .extend((0..m).map(|j| (m - j) as f64 / m as f64));
+        self.delta = delta;
+        self.profile = WeightProfile::Linear;
     }
 
     /// [`Self::linear_at`] anchored at the newest value.
@@ -179,6 +270,11 @@ impl InnerProductQuery {
     /// The precision requirement `δ`.
     pub fn delta(&self) -> f64 {
         self.delta
+    }
+
+    /// The weight-profile tag (a kernel hint; see [`WeightProfile`]).
+    pub fn profile(&self) -> WeightProfile {
+        self.profile
     }
 
     /// Number of query entries (`M`).
@@ -262,51 +358,9 @@ pub struct RangeMatch {
     pub value: f64,
 }
 
-/// A node selected by the greedy cover, with the query entries it serves.
-struct CoverEntry<'a> {
-    summary: &'a Summary,
-    /// Positions *within the query's index vector* this node serves.
-    entries: Vec<usize>,
-}
-
 impl SwatTree {
-    /// Greedy cover per the paper's `Query_Handler`: traverse nodes from
-    /// level `opts.min_level` upward (`R → S → L` within a level), select
-    /// each node covering a still-uncovered query index.
-    ///
-    /// Returns the selected nodes plus the positions of query entries left
-    /// uncovered (possible during warm-up or with `min_level > 0`).
-    fn cover(&self, indices: &[usize], opts: QueryOptions) -> (Vec<CoverEntry<'_>>, Vec<usize>) {
-        let now = self.arrivals();
-        let mut covered = vec![false; indices.len()];
-        let mut remaining = indices.len();
-        let mut selected: Vec<CoverEntry<'_>> = Vec::new();
-        for (level, _, summary) in self.nodes() {
-            if level < opts.min_level {
-                continue;
-            }
-            if remaining == 0 {
-                break;
-            }
-            let (start, end) = summary.coverage(now);
-            let mut entries = Vec::new();
-            for (pos, &idx) in indices.iter().enumerate() {
-                if !covered[pos] && (start..=end).contains(&idx) {
-                    entries.push(pos);
-                    covered[pos] = true;
-                    remaining -= 1;
-                }
-            }
-            if !entries.is_empty() {
-                selected.push(CoverEntry { summary, entries });
-            }
-        }
-        let uncovered: Vec<usize> = (0..indices.len()).filter(|&p| !covered[p]).collect();
-        (selected, uncovered)
-    }
-
     /// Validate that every query index is inside the window.
-    fn check_indices(&self, indices: &[usize]) -> Result<(), TreeError> {
+    pub(crate) fn check_indices(&self, indices: &[usize]) -> Result<(), TreeError> {
         let window = self.config().window();
         for &idx in indices {
             if idx >= window {
@@ -333,36 +387,7 @@ impl SwatTree {
     /// As [`Self::point`]; with `min_level > 0`, uncoverable indices are
     /// extrapolated rather than failing.
     pub fn point_with(&self, idx: usize, opts: QueryOptions) -> Result<PointAnswer, TreeError> {
-        self.check_indices(&[idx])?;
-        let now = self.arrivals();
-        let (selected, uncovered) = self.cover(&[idx], opts);
-        if let Some(entry) = selected.first() {
-            let s = entry.summary;
-            return Ok(PointAnswer {
-                value: s.value_at(now, idx),
-                error_bound: s.error_bound_at(now, idx),
-                level: s.level(),
-                extrapolated: false,
-            });
-        }
-        debug_assert_eq!(uncovered, vec![0]);
-        if opts.min_level == 0 {
-            return Err(TreeError::Uncovered { index: idx });
-        }
-        // Reduced-level mode: extrapolate from the freshest eligible node.
-        let nearest = self
-            .nodes()
-            .filter(|(l, _, _)| *l >= opts.min_level)
-            .min_by_key(|(_, _, s)| s.coverage(now).0)
-            .ok_or(TreeError::Uncovered { index: idx })?;
-        let (_, _, s) = nearest;
-        let (start, _) = s.coverage(now);
-        Ok(PointAnswer {
-            value: s.value_at(now, start),
-            error_bound: s.range().width(),
-            level: s.level(),
-            extrapolated: true,
-        })
+        crate::scratch::with_thread_scratch(|scratch| self.point_with_scratch(idx, opts, scratch))
     }
 
     /// Answer an inner-product query `(I, W, δ)` per the paper's
@@ -390,9 +415,177 @@ impl SwatTree {
         query: &InnerProductQuery,
         opts: QueryOptions,
     ) -> Result<InnerProductAnswer, TreeError> {
-        self.check_indices(query.indices())?;
-        let now = self.arrivals();
-        let (selected, uncovered) = self.cover(query.indices(), opts);
+        crate::scratch::with_thread_scratch(|scratch| {
+            self.inner_product_with_scratch(query, opts, scratch)
+        })
+    }
+
+    /// Answer a range query: indices in `newest..=oldest` whose
+    /// approximate value lies within `center ± radius`.
+    ///
+    /// The approximation tree induces a step function over the window
+    /// (§2.4); the matches are the intersection of that step function with
+    /// the query rectangle. Nodes whose exact `[min, max]` range does not
+    /// intersect the padded value band are skipped without reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::inner_product`].
+    pub fn range_query(&self, query: &RangeQuery) -> Result<Vec<RangeMatch>, TreeError> {
+        self.range_query_with(query, QueryOptions::default())
+    }
+
+    /// [`Self::range_query`] with explicit [`QueryOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::range_query`].
+    pub fn range_query_with(
+        &self,
+        query: &RangeQuery,
+        opts: QueryOptions,
+    ) -> Result<Vec<RangeMatch>, TreeError> {
+        let mut matches = Vec::new();
+        crate::scratch::with_thread_scratch(|scratch| {
+            self.range_query_with_scratch(query, opts, scratch, &mut matches)
+        })?;
+        Ok(matches)
+    }
+
+    /// Reconstruct the whole approximate window, newest first — the step
+    /// function the tree induces over the last `N` values.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::Uncovered`] while warming up.
+    pub fn reconstruct_window(&self) -> Result<Vec<f64>, TreeError> {
+        let mut out = Vec::new();
+        crate::scratch::with_thread_scratch(|scratch| {
+            self.reconstruct_window_into(scratch, &mut out)
+        })?;
+        Ok(out)
+    }
+}
+
+/// Frozen pre-optimization query implementations — the "slow path".
+///
+/// These are verbatim copies of the evaluation code as it stood before the
+/// zero-allocation query engine ([`crate::scratch`]) landed: a fresh
+/// greedy cover with per-call `Vec` allocations, per-node time-domain
+/// reconstruction, no caching. They are kept public for two reasons:
+///
+/// * the equivalence property tests assert the engine's answers are
+///   **bit-identical** to these, which is what makes the optimization a
+///   correctness harness rather than a leap of faith;
+/// * the `swat-bench` query sweep uses them as the pre-PR baseline the
+///   speedup ratios in `results/BENCH_query.json` are measured against.
+///
+/// Do not "improve" this module; its value is that it does not change.
+pub mod reference {
+    use super::*;
+
+    /// A node selected by the greedy cover, with the query entries it
+    /// serves.
+    struct CoverEntry<'a> {
+        summary: &'a Summary,
+        /// Positions *within the query's index vector* this node serves.
+        entries: Vec<usize>,
+    }
+
+    /// Greedy cover per the paper's `Query_Handler`: traverse nodes from
+    /// level `opts.min_level` upward (`R → S → L` within a level), select
+    /// each node covering a still-uncovered query index.
+    ///
+    /// Returns the selected nodes plus the positions of query entries left
+    /// uncovered (possible during warm-up or with `min_level > 0`).
+    fn cover<'a>(
+        tree: &'a SwatTree,
+        indices: &[usize],
+        opts: QueryOptions,
+    ) -> (Vec<CoverEntry<'a>>, Vec<usize>) {
+        let now = tree.arrivals();
+        let mut covered = vec![false; indices.len()];
+        let mut remaining = indices.len();
+        let mut selected: Vec<CoverEntry<'a>> = Vec::new();
+        for (level, _, summary) in tree.nodes() {
+            if level < opts.min_level {
+                continue;
+            }
+            if remaining == 0 {
+                break;
+            }
+            let (start, end) = summary.coverage(now);
+            let mut entries = Vec::new();
+            for (pos, &idx) in indices.iter().enumerate() {
+                if !covered[pos] && (start..=end).contains(&idx) {
+                    entries.push(pos);
+                    covered[pos] = true;
+                    remaining -= 1;
+                }
+            }
+            if !entries.is_empty() {
+                selected.push(CoverEntry { summary, entries });
+            }
+        }
+        let uncovered: Vec<usize> = (0..indices.len()).filter(|&p| !covered[p]).collect();
+        (selected, uncovered)
+    }
+
+    /// The pre-engine [`SwatTree::point_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SwatTree::point_with`].
+    pub fn point_with(
+        tree: &SwatTree,
+        idx: usize,
+        opts: QueryOptions,
+    ) -> Result<PointAnswer, TreeError> {
+        tree.check_indices(&[idx])?;
+        let now = tree.arrivals();
+        let (selected, uncovered) = cover(tree, &[idx], opts);
+        if let Some(entry) = selected.first() {
+            let s = entry.summary;
+            return Ok(PointAnswer {
+                value: s.value_at(now, idx),
+                error_bound: s.error_bound_at(now, idx),
+                level: s.level(),
+                extrapolated: false,
+            });
+        }
+        debug_assert_eq!(uncovered, vec![0]);
+        if opts.min_level == 0 {
+            return Err(TreeError::Uncovered { index: idx });
+        }
+        // Reduced-level mode: extrapolate from the freshest eligible node.
+        let nearest = tree
+            .nodes()
+            .filter(|(l, _, _)| *l >= opts.min_level)
+            .min_by_key(|(_, _, s)| s.coverage(now).0)
+            .ok_or(TreeError::Uncovered { index: idx })?;
+        let (_, _, s) = nearest;
+        let (start, _) = s.coverage(now);
+        Ok(PointAnswer {
+            value: s.value_at(now, start),
+            error_bound: s.range().width(),
+            level: s.level(),
+            extrapolated: true,
+        })
+    }
+
+    /// The pre-engine [`SwatTree::inner_product_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SwatTree::inner_product_with`].
+    pub fn inner_product_with(
+        tree: &SwatTree,
+        query: &InnerProductQuery,
+        opts: QueryOptions,
+    ) -> Result<InnerProductAnswer, TreeError> {
+        tree.check_indices(query.indices())?;
+        let now = tree.arrivals();
+        let (selected, uncovered) = cover(tree, query.indices(), opts);
         if !uncovered.is_empty() && opts.min_level == 0 {
             return Err(TreeError::Uncovered {
                 index: query.indices()[uncovered[0]],
@@ -430,7 +623,7 @@ impl SwatTree {
         }
         // Extrapolate whatever reduced-level mode left uncovered.
         if !uncovered.is_empty() {
-            let nearest = self
+            let nearest = tree
                 .nodes()
                 .filter(|(l, _, _)| *l >= opts.min_level)
                 .min_by_key(|(_, _, s)| s.coverage(now).0);
@@ -456,35 +649,20 @@ impl SwatTree {
         })
     }
 
-    /// Answer a range query: indices in `newest..=oldest` whose
-    /// approximate value lies within `center ± radius`.
-    ///
-    /// The approximation tree induces a step function over the window
-    /// (§2.4); the matches are the intersection of that step function with
-    /// the query rectangle. Nodes whose exact `[min, max]` range does not
-    /// intersect the padded value band are skipped without reconstruction.
+    /// The pre-engine [`SwatTree::range_query_with`].
     ///
     /// # Errors
     ///
-    /// As [`Self::inner_product`].
-    pub fn range_query(&self, query: &RangeQuery) -> Result<Vec<RangeMatch>, TreeError> {
-        self.range_query_with(query, QueryOptions::default())
-    }
-
-    /// [`Self::range_query`] with explicit [`QueryOptions`].
-    ///
-    /// # Errors
-    ///
-    /// As [`Self::range_query`].
+    /// As [`SwatTree::range_query_with`].
     pub fn range_query_with(
-        &self,
+        tree: &SwatTree,
         query: &RangeQuery,
         opts: QueryOptions,
     ) -> Result<Vec<RangeMatch>, TreeError> {
         let indices: Vec<usize> = (query.newest..=query.oldest).collect();
-        self.check_indices(&indices)?;
-        let now = self.arrivals();
-        let (selected, uncovered) = self.cover(&indices, opts);
+        tree.check_indices(&indices)?;
+        let now = tree.arrivals();
+        let (selected, uncovered) = cover(tree, &indices, opts);
         if !uncovered.is_empty() {
             return Err(TreeError::Uncovered {
                 index: indices[uncovered[0]],
@@ -515,17 +693,16 @@ impl SwatTree {
         Ok(matches)
     }
 
-    /// Reconstruct the whole approximate window, newest first — the step
-    /// function the tree induces over the last `N` values.
+    /// The pre-engine [`SwatTree::reconstruct_window`].
     ///
     /// # Errors
     ///
-    /// [`TreeError::Uncovered`] while warming up.
-    pub fn reconstruct_window(&self) -> Result<Vec<f64>, TreeError> {
-        let n = self.config().window();
+    /// As [`SwatTree::reconstruct_window`].
+    pub fn reconstruct_window(tree: &SwatTree) -> Result<Vec<f64>, TreeError> {
+        let n = tree.config().window();
         let indices: Vec<usize> = (0..n).collect();
-        let now = self.arrivals();
-        let (selected, uncovered) = self.cover(&indices, QueryOptions::default());
+        let now = tree.arrivals();
+        let (selected, uncovered) = cover(tree, &indices, QueryOptions::default());
         if !uncovered.is_empty() {
             return Err(TreeError::Uncovered {
                 index: uncovered[0],
@@ -563,6 +740,65 @@ mod tests {
         let q = InnerProductQuery::new(vec![3, 1], vec![0.5, 2.0], 1.0).unwrap();
         assert_eq!(q.len(), 2);
         assert_eq!(q.exact(&[10.0, 20.0, 30.0, 40.0]), 0.5 * 40.0 + 2.0 * 20.0);
+    }
+
+    #[test]
+    fn duplicate_indices_rejected_in_any_order() {
+        // Ascending duplicates hit the single-pass check.
+        assert!(matches!(
+            InnerProductQuery::new(vec![2, 4, 4, 7], vec![1.0; 4], 1.0),
+            Err(TreeError::BadQuery {
+                reason: "duplicate index"
+            })
+        ));
+        // Unsorted duplicates exercise the quadratic fallback, including a
+        // repeat that is *not* adjacent after the descent.
+        assert!(matches!(
+            InnerProductQuery::new(vec![3, 1, 3], vec![1.0; 3], 1.0),
+            Err(TreeError::BadQuery {
+                reason: "duplicate index"
+            })
+        ));
+        assert!(matches!(
+            InnerProductQuery::new(vec![5, 2, 9, 2], vec![1.0; 4], 1.0),
+            Err(TreeError::BadQuery {
+                reason: "duplicate index"
+            })
+        ));
+        // Unsorted but distinct vectors remain legal.
+        let q = InnerProductQuery::new(vec![5, 2, 9], vec![1.0, 2.0, 3.0], 1.0).unwrap();
+        assert_eq!(q.indices(), &[5, 2, 9]);
+        assert_eq!(q.profile(), WeightProfile::General);
+    }
+
+    #[test]
+    fn in_place_setters_match_constructors() {
+        let mut q = InnerProductQuery::point(0, 1.0);
+        assert_eq!(q.profile(), WeightProfile::General);
+        q.set_exponential_at(3, 5, 2.5);
+        let want = InnerProductQuery::exponential_at(3, 5, 2.5);
+        assert_eq!(q, want);
+        assert_eq!(q.profile(), WeightProfile::Exponential);
+        for (a, b) in q.weights().iter().zip(want.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        q.set_linear_at(1, 7, 0.5);
+        let want = InnerProductQuery::linear_at(1, 7, 0.5);
+        assert_eq!(q, want);
+        assert_eq!(q.profile(), WeightProfile::Linear);
+        for (a, b) in q.weights().iter().zip(want.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Equality ignores the tag: an explicit query with the same
+        // vectors compares equal to the tagged one.
+        let explicit = InnerProductQuery::new(
+            want.indices().to_vec(),
+            want.weights().to_vec(),
+            want.delta(),
+        )
+        .unwrap();
+        assert_eq!(explicit, want);
+        assert_ne!(explicit.profile(), want.profile());
     }
 
     #[test]

@@ -395,6 +395,13 @@ impl SwatTree {
             .all(|lvl| lvl.nodes.len() == lvl.capacity)
     }
 
+    /// The summary at `(level, queue index)` — the query engine's direct
+    /// access path for cover-cache slots (queue index 0 = `R`, 1 = `S`,
+    /// 2 = `L`, matching the traversal order of [`SwatTree::nodes`]).
+    pub(crate) fn summary_at(&self, level: usize, queue_index: usize) -> Option<&Summary> {
+        self.levels.get(level)?.nodes.get(queue_index)
+    }
+
     /// The summary at `(level, pos)`, if populated.
     pub fn node(&self, level: usize, pos: NodePos) -> Option<&Summary> {
         let idx = match pos {

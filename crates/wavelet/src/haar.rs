@@ -117,6 +117,55 @@ pub fn inverse(coeffs: &[f64], n: usize) -> Result<Vec<f64>, WaveletError> {
     Ok(current)
 }
 
+/// As [`inverse`], writing the reconstruction into `out` using `tmp` as a
+/// ping-pong buffer so steady-state callers allocate nothing once both
+/// buffers have grown to length `n`.
+///
+/// The per-level arithmetic (detail lookup with zero padding, `+ det` then
+/// `- det`) is exactly that of [`inverse`], so the result is bit-identical.
+///
+/// # Errors
+///
+/// Same validation as [`inverse`].
+pub fn inverse_into(
+    coeffs: &[f64],
+    n: usize,
+    out: &mut Vec<f64>,
+    tmp: &mut Vec<f64>,
+) -> Result<(), WaveletError> {
+    if !is_power_of_two(n) {
+        return Err(WaveletError::NotPowerOfTwo { len: n });
+    }
+    if coeffs.is_empty() {
+        return Err(WaveletError::TooShort { len: 0, min: 1 });
+    }
+    let depth = log2(n) as usize;
+    out.clear();
+    out.resize(n, 0.0);
+    tmp.clear();
+    tmp.resize(n, 0.0);
+    // Each level doubles the working length; alternate between the two
+    // buffers, starting so the final level lands in `out`.
+    let (mut cur, mut next): (&mut [f64], &mut [f64]) = if depth.is_multiple_of(2) {
+        (&mut out[..], &mut tmp[..])
+    } else {
+        (&mut tmp[..], &mut out[..])
+    };
+    cur[0] = coeffs[0];
+    let mut m = 1;
+    for d in 1..=depth {
+        let offset = 1usize << (d - 1);
+        for i in 0..m {
+            let det = coeffs.get(offset + i).copied().unwrap_or(0.0);
+            next[2 * i] = cur[i] + det;
+            next[2 * i + 1] = cur[i] - det;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        m *= 2;
+    }
+    Ok(())
+}
+
 /// Reconstruct a single point of the signal from breadth-first coefficients
 /// in `O(log n)` time without materializing the whole signal.
 ///
@@ -251,6 +300,49 @@ mod tests {
     fn point_index_out_of_bounds_panics() {
         let coeffs = forward(&[1.0, 2.0]).unwrap();
         let _ = point(&coeffs, 2, 2);
+    }
+
+    #[test]
+    fn inverse_into_is_bit_identical_to_inverse() {
+        let sig: Vec<f64> = (0..128)
+            .map(|i| ((i * 37) % 101) as f64 * 0.37 - 9.1)
+            .collect();
+        let coeffs = forward(&sig).unwrap();
+        let mut out = Vec::new();
+        let mut tmp = Vec::new();
+        for n in [1usize, 2, 4, 8, 64, 128] {
+            for k in [1usize, 2, 3, 5, n] {
+                let want = inverse(&coeffs[..k.min(n)], n).unwrap();
+                inverse_into(&coeffs[..k.min(n)], n, &mut out, &mut tmp).unwrap();
+                assert_eq!(out.len(), n);
+                for (i, (a, b)) in out.iter().zip(&want).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} k={k} idx={i}");
+                }
+            }
+        }
+        // Same validation as the allocating path.
+        assert!(matches!(
+            inverse_into(&[1.0], 6, &mut out, &mut tmp),
+            Err(WaveletError::NotPowerOfTwo { len: 6 })
+        ));
+        assert!(matches!(
+            inverse_into(&[], 4, &mut out, &mut tmp),
+            Err(WaveletError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_into_does_not_regrow_buffers() {
+        let coeffs = forward(&[8.0, 6.0, 4.0, 2.0]).unwrap();
+        let mut out = Vec::new();
+        let mut tmp = Vec::new();
+        inverse_into(&coeffs, 4, &mut out, &mut tmp).unwrap();
+        let (co, ct) = (out.capacity(), tmp.capacity());
+        for _ in 0..8 {
+            inverse_into(&coeffs[..2], 4, &mut out, &mut tmp).unwrap();
+        }
+        assert_eq!(out.capacity(), co);
+        assert_eq!(tmp.capacity(), ct);
     }
 
     #[test]

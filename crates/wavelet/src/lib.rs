@@ -13,6 +13,10 @@
 //! * [`daubechies`] — a periodic Daubechies-4 transform, demonstrating the
 //!   paper's remark that "any of the wavelet bases such as Haar,
 //!   Daubechies, … can be used",
+//! * [`dot`] — wavelet-domain inner products: the adjoint transform and
+//!   an `O(k)` dot-product kernel over truncated coefficient vectors,
+//!   with closed-form transformed weights for the paper's §2.4 query
+//!   profiles cached in a [`ProfileTable`],
 //! * [`thresholded`] — largest-`k` (energy-optimal) synopses in the
 //!   style of Gilbert et al., provided for contrast: they beat the
 //!   prefix form in L2 for static signals but are not mergeable, which
@@ -63,6 +67,7 @@
 
 pub mod coeffs;
 pub mod daubechies;
+pub mod dot;
 pub mod error;
 pub mod filterbank;
 pub mod haar;
@@ -70,6 +75,7 @@ pub mod ortho;
 pub mod thresholded;
 
 pub use coeffs::{HaarCoeffs, MergeScratch};
+pub use dot::{CanonicalProfile, ProfileTable};
 pub use error::WaveletError;
 pub use filterbank::OrthogonalFilter;
 pub use thresholded::ThresholdedCoeffs;

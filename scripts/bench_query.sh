@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_query.json — the query-serving throughput
+# baseline (reference vs the zero-allocation engine vs the wavelet-domain
+# kernel, plus the parallel multi-stream fan-out sweep). The run fails if
+# any fast path disagrees with the reference answers. Pass --quick for a
+# fast smoke-sized grid; any extra flags are forwarded to the CLI (see
+# `swat help`, QUERY-BENCH section, for the grid options).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- query-bench --out results/BENCH_query.json "$@"

@@ -18,4 +18,12 @@ echo "== chaos smoke (fault injection, quick grid) =="
 cargo run --release -q -p swat-cli -- chaos --quick --out target/chaos-smoke.json >/dev/null
 echo "chaos smoke clean (target/chaos-smoke.json)"
 
-echo "OK: fmt, clippy, tier-1, and chaos smoke all green"
+echo "== query-bench smoke (tiny grid, fast-vs-slow agreement) =="
+cargo run --release -q -p swat-cli -- query-bench --quick \
+    --points 500 --inners 20 --ranges 5 \
+    --out target/query-smoke.json >/dev/null
+grep -q '"bench": "query"' target/query-smoke.json
+grep -q '"agreement": true' target/query-smoke.json
+echo "query-bench smoke clean (target/query-smoke.json)"
+
+echo "OK: fmt, clippy, tier-1, chaos smoke, and query-bench smoke all green"
