@@ -26,7 +26,11 @@
 //! `results/BENCH_query.json`; it backs `swat query-bench`. [`chaos`]
 //! sweeps SWAT-ASR under fault injection (drop rate × delay, optional
 //! crash windows) and writes `results/BENCH_chaos.json`; it backs
-//! `swat chaos`.
+//! `swat chaos`. [`recovery`] measures crash recovery over the
+//! `swat-store` durability layer (clean-crash recovery time,
+//! fault-injected recovery trials, and the messages a checkpointed
+//! restart saves the chaos driver) and writes
+//! `results/BENCH_recovery.json`; it backs `swat recovery-bench`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -35,6 +39,7 @@ pub mod centralized;
 pub mod chaos;
 pub mod ingest;
 pub mod query;
+pub mod recovery;
 pub mod report;
 
 /// Default seed used by all figure binaries (override with `SWAT_SEED`).

@@ -1,5 +1,5 @@
 //! The CLI commands: `summarize`, `simulate`, `generate`, `ingest-bench`,
-//! `query-bench`, `chaos`.
+//! `query-bench`, `chaos`, `recover`, `recovery-bench`.
 
 use std::io::Read;
 
@@ -22,6 +22,8 @@ USAGE
   swat ingest-bench [grid options] [--out PATH] [--quick]
   swat query-bench  [grid options] [--out PATH] [--quick]
   swat chaos        [sweep options] [--out PATH] [--quick]
+  swat recover      --dir PATH
+  swat recovery-bench [options] [--out PATH] [--quick]
   swat help
 
 SUMMARIZE — build a SWAT over a stream and answer queries
@@ -61,7 +63,18 @@ CHAOS — sweep SWAT-ASR under deterministic fault injection
              --depth D          complete binary client tree depth
              --window N --horizon T --warmup T --delta D --seed S
   output:    --out PATH (default results/BENCH_chaos.json)
-  --quick    shrunk grid for smoke runs (no crash variant)"
+  --quick    shrunk grid for smoke runs (no crash variant)
+
+RECOVER — recover a crashed durable store directory
+  --dir PATH   the store directory (checkpoints + write-ahead logs);
+               prints what was recovered and re-anchors the store
+
+RECOVERY-BENCH — measure crash recovery and the durable-restart win
+  store:     --window N --coeffs K --streams N --rows N
+             --checkpoint-every N
+  faults:    --trials N --max-faults N   seeded corruption trials
+  output:    --out PATH (default results/BENCH_recovery.json) --seed S
+  --quick    shrunk run for smoke tests"
     );
 }
 
@@ -520,6 +533,101 @@ pub fn chaos(a: &Args) -> Result<(), String> {
         ));
     }
     let out = a.get("out").unwrap_or("results/BENCH_chaos.json");
+    report
+        .write_json(std::path::Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+/// `swat recover`.
+pub fn recover(a: &Args) -> Result<(), String> {
+    use swat_store::RecoveryManager;
+    let dir = a
+        .get("dir")
+        .ok_or("--dir is required (the store directory)")?;
+    let (store, report) = RecoveryManager::recover(dir).map_err(|e| e.to_string())?;
+    match report.checkpoint_t {
+        Some(t) => println!("base checkpoint:      t = {t}"),
+        None => println!("base checkpoint:      none (bootstrapped from wal-0 header)"),
+    }
+    if report.checkpoints_skipped > 0 {
+        println!(
+            "checkpoints skipped:  {} (failed verification)",
+            report.checkpoints_skipped
+        );
+    }
+    println!("wal rows replayed:    {}", report.wal_rows_replayed);
+    if report.wal_bytes_dropped > 0 {
+        println!(
+            "wal bytes dropped:    {} (torn or corrupt)",
+            report.wal_bytes_dropped
+        );
+    }
+    println!("recovered arrivals:   {}", report.recovered_arrivals);
+    println!(
+        "streams × window:     {} × {}",
+        store.set().streams(),
+        store.set().config().window()
+    );
+    println!("answers digest:       {:016x}", store.answers_digest());
+    println!("store re-anchored: fresh checkpoint + WAL written in {dir}");
+    Ok(())
+}
+
+/// `swat recovery-bench`.
+pub fn recovery_bench(a: &Args) -> Result<(), String> {
+    use swat_bench::recovery::{run, RecoveryConfig};
+    let seed = a
+        .get_parsed("seed", swat_bench::DEFAULT_SEED, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut cfg = if a.switch("quick") {
+        RecoveryConfig::quick(seed)
+    } else {
+        RecoveryConfig::full(seed)
+    };
+    cfg.window = a
+        .get_parsed("window", cfg.window, "a power of two")
+        .map_err(|e| e.to_string())?;
+    cfg.coeffs = a
+        .get_parsed("coeffs", cfg.coeffs, "a positive integer")
+        .map_err(|e| e.to_string())?;
+    cfg.streams = a
+        .get_parsed("streams", cfg.streams, "a positive integer")
+        .map_err(|e| e.to_string())?;
+    cfg.rows = a
+        .get_parsed("rows", cfg.rows, "a row count")
+        .map_err(|e| e.to_string())?;
+    cfg.checkpoint_every = a
+        .get_parsed("checkpoint-every", cfg.checkpoint_every, "a row cadence")
+        .map_err(|e| e.to_string())?;
+    cfg.fault_trials = a
+        .get_parsed("trials", cfg.fault_trials, "a trial count")
+        .map_err(|e| e.to_string())?;
+    cfg.max_faults = a
+        .get_parsed("max-faults", cfg.max_faults, "a fault count")
+        .map_err(|e| e.to_string())?;
+    if cfg.streams == 0 || cfg.rows == 0 || cfg.checkpoint_every == 0 {
+        return Err("--streams, --rows, and --checkpoint-every must be positive".into());
+    }
+    if !cfg.window.is_power_of_two() || cfg.window < 2 {
+        return Err("--window must be a power of two ≥ 2".into());
+    }
+    if cfg.coeffs == 0 {
+        return Err("--coeffs must be positive".into());
+    }
+    let report = run(&cfg);
+    report.print();
+    if !report.clean.digest_match {
+        return Err("clean-crash recovery digest mismatch — this is a bug".into());
+    }
+    if report.chaos.violations > 0 {
+        return Err(format!(
+            "{} soundness violations in the durability comparison — this is a bug",
+            report.chaos.violations
+        ));
+    }
+    let out = a.get("out").unwrap_or("results/BENCH_recovery.json");
     report
         .write_json(std::path::Path::new(out))
         .map_err(|e| format!("writing {out}: {e}"))?;

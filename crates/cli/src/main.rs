@@ -7,6 +7,8 @@
 //! swat ingest-bench --quick --out results/BENCH_ingest.json
 //! swat query-bench --quick --out results/BENCH_query.json
 //! swat chaos --drops 0,0.05,0.2 --delays 0,2 --depth 3
+//! swat recover --dir /var/lib/swat/store
+//! swat recovery-bench --quick --out results/BENCH_recovery.json
 //! swat help
 //! ```
 
@@ -37,6 +39,8 @@ fn main() -> ExitCode {
         "ingest-bench" => commands::ingest_bench(&parsed),
         "query-bench" => commands::query_bench(&parsed),
         "chaos" => commands::chaos(&parsed),
+        "recover" => commands::recover(&parsed),
+        "recovery-bench" => commands::recovery_bench(&parsed),
         other => Err(format!("unknown command {other:?} (try `swat help`)")),
     };
     match result {

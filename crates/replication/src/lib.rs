@@ -34,7 +34,11 @@
 //! message adjudicated by a `swat_net::FaultPlan` (drops, delays,
 //! crashes), acks + bounded retries for replication traffic, and
 //! staleness-based graceful degradation — under `FaultPlan::none()` it is
-//! bit-identical to [`harness::run`].
+//! bit-identical to [`harness::run`]. Crash durability is modeled through
+//! [`durable`]: the state that survives a crash round-trips through the
+//! `swat-store` checksummed image codec, and
+//! [`Durability::Checkpointed`] lets nodes restore replicas from local
+//! durable state instead of re-fetching them over the network.
 //!
 //! ```
 //! use swat_net::Topology;
@@ -65,6 +69,7 @@ pub mod aps;
 pub mod asr;
 pub mod chaos;
 pub mod divergence;
+pub mod durable;
 pub mod harness;
 pub mod scheme;
 pub mod segments;
@@ -72,6 +77,7 @@ pub mod workload;
 
 pub use approx::{CoeffApprox, RangeApprox, SegmentApprox};
 pub use chaos::{run_chaos, ChaosError, ChaosOptions, ChaosOutput, RetryPolicy};
+pub use durable::Durability;
 pub use harness::WorkloadConfigError;
 pub use scheme::{QueryOutcome, ReplicationScheme, SchemeKind};
 pub use segments::Segment;

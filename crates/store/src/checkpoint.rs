@@ -1,0 +1,217 @@
+//! Checkpoint files and the atomic write protocol.
+//!
+//! A checkpoint is a [`StreamSet`] snapshot wrapped in a whole-file
+//! checksum:
+//!
+//! ```text
+//! "SWCP"  version  payload_crc32  payload = StreamSet::snapshot()
+//!   4B       1B         4B
+//! ```
+//!
+//! The outer checksum makes validation cheap and total — a checkpoint is
+//! either verified end-to-end or not used at all — while the payload's
+//! own framed sections give positioned diagnostics when it is not.
+//!
+//! Durability comes from the write protocol, not the format: a checkpoint
+//! is written to a `.tmp` sibling, `fsync`ed, atomically renamed into
+//! place, and the directory is `fsync`ed so the rename itself survives a
+//! crash. At every instant there is a complete old checkpoint or a
+//! complete new one on disk, never a half-written file under the real
+//! name.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use swat_tree::codec::{crc32, CodecError, Cursor};
+use swat_tree::StreamSet;
+
+use crate::error::StoreError;
+
+/// First bytes of every checkpoint file.
+pub const CKPT_MAGIC: &[u8; 4] = b"SWCP";
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u8 = 1;
+
+/// Name of the checkpoint file for a store whose trees have seen
+/// `base_t` arrivals. Zero-padded so lexicographic order is chronological.
+pub fn checkpoint_name(base_t: u64) -> String {
+    format!("ckpt-{base_t:020}.ckpt")
+}
+
+/// Name of the WAL extending the checkpoint at `base_t`.
+pub fn wal_name(base_t: u64) -> String {
+    format!("wal-{base_t:020}.wal")
+}
+
+/// Parse `base_t` back out of a file name produced by [`checkpoint_name`]
+/// or [`wal_name`]; `None` for files this store never writes.
+pub fn parse_name(name: &str) -> Option<(FileKind, u64)> {
+    let (kind, rest) = if let Some(r) = name.strip_prefix("ckpt-") {
+        (FileKind::Checkpoint, r.strip_suffix(".ckpt")?)
+    } else if let Some(r) = name.strip_prefix("wal-") {
+        (FileKind::Wal, r.strip_suffix(".wal")?)
+    } else {
+        return None;
+    };
+    if rest.len() != 20 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok().map(|t| (kind, t))
+}
+
+/// What a store-directory file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A checksummed [`StreamSet`] snapshot.
+    Checkpoint,
+    /// A write-ahead log generation.
+    Wal,
+}
+
+/// Serialize a checkpoint image of `set`.
+pub fn encode(set: &StreamSet) -> Vec<u8> {
+    let payload = set.snapshot();
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.extend_from_slice(CKPT_MAGIC);
+    out.push(CKPT_VERSION);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validate and restore a checkpoint image. `file` names the source for
+/// error context; offsets in the nested snapshot error are relative to
+/// the payload, which starts at byte 9 of the file.
+pub fn decode(file: &str, bytes: &[u8]) -> Result<StreamSet, StoreError> {
+    let corrupt = |source| StoreError::Corrupt {
+        file: file.to_owned(),
+        source,
+    };
+    let mut c = Cursor::new(bytes);
+    let magic = c.take(4).map_err(corrupt)?;
+    if magic != CKPT_MAGIC {
+        return Err(corrupt(CodecError::Invalid {
+            what: "checkpoint magic",
+            offset: 0,
+        }));
+    }
+    let version = c.u8().map_err(corrupt)?;
+    if version != CKPT_VERSION {
+        return Err(corrupt(CodecError::Invalid {
+            what: "checkpoint version",
+            offset: 4,
+        }));
+    }
+    let stored = c.u32().map_err(corrupt)?;
+    let payload = c.rest();
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(corrupt(CodecError::ChecksumMismatch {
+            offset: 5,
+            stored,
+            computed,
+        }));
+    }
+    StreamSet::restore(payload).map_err(|source| StoreError::Snapshot {
+        file: file.to_owned(),
+        source,
+    })
+}
+
+/// Write `bytes` under `dir/name` with full crash atomicity: temp file,
+/// `fsync`, rename, directory `fsync`.
+pub fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<PathBuf, StoreError> {
+    let final_path = dir.join(name);
+    let tmp_path = dir.join(format!("{name}.tmp"));
+    {
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(StoreError::io("create checkpoint temp file"))?;
+        tmp.write_all(bytes)
+            .map_err(StoreError::io("write checkpoint temp file"))?;
+        tmp.sync_all()
+            .map_err(StoreError::io("fsync checkpoint temp file"))?;
+    }
+    fs::rename(&tmp_path, &final_path).map_err(StoreError::io("rename checkpoint into place"))?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// `fsync` the directory so renames and unlinks inside it are durable.
+/// Directory handles cannot be fsynced on every platform; where the
+/// operating system refuses, the rename is still atomic and we proceed.
+pub fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    match File::open(dir) {
+        Ok(d) => {
+            let _ = d.sync_all();
+            Ok(())
+        }
+        Err(source) => Err(StoreError::Io {
+            context: "open store directory for fsync",
+            source,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_tree::SwatConfig;
+
+    fn sample_set() -> StreamSet {
+        let mut set = StreamSet::new(SwatConfig::with_coefficients(16, 2).unwrap(), 2);
+        for i in 0..40 {
+            set.push_row(&[i as f64, 40.0 - i as f64]);
+        }
+        set
+    }
+
+    #[test]
+    fn names_roundtrip_and_sort_chronologically() {
+        assert_eq!(
+            parse_name(&checkpoint_name(42)),
+            Some((FileKind::Checkpoint, 42))
+        );
+        assert_eq!(parse_name(&wal_name(0)), Some((FileKind::Wal, 0)));
+        assert!(checkpoint_name(9) < checkpoint_name(10));
+        assert_eq!(parse_name("ckpt-12.ckpt"), None); // not zero-padded
+        assert_eq!(parse_name("ckpt-00000000000000000042.ckpt.tmp"), None);
+        assert_eq!(parse_name("notes.txt"), None);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_bit_identically() {
+        let set = sample_set();
+        let restored = decode("ckpt", &encode(&set)).unwrap();
+        assert_eq!(restored.answers_digest(), set.answers_digest());
+    }
+
+    #[test]
+    fn every_flip_and_truncation_is_rejected_or_identical() {
+        let set = sample_set();
+        let bytes = encode(&set);
+        let reference = set.answers_digest();
+        for cut in 0..bytes.len() {
+            assert!(decode("ckpt", &bytes[..cut]).is_err(), "cut {cut}");
+        }
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                if let Ok(s) = decode("ckpt", &bad) {
+                    assert_eq!(s.answers_digest(), reference, "flip {byte}.{bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_name_the_file() {
+        let e = decode("ckpt-00000000000000000007.ckpt", b"XXXX").unwrap_err();
+        assert!(e.to_string().contains("ckpt-00000000000000000007.ckpt"));
+    }
+}

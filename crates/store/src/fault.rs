@@ -1,0 +1,215 @@
+//! Deterministic storage-fault injection.
+//!
+//! Recovery claims to survive torn writes, bit rot, and lost files; this
+//! module is how that claim gets exercised. A [`FaultPlan`] is an
+//! explicit list of byte-level mutations applied to a store directory —
+//! the same faults a crashed disk or interrupted kernel write produces —
+//! and [`FaultInjector`] derives such plans from a seed, so every failing
+//! case in the property tests is replayable from its seed alone.
+
+use std::fs::{self, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::StoreError;
+
+/// One storage fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Invert one bit — media bit rot, a misdirected write.
+    FlipBit {
+        /// File name within the store directory.
+        file: String,
+        /// Byte offset of the corrupted bit.
+        byte: u64,
+        /// Bit index 0–7 within that byte.
+        bit: u8,
+    },
+    /// Cut the file to `keep` bytes — a torn write at the crash point.
+    Truncate {
+        /// File name within the store directory.
+        file: String,
+        /// Bytes that survive.
+        keep: u64,
+    },
+    /// Remove the file entirely — lost during an unsynced rename.
+    Delete {
+        /// File name within the store directory.
+        file: String,
+    },
+}
+
+/// An ordered batch of faults to apply to a store directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faults, applied in order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Apply every fault to `dir`. Faults against files that no longer
+    /// exist (or offsets past the end) are no-ops: a plan describes what
+    /// the adversary *attempts*, and a missing target is not a test
+    /// failure.
+    pub fn apply(&self, dir: &Path) -> Result<(), StoreError> {
+        for fault in &self.faults {
+            match fault {
+                Fault::FlipBit { file, byte, bit } => {
+                    let path = dir.join(file);
+                    let Ok(mut f) = OpenOptions::new().read(true).write(true).open(&path) else {
+                        continue;
+                    };
+                    let len = f
+                        .metadata()
+                        .map_err(StoreError::io("stat fault target"))?
+                        .len();
+                    if *byte >= len {
+                        continue;
+                    }
+                    let mut b = [0u8];
+                    f.seek(SeekFrom::Start(*byte))
+                        .and_then(|_| f.read_exact(&mut b))
+                        .map_err(StoreError::io("read fault target"))?;
+                    b[0] ^= 1 << bit;
+                    f.seek(SeekFrom::Start(*byte))
+                        .and_then(|_| f.write_all(&b))
+                        .map_err(StoreError::io("write fault target"))?;
+                }
+                Fault::Truncate { file, keep } => {
+                    let path = dir.join(file);
+                    let Ok(f) = OpenOptions::new().write(true).open(&path) else {
+                        continue;
+                    };
+                    let len = f
+                        .metadata()
+                        .map_err(StoreError::io("stat fault target"))?
+                        .len();
+                    if *keep < len {
+                        f.set_len(*keep)
+                            .map_err(StoreError::io("truncate fault target"))?;
+                    }
+                }
+                Fault::Delete { file } => {
+                    let _ = fs::remove_file(dir.join(file));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Seeded generator of [`FaultPlan`]s over the files actually present in
+/// a store directory.
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// A generator whose whole output is a function of `seed`.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw a plan of up to `max_faults` faults aimed at the store files
+    /// currently in `dir`. File choice, fault kind, and offsets are all
+    /// taken from the seeded generator; directory listing order does not
+    /// matter because targets are chosen from a sorted list.
+    pub fn plan(&mut self, dir: &Path, max_faults: usize) -> Result<FaultPlan, StoreError> {
+        let mut files: Vec<(String, u64)> = Vec::new();
+        for entry in fs::read_dir(dir).map_err(StoreError::io("list store directory"))? {
+            let entry = entry.map_err(StoreError::io("list store directory"))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if crate::checkpoint::parse_name(&name).is_some() {
+                let len = entry
+                    .metadata()
+                    .map_err(StoreError::io("stat store file"))?
+                    .len();
+                files.push((name, len));
+            }
+        }
+        files.sort();
+        let mut plan = FaultPlan::default();
+        if files.is_empty() || max_faults == 0 {
+            return Ok(plan);
+        }
+        let n = self.rng.gen_range(1..=max_faults);
+        for _ in 0..n {
+            let (file, len) = files[self.rng.gen_range(0..files.len())].clone();
+            let fault = match self.rng.gen_range(0..6u32) {
+                // Bias toward bit flips: they are the subtlest fault.
+                0..=2 => Fault::FlipBit {
+                    file,
+                    byte: self.rng.gen_range(0..len.max(1)),
+                    bit: self.rng.gen_range(0..8u32) as u8,
+                },
+                3..=4 => Fault::Truncate {
+                    file,
+                    keep: self.rng.gen_range(0..len.max(1)),
+                },
+                _ => Fault::Delete { file },
+            };
+            plan.faults.push(fault);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swat-fault-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn faults_mutate_exactly_as_described() {
+        let dir = tmp("apply");
+        fs::write(dir.join("wal-00000000000000000000.wal"), [0u8; 16]).unwrap();
+        FaultPlan {
+            faults: vec![
+                Fault::FlipBit {
+                    file: "wal-00000000000000000000.wal".into(),
+                    byte: 3,
+                    bit: 5,
+                },
+                Fault::Truncate {
+                    file: "wal-00000000000000000000.wal".into(),
+                    keep: 7,
+                },
+                Fault::Delete {
+                    file: "missing.ckpt".into(),
+                },
+            ],
+        }
+        .apply(&dir)
+        .unwrap();
+        let bytes = fs::read(dir.join("wal-00000000000000000000.wal")).unwrap();
+        assert_eq!(bytes.len(), 7);
+        assert_eq!(bytes[3], 1 << 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let dir = tmp("seeded");
+        fs::write(dir.join("ckpt-00000000000000000010.ckpt"), [1u8; 64]).unwrap();
+        fs::write(dir.join("wal-00000000000000000010.wal"), [2u8; 128]).unwrap();
+        let a = FaultInjector::new(0xF00D).plan(&dir, 5).unwrap();
+        let b = FaultInjector::new(0xF00D).plan(&dir, 5).unwrap();
+        let c = FaultInjector::new(0xBEEF).plan(&dir, 5).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty());
+        let _ = c; // different seed may or may not coincide; only a == b is contractual
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

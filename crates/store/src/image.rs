@@ -1,0 +1,150 @@
+//! Checksummed state images: a tiny tagged-record container for durable
+//! state that is not a tree — per-node replication bookkeeping, the chaos
+//! driver's modeled durable device, operator tooling.
+//!
+//! ```text
+//! "SWIM"  version  frame*     frame = 'R'  len  crc32  tag  payload
+//!   4B       1B                       1B   4B    4B    1B   len-1 B
+//! ```
+//!
+//! Frames reuse the tree crate's CRC32 framing ([`swat_tree::codec`]).
+//! The caller's record tag travels *inside* the checksummed frame payload
+//! (the outer frame tag is the constant `'R'`), so — unlike a bare frame,
+//! whose tag byte sits outside its checksum — every single-bit error
+//! anywhere in an image is detected, truncation is positioned, and
+//! decoding never panics on adversarial bytes. Records keep their write
+//! order.
+
+use swat_tree::codec::{write_frame, CodecError, Cursor};
+
+use crate::error::StoreError;
+
+/// First bytes of every image.
+pub const IMAGE_MAGIC: &[u8; 4] = b"SWIM";
+/// Current image format version.
+pub const IMAGE_VERSION: u8 = 1;
+/// The fixed outer tag of every record frame.
+const REC: u8 = b'R';
+
+/// Incrementally build an image.
+#[derive(Debug, Clone)]
+pub struct ImageWriter {
+    buf: Vec<u8>,
+}
+
+impl Default for ImageWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImageWriter {
+    /// An image with no records yet.
+    pub fn new() -> ImageWriter {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(IMAGE_MAGIC);
+        buf.push(IMAGE_VERSION);
+        ImageWriter { buf }
+    }
+
+    /// Append one tagged, checksummed record.
+    pub fn record(&mut self, tag: u8, payload: &[u8]) -> &mut Self {
+        let mut inner = Vec::with_capacity(1 + payload.len());
+        inner.push(tag);
+        inner.extend_from_slice(payload);
+        write_frame(&mut self.buf, REC, &inner);
+        self
+    }
+
+    /// The finished image bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Decode an image into its `(tag, payload)` records, verifying every
+/// checksum. Errors carry the byte offset of the first problem.
+pub fn read_image(bytes: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, StoreError> {
+    let corrupt = |source| StoreError::Corrupt {
+        file: "image".to_owned(),
+        source,
+    };
+    let mut c = Cursor::new(bytes);
+    let magic = c.take(4).map_err(corrupt)?;
+    if magic != IMAGE_MAGIC {
+        return Err(corrupt(CodecError::Invalid {
+            what: "image magic",
+            offset: 0,
+        }));
+    }
+    let version = c.u8().map_err(corrupt)?;
+    if version != IMAGE_VERSION {
+        return Err(corrupt(CodecError::Invalid {
+            what: "image version",
+            offset: 4,
+        }));
+    }
+    let mut records = Vec::new();
+    while !c.is_empty() {
+        let (outer, mut payload) = c.frame().map_err(corrupt)?;
+        if outer != REC {
+            return Err(corrupt(CodecError::Invalid {
+                what: "image record frame tag",
+                offset: payload.offset(),
+            }));
+        }
+        let tag = payload.u8().map_err(corrupt)?;
+        records.push((tag, payload.rest().to_vec()));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_roundtrip_in_order() {
+        let mut w = ImageWriter::new();
+        w.record(1, b"alpha").record(7, b"").record(1, b"beta");
+        let bytes = w.finish();
+        let records = read_image(&bytes).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                (1u8, b"alpha".to_vec()),
+                (7u8, Vec::new()),
+                (1u8, b"beta".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_image_is_valid_and_empty() {
+        assert_eq!(read_image(&ImageWriter::new().finish()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn every_flip_and_truncation_is_detected() {
+        let mut w = ImageWriter::new();
+        w.record(3, b"state bytes here").record(4, &[0xAB; 9]);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            // Truncation inside the header or a frame must error; a cut on
+            // a frame boundary yields a shorter — but verified — record
+            // list, which the caller sees by record count.
+            match read_image(&bytes[..cut]) {
+                Ok(records) => assert!(records.len() < 2, "cut {cut}"),
+                Err(StoreError::Corrupt { .. }) => {}
+                Err(other) => panic!("unexpected error at cut {cut}: {other}"),
+            }
+        }
+        for byte in 5..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                read_image(&bad).unwrap_err();
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # SWAT durability layer
+//!
+//! Crash consistency for SWAT summaries. A network node that holds the
+//! only full-resolution summary of its local streams (the paper's §3
+//! deployment) cannot afford to lose it to a process crash: rebuilding
+//! from peers costs the very network messages the hierarchy exists to
+//! avoid. This crate makes a node's [`StreamSet`](swat_tree::StreamSet)
+//! durable with a classic checkpoint + write-ahead-log design, engineered
+//! so that **arbitrary storage corruption degrades recovery, never
+//! correctness**:
+//!
+//! * [`store::DurableStore`] — the live object: every arrival row is a
+//!   checksummed WAL record before the in-memory trees apply it;
+//!   checkpoints are whole-file-checksummed snapshots written with the
+//!   `fsync` → atomic-rename → directory-`fsync` protocol.
+//! * [`recovery::RecoveryManager`] — rebuilds from the newest verifiable
+//!   checkpoint plus the longest verified WAL prefix, chaining sealed log
+//!   generations, truncating torn tails, and falling back a generation
+//!   when the newest checkpoint is damaged. The recovered trees are
+//!   bit-identical (by `answers_digest`) to a never-crashed store at some
+//!   verified prefix of the ingested rows.
+//! * [`fault::FaultInjector`] — seeded, replayable bit flips, torn
+//!   writes, and file deletions; the property tests drive recovery
+//!   through thousands of such fault plans.
+//! * [`image`] — a small checksummed record container for non-tree
+//!   durable state (the replication layer's per-node bookkeeping).
+//!
+//! Formats are defined in [`wal`] and [`checkpoint`]; every decode path
+//! returns a positioned [`StoreError`] and none of them can panic on
+//! adversarial bytes.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod checkpoint;
+pub mod error;
+pub mod fault;
+pub mod image;
+pub mod recovery;
+pub mod store;
+pub mod wal;
+
+pub use error::StoreError;
+pub use fault::{Fault, FaultInjector, FaultPlan};
+pub use image::{read_image, ImageWriter};
+pub use recovery::{RecoveryManager, RecoveryReport};
+pub use store::DurableStore;

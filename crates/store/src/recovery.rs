@@ -1,0 +1,322 @@
+//! Crash recovery: rebuild a [`DurableStore`] from whatever survived.
+//!
+//! The invariant recovery enforces is *verified-prefix consistency*: the
+//! recovered trees are bit-identical (witnessed by `answers_digest`) to a
+//! never-crashed store that ingested some prefix of the acknowledged
+//! arrivals — the longest prefix the surviving checksums can vouch for.
+//! Corrupt bytes can shorten that prefix; they can never change an
+//! answer, and they can never panic the recovery path.
+//!
+//! ## Procedure
+//!
+//! 1. Try checkpoints newest-first; the first whose whole-file checksum,
+//!    snapshot structure, and embedded clock all verify becomes the base
+//!    state. Corrupt newer checkpoints are counted and deleted.
+//! 2. With no usable checkpoint, bootstrap an empty set from the `wal-0`
+//!    header (which repeats the tree configuration for exactly this
+//!    case). If that is gone too, the directory is unrecoverable and
+//!    [`StoreError::NoState`] says so.
+//! 3. Chain WAL generations forward from the base: replay the verified
+//!    record prefix of `wal-<t>`; a complete generation lands exactly on
+//!    the `base_t` of the next one, a torn tail ends the chain.
+//! 4. Write a fresh checkpoint of the recovered state and open a new log
+//!    generation, so the next crash recovers from files written by a
+//!    healthy path even if this recovery leaned on a damaged one.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use swat_tree::StreamSet;
+
+use crate::checkpoint::{self, checkpoint_name, wal_name, FileKind};
+use crate::error::StoreError;
+use crate::store::DurableStore;
+use crate::wal::{self, WalHeader, HEADER_LEN};
+
+/// What recovery found and did — the observability half of the story.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Base checkpoint used, as its arrival clock (`None`: bootstrapped
+    /// from the `wal-0` header).
+    pub checkpoint_t: Option<u64>,
+    /// Newer checkpoints that failed verification and were discarded.
+    pub checkpoints_skipped: usize,
+    /// WAL rows replayed on top of the base state.
+    pub wal_rows_replayed: u64,
+    /// WAL bytes discarded as torn or corrupt (headers of unusable
+    /// generations included).
+    pub wal_bytes_dropped: u64,
+    /// Arrival clock of the recovered store.
+    pub recovered_arrivals: u64,
+}
+
+/// Entry point for turning a possibly-damaged store directory back into a
+/// live [`DurableStore`].
+pub struct RecoveryManager;
+
+impl RecoveryManager {
+    /// Recover the store in `dir`. See the module docs for the procedure
+    /// and the consistency contract.
+    pub fn recover(dir: impl Into<PathBuf>) -> Result<(DurableStore, RecoveryReport), StoreError> {
+        let dir = dir.into();
+        let mut report = RecoveryReport::default();
+
+        let (mut ckpts, wals) = scan(&dir)?;
+        ckpts.sort_unstable_by(|a, b| b.cmp(a)); // newest first
+
+        // 1. Newest verifiable checkpoint.
+        let mut base: Option<StreamSet> = None;
+        for &t in &ckpts {
+            let name = checkpoint_name(t);
+            match fs::read(dir.join(&name)) {
+                Ok(bytes) => match checkpoint::decode(&name, &bytes) {
+                    Ok(set) if set.tree(0).arrivals() == t => {
+                        report.checkpoint_t = Some(t);
+                        base = Some(set);
+                        break;
+                    }
+                    _ => {
+                        report.checkpoints_skipped += 1;
+                        let _ = fs::remove_file(dir.join(&name));
+                    }
+                },
+                Err(_) => {
+                    report.checkpoints_skipped += 1;
+                    let _ = fs::remove_file(dir.join(&name));
+                }
+            }
+        }
+
+        // 2. Bootstrap from wal-0 if no checkpoint survived.
+        let mut set = match base {
+            Some(set) => set,
+            None => match bootstrap(&dir)? {
+                Some(set) => set,
+                None => return Err(StoreError::NoState),
+            },
+        };
+
+        // 3. Chain WAL generations forward.
+        loop {
+            let t = set.tree(0).arrivals();
+            let path = dir.join(wal_name(t));
+            let Ok(bytes) = fs::read(&path) else { break };
+            let rows_before = set.tree(0).arrivals();
+            let dropped = replay(&mut set, t, &bytes);
+            report.wal_bytes_dropped += dropped;
+            report.wal_rows_replayed += set.tree(0).arrivals() - rows_before;
+            // A torn tail — or a generation that added nothing — ends the
+            // chain; the next generation can only exist after a complete
+            // predecessor.
+            if dropped > 0 || set.tree(0).arrivals() == rows_before {
+                break;
+            }
+        }
+        report.recovered_arrivals = set.tree(0).arrivals();
+
+        // Drop WAL generations the chain can no longer reach (ahead of
+        // the recovered clock); a fresh checkpoint supersedes them.
+        for t in wals {
+            if t > report.recovered_arrivals {
+                let _ = fs::remove_file(dir.join(wal_name(t)));
+            }
+        }
+
+        // 4. Re-anchor on a healthy checkpoint + fresh log generation.
+        let store = DurableStore::resume(dir, set, true)?;
+        Ok((store, report))
+    }
+}
+
+/// Every parseable checkpoint / WAL base clock in `dir`.
+fn scan(dir: &Path) -> Result<(Vec<u64>, Vec<u64>), StoreError> {
+    let mut ckpts = Vec::new();
+    let mut wals = Vec::new();
+    for entry in fs::read_dir(dir).map_err(StoreError::io("list store directory"))? {
+        let entry = entry.map_err(StoreError::io("list store directory"))?;
+        match checkpoint::parse_name(&entry.file_name().to_string_lossy()) {
+            Some((FileKind::Checkpoint, t)) => ckpts.push(t),
+            Some((FileKind::Wal, t)) => wals.push(t),
+            None => {}
+        }
+    }
+    Ok((ckpts, wals))
+}
+
+/// An empty [`StreamSet`] reconstructed from the `wal-0` header, if that
+/// header survives verification.
+fn bootstrap(dir: &Path) -> Result<Option<StreamSet>, StoreError> {
+    let Ok(bytes) = fs::read(dir.join(wal_name(0))) else {
+        return Ok(None);
+    };
+    let Ok(header) = WalHeader::decode(&bytes) else {
+        return Ok(None);
+    };
+    if header.base_t != 0 {
+        return Ok(None);
+    }
+    let Ok(config) = header.config() else {
+        return Ok(None);
+    };
+    Ok(Some(StreamSet::new(config, header.streams as usize)))
+}
+
+/// Replay the verified prefix of one WAL generation into `set`; returns
+/// the bytes discarded (whole file when the header or its identity fields
+/// do not match the state being extended).
+fn replay(set: &mut StreamSet, expected_base: u64, bytes: &[u8]) -> u64 {
+    let expected = WalHeader::describe(set.config(), set.streams(), expected_base);
+    match WalHeader::decode(bytes) {
+        Ok(header) if header == expected => {
+            let prefix = wal::scan_records(&bytes[HEADER_LEN..], set.streams());
+            for row in prefix.values.chunks_exact(set.streams()) {
+                set.push_row(row);
+            }
+            (bytes.len() - HEADER_LEN - prefix.verified_len) as u64
+        }
+        _ => bytes.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_tree::SwatConfig;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swat-recovery-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> SwatConfig {
+        SwatConfig::with_coefficients(32, 2).unwrap()
+    }
+
+    /// A reference store that never crashes, for digest comparison.
+    fn uncrashed(rows: u64) -> StreamSet {
+        let mut set = StreamSet::new(config(), 2);
+        for i in 0..rows {
+            set.push_row(&row(i));
+        }
+        set
+    }
+
+    fn row(i: u64) -> [f64; 2] {
+        [(i as f64 * 0.37).sin() * 5.0, i as f64]
+    }
+
+    #[test]
+    fn clean_shutdown_recovers_bit_identically() {
+        let dir = tmp("clean");
+        let mut store = DurableStore::create(&dir, config(), 2).unwrap();
+        for i in 0..75 {
+            store.push_row(&row(i)).unwrap();
+            if i == 40 {
+                store.checkpoint().unwrap();
+            }
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        let (recovered, report) = RecoveryManager::recover(&dir).unwrap();
+        assert_eq!(report.recovered_arrivals, 75);
+        assert_eq!(report.checkpoint_t, Some(41));
+        assert_eq!(report.wal_rows_replayed, 34);
+        assert_eq!(report.wal_bytes_dropped, 0);
+        assert_eq!(recovered.answers_digest(), uncrashed(75).answers_digest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_a_generation() {
+        let dir = tmp("fallback");
+        let mut store = DurableStore::create(&dir, config(), 2).unwrap();
+        let mut pushed = 0;
+        for round in 0..3 {
+            for _ in 0..20 {
+                store.push_row(&row(pushed)).unwrap();
+                pushed += 1;
+            }
+            let _ = round;
+            store.checkpoint().unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        // Flip one byte in the newest checkpoint (t = 60).
+        let name = checkpoint_name(60);
+        let mut bytes = fs::read(dir.join(&name)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(dir.join(&name), bytes).unwrap();
+
+        let (recovered, report) = RecoveryManager::recover(&dir).unwrap();
+        assert_eq!(report.checkpoints_skipped, 1);
+        assert_eq!(report.checkpoint_t, Some(40));
+        // The sealed wal-40 replays 40..60; the live wal-60 was empty.
+        assert_eq!(report.recovered_arrivals, 60);
+        assert_eq!(recovered.answers_digest(), uncrashed(60).answers_digest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_not_trusted() {
+        let dir = tmp("torn");
+        let mut store = DurableStore::create(&dir, config(), 2).unwrap();
+        for i in 0..10 {
+            store.push_row(&row(i)).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        // Tear the last record mid-way, as an interrupted write would.
+        let name = wal_name(0);
+        let len = fs::metadata(dir.join(&name)).unwrap().len();
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join(&name))
+            .unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let (recovered, report) = RecoveryManager::recover(&dir).unwrap();
+        assert_eq!(report.recovered_arrivals, 9);
+        assert_eq!(report.wal_rows_replayed, 9);
+        assert!(report.wal_bytes_dropped > 0);
+        assert_eq!(recovered.answers_digest(), uncrashed(9).answers_digest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_is_a_typed_error() {
+        let dir = tmp("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let err = RecoveryManager::recover(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::NoState), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_re_anchors_so_a_second_crash_recovers_too() {
+        let dir = tmp("reanchor");
+        let mut store = DurableStore::create(&dir, config(), 2).unwrap();
+        for i in 0..30 {
+            store.push_row(&row(i)).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        let (mut recovered, _) = RecoveryManager::recover(&dir).unwrap();
+        for i in 30..45 {
+            recovered.push_row(&row(i)).unwrap();
+        }
+        recovered.sync().unwrap();
+        drop(recovered);
+
+        let (again, report) = RecoveryManager::recover(&dir).unwrap();
+        assert_eq!(report.recovered_arrivals, 45);
+        assert_eq!(again.answers_digest(), uncrashed(45).answers_digest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,298 @@
+//! The durable store: an in-memory [`StreamSet`] whose every mutation is
+//! captured on disk before it is acknowledged.
+//!
+//! A store directory holds checkpoint generations and the WAL extending
+//! the newest one:
+//!
+//! ```text
+//! ckpt-00000000000000000256.ckpt   full StreamSet image at t = 256
+//! ckpt-00000000000000000512.ckpt   full StreamSet image at t = 512
+//! wal-00000000000000000512.wal     arrivals 512.. (the live log)
+//! ```
+//!
+//! [`DurableStore::push_row`] appends a checksummed WAL record and then
+//! applies the row to the in-memory trees; [`DurableStore::checkpoint`]
+//! seals the log, writes a fresh checkpoint atomically, opens the next
+//! log generation, and prunes generations older than the last two. The
+//! previous generation is kept deliberately: if a fault corrupts the
+//! newest checkpoint, recovery falls back to the older one and replays
+//! its (sealed, complete) WAL to reach the exact same state.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use swat_tree::{StreamSet, SwatConfig};
+
+use crate::checkpoint::{self, checkpoint_name, wal_name, FileKind};
+use crate::error::StoreError;
+use crate::wal::{self, WalHeader};
+
+/// How many checkpoint generations [`DurableStore::checkpoint`] retains.
+pub const KEPT_GENERATIONS: usize = 2;
+
+/// A crash-consistent [`StreamSet`].
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    set: StreamSet,
+    wal: BufWriter<File>,
+    wal_base: u64,
+    rows_since_checkpoint: u64,
+}
+
+impl DurableStore {
+    /// Create a fresh store in `dir` (created if missing). Fails if the
+    /// directory already holds store files — recover those with
+    /// [`crate::recovery::RecoveryManager`] instead of silently clobbering
+    /// them.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        config: SwatConfig,
+        streams: usize,
+    ) -> Result<DurableStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(StoreError::io("create store directory"))?;
+        for entry in fs::read_dir(&dir).map_err(StoreError::io("list store directory"))? {
+            let entry = entry.map_err(StoreError::io("list store directory"))?;
+            if checkpoint::parse_name(&entry.file_name().to_string_lossy()).is_some() {
+                return Err(StoreError::Io {
+                    context: "create store in a directory that already holds one",
+                    source: std::io::Error::from(std::io::ErrorKind::AlreadyExists),
+                });
+            }
+        }
+        let set = StreamSet::new(config, streams);
+        Self::resume(dir, set, false)
+    }
+
+    /// Wrap an already-reconstructed `set` (freshly created, or rebuilt by
+    /// recovery) and open its live WAL generation. With `checkpoint_now`,
+    /// a checkpoint is written first so the on-disk state is self-
+    /// contained even if earlier generations were corrupt.
+    pub(crate) fn resume(
+        dir: PathBuf,
+        set: StreamSet,
+        checkpoint_now: bool,
+    ) -> Result<DurableStore, StoreError> {
+        let base = set.tree(0).arrivals();
+        let wal = open_wal(&dir, &set, base)?;
+        let mut store = DurableStore {
+            dir,
+            set,
+            wal,
+            wal_base: base,
+            rows_since_checkpoint: 0,
+        };
+        if checkpoint_now {
+            store.checkpoint()?;
+        }
+        Ok(store)
+    }
+
+    /// Append one synchronized row durably: the WAL record is written
+    /// (buffered) before the in-memory trees see the values. Call
+    /// [`sync`](Self::sync) to force it to disk, or rely on the implicit
+    /// sync inside [`checkpoint`](Self::checkpoint).
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), StoreError> {
+        if row.len() != self.set.streams() {
+            return Err(StoreError::BadRow {
+                got: row.len(),
+                want: self.set.streams(),
+            });
+        }
+        if let Some(stream) = row.iter().position(|v| !v.is_finite()) {
+            return Err(StoreError::BadValue { stream });
+        }
+        let mut record = Vec::with_capacity(wal::record_len(row.len()));
+        wal::encode_record(&mut record, row);
+        self.wal
+            .write_all(&record)
+            .map_err(StoreError::io("append WAL record"))?;
+        self.set.push_row(row);
+        self.rows_since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Flush buffered WAL records and `fsync` the log.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal
+            .flush()
+            .map_err(StoreError::io("flush WAL buffer"))?;
+        self.wal
+            .get_ref()
+            .sync_data()
+            .map_err(StoreError::io("fsync WAL"))?;
+        Ok(())
+    }
+
+    /// Seal the current WAL generation, write a checkpoint of the present
+    /// state atomically, open the next generation, and prune everything
+    /// older than the last [`KEPT_GENERATIONS`] checkpoints.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        self.sync()?;
+        let t = self.set.tree(0).arrivals();
+        checkpoint::write_atomic(
+            &self.dir,
+            &checkpoint_name(t),
+            &checkpoint::encode(&self.set),
+        )?;
+        self.wal = open_wal(&self.dir, &self.set, t)?;
+        self.wal_base = t;
+        self.rows_since_checkpoint = 0;
+        self.prune(t)?;
+        Ok(())
+    }
+
+    /// Remove generations no longer needed for recovery: checkpoints
+    /// beyond the newest [`KEPT_GENERATIONS`] and WAL files older than the
+    /// oldest kept checkpoint. The live WAL (`base == t_now`) always
+    /// survives.
+    fn prune(&self, t_now: u64) -> Result<(), StoreError> {
+        let mut ckpts: Vec<u64> = Vec::new();
+        let mut wals: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&self.dir).map_err(StoreError::io("list store directory"))? {
+            let entry = entry.map_err(StoreError::io("list store directory"))?;
+            match checkpoint::parse_name(&entry.file_name().to_string_lossy()) {
+                Some((FileKind::Checkpoint, t)) => ckpts.push(t),
+                Some((FileKind::Wal, t)) => wals.push(t),
+                None => {}
+            }
+        }
+        ckpts.sort_unstable();
+        let kept = ckpts.len().saturating_sub(KEPT_GENERATIONS);
+        // WAL generations strictly older than the oldest kept checkpoint
+        // are unreachable; with fewer than KEPT_GENERATIONS checkpoints,
+        // the wal-0 bootstrap generation is still the fallback, so
+        // nothing is old enough to drop.
+        let floor = if ckpts.len() >= KEPT_GENERATIONS {
+            ckpts[kept]
+        } else {
+            0
+        };
+        for t in &ckpts[..kept] {
+            let _ = fs::remove_file(self.dir.join(checkpoint_name(*t)));
+        }
+        for t in wals {
+            if t < floor && t != t_now {
+                let _ = fs::remove_file(self.dir.join(wal_name(t)));
+            }
+        }
+        checkpoint::sync_dir(&self.dir)
+    }
+
+    /// The summarized streams.
+    pub fn set(&self) -> &StreamSet {
+        &self.set
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Arrivals ingested per stream (the durable clock).
+    pub fn arrivals(&self) -> u64 {
+        self.set.tree(0).arrivals()
+    }
+
+    /// Rows appended to the live WAL since the last checkpoint.
+    pub fn rows_since_checkpoint(&self) -> u64 {
+        self.rows_since_checkpoint
+    }
+
+    /// The answers-identity digest of the underlying [`StreamSet`] — the
+    /// witness that recovery was bit-identical.
+    pub fn answers_digest(&self) -> u64 {
+        self.set.answers_digest()
+    }
+}
+
+/// Open `wal-<base>` fresh (truncating any unverifiable leftover with the
+/// same name), write its header, and make the header durable.
+fn open_wal(dir: &Path, set: &StreamSet, base: u64) -> Result<BufWriter<File>, StoreError> {
+    let path = dir.join(wal_name(base));
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)
+        .map_err(StoreError::io("open WAL"))?;
+    let mut wal = BufWriter::new(file);
+    let header = WalHeader::describe(set.config(), set.streams(), base);
+    wal.write_all(&header.encode())
+        .map_err(StoreError::io("write WAL header"))?;
+    wal.flush().map_err(StoreError::io("flush WAL header"))?;
+    wal.get_ref()
+        .sync_data()
+        .map_err(StoreError::io("fsync WAL header"))?;
+    checkpoint::sync_dir(dir)?;
+    Ok(wal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swat-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> SwatConfig {
+        SwatConfig::with_coefficients(32, 2).unwrap()
+    }
+
+    #[test]
+    fn create_refuses_to_clobber_existing_state() {
+        let dir = tmp("clobber");
+        let store = DurableStore::create(&dir, config(), 1).unwrap();
+        drop(store);
+        let err = DurableStore::create(&dir, config(), 1).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn push_validates_rows_before_touching_disk_or_trees() {
+        let dir = tmp("validate");
+        let mut store = DurableStore::create(&dir, config(), 2).unwrap();
+        assert!(matches!(
+            store.push_row(&[1.0]),
+            Err(StoreError::BadRow { got: 1, want: 2 })
+        ));
+        assert!(matches!(
+            store.push_row(&[1.0, f64::INFINITY]),
+            Err(StoreError::BadValue { stream: 1 })
+        ));
+        assert_eq!(store.arrivals(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_rotates_generations_and_prunes_old_ones() {
+        let dir = tmp("rotate");
+        let mut store = DurableStore::create(&dir, config(), 1).unwrap();
+        for round in 0..4u64 {
+            for i in 0..10 {
+                store.push_row(&[(round * 10 + i) as f64]).unwrap();
+            }
+            store.checkpoint().unwrap();
+        }
+        let mut ckpts = 0;
+        let mut wals = 0;
+        for entry in fs::read_dir(&dir).unwrap() {
+            match checkpoint::parse_name(&entry.unwrap().file_name().to_string_lossy()) {
+                Some((FileKind::Checkpoint, _)) => ckpts += 1,
+                Some((FileKind::Wal, _)) => wals += 1,
+                None => {}
+            }
+        }
+        assert_eq!(ckpts, KEPT_GENERATIONS);
+        // The sealed WAL of the older kept checkpoint plus the live one.
+        assert_eq!(wals, KEPT_GENERATIONS);
+        assert_eq!(store.arrivals(), 40);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

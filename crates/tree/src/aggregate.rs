@@ -42,7 +42,7 @@ impl SwatTree {
     /// [`TreeError::IndexOutOfWindow`] / [`TreeError::Uncovered`] as for
     /// other queries; [`TreeError::BadQuery`] if `from > to`.
     pub fn aggregate(&self, from: usize, to: usize) -> Result<Aggregate, TreeError> {
-        self.aggregate_with(from, to, QueryOptions::default())
+        self.aggregate_with(from, to, self.config().default_opts())
     }
 
     /// [`Self::aggregate`] with explicit [`QueryOptions`].

@@ -3,11 +3,14 @@
 use std::fmt;
 use swat_wavelet::is_power_of_two;
 
+use crate::query::QueryOptions;
+
 /// Configuration of a [`crate::SwatTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwatConfig {
     window: usize,
     coefficients: usize,
+    min_level: usize,
 }
 
 impl SwatConfig {
@@ -40,7 +43,31 @@ impl SwatConfig {
         Ok(SwatConfig {
             window,
             coefficients: k,
+            min_level: 0,
         })
+    }
+
+    /// The same configuration operating in the paper's §2.5
+    /// reduced-resolution mode: default query evaluation uses only tree
+    /// levels `>= min_level` ("a client can choose to approximate the
+    /// stream at any level"). `min_level = 0` is full resolution.
+    ///
+    /// This is part of the tree's configuration — not just a per-query
+    /// option — so snapshots round-trip it and a restored tree answers
+    /// its default queries identically.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::BadMinLevel`] if `min_level >= log2(window)`.
+    pub fn with_min_level(mut self, min_level: usize) -> Result<Self, TreeError> {
+        if min_level >= self.levels() {
+            return Err(TreeError::BadMinLevel {
+                min_level,
+                levels: self.levels(),
+            });
+        }
+        self.min_level = min_level;
+        Ok(self)
     }
 
     /// Sliding-window size `N`.
@@ -51,6 +78,19 @@ impl SwatConfig {
     /// Per-node coefficient budget `k`.
     pub fn coefficients(&self) -> usize {
         self.coefficients
+    }
+
+    /// The configured reduced-resolution floor (0 = full resolution).
+    pub fn min_level(&self) -> usize {
+        self.min_level
+    }
+
+    /// The [`QueryOptions`] the option-less query entry points use: the
+    /// configured `min_level`.
+    pub fn default_opts(&self) -> QueryOptions {
+        QueryOptions {
+            min_level: self.min_level,
+        }
     }
 
     /// Number of tree levels, `n = log2(N)`.
@@ -76,6 +116,13 @@ pub enum TreeError {
     BadCoefficients {
         /// The offending budget.
         k: usize,
+    },
+    /// The reduced-resolution floor must name an existing level.
+    BadMinLevel {
+        /// The offending floor.
+        min_level: usize,
+        /// Levels the window induces.
+        levels: usize,
     },
     /// Bulk initialization got the wrong number of values.
     BadInitLength {
@@ -152,6 +199,12 @@ impl fmt::Display for TreeError {
             TreeError::BadCoefficients { k } => {
                 write!(f, "coefficient budget {k} must be >= 1")
             }
+            TreeError::BadMinLevel { min_level, levels } => {
+                write!(
+                    f,
+                    "min level {min_level} must be below the level count {levels}"
+                )
+            }
             TreeError::BadInitLength { got, want } => {
                 write!(f, "initial window has {got} values, expected {want}")
             }
@@ -207,6 +260,22 @@ mod tests {
         assert_eq!(c.levels(), 10);
         assert_eq!(c.node_count(), 28);
         assert_eq!(c.coefficients(), 8);
+        assert_eq!(c.min_level(), 0);
+        assert_eq!(c.default_opts(), QueryOptions::default());
+    }
+
+    #[test]
+    fn min_level_configs() {
+        let c = SwatConfig::new(16).unwrap().with_min_level(2).unwrap();
+        assert_eq!(c.min_level(), 2);
+        assert_eq!(c.default_opts(), QueryOptions::at_level(2));
+        assert!(matches!(
+            SwatConfig::new(16).unwrap().with_min_level(4),
+            Err(TreeError::BadMinLevel {
+                min_level: 4,
+                levels: 4
+            })
+        ));
     }
 
     #[test]
@@ -234,6 +303,10 @@ mod tests {
         for e in [
             TreeError::BadWindow { window: 3 },
             TreeError::BadCoefficients { k: 0 },
+            TreeError::BadMinLevel {
+                min_level: 4,
+                levels: 4,
+            },
             TreeError::BadInitLength { got: 3, want: 8 },
             TreeError::IndexOutOfWindow {
                 index: 20,

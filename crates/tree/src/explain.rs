@@ -80,7 +80,7 @@ impl SwatTree {
     ///
     /// [`TreeError::IndexOutOfWindow`] for indices beyond the window.
     pub fn explain(&self, query: &InnerProductQuery) -> Result<QueryPlan, TreeError> {
-        self.explain_with(query, QueryOptions::default())
+        self.explain_with(query, self.config().default_opts())
     }
 
     /// [`SwatTree::explain`] with explicit [`QueryOptions`].

@@ -50,6 +50,8 @@
 //! * [`error_model`] — the paper's §2.6 closed-form error bounds,
 //! * [`exact`] — a ground-truth ring buffer for experiments,
 //! * [`config`] — configuration and error types,
+//! * [`codec`] — the CRC32-checksummed framing shared by snapshots and
+//!   the `swat-store` durability layer,
 //!
 //! plus the paper's extensions:
 //!
@@ -65,6 +67,7 @@
 #![warn(clippy::all)]
 
 pub mod aggregate;
+pub mod codec;
 pub mod config;
 pub mod continuous;
 pub mod error_model;

@@ -9,10 +9,12 @@
 //! history, with accuracy inherited from the summaries (exact for
 //! lossless trees).
 
+use crate::codec::{write_frame, Cursor};
 use crate::config::{SwatConfig, TreeError};
 use crate::query::{InnerProductAnswer, InnerProductQuery, PointAnswer, QueryOptions};
 use crate::scratch::QueryScratch;
-use crate::tree::SwatTree;
+use crate::snapshot::SnapshotError;
+use crate::tree::{digest, SwatTree};
 
 /// A set of synchronized streams, each summarized by its own SWAT.
 ///
@@ -48,6 +50,11 @@ impl StreamSet {
     /// Number of streams.
     pub fn streams(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The configuration shared by every stream's tree.
+    pub fn config(&self) -> &SwatConfig {
+        self.trees[0].config()
     }
 
     /// The tree summarizing stream `i`.
@@ -240,7 +247,7 @@ impl StreamSet {
     ///
     /// Panics if a stream index is out of range or `m == 0`.
     pub fn inner_product_between(&self, a: usize, b: usize, m: usize) -> Result<f64, TreeError> {
-        self.inner_product_between_with(a, b, m, QueryOptions::default())
+        self.inner_product_between_with(a, b, m, self.config().default_opts())
     }
 
     /// As [`Self::inner_product_between`] with explicit resolution.
@@ -274,7 +281,7 @@ impl StreamSet {
     ///
     /// Panics if a stream index is out of range or `m < 2`.
     pub fn correlation(&self, a: usize, b: usize, m: usize) -> Result<f64, TreeError> {
-        self.correlation_with(a, b, m, QueryOptions::default())
+        self.correlation_with(a, b, m, self.config().default_opts())
     }
 
     /// As [`Self::correlation`] with explicit resolution.
@@ -293,6 +300,107 @@ impl StreamSet {
         let xa = self.recent(a, m, opts)?;
         let xb = self.recent(b, m, opts)?;
         Ok(pearson(&xa, &xb))
+    }
+}
+
+/// Magic prefix of a [`StreamSet::snapshot`] buffer.
+const SET_MAGIC: &[u8; 4] = b"SWMS";
+const SET_VERSION: u8 = 1;
+/// Section tag wrapping one stream's tree snapshot.
+const SEC_STREAM: u8 = 5;
+
+impl StreamSet {
+    /// Serialize the whole set: a header, then one checksummed frame per
+    /// stream containing that tree's [`SwatTree::snapshot`] bytes.
+    ///
+    /// ```text
+    /// magic "SWMS"  u8 version = 1  u64 streams
+    /// per stream: [u8 5][u32 len][u32 crc][tree snapshot v2]
+    /// ```
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SET_MAGIC);
+        out.push(SET_VERSION);
+        out.extend_from_slice(&(self.trees.len() as u64).to_le_bytes());
+        for tree in &self.trees {
+            write_frame(&mut out, SEC_STREAM, &tree.snapshot());
+        }
+        out
+    }
+
+    /// Rebuild a set from [`StreamSet::snapshot`] bytes.
+    ///
+    /// All streams must restore under the same configuration and clock
+    /// (the set only ever ingests synchronized rows). Offsets reported by
+    /// errors from inside a stream frame are relative to that frame's
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`].
+    pub fn restore(bytes: &[u8]) -> Result<StreamSet, SnapshotError> {
+        let mut c = Cursor::new(bytes);
+        if c.take(4)? != SET_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = c.u8()?;
+        if version != SET_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let count_at = c.offset();
+        let count = c.u64()? as usize;
+        if count == 0 {
+            return Err(SnapshotError::Invalid {
+                what: "zero streams",
+                offset: count_at,
+            });
+        }
+        let mut trees = Vec::new();
+        for _ in 0..count {
+            let at = c.offset();
+            let (tag, mut payload) = c.frame()?;
+            if tag != SEC_STREAM {
+                return Err(SnapshotError::Invalid {
+                    what: "expected STREAM section",
+                    offset: at,
+                });
+            }
+            let tree = SwatTree::restore(payload.rest())?;
+            if let Some(first) = trees.first() {
+                let first: &SwatTree = first;
+                if tree.config() != first.config() {
+                    return Err(SnapshotError::Invalid {
+                        what: "stream config mismatch",
+                        offset: at,
+                    });
+                }
+                if tree.arrivals() != first.arrivals() {
+                    return Err(SnapshotError::Invalid {
+                        what: "stream clock mismatch",
+                        offset: at,
+                    });
+                }
+            }
+            trees.push(tree);
+        }
+        if !c.is_empty() {
+            return Err(SnapshotError::Invalid {
+                what: "trailing bytes",
+                offset: c.offset(),
+            });
+        }
+        Ok(StreamSet { trees })
+    }
+
+    /// Order-sensitive digest over every stream's
+    /// [`SwatTree::answers_digest`]: equal digests mean every query on
+    /// every stream answers identically.
+    pub fn answers_digest(&self) -> u64 {
+        let mut h = digest::mix(digest::SEED, self.trees.len() as u64);
+        for tree in &self.trees {
+            h = digest::mix(h, tree.answers_digest());
+        }
+        h
     }
 }
 
@@ -537,5 +645,59 @@ mod tests {
     fn extend_batched_rejects_ragged_columns() {
         let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
         set.extend_batched(&[vec![1.0, 2.0], vec![3.0]], 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_every_stream() {
+        let mut set = StreamSet::new(SwatConfig::with_coefficients(32, 2).unwrap(), 3);
+        for i in 0..150 {
+            let x = (i as f64 * 0.31).sin();
+            set.push_row(&[x, x * 2.0, 5.0 - x]);
+        }
+        let restored = StreamSet::restore(&set.snapshot()).unwrap();
+        assert_eq!(restored.streams(), 3);
+        assert_eq!(restored.answers_digest(), set.answers_digest());
+        for s in 0..3 {
+            for idx in 0..32 {
+                assert_eq!(
+                    set.tree(s).point(idx).unwrap(),
+                    restored.tree(s).point(idx).unwrap(),
+                    "stream {s} idx {idx}"
+                );
+            }
+        }
+        // Restored sets keep ingesting identically.
+        let mut a = set;
+        let mut b = restored;
+        for i in 0..40 {
+            let row = [i as f64, -(i as f64), 0.5];
+            a.push_row(&row);
+            b.push_row(&row);
+        }
+        assert_eq!(a.answers_digest(), b.answers_digest());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corruption() {
+        let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
+        for i in 0..50 {
+            set.push_row(&[i as f64, 2.0 * i as f64]);
+        }
+        let bytes = set.snapshot();
+        let digest = set.answers_digest();
+        assert!(matches!(
+            StreamSet::restore(b"????xxxx"),
+            Err(SnapshotError::BadMagic)
+        ));
+        for cut in 0..bytes.len() {
+            assert!(StreamSet::restore(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        for byte in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 1 << (byte % 8);
+            if let Ok(r) = StreamSet::restore(&bad) {
+                assert_eq!(r.answers_digest(), digest, "flip at byte {byte}");
+            }
+        }
     }
 }

@@ -277,6 +277,44 @@ impl InnerProductQuery {
         self.profile
     }
 
+    /// Re-apply a serialized profile tag, but only after verifying the
+    /// weights really have the closed form the tag promises (bitwise —
+    /// the constructors are deterministic). Returns whether the tag was
+    /// accepted; an untrusted snapshot cannot smuggle a lying hint into
+    /// the coefficient-domain kernel.
+    pub(crate) fn try_set_profile(&mut self, profile: WeightProfile) -> bool {
+        let ok = match profile {
+            WeightProfile::General => true,
+            WeightProfile::Exponential => {
+                self.is_contiguous_run()
+                    && self
+                        .weights
+                        .iter()
+                        .enumerate()
+                        .all(|(j, w)| w.to_bits() == 0.5f64.powi(j as i32).to_bits())
+            }
+            WeightProfile::Linear => {
+                let m = self.weights.len();
+                self.is_contiguous_run()
+                    && self
+                        .weights
+                        .iter()
+                        .enumerate()
+                        .all(|(j, w)| w.to_bits() == ((m - j) as f64 / m as f64).to_bits())
+            }
+        };
+        if ok {
+            self.profile = profile;
+        }
+        ok
+    }
+
+    fn is_contiguous_run(&self) -> bool {
+        self.indices
+            .windows(2)
+            .all(|w| w[1] == w[0].wrapping_add(1))
+    }
+
     /// Number of query entries (`M`).
     pub fn len(&self) -> usize {
         self.indices.len()
@@ -377,7 +415,7 @@ impl SwatTree {
     /// [`TreeError::IndexOutOfWindow`] for indices beyond the window,
     /// [`TreeError::Uncovered`] while the tree is still warming up.
     pub fn point(&self, idx: usize) -> Result<PointAnswer, TreeError> {
-        self.point_with(idx, QueryOptions::default())
+        self.point_with(idx, self.config().default_opts())
     }
 
     /// [`Self::point`] with explicit [`QueryOptions`].
@@ -402,7 +440,7 @@ impl SwatTree {
         &self,
         query: &InnerProductQuery,
     ) -> Result<InnerProductAnswer, TreeError> {
-        self.inner_product_with(query, QueryOptions::default())
+        self.inner_product_with(query, self.config().default_opts())
     }
 
     /// [`Self::inner_product`] with explicit [`QueryOptions`].
@@ -432,7 +470,7 @@ impl SwatTree {
     ///
     /// As [`Self::inner_product`].
     pub fn range_query(&self, query: &RangeQuery) -> Result<Vec<RangeMatch>, TreeError> {
-        self.range_query_with(query, QueryOptions::default())
+        self.range_query_with(query, self.config().default_opts())
     }
 
     /// [`Self::range_query`] with explicit [`QueryOptions`].

@@ -433,6 +433,37 @@ impl SwatTree {
         std::mem::size_of::<Self>() + self.nodes().map(|(_, _, s)| s.space_bytes()).sum::<usize>()
     }
 
+    /// Order-sensitive FNV-1a digest of the tree's complete observable
+    /// state: configuration, clock, newest value, and every summary's
+    /// exact bits. Query evaluation is a deterministic function of
+    /// exactly this state, so two trees with equal digests answer every
+    /// query identically — the bit-identity witness the durability
+    /// layer's recovery proofs are property-tested against.
+    pub fn answers_digest(&self) -> u64 {
+        let mut h = digest::SEED;
+        h = digest::mix(h, self.config.window() as u64);
+        h = digest::mix(h, self.config.coefficients() as u64);
+        h = digest::mix(h, self.config.min_level() as u64);
+        h = digest::mix(h, self.t);
+        match self.last {
+            Some(v) => {
+                h = digest::mix(h, 1);
+                h = digest::mix(h, v.to_bits());
+            }
+            None => h = digest::mix(h, 0),
+        }
+        for (level, _, s) in self.nodes() {
+            h = digest::mix(h, level as u64);
+            h = digest::mix(h, s.created_at());
+            h = digest::mix(h, s.range().lo().to_bits());
+            h = digest::mix(h, s.range().hi().to_bits());
+            for &c in s.coeffs().coefficients() {
+                h = digest::mix(h, c.to_bits());
+            }
+        }
+        h
+    }
+
     /// Render the populated nodes with their current coverages — a
     /// diagnostic mirroring the paper's Figure 2 diagrams.
     pub fn render(&self) -> String {
@@ -453,6 +484,17 @@ impl SwatTree {
             let _ = writeln!(out);
         }
         out
+    }
+}
+
+/// FNV-1a word mixing shared by [`SwatTree::answers_digest`] and the
+/// multi-stream digest in [`crate::multi`].
+pub(crate) mod digest {
+    pub(crate) const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn mix(h: u64, word: u64) -> u64 {
+        (h ^ word).wrapping_mul(PRIME)
     }
 }
 

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_recovery.json — crash recovery over the
+# swat-store durability layer: clean-crash recovery time, seeded
+# fault-injected recovery trials (bit flips, torn writes, deletions),
+# and the messages a checkpointed restart saves the chaos driver. Pass
+# --quick for a fast smoke-sized run; any extra flags are forwarded to
+# the CLI (see `swat help`, RECOVERY-BENCH section, for the options).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- recovery-bench --out results/BENCH_recovery.json "$@"

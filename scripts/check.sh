@@ -18,6 +18,14 @@ echo "== chaos smoke (fault injection, quick grid) =="
 cargo run --release -q -p swat-cli -- chaos --quick --out target/chaos-smoke.json >/dev/null
 echo "chaos smoke clean (target/chaos-smoke.json)"
 
+echo "== recovery smoke (checkpoint, crash, fault-injected recovery) =="
+cargo run --release -q -p swat-cli -- recovery-bench --quick \
+    --out target/recovery-smoke.json >/dev/null
+grep -q '"bench": "recovery"' target/recovery-smoke.json
+grep -q '"digest_match": true' target/recovery-smoke.json
+grep -q '"violations": 0' target/recovery-smoke.json
+echo "recovery smoke clean (target/recovery-smoke.json)"
+
 echo "== query-bench smoke (tiny grid, fast-vs-slow agreement) =="
 cargo run --release -q -p swat-cli -- query-bench --quick \
     --points 500 --inners 20 --ranges 5 \
@@ -26,4 +34,4 @@ grep -q '"bench": "query"' target/query-smoke.json
 grep -q '"agreement": true' target/query-smoke.json
 echo "query-bench smoke clean (target/query-smoke.json)"
 
-echo "OK: fmt, clippy, tier-1, chaos smoke, and query-bench smoke all green"
+echo "OK: fmt, clippy, tier-1, chaos, recovery, and query-bench smokes all green"
