@@ -16,7 +16,7 @@ use crate::report;
 use swat_data::Dataset;
 use swat_net::{DelayDist, FaultPlan, NodeId, Topology};
 use swat_replication::harness::WorkloadConfig;
-use swat_replication::{run_chaos, ChaosOptions, SchemeKind};
+use swat_replication::{run_chaos, ChaosOptions, HealPolicy, SchemeKind};
 
 /// The sweep grid.
 #[derive(Debug, Clone)]
@@ -40,6 +40,10 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// Also run each cell with a mid-run crash window on one client.
     pub with_crash_variant: bool,
+    /// Run every cell with the self-healing layer enabled
+    /// (`swat chaos --heal`). Only crash cells behave differently —
+    /// detection does not arm without crash windows.
+    pub heal: bool,
 }
 
 impl ChaosConfig {
@@ -55,6 +59,7 @@ impl ChaosConfig {
             delta: 20.0,
             seed,
             with_crash_variant: true,
+            heal: false,
         }
     }
 
@@ -70,6 +75,7 @@ impl ChaosConfig {
             delta: 20.0,
             seed,
             with_crash_variant: false,
+            heal: false,
         }
     }
 
@@ -112,6 +118,9 @@ pub struct ChaosCase {
     pub dropped: u64,
     /// Mean delivery latency in ticks over delivered messages.
     pub mean_latency: f64,
+    /// Tree repairs performed by the self-healing layer (0 without
+    /// `--heal` or without a crash window).
+    pub repairs: usize,
     /// Correctness violations found by the invariant checker (always 0
     /// unless the driver is buggy).
     pub violations: usize,
@@ -138,6 +147,8 @@ pub struct ChaosReport {
     pub horizon: u64,
     /// Query precision requirement.
     pub delta: f64,
+    /// Whether the self-healing layer was enabled for every cell.
+    pub heal: bool,
     /// Measured cells, in sweep order.
     pub cases: Vec<ChaosCase>,
 }
@@ -170,6 +181,7 @@ fn run_cell(
     let options = ChaosOptions {
         plan,
         check_invariants: true,
+        heal: cfg.heal.then(HealPolicy::default),
         ..ChaosOptions::default()
     };
     let out = run_chaos(SchemeKind::SwatAsr, topo, data, &cfg.workload(), &options)
@@ -211,6 +223,7 @@ fn run_cell(
         } else {
             lat_sum / lat_n as f64
         },
+        repairs: out.repairs.len(),
         violations: out.violations.len(),
     }
 }
@@ -233,6 +246,7 @@ pub fn run(cfg: &ChaosConfig) -> ChaosReport {
         depth: cfg.depth,
         horizon: cfg.horizon,
         delta: cfg.delta,
+        heal: cfg.heal,
         cases,
     }
 }
@@ -255,6 +269,7 @@ impl ChaosReport {
                     c.retries.to_string(),
                     c.dropped.to_string(),
                     format!("{:.2}", c.mean_latency),
+                    c.repairs.to_string(),
                     c.violations.to_string(),
                 ]
             })
@@ -263,7 +278,7 @@ impl ChaosReport {
             "chaos sweep (SWAT-ASR under faults)",
             &[
                 "drop", "delay", "crash", "msgs", "cost", "ans rate", "hits", "retries", "dropped",
-                "lat", "viol",
+                "lat", "repairs", "viol",
             ],
             &rows,
         );
@@ -286,6 +301,7 @@ impl ChaosReport {
         out.push_str(&format!("  \"depth\": {},\n", self.depth));
         out.push_str(&format!("  \"horizon\": {},\n", self.horizon));
         out.push_str(&format!("  \"delta\": {},\n", self.delta));
+        out.push_str(&format!("  \"heal\": {},\n", self.heal));
         out.push_str("  \"cases\": [\n");
         for (i, c) in self.cases.iter().enumerate() {
             out.push_str(&format!(
@@ -293,7 +309,7 @@ impl ChaosReport {
                  \"weighted_cost\": {:.1}, \"queries\": {}, \"answered\": {}, \
                  \"answer_rate\": {:.4}, \"local_hits\": {}, \"retries\": {}, \
                  \"dropped\": {}, \"mean_latency\": {:.3}, \"cost_per_answer\": {:.2}, \
-                 \"violations\": {}}}{}\n",
+                 \"repairs\": {}, \"violations\": {}}}{}\n",
                 c.drop,
                 c.delay,
                 c.crash,
@@ -307,6 +323,7 @@ impl ChaosReport {
                 c.dropped,
                 c.mean_latency,
                 c.cost_per_answer(),
+                c.repairs,
                 c.violations,
                 if i + 1 == self.cases.len() { "" } else { "," }
             ));

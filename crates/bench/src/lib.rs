@@ -31,6 +31,9 @@
 //! fault-injected recovery trials, and the messages a checkpointed
 //! restart saves the chaos driver) and writes
 //! `results/BENCH_recovery.json`; it backs `swat recovery-bench`.
+//! [`repair`] compares the self-healing driver against a static tree
+//! under interior crashes (topology × crash-duration grid) and writes
+//! `results/BENCH_repair.json`; it backs `swat repair-bench`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -40,6 +43,7 @@ pub mod chaos;
 pub mod ingest;
 pub mod query;
 pub mod recovery;
+pub mod repair;
 pub mod report;
 
 /// Default seed used by all figure binaries (override with `SWAT_SEED`).

@@ -1,5 +1,5 @@
 //! The CLI commands: `summarize`, `simulate`, `generate`, `ingest-bench`,
-//! `query-bench`, `chaos`, `recover`, `recovery-bench`.
+//! `query-bench`, `chaos`, `recover`, `recovery-bench`, `repair-bench`.
 
 use std::io::Read;
 
@@ -24,6 +24,7 @@ USAGE
   swat chaos        [sweep options] [--out PATH] [--quick]
   swat recover      --dir PATH
   swat recovery-bench [options] [--out PATH] [--quick]
+  swat repair-bench [options] [--out PATH] [--quick]
   swat help
 
 SUMMARIZE — build a SWAT over a stream and answer queries
@@ -62,6 +63,7 @@ CHAOS — sweep SWAT-ASR under deterministic fault injection
              --delays D,D,..    max per-edge delays in ticks (uniform 0..=D)
              --depth D          complete binary client tree depth
              --window N --horizon T --warmup T --delta D --seed S
+             --heal             run every cell with self-healing on
   output:    --out PATH (default results/BENCH_chaos.json)
   --quick    shrunk grid for smoke runs (no crash variant)
 
@@ -74,7 +76,18 @@ RECOVERY-BENCH — measure crash recovery and the durable-restart win
              --checkpoint-every N
   faults:    --trials N --max-faults N   seeded corruption trials
   output:    --out PATH (default results/BENCH_recovery.json) --seed S
-  --quick    shrunk run for smoke tests"
+  --quick    shrunk run for smoke tests
+
+REPAIR-BENCH — self-healing vs static tree under interior crashes
+  sweep:     --crash-fracs F,F,..  outage lengths as fractions of the
+                                   measured span (default 0.34,0.67,1.0)
+             --window N --horizon T --warmup T --delta D --seed S
+  healing:   --hb-period TICKS     heartbeat period (default 5)
+             --miss-threshold N    misses before repair (default 3)
+  output:    --out PATH (default results/BENCH_repair.json)
+  --quick    shrunk grid for smoke runs
+  errors unless every cell's healed run answers strictly more queries
+  than its static run, at zero correctness violations"
     );
 }
 
@@ -512,6 +525,7 @@ pub fn chaos(a: &Args) -> Result<(), String> {
     cfg.delta = a
         .get_parsed("delta", cfg.delta, "a number")
         .map_err(|e| e.to_string())?;
+    cfg.heal = a.switch("heal");
     // Fail early with the workload's own diagnostics (window shape,
     // warmup vs horizon, delta) before paying for the sweep.
     WorkloadConfig {
@@ -628,6 +642,75 @@ pub fn recovery_bench(a: &Args) -> Result<(), String> {
         ));
     }
     let out = a.get("out").unwrap_or("results/BENCH_recovery.json");
+    report
+        .write_json(std::path::Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+/// `swat repair-bench`: compare the self-healing driver against a static
+/// tree under interior crashes and write the `BENCH_repair.json`
+/// artifact. Fails unless healing strictly dominates in every cell.
+pub fn repair_bench(a: &Args) -> Result<(), String> {
+    use swat_bench::repair::{run, RepairConfig};
+    let seed = a
+        .get_parsed("seed", swat_bench::DEFAULT_SEED, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut cfg = if a.switch("quick") {
+        RepairConfig::quick(seed)
+    } else {
+        RepairConfig::full(seed)
+    };
+    if let Some(raw) = a.get("crash-fracs") {
+        cfg.crash_fracs = parse_f64_list("crash-fracs", raw)?;
+        if cfg.crash_fracs.iter().any(|f| !(0.0..=1.0).contains(f)) {
+            return Err("--crash-fracs entries must be fractions in [0, 1]".into());
+        }
+    }
+    cfg.window = a
+        .get_parsed("window", cfg.window, "a power of two")
+        .map_err(|e| e.to_string())?;
+    cfg.horizon = a
+        .get_parsed("horizon", cfg.horizon, "ticks")
+        .map_err(|e| e.to_string())?;
+    cfg.warmup = a
+        .get_parsed("warmup", cfg.warmup, "ticks")
+        .map_err(|e| e.to_string())?;
+    cfg.delta = a
+        .get_parsed("delta", cfg.delta, "a number")
+        .map_err(|e| e.to_string())?;
+    cfg.heal.period = a
+        .get_parsed("hb-period", cfg.heal.period, "ticks")
+        .map_err(|e| e.to_string())?;
+    cfg.heal.miss_threshold = a
+        .get_parsed("miss-threshold", cfg.heal.miss_threshold, "a miss count")
+        .map_err(|e| e.to_string())?;
+    if cfg.heal.period == 0 || cfg.heal.miss_threshold == 0 {
+        return Err("--hb-period and --miss-threshold must be positive".into());
+    }
+    WorkloadConfig {
+        window: cfg.window,
+        delta: cfg.delta,
+        horizon: cfg.horizon,
+        warmup: cfg.warmup,
+        seed,
+        ..WorkloadConfig::default()
+    }
+    .validate()
+    .map_err(|e| e.to_string())?;
+    let report = run(&cfg);
+    report.print();
+    let violations: usize = report.cases.iter().map(|c| c.violations).sum();
+    if violations > 0 {
+        return Err(format!(
+            "{violations} correctness violations under healing — this is a bug"
+        ));
+    }
+    if !report.all_dominate() {
+        return Err("a healed cell failed to beat its static run — this is a bug".into());
+    }
+    let out = a.get("out").unwrap_or("results/BENCH_repair.json");
     report
         .write_json(std::path::Path::new(out))
         .map_err(|e| format!("writing {out}: {e}"))?;

@@ -9,6 +9,7 @@
 //! swat chaos --drops 0,0.05,0.2 --delays 0,2 --depth 3
 //! swat recover --dir /var/lib/swat/store
 //! swat recovery-bench --quick --out results/BENCH_recovery.json
+//! swat repair-bench --quick --out results/BENCH_repair.json
 //! swat help
 //! ```
 
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         "chaos" => commands::chaos(&parsed),
         "recover" => commands::recover(&parsed),
         "recovery-bench" => commands::recovery_bench(&parsed),
+        "repair-bench" => commands::repair_bench(&parsed),
         other => Err(format!("unknown command {other:?} (try `swat help`)")),
     };
     match result {

@@ -23,16 +23,21 @@ pub enum MsgKind {
     /// A pure control message (subscription bookkeeping, refresh-rate
     /// renegotiation, …).
     Control,
+    /// Failure-detection traffic: heartbeat pings/acks and liveness
+    /// probes from the self-healing layer. Tracked separately from
+    /// [`MsgKind::Control`] so the robustness overhead is measurable.
+    Heartbeat,
 }
 
 impl MsgKind {
     /// All kinds, for iteration.
-    pub const ALL: [MsgKind; 5] = [
+    pub const ALL: [MsgKind; 6] = [
         MsgKind::QueryForward,
         MsgKind::Answer,
         MsgKind::Update,
         MsgKind::Insert,
         MsgKind::Control,
+        MsgKind::Heartbeat,
     ];
 
     fn index(self) -> usize {
@@ -42,6 +47,7 @@ impl MsgKind {
             MsgKind::Update => 2,
             MsgKind::Insert => 3,
             MsgKind::Control => 4,
+            MsgKind::Heartbeat => 5,
         }
     }
 
@@ -53,6 +59,7 @@ impl MsgKind {
             MsgKind::Update => "update",
             MsgKind::Insert => "insert",
             MsgKind::Control => "control",
+            MsgKind::Heartbeat => "heartbeat",
         }
     }
 }
@@ -60,7 +67,7 @@ impl MsgKind {
 /// Per-kind message counts plus a weighted cost total.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MessageLedger {
-    counts: [u64; 5],
+    counts: [u64; 6],
     weighted: f64,
 }
 
@@ -176,5 +183,85 @@ mod tests {
         let s = l.to_string();
         assert!(s.contains("insert=1"));
         assert!(s.contains("total=1"));
+    }
+
+    #[test]
+    fn kind_names_are_distinct_and_cover_all() {
+        let names: Vec<&str> = MsgKind::ALL.iter().map(|k| k.name()).collect();
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Indices are a bijection onto 0..ALL.len(): charging each kind
+        // once puts exactly one message in every slot.
+        let mut l = MessageLedger::new();
+        for k in MsgKind::ALL {
+            l.charge(k);
+        }
+        for k in MsgKind::ALL {
+            assert_eq!(l.count(k), 1, "{}", k.name());
+        }
+        assert_eq!(l.total(), MsgKind::ALL.len() as u64);
+    }
+
+    #[test]
+    fn heartbeat_round_trips_through_every_charge_path() {
+        let mut l = MessageLedger::new();
+        l.charge(MsgKind::Heartbeat);
+        l.charge_hops(MsgKind::Heartbeat, 4);
+        l.charge_weighted(MsgKind::Heartbeat, 0.25);
+        assert_eq!(l.count(MsgKind::Heartbeat), 6);
+        assert_eq!(l.total(), 6);
+        assert!((l.weighted_total() - 5.25).abs() < 1e-12);
+        // Heartbeats never leak into the control slot (or any other).
+        for k in MsgKind::ALL {
+            if k != MsgKind::Heartbeat {
+                assert_eq!(l.count(k), 0, "{}", k.name());
+            }
+        }
+        let s = l.to_string();
+        assert!(s.contains("heartbeat=6"), "{s}");
+    }
+
+    #[test]
+    fn merge_keeps_weighted_total_consistent_across_groupings() {
+        // Sum the same charges in two different groupings; totals and
+        // weighted totals must agree exactly (merge is plain addition).
+        let charge_some = |l: &mut MessageLedger, salt: u64| {
+            l.charge(MsgKind::Heartbeat);
+            l.charge_hops(MsgKind::Answer, (salt % 3) as usize + 1);
+            l.charge_weighted(MsgKind::Control, 0.5 + salt as f64);
+        };
+        let mut parts: Vec<MessageLedger> = Vec::new();
+        for salt in 0..5 {
+            let mut l = MessageLedger::new();
+            charge_some(&mut l, salt);
+            parts.push(l);
+        }
+        let mut left_fold = MessageLedger::new();
+        for p in &parts {
+            left_fold.merge(p);
+        }
+        let mut pairwise = MessageLedger::new();
+        let mut tmp = MessageLedger::new();
+        for (i, p) in parts.iter().enumerate() {
+            if i % 2 == 0 {
+                tmp.merge(p);
+            } else {
+                pairwise.merge(p);
+            }
+        }
+        pairwise.merge(&tmp);
+        assert_eq!(left_fold, pairwise);
+        let mut flat = MessageLedger::new();
+        for salt in 0..5 {
+            charge_some(&mut flat, salt);
+        }
+        assert_eq!(left_fold.total(), flat.total());
+        for k in MsgKind::ALL {
+            assert_eq!(left_fold.count(k), flat.count(k), "{}", k.name());
+        }
+        assert!((left_fold.weighted_total() - flat.weighted_total()).abs() < 1e-9);
     }
 }

@@ -17,15 +17,21 @@
 //!   messages 1),
 //! * [`FaultPlan`] / [`Link`] — deterministic fault injection: before a
 //!   charged message is considered sent, the link adjudicates it as
-//!   delivered-at-tick, dropped, or endpoint-down.
+//!   delivered-at-tick, dropped, or endpoint-down,
+//! * [`DynamicTopology`] — a versioned, repairable view of a
+//!   [`Topology`] for the self-healing layer: orphaned children re-parent
+//!   to live ancestors (cycles impossible by construction), recovered
+//!   nodes rejoin, and every repair emits a typed [`RepairEvent`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod dynamic;
 pub mod fault;
 pub mod ledger;
 pub mod topology;
 
+pub use dynamic::{DynamicTopology, RepairError, RepairEvent, RepairKind};
 pub use fault::{CrashWindow, DelayDist, Delivery, FaultPlan, FaultPlanError, Link};
 pub use ledger::{MessageLedger, MsgKind};
 pub use topology::{NodeId, Topology, TopologyError};

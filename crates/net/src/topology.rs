@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 /// Identifier of a network node. Node 0 is always the source `S`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
@@ -152,6 +155,26 @@ impl Topology {
             }
         }
         Topology::from_parents(parents).expect("valid")
+    }
+
+    /// A uniformly random recursive tree of `n` clients below the
+    /// source, deterministic in `seed`: client `i` attaches to a node
+    /// drawn uniformly from `0..i`. Connected, acyclic, and rooted at
+    /// the source by construction (every parent precedes its child), so
+    /// it passes [`Topology::from_parents`] validation for any seed —
+    /// useful for diversifying property tests beyond chain/star/binary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random_tree(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "random tree needs at least one client");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7EE5_EED5_EED7_EE00);
+        let mut parents: Vec<Option<usize>> = vec![None];
+        for child in 1..=n {
+            parents.push(Some(rng.gen_range(0..child)));
+        }
+        Topology::from_parents(parents).expect("parents precede children")
     }
 
     /// Total nodes including the source.
@@ -321,5 +344,46 @@ mod tests {
     fn display_names() {
         assert_eq!(NodeId(0).to_string(), "S");
         assert_eq!(NodeId(3).to_string(), "C3");
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_and_seed_sensitive() {
+        let a = Topology::random_tree(12, 7);
+        let b = Topology::random_tree(12, 7);
+        assert_eq!(a, b);
+        let distinct = (0..32).any(|s| Topology::random_tree(12, s) != a);
+        assert!(distinct, "every seed yielded the same tree");
+    }
+
+    mod random_tree_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any size and seed: rooted at the source, connected
+            /// (every node reaches the source), and acyclic (no walk to
+            /// the source revisits a node).
+            #[test]
+            fn connected_acyclic_rooted(n in 1usize..40, seed in 0u64..5000) {
+                let t = Topology::random_tree(n, seed);
+                prop_assert_eq!(t.len(), n + 1);
+                prop_assert!(t.parent(NodeId::SOURCE).is_none());
+                let mut reached_children = 0usize;
+                for node in t.nodes() {
+                    let mut seen = vec![false; t.len()];
+                    let mut cur = node;
+                    seen[cur.index()] = true;
+                    while let Some(p) = t.parent(cur) {
+                        prop_assert!(!seen[p.index()], "cycle at {}", p);
+                        seen[p.index()] = true;
+                        cur = p;
+                    }
+                    prop_assert_eq!(cur, NodeId::SOURCE, "{} is disconnected", node);
+                    reached_children += t.children(node).len();
+                }
+                // Parent and child views agree: n tree edges total.
+                prop_assert_eq!(reached_children, n);
+            }
+        }
     }
 }

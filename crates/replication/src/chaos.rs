@@ -31,15 +31,36 @@
 //!   sends nor receives, and its periodic queries go unanswered. It
 //!   self-heals after recovery through re-delivered updates and phase
 //!   expansion.
+//! * **Self-healing** (opt-in via [`ChaosOptions::heal`]). The static
+//!   tree silently partitions a crashed interior node's subtree. With a
+//!   [`HealPolicy`] set, every client pings its parent on a periodic
+//!   heartbeat task; after `miss_threshold` unanswered periods the
+//!   parent is suspect and the child re-parents to its nearest live
+//!   ancestor on the [`swat_net::DynamicTopology`] (grandparent
+//!   fallback, walking the path to the source — cycles impossible by
+//!   construction), then asks the adopter to take over its segment
+//!   subscriptions. A recovered node rejoins where it stands (typically
+//!   as a leaf, its orphans having re-parented away) and re-syncs its
+//!   segment directory against the current tree. All heartbeat/probe
+//!   traffic is charged to the ledger under [`MsgKind::Heartbeat`], so
+//!   the robustness cost is measurable; every repair is a typed
+//!   [`RepairEvent`] in [`ChaosOutput::repairs`]. Re-parenting plus
+//!   retries can deliver one replication message twice along different
+//!   paths, so each carries a write id and receivers deduplicate
+//!   per-(segment, epoch, write id) — application is idempotent.
+//!   Failure detection only arms when the plan actually crashes nodes;
+//!   under [`FaultPlan::none`] a healing run keeps the original static
+//!   tree — and the synchronous ledger — bit-identically.
 //!
 //! Under [`FaultPlan::none`] zero-delay deliveries execute inline in the
 //! originating event — the same call structure as the synchronous path —
 //! so [`run_chaos`] is **bit-identical** to [`crate::harness::run`]:
 //! same ledgers, same metrics, same [`RunOutput::answers_digest`]. The
-//! property tests in `tests/chaos_properties.rs` enforce both this and
-//! the zero-correctness-loss guarantees under arbitrary fault plans.
+//! property tests in `tests/chaos_properties.rs` and
+//! `tests/repair_properties.rs` enforce this, the zero-correctness-loss
+//! guarantees under arbitrary fault plans, and the healing guarantees.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::approx::{RangeApprox, SegmentApprox};
@@ -50,8 +71,11 @@ use crate::harness::{
 };
 use crate::scheme::{ReplicationScheme, SchemeKind};
 use crate::workload::QueryGenerator;
-use swat_net::{Delivery, FaultPlan, Link, MessageLedger, MsgKind, NodeId, Topology};
-use swat_sim::{Metrics, Periodic, Scheduler};
+use swat_net::{
+    Delivery, DynamicTopology, FaultPlan, Link, MessageLedger, MsgKind, NodeId, RepairEvent,
+    Topology,
+};
+use swat_sim::{Metrics, PastTickError, Periodic, Scheduler};
 use swat_tree::InnerProductQuery;
 
 /// Retry protocol for replication (`Insert`/`Update`) messages when the
@@ -60,8 +84,8 @@ use swat_tree::InnerProductQuery;
 pub struct RetryPolicy {
     /// Retries after the initial send before the child is written off.
     pub max_retries: u32,
-    /// Ticks before the first retry; attempt `n` waits `timeout << n`
-    /// (capped at 6 doublings).
+    /// Ticks before the first retry; attempt `n` waits
+    /// `timeout * 2^min(n, MAX_DOUBLINGS)`.
     pub timeout: u64,
 }
 
@@ -75,9 +99,44 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Backoff delay before retry number `attempt` (1-based).
-    fn backoff(&self, attempt: u32) -> u64 {
-        self.timeout.saturating_mul(1u64 << attempt.min(6))
+    /// Exponential backoff stops doubling after this many attempts, so
+    /// the delay is bounded by `timeout * 2^MAX_DOUBLINGS` for any
+    /// attempt count.
+    pub const MAX_DOUBLINGS: u32 = 6;
+
+    /// Backoff delay before retry number `attempt` (1-based): monotone
+    /// nondecreasing in `attempt`, capped at
+    /// `timeout * 2^`[`RetryPolicy::MAX_DOUBLINGS`], and saturating
+    /// (never wraps) for any `timeout`/`attempt` combination.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let factor = 1u64
+            .checked_shl(attempt.min(Self::MAX_DOUBLINGS))
+            .unwrap_or(u64::MAX);
+        self.timeout.saturating_mul(factor)
+    }
+}
+
+/// Failure detection and tree repair parameters
+/// ([`ChaosOptions::heal`]).
+///
+/// Detection only arms when the fault plan actually crashes nodes: a
+/// healing run under a crash-free plan is bit-identical to the static
+/// one (no heartbeat traffic, no repairs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealPolicy {
+    /// Ticks between heartbeat pings from each client to its parent.
+    pub period: u64,
+    /// Consecutive unanswered heartbeat periods before the parent is
+    /// declared suspect and the client re-parents.
+    pub miss_threshold: u32,
+}
+
+impl Default for HealPolicy {
+    fn default() -> Self {
+        HealPolicy {
+            period: 5,
+            miss_threshold: 3,
+        }
     }
 }
 
@@ -99,6 +158,11 @@ pub struct ChaosOptions {
     /// durability layer, which restore their replicas locally instead of
     /// re-fetching them — measured as recovery messages saved.
     pub durability: Durability,
+    /// Self-healing: heartbeat failure detection plus dynamic-tree
+    /// repair. `None` (the default) keeps the static tree — crashed
+    /// interior nodes partition their subtree, as in the original
+    /// model.
+    pub heal: Option<HealPolicy>,
 }
 
 impl Default for ChaosOptions {
@@ -108,6 +172,7 @@ impl Default for ChaosOptions {
             retry: RetryPolicy::default(),
             check_invariants: false,
             durability: Durability::default(),
+            heal: None,
         }
     }
 }
@@ -131,6 +196,11 @@ pub enum ChaosError {
     /// Only SWAT-ASR implements the fault-aware protocol; the per-item
     /// baselines run through [`run_chaos`] only under an ideal plan.
     UnsupportedScheme(&'static str),
+    /// The healing policy is malformed (zero period or threshold).
+    InvalidHealPolicy(&'static str),
+    /// The driver asked the scheduler for a tick already in the past —
+    /// a protocol bug surfaced as a typed error instead of a panic.
+    PastTick(PastTickError),
 }
 
 impl fmt::Display for ChaosError {
@@ -148,6 +218,8 @@ impl fmt::Display for ChaosError {
             ChaosError::UnsupportedScheme(s) => {
                 write!(f, "{s} has no fault-aware protocol; use an ideal plan")
             }
+            ChaosError::InvalidHealPolicy(why) => write!(f, "invalid heal policy: {why}"),
+            ChaosError::PastTick(e) => write!(f, "driver scheduling bug: {e}"),
         }
     }
 }
@@ -157,6 +229,12 @@ impl std::error::Error for ChaosError {}
 impl From<WorkloadConfigError> for ChaosError {
     fn from(e: WorkloadConfigError) -> Self {
         ChaosError::InvalidConfig(e)
+    }
+}
+
+impl From<PastTickError> for ChaosError {
+    fn from(e: PastTickError) -> Self {
+        ChaosError::PastTick(e)
     }
 }
 
@@ -178,6 +256,10 @@ pub struct ChaosOutput {
     /// Soundness/precision violations found by `check_invariants`
     /// (always empty unless the driver is buggy — asserted by tests).
     pub violations: Vec<String>,
+    /// Every tree repair the self-healing layer performed, in order —
+    /// re-parentings and post-crash rejoins. Empty without
+    /// [`ChaosOptions::heal`] (or when nothing crashed).
+    pub repairs: Vec<RepairEvent>,
 }
 
 impl ChaosOutput {
@@ -225,12 +307,25 @@ pub fn run_chaos(
             });
         }
     }
+    if let Some(heal) = &options.heal {
+        if heal.period == 0 {
+            return Err(ChaosError::InvalidHealPolicy(
+                "heartbeat period must be positive",
+            ));
+        }
+        if heal.miss_threshold == 0 {
+            return Err(ChaosError::InvalidHealPolicy(
+                "miss threshold must be positive",
+            ));
+        }
+    }
     match kind {
-        SchemeKind::SwatAsr => Ok(drive(topo, values, cfg, options)),
+        SchemeKind::SwatAsr => drive(topo, values, cfg, options),
         other if options.plan.is_ideal() => Ok(ChaosOutput {
             run: run(other, topo, values, cfg),
             net: Metrics::new(),
             violations: Vec::new(),
+            repairs: Vec::new(),
         }),
         other => Err(ChaosError::UnsupportedScheme(other.name())),
     }
@@ -242,15 +337,29 @@ enum Msg<A> {
     /// An `Insert`/`Update`: adopt `approx` for `seg` at epoch `seq`.
     /// `install` distinguishes Insert (ledger kind, no write count);
     /// `repropagate` is false for phase-end refreshes, which the
-    /// synchronous protocol does not cascade.
+    /// synchronous protocol does not cascade. `wid` identifies this
+    /// logical write for duplicate suppression: a retry of the same
+    /// payload reuses it, so receivers can apply per-(segment, epoch,
+    /// write id) exactly once even if the message arrives twice along
+    /// different paths.
     Replicate {
         from: NodeId,
         seg: usize,
         seq: u64,
+        wid: u64,
         approx: A,
         install: bool,
         repropagate: bool,
     },
+    /// Heartbeat ping from a child probing its parent's liveness.
+    Ping { from: NodeId },
+    /// Heartbeat response; `from` is the responding parent, so a late
+    /// pong from a replaced parent is not misread as the new parent
+    /// answering.
+    Pong { from: NodeId },
+    /// After a repair: `from` (re-parented onto the receiver) asks it
+    /// to take over the subscription for `seg`.
+    Resub { from: NodeId, seg: usize },
     /// Receipt acknowledgement of epoch `seq` for `seg` (fallible plans
     /// only).
     Ack { from: NodeId, seg: usize, seq: u64 },
@@ -295,18 +404,28 @@ enum Ev<A> {
     Crash {
         node: NodeId,
     },
+    /// Periodic heartbeat task of one client (healing only).
+    Heartbeat {
+        client: usize,
+    },
+    /// End of a crash window (healing only): the node rejoins and
+    /// re-syncs its segment directory against the current tree.
+    Recover {
+        node: NodeId,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     seq: u64,
+    wid: u64,
     attempt: u32,
     kind: MsgKind,
 }
 
 struct Driver<'a, A: SegmentApprox> {
     asr: SwatAsr<A>,
-    topo: &'a Topology,
+    topo: DynamicTopology,
     cfg: &'a WorkloadConfig,
     values: &'a [f64],
     link: Link,
@@ -315,8 +434,23 @@ struct Driver<'a, A: SegmentApprox> {
     /// delay-only or ideal plans the protocol (and ledger) must match
     /// the synchronous one exactly.
     fallible: bool,
+    /// Failure detection + tree repair; `Some` only when healing is
+    /// requested AND the plan can crash nodes (otherwise there is
+    /// nothing to detect and the run must stay bit-identical).
+    heal: Option<HealPolicy>,
+    /// Per-node consecutive unanswered heartbeat periods.
+    hb_misses: Vec<u32>,
+    /// Whether a pong arrived since the node's last ping.
+    hb_pong: Vec<bool>,
     /// Unacked replication sends, keyed `(from, to, seg)`.
     pending: BTreeMap<(usize, usize, usize), Pending>,
+    /// Write ids already applied, keyed `(node, seg)` — the
+    /// duplicate-suppression set (tracked only on fallible plans, where
+    /// duplicates are possible).
+    applied: BTreeMap<(usize, usize), BTreeSet<u64>>,
+    next_wid: u64,
+    /// First scheduling failure, surfaced as [`ChaosError::PastTick`].
+    sched_error: Option<PastTickError>,
     warmup_ledger: MessageLedger,
     ledger: MessageLedger,
     metrics: Metrics,
@@ -336,16 +470,26 @@ fn drive(
     values: &[f64],
     cfg: &WorkloadConfig,
     options: &ChaosOptions,
-) -> ChaosOutput {
+) -> Result<ChaosOutput, ChaosError> {
+    // Failure detection only arms when something can actually crash;
+    // otherwise a healing run must stay bit-identical to a static one,
+    // so no heartbeat tasks may exist at all.
+    let heal = options.heal.filter(|_| !options.plan.crashes().is_empty());
     let mut d: Driver<'_, RangeApprox> = Driver {
         asr: SwatAsr::new(topo.clone(), cfg.window),
-        topo,
+        topo: DynamicTopology::new(topo.clone()),
         cfg,
         values,
         link: Link::new(options.plan.clone()),
         retry: options.retry,
         fallible: options.plan.can_lose(),
+        heal,
+        hb_misses: vec![0; topo.len()],
+        hb_pong: vec![true; topo.len()],
         pending: BTreeMap::new(),
+        applied: BTreeMap::new(),
+        next_wid: 0,
+        sched_error: None,
         warmup_ledger: MessageLedger::new(),
         ledger: MessageLedger::new(),
         metrics: Metrics::new(),
@@ -366,27 +510,36 @@ fn drive(
     // coincide under an ideal plan.
     let mut sched: Sched<RangeApprox> = Scheduler::new();
     let mut data_task = Periodic::starting_at(0, cfg.t_data);
-    sched
-        .try_schedule(data_task.next_fire(), Ev::Data)
-        .expect("initial schedule is never in the past");
+    sched.try_schedule(data_task.next_fire(), Ev::Data)?;
     let mut query_tasks: Vec<Periodic> = topo
         .clients()
         .map(|c| Periodic::starting_at(1 + (c.index() as u64 % cfg.t_query), cfg.t_query))
         .collect();
     for (i, c) in topo.clients().enumerate() {
-        sched
-            .try_schedule(query_tasks[i].next_fire(), Ev::Query { client: c.index() })
-            .expect("initial schedule is never in the past");
+        sched.try_schedule(query_tasks[i].next_fire(), Ev::Query { client: c.index() })?;
     }
     let mut phase_task = Periodic::starting_at(cfg.phase, cfg.phase);
-    sched
-        .try_schedule(phase_task.next_fire(), Ev::PhaseEnd)
-        .expect("initial schedule is never in the past");
+    sched.try_schedule(phase_task.next_fire(), Ev::PhaseEnd)?;
     for w in options.plan.crashes() {
         if w.from < cfg.horizon {
-            sched
-                .try_schedule(w.from, Ev::Crash { node: w.node })
-                .expect("crash onsets are scheduled at tick 0");
+            sched.try_schedule(w.from, Ev::Crash { node: w.node })?;
+        }
+    }
+    // Heartbeat tasks (staggered like query tasks) and recovery marks,
+    // scheduled only when detection is armed.
+    let mut hb_tasks: Vec<Periodic> = Vec::new();
+    if let Some(hp) = heal {
+        hb_tasks = topo
+            .clients()
+            .map(|c| Periodic::starting_at(hp.period + (c.index() as u64 % hp.period), hp.period))
+            .collect();
+        for (i, c) in topo.clients().enumerate() {
+            sched.try_schedule(hb_tasks[i].next_fire(), Ev::Heartbeat { client: c.index() })?;
+        }
+        for w in options.plan.crashes() {
+            if w.from < cfg.horizon && w.until < cfg.horizon {
+                sched.try_schedule(w.until, Ev::Recover { node: w.node })?;
+            }
         }
     }
 
@@ -398,26 +551,28 @@ fn drive(
         match event {
             Ev::Data => {
                 d.handle_data(&mut sched, now);
-                sched
-                    .try_schedule(data_task.advance(), Ev::Data)
-                    .expect("periodic advance is monotone");
+                sched.try_schedule(data_task.advance(), Ev::Data)?;
             }
             Ev::Query { client } => {
                 d.handle_query(&mut sched, now, client);
                 let gen_idx = client - 1;
-                sched
-                    .try_schedule(query_tasks[gen_idx].advance(), Ev::Query { client })
-                    .expect("periodic advance is monotone");
+                sched.try_schedule(query_tasks[gen_idx].advance(), Ev::Query { client })?;
             }
             Ev::PhaseEnd => {
                 d.handle_phase_end(&mut sched, now);
-                sched
-                    .try_schedule(phase_task.advance(), Ev::PhaseEnd)
-                    .expect("periodic advance is monotone");
+                sched.try_schedule(phase_task.advance(), Ev::PhaseEnd)?;
             }
             Ev::Deliver { to, msg } => d.deliver(&mut sched, now, to, msg),
             Ev::Retry { from, to, seg, seq } => d.handle_retry(&mut sched, now, from, to, seg, seq),
             Ev::Crash { node } => d.handle_crash(node),
+            Ev::Heartbeat { client } => {
+                d.handle_heartbeat(&mut sched, now, client);
+                sched.try_schedule(hb_tasks[client - 1].advance(), Ev::Heartbeat { client })?;
+            }
+            Ev::Recover { node } => d.handle_recover(now, node),
+        }
+        if let Some(e) = d.sched_error {
+            return Err(ChaosError::PastTick(e));
         }
         if d.check {
             d.check_soundness(now);
@@ -426,7 +581,7 @@ fn drive(
 
     let approximations = d.asr.approximation_count();
     d.metrics.record("approximations", approximations as f64);
-    ChaosOutput {
+    Ok(ChaosOutput {
         run: RunOutput {
             ledger: d.ledger,
             warmup_ledger: d.warmup_ledger,
@@ -437,7 +592,8 @@ fn drive(
         },
         net: d.net,
         violations: d.violations,
-    }
+        repairs: d.topo.events().to_vec(),
+    })
 }
 
 impl<A: SegmentApprox> Driver<'_, A> {
@@ -453,19 +609,27 @@ impl<A: SegmentApprox> Driver<'_, A> {
         }
     }
 
-    /// The child of `node` on the unique tree path down to `origin`.
-    fn next_hop_down(&self, node: NodeId, origin: NodeId) -> NodeId {
+    /// The child of `node` on the unique tree path down to `origin`, or
+    /// `None` when `node` is no longer an ancestor of `origin` — a
+    /// repair can re-parent the origin's subtree away while an answer is
+    /// in flight, leaving the answer holder off the return path.
+    fn next_hop_down(&self, node: NodeId, origin: NodeId) -> Option<NodeId> {
         let mut cur = origin;
-        loop {
-            let p = self
-                .topo
-                .parent(cur)
-                .expect("node is a strict ancestor of origin");
+        while let Some(p) = self.topo.parent(cur) {
             if p == node {
-                return cur;
+                return Some(cur);
             }
             cur = p;
         }
+        None
+    }
+
+    /// An answer stranded off the return path by a mid-flight repair:
+    /// the query is lost (the healing layer restores routing, not
+    /// in-flight payloads).
+    fn note_misrouted_answer(&mut self) {
+        self.net.incr("net.answer_misrouted");
+        self.net.incr("net.queries_lost");
     }
 
     /// Charge one message of `kind` and submit it to the link. Zero-delay
@@ -512,6 +676,38 @@ impl<A: SegmentApprox> Driver<'_, A> {
         }
     }
 
+    /// Arm (or re-arm) a retry timer `delay` ticks out. The deadline
+    /// saturates instead of wrapping (a `u64::MAX` timeout is legal and
+    /// simply never fires inside the horizon), and a scheduler refusal —
+    /// a driver bug, not a workload condition — is recorded once and
+    /// surfaced as [`ChaosError::PastTick`] instead of panicking
+    /// mid-run.
+    #[allow(clippy::too_many_arguments)] // one flattened transport tuple
+    fn arm_retry(
+        &mut self,
+        sched: &mut Sched<A>,
+        now: u64,
+        delay: u64,
+        from: NodeId,
+        to: NodeId,
+        seg: usize,
+        seq: u64,
+    ) {
+        let deadline = now.saturating_add(delay);
+        if let Err(e) = sched.try_schedule(deadline, Ev::Retry { from, to, seg, seq }) {
+            self.sched_error.get_or_insert(e);
+        }
+    }
+
+    /// Allocate a fresh write id: one per logical replication send, so
+    /// receivers can tell a retry (same id) from a genuinely new write
+    /// of the same epoch (different id).
+    fn fresh_wid(&mut self) -> u64 {
+        let wid = self.next_wid;
+        self.next_wid += 1;
+        wid
+    }
+
     /// Send a replication message, arming the ack/retry protocol when
     /// the plan can lose it.
     #[allow(clippy::too_many_arguments)] // one flattened transport tuple
@@ -527,18 +723,18 @@ impl<A: SegmentApprox> Driver<'_, A> {
         kind: MsgKind,
         repropagate: bool,
     ) {
+        let wid = self.fresh_wid();
         if self.fallible {
             self.pending.insert(
                 (from.index(), to.index(), seg),
                 Pending {
                     seq,
+                    wid,
                     attempt: 0,
                     kind,
                 },
             );
-            sched
-                .try_schedule(now + self.retry.timeout, Ev::Retry { from, to, seg, seq })
-                .expect("retry timer is in the future");
+            self.arm_retry(sched, now, self.retry.timeout, from, to, seg, seq);
         }
         let install = kind == MsgKind::Insert;
         self.send(
@@ -551,6 +747,7 @@ impl<A: SegmentApprox> Driver<'_, A> {
                 from,
                 seg,
                 seq,
+                wid,
                 approx,
                 install,
                 repropagate,
@@ -571,12 +768,40 @@ impl<A: SegmentApprox> Driver<'_, A> {
                 from,
                 seg,
                 seq,
+                wid,
                 approx,
                 install,
                 repropagate,
-            } => {
-                self.deliver_replicate(sched, now, to, from, seg, seq, approx, install, repropagate)
+            } => self.deliver_replicate(
+                sched,
+                now,
+                to,
+                from,
+                seg,
+                seq,
+                wid,
+                approx,
+                install,
+                repropagate,
+            ),
+            Msg::Ping { from } => {
+                // Answer with our own id: a late pong from a replaced
+                // parent must not vouch for the new one.
+                self.send(
+                    sched,
+                    now,
+                    to,
+                    from,
+                    MsgKind::Heartbeat,
+                    Msg::Pong { from: to },
+                );
             }
+            Msg::Pong { from } => {
+                if self.topo.parent(to) == Some(from) {
+                    self.hb_pong[to.index()] = true;
+                }
+            }
+            Msg::Resub { from, seg } => self.handle_resub(sched, now, to, from, seg),
             Msg::Ack { from, seg, seq } => {
                 let key = (to.index(), from.index(), seg);
                 if let Some(p) = self.pending.get(&key) {
@@ -603,8 +828,7 @@ impl<A: SegmentApprox> Driver<'_, A> {
             } => {
                 if to == origin {
                     self.finish_query(issued, origin, answered_at, value, false);
-                } else {
-                    let next = self.next_hop_down(to, origin);
+                } else if let Some(next) = self.next_hop_down(to, origin) {
                     self.send(
                         sched,
                         now,
@@ -618,6 +842,8 @@ impl<A: SegmentApprox> Driver<'_, A> {
                             issued,
                         },
                     );
+                } else {
+                    self.note_misrouted_answer();
                 }
             }
         }
@@ -632,10 +858,26 @@ impl<A: SegmentApprox> Driver<'_, A> {
         from: NodeId,
         seg: usize,
         seq: u64,
+        wid: u64,
         approx: A,
         install: bool,
         repropagate: bool,
     ) {
+        if self.fallible {
+            // Exactly-once application: a write id the receiver already
+            // applied (the original arrived and a retry of it landed
+            // later) is suppressed before it can double-count a write or
+            // re-cascade down the subtree. Re-ack so the sender stops.
+            let dup = self
+                .applied
+                .get(&(to.index(), seg))
+                .is_some_and(|set| set.contains(&wid));
+            if dup {
+                self.net.incr("net.dup_suppressed");
+                self.send_ack(sched, now, to, from, seg, seq);
+                return;
+            }
+        }
         {
             let row = self.asr.row(to, seg);
             if row.approx.is_some() && seq < row.seq {
@@ -667,6 +909,12 @@ impl<A: SegmentApprox> Driver<'_, A> {
             }
             quiet
         };
+        if self.fallible {
+            self.applied
+                .entry((to.index(), seg))
+                .or_default()
+                .insert(wid);
+        }
         // Fresh iff the adopted approximation soundly stands in for the
         // source's current one (an even newer write may be in flight).
         let fresh = match self.asr.cached_approx(NodeId::SOURCE, seg) {
@@ -731,9 +979,7 @@ impl<A: SegmentApprox> Driver<'_, A> {
         }
         if self.link.plan().is_down(from, now) {
             // The sender itself is crashed; try again after recovery.
-            sched
-                .try_schedule(now + self.retry.timeout, Ev::Retry { from, to, seg, seq })
-                .expect("retry timer is in the future");
+            self.arm_retry(sched, now, self.retry.timeout, from, to, seg, seq);
             return;
         }
         if p.attempt >= self.retry.max_retries {
@@ -751,28 +997,35 @@ impl<A: SegmentApprox> Driver<'_, A> {
             return;
         };
         // Resend the sender's *current* state under its current epoch.
+        // The same payload keeps its write id (so the receiver can
+        // suppress a duplicate); a newer epoch is a new logical write and
+        // gets a fresh one.
         let cur_seq = self.asr.row(from, seg).seq;
+        let wid = if cur_seq == p.seq {
+            p.wid
+        } else {
+            self.fresh_wid()
+        };
         let attempt = p.attempt + 1;
         self.pending.insert(
             key,
             Pending {
                 seq: cur_seq,
+                wid,
                 attempt,
                 kind: p.kind,
             },
         );
         self.net.incr(&format!("net.retried.{}", p.kind.name()));
-        sched
-            .try_schedule(
-                now + self.retry.backoff(attempt),
-                Ev::Retry {
-                    from,
-                    to,
-                    seg,
-                    seq: cur_seq,
-                },
-            )
-            .expect("retry timer is in the future");
+        self.arm_retry(
+            sched,
+            now,
+            self.retry.backoff(attempt),
+            from,
+            to,
+            seg,
+            cur_seq,
+        );
         self.send(
             sched,
             now,
@@ -783,6 +1036,7 @@ impl<A: SegmentApprox> Driver<'_, A> {
                 from,
                 seg,
                 seq: cur_seq,
+                wid,
                 approx,
                 install: p.kind == MsgKind::Insert,
                 repropagate: true,
@@ -814,6 +1068,155 @@ impl<A: SegmentApprox> Driver<'_, A> {
             // models durable-media loss and degrades to a cold restart.
             self.net.incr("net.durable_image_lost");
         }
+        // The node's applied-write-id memory dies with it: after the
+        // wipe above, re-applying a previously seen write is correct
+        // (and required), not a duplicate.
+        self.applied.retain(|&(n, _), _| n != node.index());
+        self.hb_misses[node.index()] = 0;
+        self.hb_pong[node.index()] = true;
+    }
+
+    /// One heartbeat period at `client`: score the previous period's
+    /// pong, then either declare the parent suspect and repair, or ping
+    /// it again.
+    fn handle_heartbeat(&mut self, sched: &mut Sched<A>, now: u64, client: usize) {
+        let Some(heal) = self.heal else { return };
+        let node = NodeId(client);
+        if self.link.plan().is_down(node, now) {
+            // A crashed node neither pings nor accumulates suspicion.
+            self.hb_misses[client] = 0;
+            self.hb_pong[client] = true;
+            return;
+        }
+        if self.hb_pong[client] {
+            self.hb_misses[client] = 0;
+        } else {
+            self.hb_misses[client] += 1;
+        }
+        self.hb_pong[client] = false;
+        if self.hb_misses[client] >= heal.miss_threshold {
+            // Suspicion confirmed. Reset the detector (a fresh parent
+            // gets a full grace window) and repair.
+            self.hb_misses[client] = 0;
+            self.hb_pong[client] = true;
+            self.repair_node(sched, now, node);
+        } else if let Some(parent) = self.topo.parent(node) {
+            self.send(
+                sched,
+                now,
+                node,
+                parent,
+                MsgKind::Heartbeat,
+                Msg::Ping { from: node },
+            );
+        }
+    }
+
+    /// The parent of `node` is suspect: probe up the current path to the
+    /// source and adopt the nearest live ancestor. Each probe is charged
+    /// as heartbeat traffic — repair is not free. Adopting an ancestor
+    /// can never create a cycle ([`DynamicTopology::reparent`] enforces
+    /// it regardless).
+    fn repair_node(&mut self, sched: &mut Sched<A>, now: u64, node: NodeId) {
+        let Some(old_parent) = self.topo.parent(node) else {
+            return;
+        };
+        let path = self.topo.path_to_source(node);
+        let mut chosen = NodeId::SOURCE;
+        for cand in path {
+            self.ledger_mut(now).charge(MsgKind::Heartbeat);
+            self.net.incr("net.probes");
+            if !self.link.plan().is_down(cand, now) {
+                chosen = cand;
+                break;
+            }
+        }
+        if chosen == old_parent {
+            // False alarm (pongs were dropped, not the parent): the
+            // probe found it live, so keep the tree as is.
+            self.net.incr("net.false_suspicions");
+            return;
+        }
+        if self.topo.reparent(now, node, chosen).is_err() {
+            return; // no-op repair (already adopted concurrently)
+        }
+        self.net.incr("net.repairs");
+        // Hand the adopter every segment this node still serves, so
+        // update flow resumes on the repaired edge.
+        for seg in 0..self.asr.segments().len() {
+            if self.asr.row(node, seg).approx.is_some() {
+                self.send(
+                    sched,
+                    now,
+                    node,
+                    chosen,
+                    MsgKind::Control,
+                    Msg::Resub { from: node, seg },
+                );
+            }
+        }
+    }
+
+    /// A re-parented child asks its new parent to carry `seg`. If the
+    /// adopter holds the segment it subscribes the child and pushes its
+    /// current state; otherwise it records interest so the next phase
+    /// expansion can pull the segment down the repaired edge.
+    fn handle_resub(
+        &mut self,
+        sched: &mut Sched<A>,
+        now: u64,
+        to: NodeId,
+        from: NodeId,
+        seg: usize,
+    ) {
+        if self.asr.row(to, seg).approx.is_some() {
+            let row = self.asr.row_mut(to, seg);
+            if !row.subscribed.contains(&from) {
+                row.subscribed.push(from);
+            }
+            let approx = self.asr.row(to, seg).approx.clone().expect("checked above");
+            let seq = self.asr.row(to, seg).seq;
+            self.send_replicate(
+                sched,
+                now,
+                to,
+                from,
+                seg,
+                seq,
+                approx,
+                MsgKind::Update,
+                true,
+            );
+        } else {
+            let row = self.asr.row_mut(to, seg);
+            if !row.interested.contains(&from) {
+                row.interested.push(from);
+            }
+        }
+    }
+
+    /// End of a crash window (healing runs only): the node rejoins the
+    /// tree in place — typically as a leaf, since its orphaned children
+    /// re-parented away during the outage — and re-syncs its directory
+    /// against the current tree.
+    fn handle_recover(&mut self, now: u64, node: NodeId) {
+        self.net.incr("net.rejoins");
+        self.hb_misses[node.index()] = 0;
+        self.hb_pong[node.index()] = true;
+        let children: BTreeSet<usize> =
+            self.topo.children(node).iter().map(|c| c.index()).collect();
+        // Drop subscriptions (and their retry state) for children that
+        // were adopted elsewhere while this node was down; they are
+        // served on their repaired edges now.
+        for seg in 0..self.asr.segments().len() {
+            self.asr
+                .row_mut(node, seg)
+                .subscribed
+                .retain(|c| children.contains(&c.index()));
+        }
+        self.pending
+            .retain(|&(from, to, _), _| from != node.index() || children.contains(&to));
+        self.topo.note_rejoin(now, node);
     }
 
     fn handle_data(&mut self, sched: &mut Sched<A>, now: u64) {
@@ -905,8 +1308,7 @@ impl<A: SegmentApprox> Driver<'_, A> {
             }
             if node == origin {
                 self.finish_query(issued, origin, node, value, from.is_none());
-            } else {
-                let next = self.next_hop_down(node, origin);
+            } else if let Some(next) = self.next_hop_down(node, origin) {
                 self.send(
                     sched,
                     now,
@@ -920,6 +1322,8 @@ impl<A: SegmentApprox> Driver<'_, A> {
                         issued,
                     },
                 );
+            } else {
+                self.note_misrouted_answer();
             }
         } else {
             let parent = self.topo.parent(node).expect("the source always answers");
@@ -1108,7 +1512,7 @@ impl<A: SegmentApprox> Driver<'_, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swat_net::DelayDist;
+    use swat_net::{DelayDist, RepairKind};
 
     fn weather(n: usize) -> Vec<f64> {
         swat_data::weather_series(5, n)
@@ -1377,8 +1781,155 @@ mod tests {
             ChaosError::UnsupportedScheme("DC"),
             ChaosError::PlanOutOfRange { node: 9, nodes: 2 },
             ChaosError::InvalidConfig(WorkloadConfigError::ZeroPeriod("phase")),
+            ChaosError::InvalidHealPolicy("heartbeat period must be positive"),
+            ChaosError::PastTick(PastTickError { at: 3, now: 7 }),
         ] {
             assert!(!e.to_string().is_empty());
         }
+        let bad_heal = ChaosOptions {
+            heal: Some(HealPolicy {
+                period: 0,
+                ..HealPolicy::default()
+            }),
+            ..ChaosOptions::default()
+        };
+        assert!(matches!(
+            run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg(), &bad_heal),
+            Err(ChaosError::InvalidHealPolicy(_))
+        ));
+        let bad_heal = ChaosOptions {
+            heal: Some(HealPolicy {
+                miss_threshold: 0,
+                ..HealPolicy::default()
+            }),
+            ..ChaosOptions::default()
+        };
+        assert!(matches!(
+            run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg(), &bad_heal),
+            Err(ChaosError::InvalidHealPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn huge_retry_timeout_completes_without_panic() {
+        // `now + timeout` used to overflow (and the retry-timer expect
+        // used to abort the run); a saturating deadline simply never
+        // fires inside the horizon.
+        let topo = Topology::chain(3);
+        let data = weather(900);
+        let plan = FaultPlan::new(5).with_drop(0.25).unwrap();
+        let opts = ChaosOptions {
+            plan,
+            retry: RetryPolicy {
+                timeout: u64::MAX,
+                max_retries: 4,
+            },
+            check_invariants: true,
+            ..ChaosOptions::default()
+        };
+        let out = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg(), &opts).unwrap();
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn healing_is_inert_without_crash_windows() {
+        // Healing requested but nothing can crash: detection must not
+        // arm, so the run is bit-identical to the synchronous harness —
+        // zero heartbeat traffic, zero repairs.
+        let topo = Topology::complete_binary(2);
+        let data = weather(700);
+        let cfg = cfg();
+        let sync = run(SchemeKind::SwatAsr, &topo, &data, &cfg);
+        let mut opts = checked(FaultPlan::none());
+        opts.heal = Some(HealPolicy::default());
+        let healed = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg, &opts).unwrap();
+        assert_eq!(healed.run.ledger, sync.ledger);
+        assert_eq!(healed.run.warmup_ledger, sync.warmup_ledger);
+        assert_eq!(healed.run.answers_digest, sync.answers_digest);
+        assert_eq!(healed.run.ledger.count(MsgKind::Heartbeat), 0);
+        assert!(healed.repairs.is_empty());
+        assert!(healed.violations.is_empty(), "{:?}", healed.violations);
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_suppressed() {
+        // Fixed 2-tick links with a 3-tick retry timeout: every ack is
+        // still in flight when the timer fires, so the receiver sees the
+        // same write id twice and must suppress the second copy. The
+        // crash window sits beyond the horizon — it only makes the plan
+        // fallible, nothing is actually lost, so suppression alone keeps
+        // the protocol exactly-once.
+        let topo = Topology::chain(2);
+        let data = weather(900);
+        let horizon = cfg().horizon;
+        let plan = FaultPlan::new(3)
+            .with_delay(DelayDist::Const(2))
+            .unwrap()
+            .with_crash(NodeId(1), horizon + 1, horizon + 2)
+            .unwrap();
+        let opts = ChaosOptions {
+            plan,
+            retry: RetryPolicy {
+                timeout: 3,
+                max_retries: 3,
+            },
+            check_invariants: true,
+            ..ChaosOptions::default()
+        };
+        let out = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg(), &opts).unwrap();
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(
+            out.net.counter("net.dup_suppressed") > 0,
+            "2-tick acks against a 3-tick timeout must force duplicates"
+        );
+    }
+
+    #[test]
+    fn healing_restores_answers_under_interior_crash() {
+        // Crash the interior node of a chain for most of the measured
+        // span. Statically its whole subtree is cut off from the source;
+        // with healing the orphan re-parents to the source and keeps
+        // being served.
+        let topo = Topology::chain(3);
+        let data = weather(900);
+        let plan = FaultPlan::new(7).with_crash(NodeId(1), 200, 550).unwrap();
+        let static_out = run_chaos(
+            SchemeKind::SwatAsr,
+            &topo,
+            &data,
+            &cfg(),
+            &checked(plan.clone()),
+        )
+        .unwrap();
+        let mut opts = checked(plan);
+        opts.heal = Some(HealPolicy::default());
+        let healed = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg(), &opts).unwrap();
+        assert!(healed.violations.is_empty(), "{:?}", healed.violations);
+        assert!(
+            !healed.repairs.is_empty(),
+            "a 350-tick interior outage must trigger at least one repair"
+        );
+        assert!(
+            healed
+                .repairs
+                .iter()
+                .any(|r| r.kind == RepairKind::Reparent),
+            "{:?}",
+            healed.repairs
+        );
+        assert_eq!(healed.net.counter("net.rejoins"), 1);
+        assert!(healed.run.ledger.count(MsgKind::Heartbeat) > 0);
+        assert!(
+            healed.net.counter("net.queries_answered")
+                > static_out.net.counter("net.queries_answered"),
+            "healed {} must answer strictly more than static {}",
+            healed.net.counter("net.queries_answered"),
+            static_out.net.counter("net.queries_answered")
+        );
+        // Same plan twice: the healed run is as deterministic as the
+        // static one.
+        let again = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg(), &opts).unwrap();
+        assert_eq!(again.run.answers_digest, healed.run.answers_digest);
+        assert_eq!(again.repairs.len(), healed.repairs.len());
     }
 }

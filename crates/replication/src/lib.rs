@@ -40,6 +40,13 @@
 //! [`Durability::Checkpointed`] lets nodes restore replicas from local
 //! durable state instead of re-fetching them over the network.
 //!
+//! Self-healing is opt-in via [`HealPolicy`]: heartbeat-based failure
+//! detection, spanning-tree repair on a `swat_net::DynamicTopology`
+//! (orphans adopt their nearest live ancestor), and write-id duplicate
+//! suppression that keeps replication exactly-once across retries and
+//! repaired edges. Detection arms only when the plan can crash nodes, so
+//! crash-free healing runs stay bit-identical to static ones.
+//!
 //! ```
 //! use swat_net::Topology;
 //! use swat_replication::harness::{run, WorkloadConfig};
@@ -76,7 +83,7 @@ pub mod segments;
 pub mod workload;
 
 pub use approx::{CoeffApprox, RangeApprox, SegmentApprox};
-pub use chaos::{run_chaos, ChaosError, ChaosOptions, ChaosOutput, RetryPolicy};
+pub use chaos::{run_chaos, ChaosError, ChaosOptions, ChaosOutput, HealPolicy, RetryPolicy};
 pub use durable::Durability;
 pub use harness::WorkloadConfigError;
 pub use scheme::{QueryOutcome, ReplicationScheme, SchemeKind};

@@ -1,0 +1,184 @@
+//! Property-based tests for the self-healing layer.
+//!
+//! Three guarantees from the robustness design, checked over random
+//! topologies (including [`Topology::random_tree`]), workloads, and
+//! fault plans:
+//!
+//! 1. **Crash-free healing is free.** With healing enabled but no crash
+//!    windows in the plan, failure detection never arms: the run is
+//!    bit-identical to the synchronous harness — same ledgers, same
+//!    answer digest, zero heartbeat messages, zero repairs.
+//! 2. **Healing never costs correctness.** Under arbitrary fault plans
+//!    with crashes, every answer a healed run produces still meets its
+//!    `δ` bound, every non-stale cached range still encloses the truth,
+//!    and the run replays bit-identically (repairs included).
+//! 3. **Backoff is safe arithmetic.** `RetryPolicy::backoff` is monotone
+//!    nondecreasing in the attempt number, bounded by
+//!    `timeout * 2^MAX_DOUBLINGS`, and never wraps — for any timeout,
+//!    including `u64::MAX`.
+
+use proptest::prelude::*;
+use swat_data::Dataset;
+use swat_net::{DelayDist, FaultPlan, MsgKind, NodeId, Topology};
+use swat_replication::harness::{run, WorkloadConfig};
+use swat_replication::{run_chaos, ChaosOptions, HealPolicy, RetryPolicy, SchemeKind};
+
+/// Random small trees: half from explicit parent lists (as in
+/// `chaos_properties`), half from the seeded [`Topology::random_tree`]
+/// generator the repair layer is benchmarked on.
+fn topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        prop::collection::vec(0usize..64, 1..7).prop_map(|seeds| {
+            let mut parents: Vec<Option<usize>> = vec![None];
+            for (i, s) in seeds.iter().enumerate() {
+                let child = i + 1;
+                parents.push(Some(s % child));
+            }
+            Topology::from_parents(parents).expect("parents precede children")
+        }),
+        (1usize..8, 0u64..1000).prop_map(|(n, seed)| Topology::random_tree(n, seed)),
+    ]
+}
+
+fn config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        prop::sample::select(vec![8usize, 16, 32]),
+        1u64..4,
+        1u64..4,
+        prop::sample::select(vec![2.0f64, 20.0, 200.0]),
+        5u64..40,
+        0u64..1000,
+    )
+        .prop_map(
+            |(window, t_data, t_query, delta, phase, seed)| WorkloadConfig {
+                window,
+                t_data,
+                t_query,
+                delta,
+                horizon: 500,
+                warmup: 100,
+                seed,
+                phase,
+                ..WorkloadConfig::default()
+            },
+        )
+}
+
+fn heal_policy() -> impl Strategy<Value = HealPolicy> {
+    (2u64..9, 1u32..5).prop_map(|(period, miss_threshold)| HealPolicy {
+        period,
+        miss_threshold,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Healing enabled, nothing can crash: bit-identical to the
+    /// synchronous harness, with zero healing overhead.
+    #[test]
+    fn crash_free_healing_is_bit_identical(
+        topo in topology(),
+        cfg in config(),
+        heal in heal_policy(),
+        dataset_seed in 0u64..100,
+    ) {
+        let data = Dataset::Weather.series(dataset_seed, 600);
+        let sync = run(SchemeKind::SwatAsr, &topo, &data, &cfg);
+        let options = ChaosOptions {
+            heal: Some(heal),
+            check_invariants: true,
+            ..ChaosOptions::default() // FaultPlan::none()
+        };
+        let healed = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg, &options)
+            .expect("null plan is always valid");
+        prop_assert_eq!(&healed.run.ledger, &sync.ledger);
+        prop_assert_eq!(&healed.run.warmup_ledger, &sync.warmup_ledger);
+        prop_assert_eq!(healed.run.answers_digest, sync.answers_digest);
+        prop_assert_eq!(healed.run.approximations, sync.approximations);
+        prop_assert_eq!(healed.run.ledger.count(MsgKind::Heartbeat), 0);
+        prop_assert!(healed.repairs.is_empty(), "{:?}", healed.repairs);
+        prop_assert!(healed.violations.is_empty(), "{:?}", healed.violations);
+    }
+
+    /// Arbitrary crashes + drops + delays with healing on: no wrong
+    /// answers, no phantom answers, and bit-identical replays (the
+    /// repair log included).
+    #[test]
+    fn healing_never_costs_correctness(
+        topo in topology(),
+        cfg in config(),
+        heal in heal_policy(),
+        dataset_seed in 0u64..100,
+        plan_seed in 0u64..1000,
+        drop in prop::sample::select(vec![0.0f64, 0.05, 0.2]),
+        delay in prop::sample::select(vec![
+            DelayDist::Instant,
+            DelayDist::Const(1),
+            DelayDist::Uniform { lo: 0, hi: 2 },
+        ]),
+        node in 1usize..8,
+        crash_from in 120u64..300,
+        crash_len in 10u64..150,
+    ) {
+        let data = Dataset::Weather.series(dataset_seed, 600);
+        let node = 1 + (node % (topo.len() - 1)); // a client, never the source
+        let plan = FaultPlan::new(plan_seed)
+            .with_drop(drop)
+            .expect("valid probability")
+            .with_delay(delay)
+            .expect("valid delay")
+            .with_crash(NodeId(node), crash_from, crash_from + crash_len)
+            .expect("valid crash window");
+        let options = ChaosOptions {
+            plan,
+            heal: Some(heal),
+            check_invariants: true,
+            ..ChaosOptions::default()
+        };
+        let out = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg, &options)
+            .expect("plan is in range");
+        prop_assert!(
+            out.violations.is_empty(),
+            "correctness violations under healing: {:?}",
+            out.violations
+        );
+        prop_assert!(
+            out.net.counter("net.queries_answered") <= out.run.metrics.counter("queries"),
+            "more answers than measured queries"
+        );
+        let replay = run_chaos(SchemeKind::SwatAsr, &topo, &data, &cfg, &options)
+            .expect("plan is in range");
+        prop_assert_eq!(&replay.run.ledger, &out.run.ledger);
+        prop_assert_eq!(replay.run.answers_digest, out.run.answers_digest);
+        prop_assert_eq!(replay.repairs.len(), out.repairs.len());
+        for (a, b) in replay.repairs.iter().zip(out.repairs.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Backoff delays are monotone in the attempt number, capped at
+    /// `timeout * 2^MAX_DOUBLINGS` (saturating), and never panic or
+    /// wrap — even at `attempt = u32::MAX` with `timeout = u64::MAX`.
+    #[test]
+    fn backoff_is_monotone_bounded_and_saturating(
+        timeout in prop_oneof![1u64..1_000_000, Just(u64::MAX), Just(u64::MAX / 2)],
+        max_retries in 0u32..10,
+    ) {
+        let policy = RetryPolicy { timeout, max_retries };
+        let cap = timeout.saturating_mul(1u64 << RetryPolicy::MAX_DOUBLINGS);
+        let mut prev = 0u64;
+        for attempt in 0..=(RetryPolicy::MAX_DOUBLINGS + 3) {
+            let d = policy.backoff(attempt);
+            prop_assert!(d >= prev, "backoff({attempt}) = {d} < backoff({}) = {prev}", attempt - 1);
+            prop_assert!(d <= cap, "backoff({attempt}) = {d} exceeds cap {cap}");
+            prop_assert!(d >= timeout.min(cap), "backoff never undershoots the base timeout");
+            prev = d;
+        }
+        prop_assert_eq!(policy.backoff(u32::MAX), cap);
+        prop_assert_eq!(
+            policy.backoff(RetryPolicy::MAX_DOUBLINGS),
+            policy.backoff(RetryPolicy::MAX_DOUBLINGS + 1)
+        );
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_repair.json — self-healing vs static tree
+# under interior crashes (topology × crash-duration grid). The run fails
+# unless the healed driver answers strictly more measured queries than
+# the static one in every cell, at zero correctness violations. Pass
+# --quick for a fast smoke-sized grid; any extra flags are forwarded to
+# the CLI (see `swat help`, REPAIR-BENCH section, for the sweep options).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- repair-bench --out results/BENCH_repair.json "$@"

@@ -34,4 +34,15 @@ grep -q '"bench": "query"' target/query-smoke.json
 grep -q '"agreement": true' target/query-smoke.json
 echo "query-bench smoke clean (target/query-smoke.json)"
 
-echo "OK: fmt, clippy, tier-1, chaos, recovery, and query-bench smokes all green"
+echo "== repair smoke (self-healing vs static, quick grid) =="
+cargo run --release -q -p swat-cli -- repair-bench --quick \
+    --out target/repair-smoke.json >/dev/null
+grep -q '"bench": "repair"' target/repair-smoke.json
+grep -q '"all_dominate": true' target/repair-smoke.json
+if grep -q '"violations": [^0]' target/repair-smoke.json; then
+    echo "repair smoke found correctness violations" >&2
+    exit 1
+fi
+echo "repair smoke clean (target/repair-smoke.json)"
+
+echo "OK: fmt, clippy, tier-1, chaos, recovery, query-bench, and repair smokes all green"
