@@ -34,6 +34,12 @@
 //! [`repair`] compares the self-healing driver against a static tree
 //! under interior crashes (topology × crash-duration grid) and writes
 //! `results/BENCH_repair.json`; it backs `swat repair-bench`.
+//! [`scale`] sweeps the sharded million-stream tier
+//! ([`swat_tree::shard::ShardedStreamSet`]) over stream counts,
+//! measuring ingest rows/sec, per-stream fixed memory cost, and the
+//! latency of the exact two-round distributed top-k merge, with oracle
+//! verification below a stream-count limit; it writes
+//! `results/BENCH_scale.json` and backs `swat scale-bench`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -45,6 +51,7 @@ pub mod query;
 pub mod recovery;
 pub mod repair;
 pub mod report;
+pub mod scale;
 
 /// Default seed used by all figure binaries (override with `SWAT_SEED`).
 pub const DEFAULT_SEED: u64 = 20030226; // the paper's date

@@ -1,5 +1,6 @@
 //! The CLI commands: `summarize`, `simulate`, `generate`, `ingest-bench`,
-//! `query-bench`, `chaos`, `recover`, `recovery-bench`, `repair-bench`.
+//! `query-bench`, `chaos`, `recover`, `recovery-bench`, `repair-bench`,
+//! `scale-bench`.
 
 use std::io::Read;
 
@@ -25,6 +26,7 @@ USAGE
   swat recover      --dir PATH
   swat recovery-bench [options] [--out PATH] [--quick]
   swat repair-bench [options] [--out PATH] [--quick]
+  swat scale-bench  [sweep options] [--out PATH] [--quick]
   swat help
 
 SUMMARIZE — build a SWAT over a stream and answer queries
@@ -87,7 +89,17 @@ REPAIR-BENCH — self-healing vs static tree under interior crashes
   output:    --out PATH (default results/BENCH_repair.json)
   --quick    shrunk grid for smoke runs
   errors unless every cell's healed run answers strictly more queries
-  than its static run, at zero correctness violations"
+  than its static run, at zero correctness violations
+
+SCALE-BENCH — sharded many-stream ingest and distributed top-k merge
+  sweep:     --streams N,N,..   stream counts (default 1000,10000,100000)
+             --shards N         hash shards (default 16)
+             --threads T,T,..   worker threads (default 1,4,8)
+             --window N --coeffs K --rows N --top-k K --seed S
+             --verify-limit N   oracle-check cases up to N streams
+  output:    --out PATH (default results/BENCH_scale.json)
+  --quick    shrunk sweep for smoke runs, oracle-verified throughout
+  errors if any oracle-checked case disagrees with the unsharded set"
     );
 }
 
@@ -711,6 +723,70 @@ pub fn repair_bench(a: &Args) -> Result<(), String> {
         return Err("a healed cell failed to beat its static run — this is a bug".into());
     }
     let out = a.get("out").unwrap_or("results/BENCH_repair.json");
+    report
+        .write_json(std::path::Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+/// `swat scale-bench`: sweep the sharded stream tier over stream
+/// counts, measure ingest throughput, bytes/stream, and distributed
+/// top-k merge latency, and write the `BENCH_scale.json` artifact.
+/// Fails if any oracle-checked case disagrees with the unsharded set.
+pub fn scale_bench(a: &Args) -> Result<(), String> {
+    use swat_bench::scale::{run, ScaleConfig};
+    let seed = a
+        .get_parsed("seed", swat_bench::DEFAULT_SEED, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut cfg = if a.switch("quick") {
+        ScaleConfig::quick(seed)
+    } else {
+        ScaleConfig::full(seed)
+    };
+    if let Some(raw) = a.get("streams") {
+        cfg.stream_counts = parse_usize_list("streams", raw)?;
+    }
+    if let Some(raw) = a.get("threads") {
+        cfg.threads = parse_usize_list("threads", raw)?;
+        if cfg.threads.contains(&0) {
+            return Err("--threads entries must be positive".into());
+        }
+    }
+    cfg.shards = a
+        .get_parsed("shards", cfg.shards, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.window = a
+        .get_parsed("window", cfg.window, "a power of two")
+        .map_err(|e| e.to_string())?;
+    cfg.k = a
+        .get_parsed("coeffs", cfg.k, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.rows = a
+        .get_parsed("rows", cfg.rows, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.top_k = a
+        .get_parsed("top-k", cfg.top_k, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.verify_limit = a
+        .get_parsed("verify-limit", cfg.verify_limit, "a stream count")
+        .map_err(|e| e.to_string())?;
+    if cfg.shards == 0 || cfg.rows == 0 || cfg.top_k == 0 {
+        return Err("--shards, --rows, and --top-k must be positive".into());
+    }
+    if SwatConfig::with_coefficients(cfg.window, cfg.k).is_err() {
+        return Err(format!(
+            "--window {} / --coeffs {}: window must be a power of two >= 2 \
+             and coeffs in 1..=window",
+            cfg.window, cfg.k
+        ));
+    }
+    let report = run(&cfg);
+    report.print();
+    if !report.all_agree() {
+        return Err("a sharded case disagreed with the unsharded oracle — this is a bug".into());
+    }
+    let out = a.get("out").unwrap_or("results/BENCH_scale.json");
     report
         .write_json(std::path::Path::new(out))
         .map_err(|e| format!("writing {out}: {e}"))?;

@@ -10,6 +10,7 @@
 //! swat recover --dir /var/lib/swat/store
 //! swat recovery-bench --quick --out results/BENCH_recovery.json
 //! swat repair-bench --quick --out results/BENCH_repair.json
+//! swat scale-bench --quick --out results/BENCH_scale.json
 //! swat help
 //! ```
 
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "recover" => commands::recover(&parsed),
         "recovery-bench" => commands::recovery_bench(&parsed),
         "repair-bench" => commands::repair_bench(&parsed),
+        "scale-bench" => commands::scale_bench(&parsed),
         other => Err(format!("unknown command {other:?} (try `swat help`)")),
     };
     match result {

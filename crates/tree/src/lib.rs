@@ -61,7 +61,11 @@
 //! * [`growing`] — whole-stream summarization with logarithmically
 //!   growing levels (§2.1/§2.3's entire-stream model),
 //! * [`multi`] — multiple streams and summary-based correlation (the
-//!   concluding remarks' future work).
+//!   concluding remarks' future work),
+//! * [`shard`] — hash-partitioned million-stream ingest with mergeable
+//!   per-shard top-k coefficient summaries and the exact two-round
+//!   distributed top-k merge (the paper's "large networks" setting at
+//!   scale).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -79,6 +83,7 @@ pub mod node;
 pub mod query;
 pub mod range;
 pub mod scratch;
+pub mod shard;
 pub mod snapshot;
 pub mod tree;
 
@@ -96,5 +101,6 @@ pub use query::{
 };
 pub use range::ValueRange;
 pub use scratch::QueryScratch;
+pub use shard::{MergeStats, ShardedStreamSet};
 pub use snapshot::SnapshotError;
 pub use tree::{NodePos, SwatTree};

@@ -31,18 +31,25 @@ use crate::tree::{digest, SwatTree};
 /// ```
 #[derive(Debug)]
 pub struct StreamSet {
+    /// The shared configuration, held by the set itself so that a set
+    /// with zero streams still knows its window shape (the trees each
+    /// carry a copy).
+    config: SwatConfig,
     trees: Vec<SwatTree>,
 }
 
 impl StreamSet {
     /// `streams` synchronized streams under a shared configuration.
     ///
-    /// # Panics
-    ///
-    /// Panics if `streams == 0`.
+    /// `streams == 0` is legal: an empty set is a well-defined value that
+    /// ingests empty rows/columns as no-ops, answers every fan-out query
+    /// with an empty result vector, and snapshots/restores losslessly —
+    /// the state a dynamic deployment passes through before its first
+    /// stream registers (previously these operations panicked; the
+    /// `empty_set_*` tests pin the fixed behavior).
     pub fn new(config: SwatConfig, streams: usize) -> Self {
-        assert!(streams > 0, "need at least one stream");
         StreamSet {
+            config,
             trees: (0..streams).map(|_| SwatTree::new(config)).collect(),
         }
     }
@@ -54,7 +61,7 @@ impl StreamSet {
 
     /// The configuration shared by every stream's tree.
     pub fn config(&self) -> &SwatConfig {
-        self.trees[0].config()
+        &self.config
     }
 
     /// The tree summarizing stream `i`.
@@ -92,6 +99,9 @@ impl StreamSet {
     /// `extend_batched_matches_rows_for_any_thread_count` test proves this
     /// node-by-node.
     ///
+    /// An empty set accepts only an empty column slice (the arity check
+    /// still applies) and ingests it as a no-op.
+    ///
     /// # Panics
     ///
     /// Panics if `columns.len() != streams()`, if column lengths differ,
@@ -100,7 +110,13 @@ impl StreamSet {
     pub fn extend_batched<C: AsRef<[f64]> + Sync>(&mut self, columns: &[C], threads: usize) {
         assert_eq!(columns.len(), self.trees.len(), "column arity mismatch");
         assert!(threads > 0, "need at least one thread");
-        let len = columns[0].as_ref().len();
+        // With zero streams there is no first column to size the batch
+        // from (indexing it was the empty-set panic this module used to
+        // have) and nothing to ingest.
+        let Some(first) = columns.first() else {
+            return;
+        };
+        let len = first.as_ref().len();
         assert!(
             columns.iter().all(|c| c.as_ref().len() == len),
             "columns must have equal lengths"
@@ -205,6 +221,12 @@ impl StreamSet {
         eval: impl Fn(&SwatTree, &mut QueryScratch, &mut Vec<T>) -> Result<(), TreeError> + Sync,
     ) -> Result<Vec<Vec<T>>, TreeError> {
         assert!(threads > 0, "need at least one thread");
+        // Zero streams: nothing to answer, and `div_ceil(workers)` below
+        // would divide by zero (the empty-set panic this module used to
+        // have on the query path).
+        if self.trees.is_empty() {
+            return Ok(Vec::new());
+        }
         let workers = threads.min(self.trees.len());
         let mut results: Vec<Result<Vec<T>, TreeError>> =
             (0..self.trees.len()).map(|_| Ok(Vec::new())).collect();
@@ -305,22 +327,34 @@ impl StreamSet {
 
 /// Magic prefix of a [`StreamSet::snapshot`] buffer.
 const SET_MAGIC: &[u8; 4] = b"SWMS";
-const SET_VERSION: u8 = 1;
+const SET_VERSION: u8 = 2;
+const SET_VERSION_V1: u8 = 1;
 /// Section tag wrapping one stream's tree snapshot.
 const SEC_STREAM: u8 = 5;
 
 impl StreamSet {
-    /// Serialize the whole set: a header, then one checksummed frame per
-    /// stream containing that tree's [`SwatTree::snapshot`] bytes.
+    /// Serialize the whole set: a header carrying the shared
+    /// configuration, then one checksummed frame per stream containing
+    /// that tree's [`SwatTree::snapshot`] bytes.
     ///
     /// ```text
-    /// magic "SWMS"  u8 version = 1  u64 streams
+    /// magic "SWMS"  u8 version = 2
+    /// u64 window  u64 k  u64 min_level  u64 streams
     /// per stream: [u8 5][u32 len][u32 crc][tree snapshot v2]
     /// ```
+    ///
+    /// Version 2 moved the configuration into the header so that a set
+    /// with **zero** streams round-trips (v1 derived the configuration
+    /// from the first stream and therefore could not represent an empty
+    /// set); per-stream configs are validated against the header on
+    /// restore.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(SET_MAGIC);
         out.push(SET_VERSION);
+        out.extend_from_slice(&(self.config.window() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.config.coefficients() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.config.min_level() as u64).to_le_bytes());
         out.extend_from_slice(&(self.trees.len() as u64).to_le_bytes());
         for tree in &self.trees {
             write_frame(&mut out, SEC_STREAM, &tree.snapshot());
@@ -328,7 +362,9 @@ impl StreamSet {
         out
     }
 
-    /// Rebuild a set from [`StreamSet::snapshot`] bytes.
+    /// Rebuild a set from [`StreamSet::snapshot`] bytes. Accepts the
+    /// current v2 format and the legacy v1 layout (which has no header
+    /// configuration and requires at least one stream).
     ///
     /// All streams must restore under the same configuration and clock
     /// (the set only ever ingests synchronized rows). Offsets reported by
@@ -344,9 +380,55 @@ impl StreamSet {
             return Err(SnapshotError::BadMagic);
         }
         let version = c.u8()?;
-        if version != SET_VERSION {
-            return Err(SnapshotError::BadVersion(version));
+        match version {
+            SET_VERSION_V1 => Self::restore_v1(&mut c),
+            SET_VERSION => Self::restore_v2(&mut c),
+            v => Err(SnapshotError::BadVersion(v)),
         }
+    }
+
+    /// Parse the v2 body: explicit configuration header, then `streams`
+    /// framed tree snapshots, each validated against the header.
+    fn restore_v2(c: &mut Cursor<'_>) -> Result<StreamSet, SnapshotError> {
+        let config_at = c.offset();
+        let window = c.u64()? as usize;
+        let k = c.u64()? as usize;
+        let min_level = c.u64()? as usize;
+        let config = SwatConfig::with_coefficients(window, k)
+            .and_then(|cfg| cfg.with_min_level(min_level))
+            .map_err(|_| SnapshotError::Invalid {
+                what: "bad window/coefficient/min-level config",
+                offset: config_at,
+            })?;
+        let count = c.u64()? as usize;
+        let mut trees = Vec::new();
+        for _ in 0..count {
+            let at = c.offset();
+            let tree = Self::read_stream_frame(c, at)?;
+            if *tree.config() != config {
+                return Err(SnapshotError::Invalid {
+                    what: "stream config mismatch",
+                    offset: at,
+                });
+            }
+            if let Some(first) = trees.first() {
+                let first: &SwatTree = first;
+                if tree.arrivals() != first.arrivals() {
+                    return Err(SnapshotError::Invalid {
+                        what: "stream clock mismatch",
+                        offset: at,
+                    });
+                }
+            }
+            trees.push(tree);
+        }
+        Self::finish_restore(c, config, trees)
+    }
+
+    /// Parse the legacy v1 body: a bare stream count (necessarily
+    /// nonzero — the format has nowhere else to carry the configuration)
+    /// followed by framed tree snapshots.
+    fn restore_v1(c: &mut Cursor<'_>) -> Result<StreamSet, SnapshotError> {
         let count_at = c.offset();
         let count = c.u64()? as usize;
         if count == 0 {
@@ -355,19 +437,11 @@ impl StreamSet {
                 offset: count_at,
             });
         }
-        let mut trees = Vec::new();
+        let mut trees: Vec<SwatTree> = Vec::new();
         for _ in 0..count {
             let at = c.offset();
-            let (tag, mut payload) = c.frame()?;
-            if tag != SEC_STREAM {
-                return Err(SnapshotError::Invalid {
-                    what: "expected STREAM section",
-                    offset: at,
-                });
-            }
-            let tree = SwatTree::restore(payload.rest())?;
+            let tree = Self::read_stream_frame(c, at)?;
             if let Some(first) = trees.first() {
-                let first: &SwatTree = first;
                 if tree.config() != first.config() {
                     return Err(SnapshotError::Invalid {
                         what: "stream config mismatch",
@@ -383,13 +457,35 @@ impl StreamSet {
             }
             trees.push(tree);
         }
+        let config = *trees[0].config();
+        Self::finish_restore(c, config, trees)
+    }
+
+    /// Read one framed stream section and restore its tree.
+    fn read_stream_frame(c: &mut Cursor<'_>, at: usize) -> Result<SwatTree, SnapshotError> {
+        let (tag, mut payload) = c.frame()?;
+        if tag != SEC_STREAM {
+            return Err(SnapshotError::Invalid {
+                what: "expected STREAM section",
+                offset: at,
+            });
+        }
+        SwatTree::restore(payload.rest())
+    }
+
+    /// Shared tail of both restore paths: reject trailing bytes.
+    fn finish_restore(
+        c: &mut Cursor<'_>,
+        config: SwatConfig,
+        trees: Vec<SwatTree>,
+    ) -> Result<StreamSet, SnapshotError> {
         if !c.is_empty() {
             return Err(SnapshotError::Invalid {
                 what: "trailing bytes",
                 offset: c.offset(),
             });
         }
-        Ok(StreamSet { trees })
+        Ok(StreamSet { config, trees })
     }
 
     /// Order-sensitive digest over every stream's
@@ -645,6 +741,113 @@ mod tests {
     fn extend_batched_rejects_ragged_columns() {
         let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
         set.extend_batched(&[vec![1.0, 2.0], vec![3.0]], 2);
+    }
+
+    #[test]
+    fn empty_set_operations_never_panic() {
+        // Regression: `extend_batched` indexed `columns[0]` and
+        // `query_fan_out` computed `len.div_ceil(0)` on empty sets.
+        use crate::query::InnerProductQuery;
+        let config = SwatConfig::new(16).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let mut set = StreamSet::new(config, 0);
+            assert_eq!(set.streams(), 0);
+            assert_eq!(set.config().window(), 16);
+            set.push_row(&[]);
+            let no_columns: [Vec<f64>; 0] = [];
+            set.extend_batched(&no_columns, threads);
+            let pts = set
+                .point_many(&[0, 3, 15], QueryOptions::default(), threads)
+                .unwrap();
+            assert!(pts.is_empty(), "threads={threads}");
+            let ips = set
+                .inner_product_many(
+                    &[InnerProductQuery::exponential(8, 1e9)],
+                    QueryOptions::default(),
+                    threads,
+                )
+                .unwrap();
+            assert!(ips.is_empty(), "threads={threads}");
+            assert_eq!(
+                set.answers_digest(),
+                StreamSet::new(config, 0).answers_digest()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_snapshot_roundtrips() {
+        let config = SwatConfig::with_coefficients(32, 4)
+            .unwrap()
+            .with_min_level(2)
+            .unwrap();
+        let set = StreamSet::new(config, 0);
+        let restored = StreamSet::restore(&set.snapshot()).unwrap();
+        assert_eq!(restored.streams(), 0);
+        assert_eq!(restored.config(), set.config());
+        assert_eq!(restored.answers_digest(), set.answers_digest());
+    }
+
+    #[test]
+    fn single_stream_set_matches_lone_tree_for_any_thread_count() {
+        let config = SwatConfig::with_coefficients(16, 2).unwrap();
+        let cols = columns(1, 50);
+        let mut oracle = SwatTree::new(config);
+        oracle.push_batch(&cols[0]);
+        let indices = [0usize, 1, 7, 15];
+        for threads in [1usize, 2, 4, 8] {
+            let mut set = StreamSet::new(config, 1);
+            set.extend_batched(&cols, threads);
+            assert_eq!(
+                set.tree(0).answers_digest(),
+                oracle.answers_digest(),
+                "threads={threads}"
+            );
+            let pts = set
+                .point_many(&indices, QueryOptions::default(), threads)
+                .unwrap();
+            assert_eq!(pts.len(), 1);
+            for (slot, &idx) in pts[0].iter().zip(&indices) {
+                assert_eq!(
+                    *slot,
+                    oracle.point(idx).unwrap(),
+                    "threads={threads} idx={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v1_set_snapshots_remain_readable() {
+        let mut set = StreamSet::new(SwatConfig::new(16).unwrap(), 2);
+        for i in 0..50 {
+            set.push_row(&[i as f64, 1.0 - i as f64]);
+        }
+        // The v1 writer, frozen here so compatibility stays testable: a
+        // bare stream count with no configuration header.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SET_MAGIC);
+        bytes.push(SET_VERSION_V1);
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        for s in 0..2 {
+            write_frame(&mut bytes, SEC_STREAM, &set.tree(s).snapshot());
+        }
+        let restored = StreamSet::restore(&bytes).unwrap();
+        assert_eq!(restored.config(), set.config());
+        assert_eq!(restored.answers_digest(), set.answers_digest());
+        // v1 cannot carry an empty set: its configuration lives in the
+        // first stream, so a zero count stays an error.
+        let mut empty = Vec::new();
+        empty.extend_from_slice(SET_MAGIC);
+        empty.push(SET_VERSION_V1);
+        empty.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            StreamSet::restore(&empty),
+            Err(SnapshotError::Invalid {
+                what: "zero streams",
+                ..
+            })
+        ));
     }
 
     #[test]

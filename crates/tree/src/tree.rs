@@ -68,29 +68,91 @@ impl NodePos {
     }
 }
 
-/// One level of the tree: a bounded queue of summaries, newest first.
+/// One level of the tree: up to three generations of summaries, newest
+/// first, stored **inline** in a fixed three-slot array rather than a
+/// heap-backed queue. A level never retains more than three summaries
+/// (one at the top), so the inline slab costs nothing in capacity while
+/// eliminating one heap allocation per level per tree — at a million
+/// streams that per-stream fixed cost dominates, so the whole tree's
+/// node storage collapses to a single `Vec<Level>` allocation
+/// (`swat scale-bench` reports the resulting bytes/stream).
 #[derive(Debug, Clone)]
 struct Level {
-    nodes: VecDeque<Summary>,
-    capacity: usize,
+    nodes: [Option<Summary>; 3],
+    len: u8,
+    capacity: u8,
 }
 
 impl Level {
     fn new(capacity: usize) -> Self {
+        debug_assert!((1..=3).contains(&capacity), "levels retain 1..=3 summaries");
         Level {
-            nodes: VecDeque::with_capacity(capacity),
-            capacity,
+            nodes: [None, None, None],
+            len: 0,
+            capacity: capacity as u8,
         }
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// The summary at queue index `i` (0 = newest), if populated.
+    fn get(&self, i: usize) -> Option<&Summary> {
+        if i < self.len() {
+            self.nodes[i].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The newest summary (the paper's `R`), if any.
+    fn front(&self) -> Option<&Summary> {
+        self.get(0)
+    }
+
+    /// Iterate populated summaries newest-first.
+    fn iter(&self) -> impl Iterator<Item = &Summary> {
+        self.nodes[..self.len()]
+            .iter()
+            .map(|s| s.as_ref().expect("slots below len are populated"))
     }
 
     /// Install a fresh summary, returning the generation it evicts (if the
     /// level was at capacity) so callers can recycle its heap storage.
     fn push(&mut self, s: Summary) -> Option<Summary> {
-        self.nodes.push_front(s);
-        if self.nodes.len() > self.capacity {
-            self.nodes.pop_back()
+        let cap = self.capacity();
+        let evicted = if self.len() == cap {
+            self.nodes[cap - 1].take()
         } else {
             None
+        };
+        for i in (1..cap).rev() {
+            if self.nodes[i - 1].is_some() {
+                self.nodes[i] = self.nodes[i - 1].take();
+            }
+        }
+        self.nodes[0] = Some(s);
+        self.len = (self.len + 1).min(self.capacity);
+        evicted
+    }
+
+    /// Replace the level's contents from a restore queue (newest first).
+    /// Callers validate the length against the capacity.
+    fn assign(&mut self, queue: VecDeque<Summary>) {
+        debug_assert!(queue.len() <= self.capacity());
+        self.nodes = [None, None, None];
+        self.len = queue.len() as u8;
+        for (i, s) in queue.into_iter().enumerate() {
+            self.nodes[i] = Some(s);
         }
     }
 }
@@ -149,7 +211,7 @@ impl SwatTree {
         let k = config.coefficients();
         for l in 0..config.levels() {
             let width = 1usize << (l + 1);
-            let generations = tree.levels[l].capacity;
+            let generations = tree.levels[l].capacity();
             // Oldest generation first so the newest ends up at the front.
             for g in (0..generations).rev() {
                 let created_at = t - (g as u64) * (width as u64 / 2);
@@ -201,14 +263,14 @@ impl SwatTree {
                     });
                 }
             }
-            if queue.len() > tree.levels[l].capacity {
+            if queue.len() > tree.levels[l].capacity() {
                 return Err(TreeError::RestoredOverCapacity {
                     level: l,
                     got: queue.len(),
-                    capacity: tree.levels[l].capacity,
+                    capacity: tree.levels[l].capacity(),
                 });
             }
-            tree.levels[l].nodes = queue;
+            tree.levels[l].assign(queue);
         }
         Ok(tree)
     }
@@ -320,7 +382,7 @@ impl SwatTree {
         // the loop entirely).
         let top = (self.t.trailing_zeros() as usize).min(self.levels.len() - 1);
         for l in 1..=top {
-            let child = &self.levels[l - 1].nodes;
+            let child = &self.levels[l - 1];
             let (Some(right), Some(left)) = (child.front(), child.get(2)) else {
                 break; // Still warming up.
             };
@@ -390,16 +452,14 @@ impl SwatTree {
     /// Whether every node of the tree is populated (guaranteed after `2N`
     /// arrivals; [`SwatTree::from_window`] trees are warm immediately).
     pub fn is_warm(&self) -> bool {
-        self.levels
-            .iter()
-            .all(|lvl| lvl.nodes.len() == lvl.capacity)
+        self.levels.iter().all(Level::is_full)
     }
 
     /// The summary at `(level, queue index)` — the query engine's direct
     /// access path for cover-cache slots (queue index 0 = `R`, 1 = `S`,
     /// 2 = `L`, matching the traversal order of [`SwatTree::nodes`]).
     pub(crate) fn summary_at(&self, level: usize, queue_index: usize) -> Option<&Summary> {
-        self.levels.get(level)?.nodes.get(queue_index)
+        self.levels.get(level)?.get(queue_index)
     }
 
     /// The summary at `(level, pos)`, if populated.
@@ -409,15 +469,14 @@ impl SwatTree {
             NodePos::Shift => 1,
             NodePos::Left => 2,
         };
-        self.levels.get(level)?.nodes.get(idx)
+        self.levels.get(level)?.get(idx)
     }
 
     /// Iterate all populated summaries in the paper's query order: levels
     /// ascending, `R → S → L` within a level.
     pub fn nodes(&self) -> impl Iterator<Item = (usize, NodePos, &Summary)> {
         self.levels.iter().enumerate().flat_map(|(l, lvl)| {
-            lvl.nodes
-                .iter()
+            lvl.iter()
                 .enumerate()
                 .map(move |(i, s)| (l, NodePos::from_queue_index(i), s))
         })
@@ -425,12 +484,21 @@ impl SwatTree {
 
     /// Number of populated summaries (`3 log N − 2` once warm).
     pub fn summary_count(&self) -> usize {
-        self.levels.iter().map(|lvl| lvl.nodes.len()).sum()
+        self.levels.iter().map(Level::len).sum()
     }
 
-    /// Approximate memory footprint of the summaries, in bytes.
+    /// Approximate memory footprint of the tree, in bytes: the tree
+    /// header, the inline level slab (all node slots, populated or not),
+    /// and the heap coefficient storage of populated summaries. Summary
+    /// structs live inline in the slab, so only their coefficient heap
+    /// bytes are added on top.
     pub fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.nodes().map(|(_, _, s)| s.space_bytes()).sum::<usize>()
+        std::mem::size_of::<Self>()
+            + self.levels.capacity() * std::mem::size_of::<Level>()
+            + self
+                .nodes()
+                .map(|(_, _, s)| s.coeffs().stored() * std::mem::size_of::<f64>())
+                .sum::<usize>()
     }
 
     /// Order-sensitive FNV-1a digest of the tree's complete observable
@@ -472,7 +540,7 @@ impl SwatTree {
         let _ = writeln!(out, "t = {}", self.t);
         for (l, lvl) in self.levels.iter().enumerate().rev() {
             let _ = write!(out, "level {l}:");
-            for (i, s) in lvl.nodes.iter().enumerate() {
+            for (i, s) in lvl.iter().enumerate() {
                 let (a, b) = s.coverage(self.t);
                 let _ = write!(
                     out,
@@ -770,8 +838,11 @@ mod tests {
         tree.extend((0..arrivals).map(|i| ((i * 7) % 19) as f64));
         let t = tree.arrivals();
         let last = tree.newest();
-        let queues: Vec<VecDeque<Summary>> =
-            tree.levels.iter().map(|lvl| lvl.nodes.clone()).collect();
+        let queues: Vec<VecDeque<Summary>> = tree
+            .levels
+            .iter()
+            .map(|lvl| lvl.iter().cloned().collect())
+            .collect();
         (config, t, last, queues)
     }
 

@@ -1,0 +1,132 @@
+//! Property tests for the sharded ingest tier: for *arbitrary* stream
+//! counts, shard counts, thread counts, window shapes, and data, a
+//! [`ShardedStreamSet`] must be observationally bit-identical to the
+//! unsharded [`StreamSet`] oracle, and its distributed top-k must equal
+//! the brute-force ranking of the same candidates.
+
+use proptest::prelude::*;
+use swat_tree::shard::{root_summary, ShardedStreamSet};
+use swat_tree::{InnerProductQuery, QueryOptions, StreamSet, SwatConfig};
+use swat_wavelet::TopCoeff;
+
+/// An arbitrary sharded workload: window shape, stream/shard/thread
+/// counts, and per-stream columns (equal lengths, enough to exercise
+/// several refresh cascades).
+#[allow(clippy::type_complexity)]
+fn workload() -> impl Strategy<Value = (usize, usize, Vec<Vec<f64>>, usize, usize)> {
+    (2u32..=5, 1usize..=4, 0usize..=17, 1usize..=9, 1usize..=9).prop_flat_map(
+        |(log_n, k, streams, shards, threads)| {
+            let n = 1usize << log_n;
+            let k = k.min(n);
+            let len = 2 * n + 3;
+            prop::collection::vec(
+                prop::collection::vec(-100.0..100.0f64, len..=len),
+                streams..=streams,
+            )
+            .prop_map(move |cols| (n, k, cols, shards, threads))
+        },
+    )
+}
+
+/// Brute-force top-k oracle over every stream's root-summary
+/// coefficients, ranked by |value| desc then (stream, index) asc.
+fn brute_force_top_k(set: &StreamSet, k: usize) -> Vec<TopCoeff> {
+    let mut all = Vec::new();
+    for g in 0..set.streams() {
+        if let Some(root) = root_summary(set.tree(g)) {
+            for (index, &value) in root.coeffs().coefficients().iter().enumerate() {
+                all.push(TopCoeff {
+                    stream: g as u64,
+                    index: index as u32,
+                    value,
+                });
+            }
+        }
+    }
+    all.sort_by(|a, b| {
+        b.weight()
+            .partial_cmp(&a.weight())
+            .unwrap()
+            .then_with(|| (a.stream, a.index).cmp(&(b.stream, b.index)))
+    });
+    all.truncate(k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded ingest is bit-identical to the unsharded oracle: the
+    /// global-order digests agree for every shard and thread count.
+    #[test]
+    fn sharded_ingest_digest_matches_oracle(
+        (n, k, cols, shards, threads) in workload()
+    ) {
+        let config = SwatConfig::with_coefficients(n, k).unwrap();
+        let mut oracle = StreamSet::new(config, cols.len());
+        oracle.extend_batched(&cols, 1);
+        let mut sharded = ShardedStreamSet::new(config, cols.len(), shards);
+        sharded.extend_batched(&cols, threads);
+        prop_assert_eq!(sharded.answers_digest(), oracle.answers_digest());
+    }
+
+    /// Query fan-out answers equal the oracle's, element for element,
+    /// for every shard and thread count (success paths).
+    #[test]
+    fn sharded_queries_match_oracle(
+        (n, k, cols, shards, threads) in workload()
+    ) {
+        let config = SwatConfig::with_coefficients(n, k).unwrap();
+        let mut oracle = StreamSet::new(config, cols.len());
+        oracle.extend_batched(&cols, 1);
+        let mut sharded = ShardedStreamSet::new(config, cols.len(), shards);
+        sharded.extend_batched(&cols, threads);
+        let indices: Vec<usize> = vec![0, 1, n / 2, n - 1];
+        let pts_oracle = oracle.point_many(&indices, QueryOptions::default(), 1);
+        let pts_sharded = sharded.point_many(&indices, QueryOptions::default(), threads);
+        prop_assert_eq!(pts_sharded, pts_oracle);
+        let queries = [InnerProductQuery::exponential(n / 2, 1e9)];
+        let ips_oracle = oracle.inner_product_many(&queries, QueryOptions::default(), 1);
+        let ips_sharded = sharded.inner_product_many(&queries, QueryOptions::default(), threads);
+        prop_assert_eq!(ips_sharded, ips_oracle);
+    }
+
+    /// Distributed top-k equals the brute-force oracle exactly, for
+    /// every shard count, thread count, and retention bound.
+    #[test]
+    fn distributed_top_k_is_exact(
+        (n, k, cols, shards, threads) in workload(),
+        top_k in 1usize..=12,
+    ) {
+        let config = SwatConfig::with_coefficients(n, k).unwrap();
+        let mut oracle = StreamSet::new(config, cols.len());
+        oracle.extend_batched(&cols, 1);
+        let mut sharded = ShardedStreamSet::new(config, cols.len(), shards);
+        sharded.extend_batched(&cols, threads);
+        let (top, stats) = sharded.global_top_k(top_k, threads);
+        let want = brute_force_top_k(&oracle, top_k);
+        prop_assert_eq!(top.entries(), &want[..]);
+        prop_assert_eq!(stats.shards_refined + stats.shards_pruned, shards);
+    }
+
+    /// Incremental block boundaries never change the outcome.
+    #[test]
+    fn sharded_blocks_match_one_shot(
+        (n, k, cols, shards, threads) in workload(),
+        chunk in 1usize..=13,
+    ) {
+        let config = SwatConfig::with_coefficients(n, k).unwrap();
+        let mut whole = ShardedStreamSet::new(config, cols.len(), shards);
+        whole.extend_batched(&cols, threads);
+        let mut blocks = ShardedStreamSet::new(config, cols.len(), shards);
+        let len = cols.first().map(Vec::len).unwrap_or(0);
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            let part: Vec<&[f64]> = cols.iter().map(|c| &c[start..end]).collect();
+            blocks.extend_batched(&part, threads);
+            start = end;
+        }
+        prop_assert_eq!(whole.answers_digest(), blocks.answers_digest());
+    }
+}

@@ -21,6 +21,9 @@
 //!   style of Gilbert et al., provided for contrast: they beat the
 //!   prefix form in L2 for static signals but are not mergeable, which
 //!   is why the tree does not use them,
+//! * [`topk`] — mergeable top-k coefficient summaries for partitioned
+//!   stream sets, the per-shard state behind the Jestes–Yi–Li exact
+//!   distributed top-k merge in `swat_tree::shard`,
 //! * [`HaarCoeffs`] — the central data type: a *truncated* Haar coefficient
 //!   vector in breadth-first (coarsest-first) order supporting the exact
 //!   `O(k)` sibling **merge** that powers the SWAT update algorithm
@@ -73,12 +76,14 @@ pub mod filterbank;
 pub mod haar;
 pub mod ortho;
 pub mod thresholded;
+pub mod topk;
 
 pub use coeffs::{HaarCoeffs, MergeScratch};
 pub use dot::{CanonicalProfile, ProfileTable};
 pub use error::WaveletError;
 pub use filterbank::OrthogonalFilter;
 pub use thresholded::ThresholdedCoeffs;
+pub use topk::{TopCoeff, TopKSummary};
 
 /// Returns `true` if `n` is a power of two (and nonzero).
 #[inline]

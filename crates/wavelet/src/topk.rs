@@ -1,0 +1,282 @@
+//! Mergeable top-k coefficient summaries for partitioned stream sets.
+//!
+//! A partitioned ingest tier (see `swat_tree::shard`) keeps one SWAT tree
+//! per stream, spread across shards. Cross-stream queries of the form
+//! "which coefficients are globally largest" must not scan every shard's
+//! every tree; instead each shard maintains a small [`TopKSummary`] over
+//! the coefficients it owns, and summaries **merge**: the merge of two
+//! shards' summaries is exactly the summary the union of their
+//! coefficients would produce. This is the property Ganguly's
+//! deterministic update-stream summaries call for — per-partition state
+//! that combines without re-scanning — and it is what makes the
+//! Jestes–Yi–Li exact distributed top-k algorithm (arXiv:1110.6649) work:
+//! each partition ships its local top-k′ plus a threshold, the
+//! coordinator merges and prunes, and one refinement round makes the
+//! result exact.
+//!
+//! Every coefficient is identified by the stream that produced it and its
+//! breadth-first index within that stream's root summary, so candidates
+//! from different shards never collide (streams are disjoint across
+//! shards) and ties break deterministically.
+
+use std::fmt;
+
+/// One candidate coefficient: where it came from and its value.
+///
+/// Ordering is by descending magnitude with deterministic tie-breaking on
+/// `(stream, index)` ascending, so any two agents ranking the same
+/// candidate set produce the same order bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopCoeff {
+    /// Global id of the stream the coefficient belongs to.
+    pub stream: u64,
+    /// Breadth-first index of the coefficient within that stream's
+    /// summary.
+    pub index: u32,
+    /// The coefficient value (ranked by `|value|`).
+    pub value: f64,
+}
+
+impl TopCoeff {
+    /// The ranking weight: coefficient magnitude.
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.value.abs()
+    }
+
+    /// Total order: larger magnitude first, then `(stream, index)`
+    /// ascending. Total because magnitudes are finite by construction.
+    fn rank_before(&self, other: &TopCoeff) -> bool {
+        match self.weight().partial_cmp(&other.weight()) {
+            Some(std::cmp::Ordering::Greater) => true,
+            Some(std::cmp::Ordering::Less) => false,
+            _ => (self.stream, self.index) < (other.stream, other.index),
+        }
+    }
+}
+
+impl fmt::Display for TopCoeff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}[{}]={}", self.stream, self.index, self.value)
+    }
+}
+
+/// A bounded summary of the `k` largest-magnitude coefficients seen.
+///
+/// Inserting every coefficient of a partition and merging partitions'
+/// summaries commute: `merge(S(A), S(B)) == S(A ∪ B)` as long as no
+/// `(stream, index)` identity appears in both partitions (shards own
+/// disjoint stream sets, so this holds by construction). The
+/// `merge_matches_union` test pins the property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKSummary {
+    k: usize,
+    /// Entries in rank order (largest magnitude first), at most `k`.
+    entries: Vec<TopCoeff>,
+}
+
+impl TopKSummary {
+    /// An empty summary retaining at most `k` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (a zero-capacity summary cannot answer
+    /// anything).
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k summary needs k >= 1");
+        TopKSummary {
+            k,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The retention bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Entries currently retained, in rank order.
+    pub fn entries(&self) -> &[TopCoeff] {
+        &self.entries
+    }
+
+    /// Number of entries retained (`<= k`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no coefficient has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The summary's pruning threshold: the weight of its `k`-th entry,
+    /// or `0` while it holds fewer than `k` (anything could still enter).
+    /// Every coefficient ever offered with weight strictly below the
+    /// threshold is provably outside the summary's top-k.
+    pub fn threshold(&self) -> f64 {
+        if self.entries.len() < self.k {
+            0.0
+        } else {
+            self.entries[self.k - 1].weight()
+        }
+    }
+
+    /// Offer one coefficient. Non-finite values are ignored (they carry
+    /// no rankable magnitude); everything else is inserted in rank order
+    /// and the summary re-truncated to `k`.
+    pub fn offer(&mut self, c: TopCoeff) {
+        if !c.value.is_finite() {
+            return;
+        }
+        // Binary search for the rank position keeps offers O(log k) plus
+        // the memmove; k is small by design.
+        let pos = self.entries.partition_point(|e| e.rank_before(&c));
+        if pos >= self.k {
+            return;
+        }
+        self.entries.insert(pos, c);
+        self.entries.truncate(self.k);
+    }
+
+    /// Merge another summary in. The result ranks the union of both
+    /// entry sets; with disjoint coefficient identities this equals the
+    /// summary of the union of the original coefficient populations
+    /// truncated to `min(self.k, other.k)` retained entries' worth of
+    /// certainty — callers merging summaries of equal `k` get the exact
+    /// union-of-top-k semantics the distributed algorithm needs.
+    pub fn merge(&mut self, other: &TopKSummary) {
+        for &e in &other.entries {
+            self.offer(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(stream: u64, index: u32, value: f64) -> TopCoeff {
+        TopCoeff {
+            stream,
+            index,
+            value,
+        }
+    }
+
+    /// Brute-force oracle: rank all candidates, keep k.
+    fn oracle(mut all: Vec<TopCoeff>, k: usize) -> Vec<TopCoeff> {
+        all.sort_by(|a, b| {
+            b.weight()
+                .partial_cmp(&a.weight())
+                .unwrap()
+                .then_with(|| (a.stream, a.index).cmp(&(b.stream, b.index)))
+        });
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn retains_largest_magnitudes() {
+        let mut s = TopKSummary::new(3);
+        for (i, v) in [1.0, -5.0, 2.0, 0.5, -3.0].into_iter().enumerate() {
+            s.offer(c(0, i as u32, v));
+        }
+        let weights: Vec<f64> = s.entries().iter().map(TopCoeff::weight).collect();
+        assert_eq!(weights, vec![5.0, 3.0, 2.0]);
+        assert_eq!(s.threshold(), 2.0);
+    }
+
+    #[test]
+    fn threshold_is_zero_while_underfull() {
+        let mut s = TopKSummary::new(4);
+        assert_eq!(s.threshold(), 0.0);
+        s.offer(c(0, 0, 9.0));
+        assert_eq!(s.threshold(), 0.0, "underfull summaries cannot prune");
+        for i in 1..4 {
+            s.offer(c(0, i, 1.0));
+        }
+        assert_eq!(s.threshold(), 1.0);
+    }
+
+    #[test]
+    fn ties_break_on_stream_then_index() {
+        let mut s = TopKSummary::new(2);
+        s.offer(c(7, 1, 2.0));
+        s.offer(c(3, 9, -2.0));
+        s.offer(c(3, 2, 2.0));
+        assert_eq!(s.entries()[0], c(3, 2, 2.0));
+        assert_eq!(s.entries()[1], c(3, 9, -2.0));
+    }
+
+    #[test]
+    fn non_finite_offers_are_ignored() {
+        let mut s = TopKSummary::new(2);
+        s.offer(c(0, 0, f64::NAN));
+        s.offer(c(0, 1, f64::INFINITY));
+        assert!(s.is_empty());
+        s.offer(c(0, 2, 1.0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        // Deterministic pseudo-random populations split across "shards":
+        // merging per-shard summaries equals summarizing the union.
+        for k in [1usize, 3, 8] {
+            let all: Vec<TopCoeff> = (0..60)
+                .map(|i| c(i % 7, i as u32, (((i * 37 + 11) % 23) as f64) - 11.0))
+                .collect();
+            let mut merged = TopKSummary::new(k);
+            for shard in all.chunks(13) {
+                let mut local = TopKSummary::new(k);
+                for &e in shard {
+                    local.offer(e);
+                }
+                merged.merge(&local);
+            }
+            let mut direct = TopKSummary::new(k);
+            for &e in &all {
+                direct.offer(e);
+            }
+            assert_eq!(merged, direct, "k={k}");
+            assert_eq!(merged.entries(), &oracle(all, k)[..], "k={k} vs oracle");
+        }
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let pop: Vec<TopCoeff> = (0..24)
+            .map(|i| c(i, i as u32, ((i * 13 % 17) as f64) - 8.0))
+            .collect();
+        let halves: Vec<TopKSummary> = pop
+            .chunks(8)
+            .map(|chunk| {
+                let mut s = TopKSummary::new(5);
+                for &e in chunk {
+                    s.offer(e);
+                }
+                s
+            })
+            .collect();
+        let mut ab = halves[0].clone();
+        ab.merge(&halves[1]);
+        ab.merge(&halves[2]);
+        let mut ba = halves[2].clone();
+        ba.merge(&halves[0]);
+        ba.merge(&halves[1]);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let _ = TopKSummary::new(0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", c(3, 1, -2.5));
+        assert!(s.contains('3') && s.contains("-2.5"));
+    }
+}

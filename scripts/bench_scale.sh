@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_scale.json — the sharded many-stream sweep:
+# ingest rows/sec, per-stream fixed memory cost, and the latency of the
+# exact two-round distributed top-k merge, up to 100k streams. Cases at
+# or below --verify-limit streams are checked against the unsharded
+# StreamSet oracle (bit-identical digests and an exact top-k match);
+# the run fails on any disagreement. Pass --quick for a fast
+# smoke-sized sweep (oracle-verified throughout); any extra flags are
+# forwarded to the CLI (see `swat help`, SCALE-BENCH section).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- scale-bench --out results/BENCH_scale.json "$@"

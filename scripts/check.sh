@@ -45,4 +45,15 @@ if grep -q '"violations": [^0]' target/repair-smoke.json; then
 fi
 echo "repair smoke clean (target/repair-smoke.json)"
 
-echo "OK: fmt, clippy, tier-1, chaos, recovery, query-bench, and repair smokes all green"
+echo "== scale smoke (sharded ingest vs unsharded oracle, quick sweep) =="
+cargo run --release -q -p swat-cli -- scale-bench --quick \
+    --out target/scale-smoke.json >/dev/null
+grep -q '"bench": "scale"' target/scale-smoke.json
+grep -q '"all_agree": true' target/scale-smoke.json
+if grep -q '"oracle_agrees": false' target/scale-smoke.json; then
+    echo "scale smoke found an oracle disagreement" >&2
+    exit 1
+fi
+echo "scale smoke clean (target/scale-smoke.json)"
+
+echo "OK: fmt, clippy, tier-1, chaos, recovery, query-bench, repair, and scale smokes all green"
