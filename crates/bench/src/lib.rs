@@ -39,13 +39,19 @@
 //! measuring ingest rows/sec, per-stream fixed memory cost, and the
 //! latency of the exact two-round distributed top-k merge, with oracle
 //! verification below a stream-count limit; it writes
-//! `results/BENCH_scale.json` and backs `swat scale-bench`.
+//! `results/BENCH_scale.json` and backs `swat scale-bench`. [`daemon`]
+//! spawns a real-TCP localhost `swatd` cluster (leader + shard
+//! replicas), measures request latency (p50/p99) and throughput clean
+//! versus with one replica killed mid-run — enforcing zero wrong
+//! answers in both phases — and writes `results/BENCH_daemon.json`; it
+//! backs `swat daemon-bench`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod centralized;
 pub mod chaos;
+pub mod daemon;
 pub mod ingest;
 pub mod query;
 pub mod recovery;

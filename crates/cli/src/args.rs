@@ -60,7 +60,9 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switch flags (no value).
-const SWITCHES: &[&str] = &["render", "stdin", "help", "quick", "heal"];
+const SWITCHES: &[&str] = &[
+    "render", "stdin", "help", "quick", "heal", "status", "shutdown",
+];
 
 impl Args {
     /// Parse an iterator of arguments (without the program name).

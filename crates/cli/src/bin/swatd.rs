@@ -1,0 +1,73 @@
+//! `swatd` — one SWAT cluster node as a long-running daemon.
+//!
+//! ```text
+//! swatd --role replica --shard 0 --shards 3 --streams 10 --window 32 \
+//!       --listen 127.0.0.1:0 --port-file /tmp/r0.port --dir /var/lib/swat/r0
+//! swatd --role leader --shards 3 --streams 10 --window 32 \
+//!       --replica HOST:PORT --replica HOST:PORT --replica HOST:PORT
+//! ```
+//!
+//! The process serves until SIGTERM/SIGINT or a wire-level `Shutdown`
+//! request, then drains in-flight requests, checkpoints durable state,
+//! and exits 0. Flags are shared with `swat`'s parser; errors go to
+//! stderr with the offending path or flag named.
+
+use std::process::ExitCode;
+use swat_cli::{args, daemon_cmd};
+
+fn print_help() {
+    println!(
+        "swatd — one SWAT cluster node (leader or shard replica)
+
+USAGE
+  swatd [--role leader|replica] [options]
+
+COMMON
+  --listen HOST:PORT    bind address (default 127.0.0.1:0 = free port)
+  --port-file PATH      write the bound address here (for scripts)
+  --shards N            total shards in the cluster (default 1)
+  --streams N           total global streams (default = shards)
+  --window N            tree window, power of two (default 32)
+  --coeffs K            coefficients per node (default 4)
+  --io-timeout-ms MS    per-socket-op deadline (default 500)
+
+REPLICA (--role replica, the default)
+  --shard I             which shard this node owns (default 0)
+  --dir PATH            durable store directory (created if missing;
+                        omit for in-memory)
+
+LEADER (--role leader)
+  --replica HOST:PORT   one per shard, shard order (repeatable)
+  --hb-period-ms MS     heartbeat period (default 100)
+  --miss-threshold N    misses before a replica is Dead (default 3)
+  --max-inflight N      per-replica in-flight budget before load
+                        shedding (default 64)
+
+Stop with SIGTERM (drains and checkpoints) or `swat client --addr ...
+--shutdown`."
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "help") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    // Reuse the `swat` flag grammar: swatd has exactly one implicit
+    // subcommand.
+    let parsed = match args::Args::parse(std::iter::once("serve".to_owned()).chain(argv)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match daemon_cmd::serve(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

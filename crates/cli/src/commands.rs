@@ -5,6 +5,7 @@
 use std::io::Read;
 
 use crate::args::{split_spec, Args};
+use crate::errors::PathError;
 use swat_data::Dataset;
 use swat_net::Topology;
 use swat_replication::harness::{run, WorkloadConfig};
@@ -24,9 +25,11 @@ USAGE
   swat query-bench  [grid options] [--out PATH] [--quick]
   swat chaos        [sweep options] [--out PATH] [--quick]
   swat recover      --dir PATH
+  swat client       --addr HOST:PORT [requests...]
   swat recovery-bench [options] [--out PATH] [--quick]
   swat repair-bench [options] [--out PATH] [--quick]
   swat scale-bench  [sweep options] [--out PATH] [--quick]
+  swat daemon-bench [options] [--out PATH] [--quick]
   swat help
 
 SUMMARIZE — build a SWAT over a stream and answer queries
@@ -73,6 +76,16 @@ RECOVER — recover a crashed durable store directory
   --dir PATH   the store directory (checkpoints + write-ahead logs);
                prints what was recovered and re-anchors the store
 
+CLIENT — send requests to a running swatd node (see `swatd --help`)
+  --addr HOST:PORT      the node (a leader for fan-out requests)
+  --ingest V,V,..       apply one global row          (repeatable)
+  --point STREAM:IDX    point query                   (repeatable)
+  --range STREAM:CENTER:RADIUS:NEWEST:OLDEST          (repeatable)
+  --top-k K             exact distributed top-k
+  --status              health snapshot   --shutdown  graceful drain
+  --req-id N            first write id (default 0)
+  --timeout-ms MS       connect/read deadline (default 2000)
+
 RECOVERY-BENCH — measure crash recovery and the durable-restart win
   store:     --window N --coeffs K --streams N --rows N
              --checkpoint-every N
@@ -99,13 +112,21 @@ SCALE-BENCH — sharded many-stream ingest and distributed top-k merge
              --verify-limit N   oracle-check cases up to N streams
   output:    --out PATH (default results/BENCH_scale.json)
   --quick    shrunk sweep for smoke runs, oracle-verified throughout
-  errors if any oracle-checked case disagrees with the unsharded set"
+  errors if any oracle-checked case disagrees with the unsharded set
+
+DAEMON-BENCH — real-TCP cluster latency/throughput, clean vs killed
+  cluster:   --streams N --shards N (>= 2) --window N --coeffs K
+  workload:  --rows N --points N --topks N --seed S
+  output:    --out PATH (default results/BENCH_daemon.json)
+  --quick    shrunk run for smoke tests
+  kills one replica mid-run; errors on any wrong answer (explicit
+  degradation — failed_shards, Unavailable, incomplete — is expected)"
     );
 }
 
 fn load_values(a: &Args) -> Result<Vec<f64>, String> {
     if let Some(path) = a.get("file") {
-        return swat_data::csv::load_values(path).map_err(|e| format!("reading {path}: {e}"));
+        return swat_data::csv::load_values(path).map_err(|e| PathError::reading(path, e).into());
     }
     if a.switch("stdin") {
         let mut text = String::new();
@@ -426,7 +447,7 @@ pub fn ingest_bench(a: &Args) -> Result<(), String> {
     let out = a.get("out").unwrap_or("results/BENCH_ingest.json");
     report
         .write_json(std::path::Path::new(out))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+        .map_err(|e| PathError::writing(out, e))?;
     println!("\nwrote {out}");
     Ok(())
 }
@@ -493,7 +514,7 @@ pub fn query_bench(a: &Args) -> Result<(), String> {
     let out = a.get("out").unwrap_or("results/BENCH_query.json");
     report
         .write_json(std::path::Path::new(out))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+        .map_err(|e| PathError::writing(out, e))?;
     println!("\nwrote {out}");
     Ok(())
 }
@@ -561,7 +582,7 @@ pub fn chaos(a: &Args) -> Result<(), String> {
     let out = a.get("out").unwrap_or("results/BENCH_chaos.json");
     report
         .write_json(std::path::Path::new(out))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+        .map_err(|e| PathError::writing(out, e))?;
     println!("\nwrote {out}");
     Ok(())
 }
@@ -572,7 +593,8 @@ pub fn recover(a: &Args) -> Result<(), String> {
     let dir = a
         .get("dir")
         .ok_or("--dir is required (the store directory)")?;
-    let (store, report) = RecoveryManager::recover(dir).map_err(|e| e.to_string())?;
+    let (store, report) =
+        RecoveryManager::recover(dir).map_err(|e| PathError::recovering(dir, e))?;
     match report.checkpoint_t {
         Some(t) => println!("base checkpoint:      t = {t}"),
         None => println!("base checkpoint:      none (bootstrapped from wal-0 header)"),
@@ -656,7 +678,7 @@ pub fn recovery_bench(a: &Args) -> Result<(), String> {
     let out = a.get("out").unwrap_or("results/BENCH_recovery.json");
     report
         .write_json(std::path::Path::new(out))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+        .map_err(|e| PathError::writing(out, e))?;
     println!("\nwrote {out}");
     Ok(())
 }
@@ -725,7 +747,7 @@ pub fn repair_bench(a: &Args) -> Result<(), String> {
     let out = a.get("out").unwrap_or("results/BENCH_repair.json");
     report
         .write_json(std::path::Path::new(out))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+        .map_err(|e| PathError::writing(out, e))?;
     println!("\nwrote {out}");
     Ok(())
 }
@@ -789,7 +811,62 @@ pub fn scale_bench(a: &Args) -> Result<(), String> {
     let out = a.get("out").unwrap_or("results/BENCH_scale.json");
     report
         .write_json(std::path::Path::new(out))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+        .map_err(|e| PathError::writing(out, e))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+/// `swat daemon-bench`: spawn a real-TCP localhost cluster, measure
+/// request latency/throughput clean vs one-replica-killed, and write
+/// the `BENCH_daemon.json` artifact. Fails on any wrong answer — the
+/// cluster may degrade explicitly, never silently.
+pub fn daemon_bench(a: &Args) -> Result<(), String> {
+    use swat_bench::daemon::{run, DaemonBenchConfig};
+    let seed = a
+        .get_parsed("seed", swat_bench::DEFAULT_SEED, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut cfg = if a.switch("quick") {
+        DaemonBenchConfig::quick(seed)
+    } else {
+        DaemonBenchConfig::full(seed)
+    };
+    cfg.streams = a
+        .get_parsed("streams", cfg.streams, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.shards = a
+        .get_parsed("shards", cfg.shards, "a count of at least 2")
+        .map_err(|e| e.to_string())?;
+    cfg.window = a
+        .get_parsed("window", cfg.window, "a power of two")
+        .map_err(|e| e.to_string())?;
+    cfg.coeffs = a
+        .get_parsed("coeffs", cfg.coeffs, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.rows = a
+        .get_parsed("rows", cfg.rows, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.points = a
+        .get_parsed("points", cfg.points, "a count")
+        .map_err(|e| e.to_string())?;
+    cfg.topks = a
+        .get_parsed("topks", cfg.topks, "a count")
+        .map_err(|e| e.to_string())?;
+    if cfg.shards < 2 {
+        return Err("--shards must be at least 2 (the bench kills one replica)".into());
+    }
+    if cfg.streams == 0 || cfg.rows == 0 {
+        return Err("--streams and --rows must be positive".into());
+    }
+    SwatConfig::with_coefficients(cfg.window, cfg.coeffs).map_err(|e| e.to_string())?;
+    let report = run(&cfg);
+    report.print();
+    if !report.zero_wrong_answers() {
+        return Err("the daemon answered a query wrongly under faults — this is a bug".into());
+    }
+    let out = a.get("out").unwrap_or("results/BENCH_daemon.json");
+    report
+        .write_json(std::path::Path::new(out))
+        .map_err(|e| PathError::writing(out, e))?;
     println!("\nwrote {out}");
     Ok(())
 }

@@ -1,0 +1,337 @@
+//! The daemon-facing commands: `swatd` (serve) and `swat client`.
+//!
+//! `serve` brings one cluster node up and blocks until SIGTERM/SIGINT
+//! or a wire-level `Shutdown` request, then drains gracefully and
+//! reports what the drain accomplished. `client` is a thin scriptable
+//! front end over [`swat_daemon::DaemonClient`] used by the smoke and
+//! bench scripts.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::args::{split_spec, Args};
+use crate::errors::PathError;
+use swat_daemon::{spawn, DaemonClient, DaemonConfig, Request, Response, Role};
+use swat_tree::SwatConfig;
+
+/// Set by the signal handler; polled by the serve loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SIGTERM = 15, SIGINT = 2: both mean "drain and exit".
+    unsafe {
+        signal(15, on_term as *const () as usize);
+        signal(2, on_term as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn parse_addr(flag: &str, raw: &str) -> Result<SocketAddr, String> {
+    raw.parse()
+        .map_err(|_| format!("--{flag} {raw:?}: expected HOST:PORT"))
+}
+
+/// `swatd` — bring one node up and serve until asked to stop.
+pub fn serve(a: &Args) -> Result<(), String> {
+    let shards = a
+        .get_parsed("shards", 1usize, "a positive count")
+        .map_err(|e| e.to_string())?;
+    let streams = a
+        .get_parsed("streams", shards, "a positive count")
+        .map_err(|e| e.to_string())?;
+    if shards == 0 || streams == 0 {
+        return Err("--shards and --streams must be positive".into());
+    }
+    let window = a
+        .get_parsed("window", 32usize, "a power of two")
+        .map_err(|e| e.to_string())?;
+    let coeffs = a
+        .get_parsed("coeffs", 4usize, "a positive count")
+        .map_err(|e| e.to_string())?;
+    let config = SwatConfig::with_coefficients(window, coeffs).map_err(|e| e.to_string())?;
+    let role_raw = a.get("role").unwrap_or("replica");
+    let role = match role_raw {
+        "leader" => {
+            let addrs = a.get_all("replica");
+            if addrs.len() != shards {
+                return Err(format!(
+                    "a leader over {shards} shards needs exactly {shards} --replica \
+                     addresses (got {})",
+                    addrs.len()
+                ));
+            }
+            let replicas = addrs
+                .iter()
+                .map(|raw| parse_addr("replica", raw))
+                .collect::<Result<Vec<_>, _>>()?;
+            Role::Leader { replicas }
+        }
+        "replica" => {
+            let shard = a
+                .get_parsed("shard", 0usize, "a shard index")
+                .map_err(|e| e.to_string())?;
+            if shard >= shards {
+                return Err(format!("--shard {shard} out of range (0..{shards})"));
+            }
+            Role::Replica { shard }
+        }
+        other => return Err(format!("unknown role {other:?} (leader|replica)")),
+    };
+
+    let mut cfg = DaemonConfig::localhost(role, config, streams, shards);
+    cfg.listen = parse_addr("listen", a.get("listen").unwrap_or("127.0.0.1:0"))?;
+    if let Some(dir) = a.get("dir") {
+        if matches!(cfg.role, Role::Leader { .. }) {
+            return Err("--dir applies to replicas only (the leader holds no streams)".into());
+        }
+        std::fs::create_dir_all(dir).map_err(|e| PathError::creating(dir, e))?;
+        cfg.dir = Some(PathBuf::from(dir));
+    }
+    cfg.io_timeout = Duration::from_millis(
+        a.get_parsed("io-timeout-ms", 500u64, "milliseconds")
+            .map_err(|e| e.to_string())?,
+    );
+    cfg.hb_period = Duration::from_millis(
+        a.get_parsed("hb-period-ms", 100u64, "milliseconds")
+            .map_err(|e| e.to_string())?,
+    );
+    cfg.miss_threshold = a
+        .get_parsed("miss-threshold", 3u32, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.max_inflight = a
+        .get_parsed("max-inflight", 64usize, "a positive count")
+        .map_err(|e| e.to_string())?;
+    if cfg.miss_threshold == 0 || cfg.max_inflight == 0 {
+        return Err("--miss-threshold and --max-inflight must be positive".into());
+    }
+
+    let handle = spawn(cfg).map_err(|e| format!("starting the daemon: {e}"))?;
+    println!("swatd: {role_raw} listening on {}", handle.addr());
+    if let Some(port_file) = a.get("port-file") {
+        // Scripts wait for this file to learn the bound port.
+        std::fs::write(port_file, format!("{}\n", handle.addr()))
+            .map_err(|e| PathError::writing(port_file, e))?;
+    }
+    install_signal_handlers();
+    while !TERM.load(Ordering::SeqCst) && !handle.stop_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let report = handle.stop();
+    println!(
+        "swatd: drained {} in-flight request(s); checkpointed: {}",
+        report.drained, report.checkpointed
+    );
+    Ok(())
+}
+
+/// `swat client` — scriptable requests against a running daemon.
+pub fn client(a: &Args) -> Result<(), String> {
+    let addr = parse_addr(
+        "addr",
+        a.get("addr").ok_or("--addr is required (HOST:PORT)")?,
+    )?;
+    let timeout = Duration::from_millis(
+        a.get_parsed("timeout-ms", 2000u64, "milliseconds")
+            .map_err(|e| e.to_string())?,
+    );
+    let mut client = DaemonClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+    let first_id = a
+        .get_parsed("req-id", 0u64, "a write id")
+        .map_err(|e| e.to_string())?;
+    for (offset, raw) in a.get_all("ingest").iter().enumerate() {
+        let req_id = first_id + offset as u64;
+        let row = raw
+            .split(',')
+            .map(|s| s.trim().parse::<f64>())
+            .collect::<Result<Vec<f64>, _>>()
+            .map_err(|_| format!("--ingest {raw:?}: expected comma-separated numbers"))?;
+        let resp = client.ingest(req_id, row).map_err(|e| e.to_string())?;
+        println!("ingest[{req_id}]: {}", describe(&resp));
+    }
+    for raw in a.get_all("point") {
+        let parts = split_spec(raw);
+        let [stream, index] = parts.as_slice() else {
+            return Err(format!("--point {raw:?}: expected STREAM:INDEX"));
+        };
+        let stream: u64 = stream
+            .parse()
+            .map_err(|_| format!("bad STREAM in {raw:?}"))?;
+        let index: u32 = index.parse().map_err(|_| format!("bad INDEX in {raw:?}"))?;
+        let resp = client.point(stream, index).map_err(|e| e.to_string())?;
+        println!("point[{stream}:{index}]: {}", describe(&resp));
+    }
+    for raw in a.get_all("range") {
+        let parts = split_spec(raw);
+        let [stream, center, radius, newest, oldest] = parts.as_slice() else {
+            return Err(format!(
+                "--range {raw:?}: expected STREAM:CENTER:RADIUS:NEWEST:OLDEST"
+            ));
+        };
+        let req = Request::Range {
+            stream: stream
+                .parse()
+                .map_err(|_| format!("bad STREAM in {raw:?}"))?,
+            center: center
+                .parse()
+                .map_err(|_| format!("bad CENTER in {raw:?}"))?,
+            radius: radius
+                .parse()
+                .map_err(|_| format!("bad RADIUS in {raw:?}"))?,
+            newest: newest
+                .parse()
+                .map_err(|_| format!("bad NEWEST in {raw:?}"))?,
+            oldest: oldest
+                .parse()
+                .map_err(|_| format!("bad OLDEST in {raw:?}"))?,
+        };
+        let resp = client.call(&req).map_err(|e| e.to_string())?;
+        println!("range[{raw}]: {}", describe(&resp));
+    }
+    if let Some(raw) = a.get("top-k") {
+        let k: u32 = raw
+            .parse()
+            .map_err(|_| format!("--top-k {raw:?}: expected a count"))?;
+        let resp = client.top_k(k).map_err(|e| e.to_string())?;
+        println!("top-k[{k}]: {}", describe(&resp));
+    }
+    if a.switch("status") {
+        let resp = client.status().map_err(|e| e.to_string())?;
+        println!("status: {}", describe(&resp));
+    }
+    if a.switch("shutdown") {
+        let resp = client.shutdown().map_err(|e| e.to_string())?;
+        println!("shutdown: {}", describe(&resp));
+    }
+    Ok(())
+}
+
+/// Render one response for humans and scripts (stable, greppable).
+fn describe(resp: &Response) -> String {
+    match resp {
+        Response::HelloOk { node } => format!("hello from node {node}"),
+        Response::Pong { nonce } => format!("pong {nonce}"),
+        Response::IngestOk {
+            req_id,
+            duplicate,
+            failed_shards,
+        } => {
+            if failed_shards.is_empty() {
+                format!("applied req_id={req_id} duplicate={duplicate}")
+            } else {
+                format!("DEGRADED req_id={req_id} failed_shards={failed_shards:?}")
+            }
+        }
+        Response::PointR { answer } => format!(
+            "value={:.6} error_bound={:.6} level={}{}",
+            answer.value,
+            answer.error_bound,
+            answer.level,
+            if answer.extrapolated {
+                " (extrapolated)"
+            } else {
+                ""
+            }
+        ),
+        Response::RangeR { matches } => {
+            let shown: Vec<String> = matches
+                .iter()
+                .map(|m| format!("{}={:.4}", m.index, m.value))
+                .collect();
+            format!("{} match(es) [{}]", matches.len(), shown.join(", "))
+        }
+        Response::TopKR { complete, entries } => {
+            let shown: Vec<String> = entries
+                .iter()
+                .map(|e| format!("s{}#{}={:.4}", e.stream, e.index, e.weight()))
+                .collect();
+            format!(
+                "{} [{}]",
+                if *complete { "complete" } else { "INCOMPLETE" },
+                shown.join(", ")
+            )
+        }
+        Response::StatusR {
+            node,
+            arrivals,
+            replicas,
+        } => {
+            let health: Vec<String> = replicas
+                .iter()
+                .map(|(n, h)| format!("node{n}={h:?}"))
+                .collect();
+            format!(
+                "node={node} arrivals={arrivals} replicas=[{}]",
+                health.join(", ")
+            )
+        }
+        Response::ShutdownOk { drained } => format!("acknowledged (drained {drained})"),
+        Response::Overloaded => "OVERLOADED (shed, nothing applied)".into(),
+        Response::Unavailable { node } => format!("UNAVAILABLE (node {node} unreachable)"),
+        Response::ErrorR { code } => format!("ERROR {code:?}"),
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_rejects_bad_configurations() {
+        let a = Args::parse(["serve", "--role", "router"]).unwrap();
+        assert!(serve(&a).unwrap_err().contains("unknown role"));
+        let a = Args::parse([
+            "serve", "--role", "replica", "--shard", "5", "--shards", "2",
+        ])
+        .unwrap();
+        assert!(serve(&a).unwrap_err().contains("out of range"));
+        let a = Args::parse(["serve", "--role", "leader", "--shards", "2"]).unwrap();
+        assert!(serve(&a).unwrap_err().contains("--replica"));
+        let a = Args::parse(["serve", "--listen", "nowhere"]).unwrap();
+        assert!(serve(&a).unwrap_err().contains("HOST:PORT"));
+        let a = Args::parse([
+            "serve",
+            "--role",
+            "leader",
+            "--replica",
+            "127.0.0.1:9",
+            "--dir",
+            "/tmp/x",
+        ])
+        .unwrap();
+        assert!(serve(&a).unwrap_err().contains("--dir"));
+    }
+
+    #[test]
+    fn client_requires_an_address() {
+        let a = Args::parse(["client"]).unwrap();
+        assert!(client(&a).unwrap_err().contains("--addr"));
+        let a = Args::parse(["client", "--addr", "nope"]).unwrap();
+        assert!(client(&a).unwrap_err().contains("HOST:PORT"));
+    }
+
+    #[test]
+    fn responses_render_stably() {
+        assert_eq!(
+            describe(&Response::IngestOk {
+                req_id: 3,
+                duplicate: false,
+                failed_shards: vec![1]
+            }),
+            "DEGRADED req_id=3 failed_shards=[1]"
+        );
+        assert!(describe(&Response::Overloaded).contains("OVERLOADED"));
+        assert!(describe(&Response::Unavailable { node: 2 }).contains("node 2"));
+    }
+}

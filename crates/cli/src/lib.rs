@@ -8,3 +8,5 @@
 
 pub mod args;
 pub mod commands;
+pub mod daemon_cmd;
+pub mod errors;

@@ -8,9 +8,11 @@
 //! swat query-bench --quick --out results/BENCH_query.json
 //! swat chaos --drops 0,0.05,0.2 --delays 0,2 --depth 3
 //! swat recover --dir /var/lib/swat/store
+//! swat client --addr 127.0.0.1:7700 --ingest 1,2,3 --top-k 4 --status
 //! swat recovery-bench --quick --out results/BENCH_recovery.json
 //! swat repair-bench --quick --out results/BENCH_repair.json
 //! swat scale-bench --quick --out results/BENCH_scale.json
+//! swat daemon-bench --quick --out results/BENCH_daemon.json
 //! swat help
 //! ```
 
@@ -45,6 +47,8 @@ fn main() -> ExitCode {
         "recovery-bench" => commands::recovery_bench(&parsed),
         "repair-bench" => commands::repair_bench(&parsed),
         "scale-bench" => commands::scale_bench(&parsed),
+        "client" => swat_cli::daemon_cmd::client(&parsed),
+        "daemon-bench" => commands::daemon_bench(&parsed),
         other => Err(format!("unknown command {other:?} (try `swat help`)")),
     };
     match result {

@@ -1,0 +1,320 @@
+//! Clients of a `swatd` node: the external [`DaemonClient`] and the
+//! leader's internal [`PeerPool`].
+//!
+//! Both speak the same framed protocol over [`TcpTransport`]; the peer
+//! pool adds the leader-side robustness machinery:
+//!
+//! * a **bounded in-flight budget per peer** — when `max_inflight`
+//!   requests are already outstanding toward a replica, further work is
+//!   shed *before* anything is sent (the caller answers the client with
+//!   a typed `Overloaded`); memory use is bounded by construction, not
+//!   by hope,
+//! * **bounded reconnect with exponential backoff** — the
+//!   `swat_replication::RetryPolicy` schedule, `timeout` interpreted in
+//!   milliseconds; after the last retry the peer is reported
+//!   unreachable (`None`) and the caller degrades explicitly,
+//! * per-peer connection reuse: one live connection per replica,
+//!   re-established lazily after any transport failure.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use swat_replication::RetryPolicy;
+
+use crate::proto::{check_frame, decode_response, encode_request, ProtoError, Request, Response};
+use crate::transport::{TcpTransport, Transport, TransportError};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect to the address.
+    Connect(std::io::Error),
+    /// The transport failed mid-call.
+    Transport(TransportError),
+    /// The peer answered with bytes that violate the protocol.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connecting: {e}"),
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::Proto(p) => ClientError::Proto(p),
+            other => ClientError::Transport(other),
+        }
+    }
+}
+
+/// A blocking external client of one `swatd` node.
+pub struct DaemonClient {
+    tp: TcpTransport,
+}
+
+impl DaemonClient {
+    /// Connect to `addr` with `timeout` as connect deadline and
+    /// read/write deadline, then shake hands.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on connect, transport, or protocol failure.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout).map_err(ClientError::Connect)?;
+        let tp = TcpTransport::new(stream, timeout, timeout).map_err(ClientError::Connect)?;
+        let mut client = DaemonClient { tp };
+        // Handshake: both sides announce themselves.
+        client.call(&Request::Hello { node: 0 })?;
+        Ok(client)
+    }
+
+    /// Send one request and wait for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or protocol failure.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.tp.send_frame(&encode_request(req))?;
+        let frame = self.tp.recv_frame()?;
+        let payload = check_frame(&frame).map_err(ClientError::Proto)?;
+        decode_response(payload).map_err(ClientError::Proto)
+    }
+
+    /// Apply one global row under write id `req_id`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DaemonClient::call`].
+    pub fn ingest(&mut self, req_id: u64, row: Vec<f64>) -> Result<Response, ClientError> {
+        self.call(&Request::Ingest { req_id, row })
+    }
+
+    /// Point query.
+    ///
+    /// # Errors
+    ///
+    /// As [`DaemonClient::call`].
+    pub fn point(&mut self, stream: u64, index: u32) -> Result<Response, ClientError> {
+        self.call(&Request::Point { stream, index })
+    }
+
+    /// Distributed top-k.
+    ///
+    /// # Errors
+    ///
+    /// As [`DaemonClient::call`].
+    pub fn top_k(&mut self, k: u32) -> Result<Response, ClientError> {
+        self.call(&Request::TopK { k })
+    }
+
+    /// Status snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`DaemonClient::call`].
+    pub fn status(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Status)
+    }
+
+    /// Request graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// As [`DaemonClient::call`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Shutdown)
+    }
+}
+
+/// One pooled peer: its address, at most one live connection, and the
+/// in-flight token counter.
+struct Peer {
+    addr: SocketAddr,
+    conn: Mutex<Option<TcpTransport>>,
+    inflight: AtomicUsize,
+}
+
+/// The leader's connection pool over its replicas, indexed by shard.
+pub struct PeerPool {
+    peers: Vec<Peer>,
+    policy: RetryPolicy,
+    io_timeout: Duration,
+    max_inflight: usize,
+}
+
+/// RAII in-flight tokens: acquired for every shard of a fan-out before
+/// anything is sent, released on drop.
+pub struct InflightGuard<'a> {
+    pool: &'a PeerPool,
+    shards: Vec<usize>,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        for &s in &self.shards {
+            self.pool.peers[s].inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl PeerPool {
+    /// A pool over `addrs` (shard `i` lives at `addrs[i]`), shedding
+    /// when a peer already has `max_inflight` outstanding requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_inflight == 0`.
+    pub fn new(
+        addrs: Vec<SocketAddr>,
+        policy: RetryPolicy,
+        io_timeout: Duration,
+        max_inflight: usize,
+    ) -> Self {
+        assert!(
+            max_inflight > 0,
+            "an in-flight budget of 0 sheds everything"
+        );
+        PeerPool {
+            peers: addrs
+                .into_iter()
+                .map(|addr| Peer {
+                    addr,
+                    conn: Mutex::new(None),
+                    inflight: AtomicUsize::new(0),
+                })
+                .collect(),
+            policy,
+            io_timeout,
+            max_inflight,
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Try to reserve one in-flight slot toward every shard in
+    /// `shards`. `None` means at least one peer's budget is exhausted —
+    /// the caller sheds the request with a typed `Overloaded` and
+    /// **nothing is sent to anyone** (shedding is all-or-nothing, so a
+    /// shed ingest touches no shard).
+    pub fn try_acquire(&self, shards: &[usize]) -> Option<InflightGuard<'_>> {
+        let mut taken = Vec::with_capacity(shards.len());
+        for &s in shards {
+            let prev = self.peers[s].inflight.fetch_add(1, Ordering::SeqCst);
+            if prev >= self.max_inflight {
+                self.peers[s].inflight.fetch_sub(1, Ordering::SeqCst);
+                for &t in &taken {
+                    self.peers[t as usize]
+                        .inflight
+                        .fetch_sub(1, Ordering::SeqCst);
+                }
+                return None;
+            }
+            taken.push(s as u32);
+        }
+        Some(InflightGuard {
+            pool: self,
+            shards: shards.to_vec(),
+        })
+    }
+
+    /// One request/response exchange with shard `shard`'s replica,
+    /// reconnecting with bounded exponential backoff. `None` after the
+    /// final retry — the caller degrades explicitly. The caller must
+    /// already hold an in-flight token (or be heartbeat traffic, which
+    /// bypasses the budget so health detection keeps working under
+    /// load).
+    pub fn exchange(&self, shard: usize, req: &Request) -> Option<Response> {
+        let peer = &self.peers[shard];
+        let mut conn = peer.conn.lock().expect("peer lock never poisoned");
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                // RetryPolicy::timeout is in milliseconds here.
+                std::thread::sleep(Duration::from_millis(self.policy.backoff(attempt)));
+            }
+            if conn.is_none() {
+                match TcpStream::connect_timeout(&peer.addr, self.io_timeout)
+                    .and_then(|s| TcpTransport::new(s, self.io_timeout, self.io_timeout))
+                {
+                    Ok(tp) => *conn = Some(tp),
+                    Err(_) => continue,
+                }
+            }
+            let tp = conn.as_mut().expect("just connected");
+            let ok = tp
+                .send_frame(&encode_request(req))
+                .and_then(|()| tp.recv_frame());
+            match ok {
+                Ok(frame) => {
+                    match check_frame(&frame).and_then(decode_response) {
+                        Ok(resp) => return Some(resp),
+                        // A protocol violation poisons the connection.
+                        Err(_) => *conn = None,
+                    }
+                }
+                Err(_) => *conn = None,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize, max_inflight: usize) -> PeerPool {
+        let addrs = (0..n)
+            .map(|i| format!("127.0.0.1:{}", 1 + i).parse().unwrap())
+            .collect();
+        PeerPool::new(
+            addrs,
+            RetryPolicy {
+                max_retries: 0,
+                timeout: 1,
+            },
+            Duration::from_millis(10),
+            max_inflight,
+        )
+    }
+
+    #[test]
+    fn budget_is_all_or_nothing() {
+        let p = pool(2, 1);
+        let g1 = p.try_acquire(&[0]).expect("budget free");
+        // Shard 0 exhausted: a fan-out touching it sheds entirely, and
+        // shard 1's count is rolled back.
+        assert!(p.try_acquire(&[1, 0]).is_none());
+        assert_eq!(p.peers[1].inflight.load(Ordering::SeqCst), 0);
+        drop(g1);
+        assert!(p.try_acquire(&[1, 0]).is_some());
+    }
+
+    #[test]
+    fn unreachable_peer_is_none_not_a_hang() {
+        // Port 1 on localhost: nothing listens; connect fails fast and
+        // the bounded retries end in None.
+        let p = pool(1, 4);
+        let started = std::time::Instant::now();
+        assert!(p.exchange(0, &Request::Status).is_none());
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

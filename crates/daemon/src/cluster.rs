@@ -1,0 +1,516 @@
+//! The leader core: sans-io request planning and result merging.
+//!
+//! The leader owns no stream data. It routes: ingest rows split into
+//! per-shard sub-rows, point/range queries route to the owning shard,
+//! and the distributed top-k runs the exact two-round Jestes–Yi–Li
+//! merge — the *same* decision sequence `ShardedStreamSet::global_top_k`
+//! executes in-process, so a daemon cluster and the in-process oracle
+//! produce bit-identical answers.
+//!
+//! Like [`crate::replica::ReplicaNode`], everything here is pure state
+//! and planning: the TCP server and the deterministic simulator both
+//! drive the [`LeaderCore`] and only differ in how planned peer
+//! requests cross to the replicas. A peer exchange either yields the
+//! replica's [`Response`] or `None` (unreachable after bounded
+//! retries / shed / dead) — the merge functions turn `None` into
+//! *explicit* degradation: `failed_shards`, `Unavailable`, or
+//! `complete: false`, never a silent gap.
+
+use swat_tree::{shard_members, shard_of, SwatConfig};
+use swat_wavelet::TopKSummary;
+
+use crate::proto::{ErrorCode, Request, Response};
+use crate::registry::ReplicaRegistry;
+
+/// The deterministic global↔shard routing table every node agrees on.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    streams: usize,
+    shards: usize,
+    members: Vec<Vec<usize>>,
+}
+
+impl ShardMap {
+    /// The routing table for `streams` streams over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(streams: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let members = (0..shards)
+            .map(|s| shard_members(streams, shards, s))
+            .collect();
+        ShardMap {
+            streams,
+            shards,
+            members,
+        }
+    }
+
+    /// Total global streams.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning global stream `g`, if in range.
+    pub fn owner_of(&self, g: u64) -> Option<usize> {
+        (g < self.streams as u64).then(|| shard_of(g, self.shards))
+    }
+
+    /// Global stream ids shard `s` owns, ascending.
+    pub fn members(&self, s: usize) -> &[usize] {
+        &self.members[s]
+    }
+
+    /// Shard `s`'s sub-row of a full global row.
+    pub fn subrow(&self, row: &[f64], s: usize) -> Vec<f64> {
+        self.members[s].iter().map(|&g| row[g]).collect()
+    }
+}
+
+/// What the leader wants sent to one shard's replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerCall {
+    /// Destination shard (replica node id is `shard + 1`).
+    pub shard: usize,
+    /// The request to deliver.
+    pub request: Request,
+}
+
+/// Either a locally-served response or a fan-out plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Answer immediately, no peer traffic.
+    Done(Response),
+    /// Deliver these calls (in order), then merge with the matching
+    /// `finish_*`.
+    Fan(Vec<PeerCall>),
+}
+
+/// The leader's routing/merge state machine.
+#[derive(Debug)]
+pub struct LeaderCore {
+    node: u64,
+    map: ShardMap,
+    registry: ReplicaRegistry,
+    /// Rows fully applied on every shard (no failed shards, first try
+    /// or absorbed retry).
+    complete_rows: u64,
+}
+
+impl LeaderCore {
+    /// A leader (node 0) over `shards` replicas, one shard each.
+    pub fn new(_config: SwatConfig, streams: usize, shards: usize, miss_threshold: u32) -> Self {
+        LeaderCore {
+            node: 0,
+            map: ShardMap::new(streams, shards),
+            registry: ReplicaRegistry::new(shards, miss_threshold),
+            complete_rows: 0,
+        }
+    }
+
+    /// The routing table.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The health registry (heartbeats feed this).
+    pub fn registry(&self) -> &ReplicaRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access for the heartbeat driver.
+    pub fn registry_mut(&mut self) -> &mut ReplicaRegistry {
+        &mut self.registry
+    }
+
+    /// Plan one client request. Fan plans must be completed with the
+    /// matching `finish_*` call.
+    pub fn plan(&self, req: &Request) -> Plan {
+        match req {
+            Request::Hello { .. } => Plan::Done(Response::HelloOk { node: self.node }),
+            Request::Ping { nonce } => Plan::Done(Response::Pong { nonce: *nonce }),
+            Request::Status => Plan::Done(Response::StatusR {
+                node: self.node,
+                arrivals: self.complete_rows,
+                replicas: self.registry.statuses(),
+            }),
+            Request::Ingest { req_id, row } => self.plan_ingest(*req_id, row),
+            Request::Point { stream, .. } | Request::Range { stream, .. } => {
+                match self.map.owner_of(*stream) {
+                    Some(shard) => Plan::Fan(vec![PeerCall {
+                        shard,
+                        request: req.clone(),
+                    }]),
+                    None => Plan::Done(Response::ErrorR {
+                        code: ErrorCode::BadRequest,
+                    }),
+                }
+            }
+            Request::TopK { k } => {
+                if *k == 0 {
+                    return Plan::Done(Response::ErrorR {
+                        code: ErrorCode::BadRequest,
+                    });
+                }
+                Plan::Fan(
+                    (0..self.map.shards())
+                        .map(|shard| PeerCall {
+                            shard,
+                            request: Request::LocalTopK { k: *k },
+                        })
+                        .collect(),
+                )
+            }
+            // Replica-internal requests addressed to the leader.
+            Request::LocalTopK { .. } | Request::TopKScan { .. } => Plan::Done(Response::ErrorR {
+                code: ErrorCode::WrongRole,
+            }),
+            // The server handles Shutdown itself (it must drain).
+            Request::Shutdown => Plan::Done(Response::ShutdownOk { drained: 0 }),
+        }
+    }
+
+    fn plan_ingest(&self, req_id: u64, row: &[f64]) -> Plan {
+        if row.len() != self.map.streams() || row.iter().any(|v| !v.is_finite()) {
+            return Plan::Done(Response::ErrorR {
+                code: ErrorCode::BadRequest,
+            });
+        }
+        Plan::Fan(
+            (0..self.map.shards())
+                .map(|shard| PeerCall {
+                    shard,
+                    request: Request::Ingest {
+                        req_id,
+                        row: self.map.subrow(row, shard),
+                    },
+                })
+                .collect(),
+        )
+    }
+
+    /// Merge per-shard ingest outcomes. `results[i]` answers the `i`-th
+    /// planned call; `None` means the replica was unreachable after the
+    /// bounded retries (or shed the request) — its shard lands in
+    /// `failed_shards`, the explicit no-silent-loss contract.
+    pub fn finish_ingest(&mut self, req_id: u64, results: &[Option<Response>]) -> Response {
+        let mut failed_shards = Vec::new();
+        let mut all_duplicate = !results.is_empty();
+        for (shard, r) in results.iter().enumerate() {
+            match r {
+                Some(Response::IngestOk { duplicate, .. }) => {
+                    all_duplicate &= duplicate;
+                }
+                _ => {
+                    failed_shards.push(shard as u32);
+                    all_duplicate = false;
+                }
+            }
+        }
+        if failed_shards.is_empty() && !all_duplicate {
+            self.complete_rows += 1;
+        }
+        Response::IngestOk {
+            req_id,
+            duplicate: all_duplicate,
+            failed_shards,
+        }
+    }
+
+    /// Merge a single-shard point/range result: the replica's response
+    /// passes through; unreachable becomes a typed `Unavailable` naming
+    /// the node.
+    pub fn finish_routed(&self, shard: usize, result: Option<Response>) -> Response {
+        match result {
+            Some(r) => r,
+            None => Response::Unavailable {
+                node: (shard + 1) as u64,
+            },
+        }
+    }
+
+    /// Round one → round two: given every shard's `LocalTopKR` (or
+    /// `None` for unreachable shards), compute the pruning threshold τ
+    /// and the refinement calls, exactly as
+    /// `ShardedStreamSet::global_top_k` would. Returns `(tau,
+    /// refine_calls)`; shards not refined are either pruned (their
+    /// round-one entries suffice) or missing.
+    pub fn plan_topk_round2(&self, k: u32, locals: &[Option<Response>]) -> (f64, Vec<PeerCall>) {
+        let mut merged = TopKSummary::new(k as usize);
+        for local in locals.iter().flatten() {
+            if let Response::LocalTopKR { entries, .. } = local {
+                for &e in entries {
+                    merged.offer(e);
+                }
+            }
+        }
+        let tau = merged.threshold();
+        let mut refines = Vec::new();
+        for (shard, local) in locals.iter().enumerate() {
+            if let Some(Response::LocalTopKR {
+                threshold,
+                truncated,
+                ..
+            }) = local
+            {
+                if *truncated && *threshold >= tau {
+                    refines.push(PeerCall {
+                        shard,
+                        request: Request::TopKScan { tau },
+                    });
+                }
+            }
+        }
+        (tau, refines)
+    }
+
+    /// Final top-k merge: refined shards contribute their scan results,
+    /// pruned shards their round-one entries, in shard order — the
+    /// offer sequence `ShardedStreamSet::global_top_k` uses, so the
+    /// result is bit-identical to the in-process oracle whenever every
+    /// shard answered. Any unreachable shard (either round) flips
+    /// `complete` to `false`; the entries remain exact over the shards
+    /// that answered.
+    pub fn finish_topk(
+        &self,
+        k: u32,
+        locals: &[Option<Response>],
+        scans: &[(usize, Option<Response>)],
+    ) -> Response {
+        let mut complete = true;
+        let mut result = TopKSummary::new(k as usize);
+        for (shard, local) in locals.iter().enumerate() {
+            match local {
+                Some(Response::LocalTopKR { entries, .. }) => {
+                    match scans.iter().find(|(s, _)| *s == shard) {
+                        Some((_, Some(Response::ScanR { entries: scanned }))) => {
+                            for &e in scanned {
+                                result.offer(e);
+                            }
+                        }
+                        Some((_, _)) => {
+                            // Refinement was needed but unreachable: its
+                            // round-one entries are still valid
+                            // candidates, the deeper ones are missing.
+                            complete = false;
+                            for &e in entries {
+                                result.offer(e);
+                            }
+                        }
+                        None => {
+                            // Pruned: round-one entries are everything
+                            // this shard can contribute.
+                            for &e in entries {
+                                result.offer(e);
+                            }
+                        }
+                    }
+                }
+                _ => complete = false,
+            }
+        }
+        Response::TopKR {
+            complete,
+            entries: result.entries().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_tree::{ShardedStreamSet, StreamSet};
+
+    use crate::replica::ReplicaNode;
+
+    fn cfg() -> SwatConfig {
+        SwatConfig::with_coefficients(16, 4).unwrap()
+    }
+
+    /// Drive a full leader+replicas exchange entirely in-process (no
+    /// transport at all) and compare against the sharded oracle.
+    #[test]
+    fn fanned_out_cluster_matches_sharded_oracle() {
+        let (streams, shards) = (13, 3);
+        let mut leader = LeaderCore::new(cfg(), streams, shards, 3);
+        let mut replicas: Vec<ReplicaNode> = (0..shards)
+            .map(|s| ReplicaNode::new((s + 1) as u64, cfg(), streams, shards, s))
+            .collect();
+        let mut oracle = ShardedStreamSet::new(cfg(), streams, shards);
+        let mut flat = StreamSet::new(cfg(), streams);
+
+        for r in 0..48u64 {
+            let row: Vec<f64> = (0..streams)
+                .map(|i| (((r as usize * 5 + i * 11) % 19) as f64) - 9.0)
+                .collect();
+            let plan = leader.plan(&Request::Ingest {
+                req_id: r,
+                row: row.clone(),
+            });
+            let Plan::Fan(calls) = plan else {
+                panic!("ingest must fan out")
+            };
+            let results: Vec<Option<Response>> = calls
+                .iter()
+                .map(|c| Some(replicas[c.shard].handle(&c.request)))
+                .collect();
+            let resp = leader.finish_ingest(r, &results);
+            assert_eq!(
+                resp,
+                Response::IngestOk {
+                    req_id: r,
+                    duplicate: false,
+                    failed_shards: vec![]
+                }
+            );
+            oracle.push_row(&row);
+            flat.push_row(&row);
+        }
+
+        // Point queries through the routed path match the oracle tree.
+        for g in 0..streams {
+            let plan = leader.plan(&Request::Point {
+                stream: g as u64,
+                index: 5,
+            });
+            let Plan::Fan(calls) = plan else {
+                panic!("point must route")
+            };
+            let r = replicas[calls[0].shard].handle(&calls[0].request);
+            let want = oracle
+                .tree(g)
+                .point_with(5, swat_tree::QueryOptions::default())
+                .unwrap();
+            match r {
+                Response::PointR { answer } => {
+                    assert_eq!(answer.value.to_bits(), want.value.to_bits(), "stream {g}")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        // The two-round distributed top-k is bit-identical to the
+        // in-process merge.
+        for k in [1u32, 3, 8] {
+            let Plan::Fan(calls) = leader.plan(&Request::TopK { k }) else {
+                panic!("topk must fan out")
+            };
+            let locals: Vec<Option<Response>> = calls
+                .iter()
+                .map(|c| Some(replicas[c.shard].handle(&c.request)))
+                .collect();
+            let (_tau, refines) = leader.plan_topk_round2(k, &locals);
+            let scans: Vec<(usize, Option<Response>)> = refines
+                .iter()
+                .map(|c| (c.shard, Some(replicas[c.shard].handle(&c.request))))
+                .collect();
+            let got = leader.finish_topk(k, &locals, &scans);
+            let (want, _) = oracle.global_top_k(k as usize, 1);
+            assert_eq!(
+                got,
+                Response::TopKR {
+                    complete: true,
+                    entries: want.entries().to_vec()
+                },
+                "k={k}"
+            );
+        }
+
+        // Replica digests jointly equal the oracle's sharded state.
+        for (s, rep) in replicas.iter().enumerate() {
+            let members = leader.map().members(s);
+            let mut direct = StreamSet::new(cfg(), members.len());
+            for r in 0..48usize {
+                let row: Vec<f64> = members
+                    .iter()
+                    .map(|&g| (((r * 5 + g * 11) % 19) as f64) - 9.0)
+                    .collect();
+                direct.push_row(&row);
+            }
+            assert_eq!(rep.answers_digest(), direct.answers_digest(), "shard {s}");
+        }
+        assert_eq!(oracle.answers_digest(), flat.answers_digest());
+    }
+
+    #[test]
+    fn unreachable_shards_degrade_explicitly() {
+        let (streams, shards) = (8, 2);
+        let mut leader = LeaderCore::new(cfg(), streams, shards, 3);
+        let row = vec![1.0; streams];
+        let Plan::Fan(calls) = leader.plan(&Request::Ingest { req_id: 7, row }) else {
+            panic!()
+        };
+        assert_eq!(calls.len(), shards);
+        // Shard 1 unreachable: named in failed_shards, never silent.
+        let results = vec![
+            Some(Response::IngestOk {
+                req_id: 7,
+                duplicate: false,
+                failed_shards: vec![],
+            }),
+            None,
+        ];
+        assert_eq!(
+            leader.finish_ingest(7, &results),
+            Response::IngestOk {
+                req_id: 7,
+                duplicate: false,
+                failed_shards: vec![1]
+            }
+        );
+        // Point at a stream owned by the unreachable shard.
+        let dead_stream = (0..streams)
+            .find(|&g| shard_of(g as u64, shards) == 1)
+            .unwrap();
+        let Plan::Fan(calls) = leader.plan(&Request::Point {
+            stream: dead_stream as u64,
+            index: 0,
+        }) else {
+            panic!()
+        };
+        assert_eq!(
+            leader.finish_routed(calls[0].shard, None),
+            Response::Unavailable { node: 2 }
+        );
+        // Top-k with a missing shard: complete = false.
+        let locals = vec![
+            Some(Response::LocalTopKR {
+                threshold: 0.0,
+                truncated: false,
+                entries: vec![],
+            }),
+            None,
+        ];
+        match leader.finish_topk(3, &locals, &[]) {
+            Response::TopKR { complete, .. } => assert!(!complete),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_stream_is_a_typed_error() {
+        let leader = LeaderCore::new(cfg(), 4, 2, 3);
+        assert_eq!(
+            leader.plan(&Request::Point {
+                stream: 99,
+                index: 0
+            }),
+            Plan::Done(Response::ErrorR {
+                code: ErrorCode::BadRequest
+            })
+        );
+        assert_eq!(
+            leader.plan(&Request::TopK { k: 0 }),
+            Plan::Done(Response::ErrorR {
+                code: ErrorCode::BadRequest
+            })
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! `swatd`: a fault-tolerant networked daemon for SWAT clusters.
+//!
+//! The SWAT paper summarizes streams *in large networks*; everything in
+//! this workspace up to now ran inside the discrete-event simulator.
+//! This crate promotes the sharded summarization tier to a real
+//! deployment shape: one long-running process per node, speaking a
+//! small length-framed CRC-checked wire protocol ([`proto`]), with the
+//! leader/replica split of the hash-partitioned stream space
+//! ([`cluster`], [`replica`]).
+//!
+//! The robustness surface is the point:
+//!
+//! * **deadlines** on every socket operation ([`transport`]),
+//! * **bounded retries** with exponential backoff (the
+//!   `swat_replication::RetryPolicy` discipline) and **load shedding**
+//!   (a typed `Overloaded` response when the per-peer in-flight budget
+//!   is exhausted — never unbounded queueing),
+//! * **heartbeat-driven health** (`Alive`/`Suspect`/`Dead`) feeding the
+//!   `DynamicTopology` repair path ([`registry`]),
+//! * **duplicate-safe request ids** so retries never double-apply,
+//! * **graceful shutdown** that drains in-flight requests and
+//!   checkpoints through `swat-store` ([`server`]),
+//! * **typed protocol errors** for every malformed frame — the fuzz
+//!   tests feed every truncation and bit-flip of valid frames and
+//!   require typed errors, never panics.
+//!
+//! Two transports implement one trait: real TCP ([`transport::
+//! TcpTransport`]) and a deterministic in-process adapter over the
+//! `swat-net` fault injector ([`transport::SimTransport`]). The
+//! simulator is the *tested model* of the daemon: [`sim::SimCluster`]
+//! runs the same leader/replica state machines under arbitrary
+//! `FaultPlan`s, and the `sim_oracle` property test pins the
+//! byte-level wire arm bit-identical to the struct-level model arm —
+//! and, under no faults, to the in-process `ShardedStreamSet` oracle.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod cluster;
+pub mod proto;
+pub mod registry;
+pub mod replica;
+pub mod server;
+pub mod sim;
+pub mod transport;
+
+pub use client::{ClientError, DaemonClient, InflightGuard, PeerPool};
+pub use cluster::{LeaderCore, PeerCall, Plan, ShardMap};
+pub use proto::{
+    check_frame, decode_request, decode_response, encode_request, encode_response, ErrorCode,
+    ProtoError, Request, Response, WireHealth, MAX_FRAME,
+};
+pub use registry::ReplicaRegistry;
+pub use replica::ReplicaNode;
+pub use server::{spawn, DaemonConfig, DrainReport, Role, ServerHandle};
+pub use sim::{SimCluster, SimMode, SimOp};
+pub use transport::{SimNet, SimTransport, TcpTransport, Transport, TransportError};

@@ -1,0 +1,964 @@
+//! The `swatd` wire protocol: length-framed, CRC-checked messages.
+//!
+//! Frame layout (all integers little-endian, the `swat_tree::codec`
+//! discipline):
+//!
+//! ```text
+//! [u32 len] [u32 crc32(payload)] [payload = [u8 kind] [body...]]
+//! ```
+//!
+//! The kind byte lives *inside* the checksummed payload — unlike the
+//! snapshot section frame, which keeps its tag outside the CRC — so
+//! **every** single-bit flip anywhere in a frame is detected: a flip in
+//! the payload (kind included) breaks the CRC, a flip in the length word
+//! yields `Truncated`/`Oversize`/`ChecksumMismatch`, and a flip in the
+//! stored CRC is a mismatch by definition. The frame fuzz test pins this
+//! for every bit of every representative message.
+//!
+//! Decoding is strict: the body must parse completely ([`ProtoError::
+//! TrailingBytes`] otherwise), lengths are bounded by [`MAX_FRAME`]
+//! before any allocation, counts are validated against the remaining
+//! bytes (a hostile length cannot force an allocation), and `f64` fields
+//! go through the NaN-rejecting cursor. Nothing in this module panics on
+//! adversarial input.
+
+use std::fmt;
+
+use swat_tree::codec::{crc32, CodecError, Cursor};
+use swat_tree::{PointAnswer, RangeMatch};
+use swat_wavelet::TopCoeff;
+
+/// Hard bound on a frame payload. A row of 100k streams is 800 KB;
+/// 4 MiB leaves headroom while keeping a hostile length word from
+/// provoking a large allocation.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// Bytes before the payload: the length and checksum words.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed protocol failure. Every malformed input lands here; no
+/// decode path panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The underlying codec rejected the bytes (truncation, checksum
+    /// mismatch, NaN, bad field) at a byte offset.
+    Codec(CodecError),
+    /// The payload's kind byte names no known message.
+    UnknownKind(u8),
+    /// The header declares a payload larger than [`MAX_FRAME`].
+    Oversize {
+        /// The declared payload length.
+        len: u64,
+    },
+    /// The body parsed but `extra` bytes were left over — a framing or
+    /// version mismatch, not a short read.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// A count field exceeds what the remaining bytes could hold.
+    BadCount {
+        /// What was being counted.
+        what: &'static str,
+        /// The declared count.
+        count: u64,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Codec(e) => write!(f, "{e}"),
+            ProtoError::UnknownKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            ProtoError::Oversize { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte bound")
+            }
+            ProtoError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            ProtoError::BadCount { what, count } => {
+                write!(f, "{what} count {count} exceeds the frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<CodecError> for ProtoError {
+    fn from(e: CodecError) -> Self {
+        ProtoError::Codec(e)
+    }
+}
+
+/// A client- or leader-originated request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: the sender announces itself (0 = an external client).
+    Hello {
+        /// Sender's node id.
+        node: u64,
+    },
+    /// Liveness probe; answered with [`Response::Pong`] echoing `nonce`.
+    Ping {
+        /// Echo token tying the pong to this ping.
+        nonce: u64,
+    },
+    /// Apply one synchronized row. On the client→leader hop `row` is the
+    /// full global row; on the leader→replica hop it is the shard's
+    /// sub-row. `req_id` makes retries duplicate-safe end to end.
+    Ingest {
+        /// Write id (PR 5 scheme): retries reuse it; replicas re-ack
+        /// duplicates without re-applying.
+        req_id: u64,
+        /// The values, one per (global or shard-local) stream.
+        row: Vec<f64>,
+    },
+    /// Point query against one global stream.
+    Point {
+        /// Global stream id.
+        stream: u64,
+        /// Window index.
+        index: u32,
+    },
+    /// Range query (§"range" of the paper's query families) against one
+    /// global stream: indices in `newest..=oldest` whose approximate
+    /// value falls within `center ± radius`.
+    Range {
+        /// Global stream id.
+        stream: u64,
+        /// Center value `p`.
+        center: f64,
+        /// Radius `ε ≥ 0`.
+        radius: f64,
+        /// Most recent index (inclusive).
+        newest: u32,
+        /// Oldest index (inclusive).
+        oldest: u32,
+    },
+    /// Exact distributed top-k over every stream (client→leader).
+    TopK {
+        /// How many coefficients.
+        k: u32,
+    },
+    /// Round one of the distributed top-k (leader→replica): the
+    /// replica's local top-k summary.
+    LocalTopK {
+        /// How many coefficients.
+        k: u32,
+    },
+    /// Round two (leader→replica): every candidate with weight ≥ `tau`.
+    TopKScan {
+        /// The pruning threshold τ from round one.
+        tau: f64,
+    },
+    /// Health/introspection snapshot.
+    Status,
+    /// Graceful shutdown: drain, checkpoint, exit.
+    Shutdown,
+}
+
+/// Why a request could not be served. Codes are stable wire values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request referenced a stream/index outside the configuration.
+    BadRequest,
+    /// The node is a replica but got a leader-only request (or vice
+    /// versa).
+    WrongRole,
+    /// An internal failure (e.g. the durable store rejected a write).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::WrongRole => 2,
+            ErrorCode::Internal => 3,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::WrongRole,
+            3 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::BadRequest => write!(f, "bad request"),
+            ErrorCode::WrongRole => write!(f, "wrong role"),
+            ErrorCode::Internal => write!(f, "internal error"),
+        }
+    }
+}
+
+/// A response. Degradation is explicit: [`Response::Overloaded`],
+/// [`Response::Unavailable`], and the `failed_shards` / `complete`
+/// fields say exactly what was *not* done — silent loss is a protocol
+/// violation the tests hunt for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted; the responder announces its node id.
+    HelloOk {
+        /// Responder's node id.
+        node: u64,
+    },
+    /// Liveness echo.
+    Pong {
+        /// The ping's nonce.
+        nonce: u64,
+    },
+    /// Ingest outcome. `failed_shards` empty ⇔ the row is fully
+    /// applied; non-empty names every shard whose sub-row did **not**
+    /// apply (explicit degradation, never silent).
+    IngestOk {
+        /// The request's write id.
+        req_id: u64,
+        /// Whether this id had already been applied (retry absorbed).
+        duplicate: bool,
+        /// Shards that failed to apply the sub-row.
+        failed_shards: Vec<u32>,
+    },
+    /// Point answer.
+    PointR {
+        /// The approximation and its error bound.
+        answer: WirePointAnswer,
+    },
+    /// Range matches, ascending by index.
+    RangeR {
+        /// Matching indices and their approximate values.
+        matches: Vec<WireRangeMatch>,
+    },
+    /// Distributed top-k result. `complete == false` means one or more
+    /// shards were unreachable and their candidates are missing — the
+    /// entries present are still exact for the shards that answered.
+    TopKR {
+        /// Whether every shard contributed.
+        complete: bool,
+        /// The merged top-k, rank order.
+        entries: Vec<TopCoeff>,
+    },
+    /// A replica's round-one message.
+    LocalTopKR {
+        /// The replica's local pruning threshold.
+        threshold: f64,
+        /// Whether the summary truncated (held exactly `k`).
+        truncated: bool,
+        /// The local top-k entries, rank order.
+        entries: Vec<TopCoeff>,
+    },
+    /// A replica's round-two refinement: all candidates ≥ τ.
+    ScanR {
+        /// Candidates, (stream, index) order.
+        entries: Vec<TopCoeff>,
+    },
+    /// Health snapshot.
+    StatusR {
+        /// This node's id.
+        node: u64,
+        /// Rows applied so far (replica: local; leader: acked rows).
+        arrivals: u64,
+        /// Per-replica health, leader only: `(node, health)` pairs.
+        replicas: Vec<(u64, WireHealth)>,
+    },
+    /// Graceful shutdown acknowledged; the node drains and exits.
+    ShutdownOk {
+        /// In-flight requests drained before the ack.
+        drained: u64,
+    },
+    /// Load shed: the per-peer outbound budget is exhausted. Retry
+    /// later; nothing was applied.
+    Overloaded,
+    /// The shard owning the referenced stream is unreachable.
+    Unavailable {
+        /// The dead/unreachable node.
+        node: u64,
+    },
+    /// Typed failure.
+    ErrorR {
+        /// What kind of failure.
+        code: ErrorCode,
+    },
+}
+
+/// [`swat_tree::PointAnswer`] as wire fields (kept separate so the wire
+/// format cannot drift silently when the query engine grows fields).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePointAnswer {
+    /// The approximate value.
+    pub value: f64,
+    /// Sound bound on `|true − value|`.
+    pub error_bound: f64,
+    /// Serving summary level.
+    pub level: u32,
+    /// Whether the answer was extrapolated.
+    pub extrapolated: bool,
+}
+
+impl From<PointAnswer> for WirePointAnswer {
+    fn from(a: PointAnswer) -> Self {
+        WirePointAnswer {
+            value: a.value,
+            error_bound: a.error_bound,
+            level: a.level as u32,
+            extrapolated: a.extrapolated,
+        }
+    }
+}
+
+/// [`swat_tree::RangeMatch`] as wire fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRangeMatch {
+    /// Matching window index.
+    pub index: u32,
+    /// Its approximate value.
+    pub value: f64,
+}
+
+impl From<RangeMatch> for WireRangeMatch {
+    fn from(m: RangeMatch) -> Self {
+        WireRangeMatch {
+            index: m.index as u32,
+            value: m.value,
+        }
+    }
+}
+
+/// Replica health as seen by the leader's registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireHealth {
+    /// Responding to heartbeats.
+    Alive,
+    /// Missed at least one heartbeat, not yet written off.
+    Suspect,
+    /// Missed `miss_threshold` heartbeats; traffic routes around it.
+    Dead,
+}
+
+impl WireHealth {
+    fn to_wire(self) -> u8 {
+        match self {
+            WireHealth::Alive => 0,
+            WireHealth::Suspect => 1,
+            WireHealth::Dead => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => WireHealth::Alive,
+            1 => WireHealth::Suspect,
+            2 => WireHealth::Dead,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for WireHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireHealth::Alive => write!(f, "alive"),
+            WireHealth::Suspect => write!(f, "suspect"),
+            WireHealth::Dead => write!(f, "dead"),
+        }
+    }
+}
+
+// Kind bytes. Requests are < 0x80, responses ≥ 0x80.
+const K_HELLO: u8 = 0x01;
+const K_PING: u8 = 0x02;
+const K_INGEST: u8 = 0x03;
+const K_POINT: u8 = 0x04;
+const K_RANGE: u8 = 0x05;
+const K_TOPK: u8 = 0x06;
+const K_LOCAL_TOPK: u8 = 0x07;
+const K_TOPK_SCAN: u8 = 0x08;
+const K_STATUS: u8 = 0x09;
+const K_SHUTDOWN: u8 = 0x0A;
+const K_HELLO_OK: u8 = 0x81;
+const K_PONG: u8 = 0x82;
+const K_INGEST_OK: u8 = 0x83;
+const K_POINT_R: u8 = 0x84;
+const K_RANGE_R: u8 = 0x85;
+const K_TOPK_R: u8 = 0x86;
+const K_LOCAL_TOPK_R: u8 = 0x87;
+const K_SCAN_R: u8 = 0x88;
+const K_STATUS_R: u8 = 0x89;
+const K_SHUTDOWN_OK: u8 = 0x8A;
+const K_OVERLOADED: u8 = 0x8B;
+const K_UNAVAILABLE: u8 = 0x8C;
+const K_ERROR_R: u8 = 0x8D;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_coeffs(out: &mut Vec<u8>, entries: &[TopCoeff]) {
+    put_u32(out, entries.len() as u32);
+    for e in entries {
+        put_u64(out, e.stream);
+        put_u32(out, e.index);
+        put_f64(out, e.value);
+    }
+}
+
+/// Guard a declared element count against the bytes actually present,
+/// so a corrupt count cannot force a huge allocation.
+fn checked_count(
+    c: &Cursor<'_>,
+    what: &'static str,
+    count: u64,
+    elem_bytes: usize,
+) -> Result<usize, ProtoError> {
+    let need = count.checked_mul(elem_bytes as u64);
+    match need {
+        Some(n) if n <= c.remaining() as u64 => Ok(count as usize),
+        _ => Err(ProtoError::BadCount { what, count }),
+    }
+}
+
+fn take_coeffs(c: &mut Cursor<'_>) -> Result<Vec<TopCoeff>, ProtoError> {
+    let count = c.u32()? as u64;
+    let count = checked_count(c, "top-k entries", count, 20)?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(TopCoeff {
+            stream: c.u64()?,
+            index: c.u32()?,
+            value: c.f64()?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Serialize a payload (kind + body) into a complete frame.
+fn finish_frame(payload: Vec<u8>) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME, "outbound frame within bound");
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Encode `req` as a complete wire frame (header + payload).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut p = Vec::new();
+    match req {
+        Request::Hello { node } => {
+            p.push(K_HELLO);
+            put_u64(&mut p, *node);
+        }
+        Request::Ping { nonce } => {
+            p.push(K_PING);
+            put_u64(&mut p, *nonce);
+        }
+        Request::Ingest { req_id, row } => {
+            p.push(K_INGEST);
+            put_u64(&mut p, *req_id);
+            put_u32(&mut p, row.len() as u32);
+            for &v in row {
+                put_f64(&mut p, v);
+            }
+        }
+        Request::Point { stream, index } => {
+            p.push(K_POINT);
+            put_u64(&mut p, *stream);
+            put_u32(&mut p, *index);
+        }
+        Request::Range {
+            stream,
+            center,
+            radius,
+            newest,
+            oldest,
+        } => {
+            p.push(K_RANGE);
+            put_u64(&mut p, *stream);
+            put_f64(&mut p, *center);
+            put_f64(&mut p, *radius);
+            put_u32(&mut p, *newest);
+            put_u32(&mut p, *oldest);
+        }
+        Request::TopK { k } => {
+            p.push(K_TOPK);
+            put_u32(&mut p, *k);
+        }
+        Request::LocalTopK { k } => {
+            p.push(K_LOCAL_TOPK);
+            put_u32(&mut p, *k);
+        }
+        Request::TopKScan { tau } => {
+            p.push(K_TOPK_SCAN);
+            put_f64(&mut p, *tau);
+        }
+        Request::Status => p.push(K_STATUS),
+        Request::Shutdown => p.push(K_SHUTDOWN),
+    }
+    finish_frame(p)
+}
+
+/// Encode `resp` as a complete wire frame (header + payload).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut p = Vec::new();
+    match resp {
+        Response::HelloOk { node } => {
+            p.push(K_HELLO_OK);
+            put_u64(&mut p, *node);
+        }
+        Response::Pong { nonce } => {
+            p.push(K_PONG);
+            put_u64(&mut p, *nonce);
+        }
+        Response::IngestOk {
+            req_id,
+            duplicate,
+            failed_shards,
+        } => {
+            p.push(K_INGEST_OK);
+            put_u64(&mut p, *req_id);
+            p.push(*duplicate as u8);
+            put_u32(&mut p, failed_shards.len() as u32);
+            for &s in failed_shards {
+                put_u32(&mut p, s);
+            }
+        }
+        Response::PointR { answer } => {
+            p.push(K_POINT_R);
+            put_f64(&mut p, answer.value);
+            put_f64(&mut p, answer.error_bound);
+            put_u32(&mut p, answer.level);
+            p.push(answer.extrapolated as u8);
+        }
+        Response::RangeR { matches } => {
+            p.push(K_RANGE_R);
+            put_u32(&mut p, matches.len() as u32);
+            for m in matches {
+                put_u32(&mut p, m.index);
+                put_f64(&mut p, m.value);
+            }
+        }
+        Response::TopKR { complete, entries } => {
+            p.push(K_TOPK_R);
+            p.push(*complete as u8);
+            put_coeffs(&mut p, entries);
+        }
+        Response::LocalTopKR {
+            threshold,
+            truncated,
+            entries,
+        } => {
+            p.push(K_LOCAL_TOPK_R);
+            put_f64(&mut p, *threshold);
+            p.push(*truncated as u8);
+            put_coeffs(&mut p, entries);
+        }
+        Response::ScanR { entries } => {
+            p.push(K_SCAN_R);
+            put_coeffs(&mut p, entries);
+        }
+        Response::StatusR {
+            node,
+            arrivals,
+            replicas,
+        } => {
+            p.push(K_STATUS_R);
+            put_u64(&mut p, *node);
+            put_u64(&mut p, *arrivals);
+            put_u32(&mut p, replicas.len() as u32);
+            for (n, h) in replicas {
+                put_u64(&mut p, *n);
+                p.push(h.to_wire());
+            }
+        }
+        Response::ShutdownOk { drained } => {
+            p.push(K_SHUTDOWN_OK);
+            put_u64(&mut p, *drained);
+        }
+        Response::Overloaded => p.push(K_OVERLOADED),
+        Response::Unavailable { node } => {
+            p.push(K_UNAVAILABLE);
+            put_u64(&mut p, *node);
+        }
+        Response::ErrorR { code } => {
+            p.push(K_ERROR_R);
+            p.push(code.to_wire());
+        }
+    }
+    finish_frame(p)
+}
+
+/// Split a complete frame into its verified payload: checks the length
+/// word against both [`MAX_FRAME`] and the bytes present, then the
+/// CRC-32 over the whole payload.
+///
+/// # Errors
+///
+/// [`ProtoError::Oversize`], [`ProtoError::Codec`] (truncated /
+/// checksum mismatch), or [`ProtoError::TrailingBytes`].
+pub fn check_frame(frame: &[u8]) -> Result<&[u8], ProtoError> {
+    let mut c = Cursor::new(frame);
+    let len = c.u32()? as u64;
+    if len > MAX_FRAME as u64 {
+        return Err(ProtoError::Oversize { len });
+    }
+    let stored = c.u32()?;
+    if (len as usize) > c.remaining() {
+        return Err(ProtoError::Codec(CodecError::Truncated {
+            offset: HEADER_LEN,
+        }));
+    }
+    let payload = c.take(len as usize)?;
+    if !c.is_empty() {
+        return Err(ProtoError::TrailingBytes {
+            extra: c.remaining(),
+        });
+    }
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(ProtoError::Codec(CodecError::ChecksumMismatch {
+            offset: HEADER_LEN,
+            stored,
+            computed,
+        }));
+    }
+    if payload.is_empty() {
+        return Err(ProtoError::Codec(CodecError::Truncated {
+            offset: HEADER_LEN,
+        }));
+    }
+    Ok(payload)
+}
+
+/// Decode a verified payload (from [`check_frame`]) as a request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    let req = match kind {
+        K_HELLO => Request::Hello { node: c.u64()? },
+        K_PING => Request::Ping { nonce: c.u64()? },
+        K_INGEST => {
+            let req_id = c.u64()?;
+            let count = c.u32()? as u64;
+            let count = checked_count(&c, "row values", count, 8)?;
+            let mut row = Vec::with_capacity(count);
+            for _ in 0..count {
+                row.push(c.f64()?);
+            }
+            Request::Ingest { req_id, row }
+        }
+        K_POINT => Request::Point {
+            stream: c.u64()?,
+            index: c.u32()?,
+        },
+        K_RANGE => Request::Range {
+            stream: c.u64()?,
+            center: c.f64()?,
+            radius: c.f64()?,
+            newest: c.u32()?,
+            oldest: c.u32()?,
+        },
+        K_TOPK => Request::TopK { k: c.u32()? },
+        K_LOCAL_TOPK => Request::LocalTopK { k: c.u32()? },
+        K_TOPK_SCAN => Request::TopKScan { tau: c.f64()? },
+        K_STATUS => Request::Status,
+        K_SHUTDOWN => Request::Shutdown,
+        other => return Err(ProtoError::UnknownKind(other)),
+    };
+    if !c.is_empty() {
+        return Err(ProtoError::TrailingBytes {
+            extra: c.remaining(),
+        });
+    }
+    Ok(req)
+}
+
+/// Decode a verified payload (from [`check_frame`]) as a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    let resp = match kind {
+        K_HELLO_OK => Response::HelloOk { node: c.u64()? },
+        K_PONG => Response::Pong { nonce: c.u64()? },
+        K_INGEST_OK => {
+            let req_id = c.u64()?;
+            let duplicate = c.u8()? != 0;
+            let count = c.u32()? as u64;
+            let count = checked_count(&c, "failed shards", count, 4)?;
+            let mut failed_shards = Vec::with_capacity(count);
+            for _ in 0..count {
+                failed_shards.push(c.u32()?);
+            }
+            Response::IngestOk {
+                req_id,
+                duplicate,
+                failed_shards,
+            }
+        }
+        K_POINT_R => Response::PointR {
+            answer: WirePointAnswer {
+                value: c.f64()?,
+                error_bound: c.f64()?,
+                level: c.u32()?,
+                extrapolated: c.u8()? != 0,
+            },
+        },
+        K_RANGE_R => {
+            let count = c.u32()? as u64;
+            let count = checked_count(&c, "range matches", count, 12)?;
+            let mut matches = Vec::with_capacity(count);
+            for _ in 0..count {
+                matches.push(WireRangeMatch {
+                    index: c.u32()?,
+                    value: c.f64()?,
+                });
+            }
+            Response::RangeR { matches }
+        }
+        K_TOPK_R => Response::TopKR {
+            complete: c.u8()? != 0,
+            entries: take_coeffs(&mut c)?,
+        },
+        K_LOCAL_TOPK_R => Response::LocalTopKR {
+            threshold: {
+                // Infinity is legal here (a k=0 summary prunes all),
+                // NaN is not; the cursor rejects NaN.
+                c.f64()?
+            },
+            truncated: c.u8()? != 0,
+            entries: take_coeffs(&mut c)?,
+        },
+        K_SCAN_R => Response::ScanR {
+            entries: take_coeffs(&mut c)?,
+        },
+        K_STATUS_R => {
+            let node = c.u64()?;
+            let arrivals = c.u64()?;
+            let count = c.u32()? as u64;
+            let count = checked_count(&c, "replica health entries", count, 9)?;
+            let mut replicas = Vec::with_capacity(count);
+            for _ in 0..count {
+                let n = c.u64()?;
+                let h = c.u8()?;
+                let h = WireHealth::from_wire(h).ok_or(ProtoError::UnknownKind(h))?;
+                replicas.push((n, h));
+            }
+            Response::StatusR {
+                node,
+                arrivals,
+                replicas,
+            }
+        }
+        K_SHUTDOWN_OK => Response::ShutdownOk { drained: c.u64()? },
+        K_OVERLOADED => Response::Overloaded,
+        K_UNAVAILABLE => Response::Unavailable { node: c.u64()? },
+        K_ERROR_R => {
+            let b = c.u8()?;
+            Response::ErrorR {
+                code: ErrorCode::from_wire(b).ok_or(ProtoError::UnknownKind(b))?,
+            }
+        }
+        other => return Err(ProtoError::UnknownKind(other)),
+    };
+    if !c.is_empty() {
+        return Err(ProtoError::TrailingBytes {
+            extra: c.remaining(),
+        });
+    }
+    Ok(resp)
+}
+
+/// One representative message of every request kind, exercising every
+/// field type — the corpus the frame fuzzer mutates.
+pub fn sample_requests() -> Vec<Request> {
+    vec![
+        Request::Hello { node: 3 },
+        Request::Ping { nonce: 0xDEAD_BEEF },
+        Request::Ingest {
+            req_id: 42,
+            row: vec![1.5, -2.25, 0.0],
+        },
+        Request::Point {
+            stream: 7,
+            index: 31,
+        },
+        Request::Range {
+            stream: 2,
+            center: 10.0,
+            radius: 0.5,
+            newest: 0,
+            oldest: 15,
+        },
+        Request::TopK { k: 5 },
+        Request::LocalTopK { k: 3 },
+        Request::TopKScan { tau: 4.75 },
+        Request::Status,
+        Request::Shutdown,
+    ]
+}
+
+/// One representative message of every response kind; see
+/// [`sample_requests`].
+pub fn sample_responses() -> Vec<Response> {
+    vec![
+        Response::HelloOk { node: 1 },
+        Response::Pong { nonce: 9 },
+        Response::IngestOk {
+            req_id: 42,
+            duplicate: true,
+            failed_shards: vec![1, 3],
+        },
+        Response::PointR {
+            answer: WirePointAnswer {
+                value: 3.5,
+                error_bound: 0.25,
+                level: 2,
+                extrapolated: false,
+            },
+        },
+        Response::RangeR {
+            matches: vec![
+                WireRangeMatch {
+                    index: 4,
+                    value: 9.75,
+                },
+                WireRangeMatch {
+                    index: 9,
+                    value: 10.25,
+                },
+            ],
+        },
+        Response::TopKR {
+            complete: false,
+            entries: vec![TopCoeff {
+                stream: 6,
+                index: 0,
+                value: -12.5,
+            }],
+        },
+        Response::LocalTopKR {
+            threshold: 2.5,
+            truncated: true,
+            entries: vec![TopCoeff {
+                stream: 1,
+                index: 2,
+                value: 2.5,
+            }],
+        },
+        Response::ScanR { entries: vec![] },
+        Response::StatusR {
+            node: 0,
+            arrivals: 1000,
+            replicas: vec![(1, WireHealth::Alive), (2, WireHealth::Dead)],
+        },
+        Response::ShutdownOk { drained: 3 },
+        Response::Overloaded,
+        Response::Unavailable { node: 2 },
+        Response::ErrorR {
+            code: ErrorCode::WrongRole,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in sample_requests() {
+            let frame = encode_request(&req);
+            let payload = check_frame(&frame).unwrap();
+            assert_eq!(decode_request(payload).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in sample_responses() {
+            let frame = encode_response(&resp);
+            let payload = check_frame(&frame).unwrap();
+            assert_eq!(decode_response(payload).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut frame = encode_request(&Request::Status);
+        frame[0..4].copy_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            check_frame(&frame),
+            Err(ProtoError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_count_cannot_allocate() {
+        // An Ingest frame whose row count says "u32::MAX values" but
+        // whose body holds none: BadCount, not an OOM attempt.
+        let mut p = vec![K_INGEST];
+        put_u64(&mut p, 1);
+        put_u32(&mut p, u32::MAX);
+        let frame = finish_frame(p);
+        let payload = check_frame(&frame).unwrap();
+        assert!(matches!(
+            decode_request(payload),
+            Err(ProtoError::BadCount { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut p = vec![K_STATUS];
+        p.push(0xFF);
+        let frame = finish_frame(p);
+        let payload = check_frame(&frame).unwrap();
+        assert_eq!(
+            decode_request(payload),
+            Err(ProtoError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn nan_values_are_rejected() {
+        let mut p = vec![K_TOPK_SCAN];
+        p.extend_from_slice(&f64::NAN.to_le_bytes());
+        let frame = finish_frame(p);
+        let payload = check_frame(&frame).unwrap();
+        assert!(matches!(
+            decode_request(payload),
+            Err(ProtoError::Codec(CodecError::Invalid { .. }))
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            ProtoError::Codec(CodecError::Truncated { offset: 1 }),
+            ProtoError::UnknownKind(0x7F),
+            ProtoError::Oversize { len: 1 << 40 },
+            ProtoError::TrailingBytes { extra: 2 },
+            ProtoError::BadCount {
+                what: "x",
+                count: 5,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

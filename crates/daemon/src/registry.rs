@@ -1,0 +1,203 @@
+//! The leader's replica registry: heartbeat-driven health states
+//! feeding the `swat_net::DynamicTopology` repair path.
+//!
+//! Health is a three-state machine per replica:
+//!
+//! ```text
+//!            miss                    miss (total ≥ threshold)
+//!   Alive ─────────▶ Suspect ─────────────────▶ Dead
+//!     ▲                │  ▲                       │
+//!     └────────────────┘  └───────────────────────┘
+//!          success                 success (rejoin recorded)
+//! ```
+//!
+//! Every transition to `Dead` triggers spanning-tree repair: the dead
+//! node's children (none in the star deployment, but the machinery is
+//! topology-general) re-parent to their nearest live ancestor, and every
+//! recovery is recorded as a rejoin — the same audited
+//! [`swat_net::RepairEvent`] log the PR 5 healing layer uses.
+
+use swat_net::{DynamicTopology, NodeId, RepairEvent, Topology};
+
+use crate::proto::WireHealth;
+
+/// Per-replica detector state.
+#[derive(Debug, Clone, Copy)]
+struct ReplicaState {
+    health: WireHealth,
+    misses: u32,
+}
+
+/// Leader-side health tracking for `replicas` replica nodes (ids
+/// `1..=replicas`; the leader is node 0, the tree source).
+#[derive(Debug)]
+pub struct ReplicaRegistry {
+    topo: DynamicTopology,
+    states: Vec<ReplicaState>,
+    miss_threshold: u32,
+}
+
+impl ReplicaRegistry {
+    /// A registry over a star of `replicas` replicas, all initially
+    /// [`WireHealth::Alive`]. `miss_threshold` consecutive heartbeat
+    /// misses mark a replica [`WireHealth::Dead`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0` or `miss_threshold == 0`.
+    pub fn new(replicas: usize, miss_threshold: u32) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        assert!(miss_threshold > 0, "need a positive miss threshold");
+        ReplicaRegistry {
+            topo: DynamicTopology::new(Topology::star(replicas)),
+            states: vec![
+                ReplicaState {
+                    health: WireHealth::Alive,
+                    misses: 0,
+                };
+                replicas
+            ],
+            miss_threshold,
+        }
+    }
+
+    /// Number of replicas tracked.
+    pub fn replicas(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Current health of replica `node` (1-based; the leader itself is
+    /// not tracked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is 0 or out of range.
+    pub fn health(&self, node: u64) -> WireHealth {
+        self.states[Self::slot(node)].health
+    }
+
+    /// `(node, health)` for every replica, ascending by node id — the
+    /// payload of a leader `Status` response.
+    pub fn statuses(&self) -> Vec<(u64, WireHealth)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((i + 1) as u64, s.health))
+            .collect()
+    }
+
+    /// Replicas currently not `Dead`.
+    pub fn live_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| s.health != WireHealth::Dead)
+            .count()
+    }
+
+    /// The audited repair log (re-parents and rejoins).
+    pub fn events(&self) -> &[RepairEvent] {
+        self.topo.events()
+    }
+
+    /// The repairable tree itself (read-only).
+    pub fn topology(&self) -> &DynamicTopology {
+        &self.topo
+    }
+
+    /// A heartbeat (or any request) succeeded at tick/instant `at`:
+    /// reset the miss counter; a dead replica's recovery is recorded as
+    /// a rejoin. Returns the new health (always [`WireHealth::Alive`]).
+    pub fn record_success(&mut self, at: u64, node: u64) -> WireHealth {
+        let slot = Self::slot(node);
+        if self.states[slot].health == WireHealth::Dead {
+            self.topo.note_rejoin(at, NodeId(slot + 1));
+        }
+        self.states[slot] = ReplicaState {
+            health: WireHealth::Alive,
+            misses: 0,
+        };
+        WireHealth::Alive
+    }
+
+    /// A heartbeat (or request) to `node` failed at `at`. One miss
+    /// makes an `Alive` replica `Suspect`; reaching the threshold makes
+    /// it `Dead` and repairs the tree around it. Returns the new
+    /// health.
+    pub fn record_failure(&mut self, at: u64, node: u64) -> WireHealth {
+        let slot = Self::slot(node);
+        let s = &mut self.states[slot];
+        s.misses = s.misses.saturating_add(1);
+        if s.misses >= self.miss_threshold {
+            if s.health != WireHealth::Dead {
+                s.health = WireHealth::Dead;
+                self.repair_around(at, NodeId(slot + 1));
+            }
+        } else {
+            s.health = WireHealth::Suspect;
+        }
+        self.states[slot].health
+    }
+
+    /// Re-parent every child of the newly dead `node` to its nearest
+    /// live ancestor (never inside its own subtree, so never a cycle).
+    fn repair_around(&mut self, at: u64, node: NodeId) {
+        let children: Vec<NodeId> = self.topo.children(node).to_vec();
+        for child in children {
+            let dead = |n: NodeId| {
+                n != NodeId::SOURCE && self.states[n.index() - 1].health == WireHealth::Dead
+            };
+            let adopter = self.topo.nearest_live_ancestor(child, dead);
+            // `Unchanged` is fine (already under a live parent); any
+            // other error would be a bug in the walk.
+            let _ = self.topo.reparent(at, child, adopter);
+        }
+    }
+
+    fn slot(node: u64) -> usize {
+        let n = usize::try_from(node).expect("node id fits usize");
+        assert!(n >= 1, "the leader tracks replicas, not itself");
+        n - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_transitions_follow_the_state_machine() {
+        let mut r = ReplicaRegistry::new(3, 3);
+        assert_eq!(r.health(2), WireHealth::Alive);
+        assert_eq!(r.record_failure(1, 2), WireHealth::Suspect);
+        assert_eq!(r.record_failure(2, 2), WireHealth::Suspect);
+        assert_eq!(r.record_failure(3, 2), WireHealth::Dead);
+        assert_eq!(r.live_count(), 2);
+        // Staying dead on further misses.
+        assert_eq!(r.record_failure(4, 2), WireHealth::Dead);
+        // Recovery is a rejoin.
+        assert_eq!(r.record_success(9, 2), WireHealth::Alive);
+        assert_eq!(r.live_count(), 3);
+        assert!(r
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, swat_net::RepairKind::Rejoin { .. })));
+    }
+
+    #[test]
+    fn one_success_resets_the_miss_count() {
+        let mut r = ReplicaRegistry::new(1, 2);
+        r.record_failure(1, 1);
+        r.record_success(2, 1);
+        assert_eq!(r.record_failure(3, 1), WireHealth::Suspect, "count reset");
+    }
+
+    #[test]
+    fn statuses_cover_every_replica_in_order() {
+        let mut r = ReplicaRegistry::new(2, 1);
+        r.record_failure(5, 2);
+        assert_eq!(
+            r.statuses(),
+            vec![(1, WireHealth::Alive), (2, WireHealth::Dead)]
+        );
+    }
+}

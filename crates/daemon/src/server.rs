@@ -1,0 +1,450 @@
+//! The threaded TCP daemon: accept loop, per-connection workers,
+//! heartbeats, and graceful drain.
+//!
+//! One [`spawn`]ed server is one cluster node. Replicas own a shard
+//! behind a [`ReplicaNode`]; the leader owns a [`LeaderCore`] plus a
+//! [`PeerPool`] toward its replicas. Every socket operation carries a
+//! deadline, every fan-out first reserves per-peer in-flight tokens
+//! (shedding with a typed `Overloaded` when a budget is exhausted), and
+//! every malformed frame closes that connection with a typed error —
+//! never a panic, never a stuck thread.
+//!
+//! Shutdown comes in two shapes, both needed by the tests:
+//!
+//! * [`ServerHandle::stop`] — graceful: stop accepting, let every
+//!   connection worker finish its in-flight request, drain, checkpoint
+//!   durable state, report a [`DrainReport`].
+//! * [`ServerHandle::kill`] — abrupt: drop everything on the floor, no
+//!   drain, no checkpoint. This is the "replica killed mid-run" of the
+//!   acceptance test; the leader must degrade explicitly, never
+//!   silently.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use swat_replication::RetryPolicy;
+use swat_tree::SwatConfig;
+
+use crate::client::PeerPool;
+use crate::cluster::{LeaderCore, Plan};
+use crate::proto::{check_frame, decode_request, encode_response, Request, Response};
+use crate::replica::ReplicaNode;
+use crate::transport::{TcpTransport, Transport, TransportError};
+
+/// Which role this node plays.
+#[derive(Debug, Clone)]
+pub enum Role {
+    /// The routing/merging node; owns no streams itself.
+    Leader {
+        /// Replica addresses, shard order (`replicas[s]` owns shard `s`).
+        replicas: Vec<SocketAddr>,
+    },
+    /// A shard owner.
+    Replica {
+        /// The shard this node owns.
+        shard: usize,
+    },
+}
+
+/// Everything a node needs to come up.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Leader or replica.
+    pub role: Role,
+    /// The tree configuration every stream shares.
+    pub config: SwatConfig,
+    /// Total global streams.
+    pub streams: usize,
+    /// Total shards (= replicas).
+    pub shards: usize,
+    /// Where to listen (`127.0.0.1:0` picks a free port).
+    pub listen: SocketAddr,
+    /// Durable storage directory (replicas only; `None` = in-memory).
+    pub dir: Option<PathBuf>,
+    /// Read/write deadline on every socket operation.
+    pub io_timeout: Duration,
+    /// Per-peer in-flight budget before load shedding (leader only).
+    pub max_inflight: usize,
+    /// Heartbeat period (leader only).
+    pub hb_period: Duration,
+    /// Consecutive misses before a replica is `Dead`.
+    pub miss_threshold: u32,
+}
+
+impl DaemonConfig {
+    /// A sensible localhost config for `role`.
+    pub fn localhost(role: Role, config: SwatConfig, streams: usize, shards: usize) -> Self {
+        DaemonConfig {
+            role,
+            config,
+            streams,
+            shards,
+            listen: "127.0.0.1:0".parse().expect("static addr"),
+            dir: None,
+            io_timeout: Duration::from_millis(500),
+            max_inflight: 64,
+            hb_period: Duration::from_millis(100),
+            miss_threshold: 3,
+        }
+    }
+}
+
+/// What the graceful drain accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests completed after the stop signal.
+    pub drained: u64,
+    /// Whether durable state was checkpointed on the way out.
+    pub checkpointed: bool,
+}
+
+/// The node's role-specific state.
+enum Kind {
+    Replica(Mutex<ReplicaNode>),
+    Leader {
+        core: Mutex<LeaderCore>,
+        peers: PeerPool,
+    },
+}
+
+/// State shared by the accept loop, connection workers, and heartbeat.
+struct Inner {
+    kind: Kind,
+    /// Graceful stop: finish in-flight work, then exit.
+    stop: AtomicBool,
+    /// Abrupt kill: exit without responding further.
+    killed: AtomicBool,
+    /// Requests completed after `stop` was raised.
+    drained: AtomicU64,
+    started: Instant,
+}
+
+impl Inner {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Serve one decoded request. Total: every input maps to exactly
+    /// one response.
+    fn serve(&self, req: &Request) -> Response {
+        match &self.kind {
+            Kind::Replica(node) => {
+                let resp = node.lock().expect("replica lock").handle(req);
+                if matches!(req, Request::Shutdown) {
+                    self.stop.store(true, Ordering::SeqCst);
+                }
+                resp
+            }
+            Kind::Leader { core, peers } => {
+                let resp = self.serve_leader(core, peers, req);
+                if matches!(req, Request::Shutdown) {
+                    self.stop.store(true, Ordering::SeqCst);
+                }
+                resp
+            }
+        }
+    }
+
+    fn serve_leader(&self, core: &Mutex<LeaderCore>, peers: &PeerPool, req: &Request) -> Response {
+        // Planning is cheap; hold the lock only for plan/merge, never
+        // across network calls (fan-outs from different client
+        // connections proceed concurrently, bounded by the budget).
+        let plan = core.lock().expect("leader lock").plan(req);
+        let calls = match plan {
+            Plan::Done(r) => return r,
+            Plan::Fan(calls) => calls,
+        };
+        let shards: Vec<usize> = calls.iter().map(|c| c.shard).collect();
+        let Some(_guard) = peers.try_acquire(&shards) else {
+            return Response::Overloaded;
+        };
+        let exchange = |shard: usize, request: &Request| -> Option<Response> {
+            let skip = {
+                let c = core.lock().expect("leader lock");
+                c.registry().health((shard + 1) as u64) == crate::proto::WireHealth::Dead
+            };
+            if skip {
+                return None;
+            }
+            let result = peers.exchange(shard, request);
+            let mut c = core.lock().expect("leader lock");
+            let at = self.now_ms();
+            if result.is_some() {
+                c.registry_mut().record_success(at, (shard + 1) as u64);
+            } else {
+                c.registry_mut().record_failure(at, (shard + 1) as u64);
+            }
+            result
+        };
+        match req {
+            Request::Ingest { req_id, .. } => {
+                let results: Vec<Option<Response>> = calls
+                    .iter()
+                    .map(|c| exchange(c.shard, &c.request))
+                    .collect();
+                core.lock()
+                    .expect("leader lock")
+                    .finish_ingest(*req_id, &results)
+            }
+            Request::Point { .. } | Request::Range { .. } => {
+                let r = exchange(calls[0].shard, &calls[0].request);
+                core.lock()
+                    .expect("leader lock")
+                    .finish_routed(calls[0].shard, r)
+            }
+            Request::TopK { k } => {
+                let locals: Vec<Option<Response>> = calls
+                    .iter()
+                    .map(|c| exchange(c.shard, &c.request))
+                    .collect();
+                let refines = {
+                    let c = core.lock().expect("leader lock");
+                    c.plan_topk_round2(*k, &locals).1
+                };
+                let scans: Vec<(usize, Option<Response>)> = refines
+                    .iter()
+                    .map(|c| (c.shard, exchange(c.shard, &c.request)))
+                    .collect();
+                core.lock()
+                    .expect("leader lock")
+                    .finish_topk(*k, &locals, &scans)
+            }
+            _ => unreachable!("only fan-out requests produce Plan::Fan"),
+        }
+    }
+}
+
+/// A running daemon, owned by whoever spawned it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    hb_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a wire-level `Shutdown` request asked this node to exit.
+    pub fn stop_requested(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests,
+    /// checkpoint durable state, join every thread.
+    pub fn stop(mut self) -> DrainReport {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.join_all();
+        let checkpointed = match &self.inner.kind {
+            Kind::Replica(node) => {
+                let mut n = node.lock().expect("replica lock");
+                n.checkpoint().is_ok()
+            }
+            Kind::Leader { .. } => false,
+        };
+        DrainReport {
+            drained: self.inner.drained.load(Ordering::SeqCst),
+            checkpointed,
+        }
+    }
+
+    /// Abrupt kill: no drain, no checkpoint — the crash the cluster
+    /// test inflicts on one replica.
+    pub fn kill(mut self) {
+        self.inner.killed.store(true, Ordering::SeqCst);
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.hb_thread.take() {
+            let _ = t.join();
+        }
+        let threads: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conn_threads.lock().expect("threads lock"));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bring a node up on `cfg.listen`.
+///
+/// # Errors
+///
+/// Binding or store-recovery failures.
+pub fn spawn(cfg: DaemonConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(cfg.listen)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let kind = match &cfg.role {
+        Role::Replica { shard } => {
+            let node_id = (*shard + 1) as u64;
+            let node = match &cfg.dir {
+                Some(dir) => {
+                    ReplicaNode::durable(node_id, cfg.config, cfg.streams, cfg.shards, *shard, dir)
+                        .map_err(|e| io::Error::other(e.to_string()))?
+                }
+                None => ReplicaNode::new(node_id, cfg.config, cfg.streams, cfg.shards, *shard),
+            };
+            Kind::Replica(Mutex::new(node))
+        }
+        Role::Leader { replicas } => {
+            let core = Mutex::new(LeaderCore::new(
+                cfg.config,
+                cfg.streams,
+                cfg.shards,
+                cfg.miss_threshold,
+            ));
+            let peers = PeerPool::new(
+                replicas.clone(),
+                RetryPolicy {
+                    max_retries: 2,
+                    timeout: 20,
+                },
+                cfg.io_timeout,
+                cfg.max_inflight,
+            );
+            Kind::Leader { core, peers }
+        }
+    };
+
+    let inner = Arc::new(Inner {
+        kind,
+        stop: AtomicBool::new(false),
+        killed: AtomicBool::new(false),
+        drained: AtomicU64::new(0),
+        started: Instant::now(),
+    });
+
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let io_timeout = cfg.io_timeout;
+
+    let accept_inner = inner.clone();
+    let accept_threads = conn_threads.clone();
+    let accept_thread = std::thread::spawn(move || loop {
+        if accept_inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_inner = accept_inner.clone();
+                let t = std::thread::spawn(move || {
+                    serve_connection(conn_inner, stream, io_timeout);
+                });
+                accept_threads.lock().expect("threads lock").push(t);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    });
+
+    let hb_thread = match &cfg.role {
+        Role::Leader { .. } => {
+            let hb_inner = inner.clone();
+            let period = cfg.hb_period;
+            Some(std::thread::spawn(move || heartbeat_loop(hb_inner, period)))
+        }
+        Role::Replica { .. } => None,
+    };
+
+    Ok(ServerHandle {
+        addr,
+        inner,
+        accept_thread: Some(accept_thread),
+        conn_threads,
+        hb_thread,
+    })
+}
+
+/// One connection worker: framed request/response until close, stop,
+/// or a protocol violation (which closes the connection — the typed
+/// error is the decoder's; a malformed peer gets no second chance).
+fn serve_connection(inner: Arc<Inner>, stream: std::net::TcpStream, io_timeout: Duration) {
+    let Ok(mut tp) = TcpTransport::new(stream, io_timeout, io_timeout) else {
+        return;
+    };
+    loop {
+        if inner.killed.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match tp.recv_frame() {
+            Ok(f) => f,
+            Err(TransportError::TimedOut) => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            // Closed, I/O failure, or oversize frame: drop the
+            // connection. Oversize is a protocol violation (typed
+            // upstream as ProtoError::Oversize).
+            Err(_) => return,
+        };
+        let req = match check_frame(&frame).and_then(decode_request) {
+            Ok(r) => r,
+            // Malformed frame: typed error, closed connection. Never a
+            // panic, and the violator cannot keep the thread busy.
+            Err(_) => return,
+        };
+        let stopping = inner.stop.load(Ordering::SeqCst);
+        let resp = inner.serve(&req);
+        if inner.killed.load(Ordering::SeqCst) {
+            return;
+        }
+        if tp.send_frame(&encode_response(&resp)).is_err() {
+            return;
+        }
+        if stopping {
+            inner.drained.fetch_add(1, Ordering::SeqCst);
+        }
+        if matches!(req, Request::Shutdown) {
+            return;
+        }
+    }
+}
+
+/// The leader's failure detector: ping every replica each period,
+/// bypassing the in-flight budget so detection keeps working under
+/// load.
+fn heartbeat_loop(inner: Arc<Inner>, period: Duration) {
+    let Kind::Leader { core, peers } = &inner.kind else {
+        return;
+    };
+    let mut nonce = 0u64;
+    while !inner.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(period);
+        for shard in 0..peers.len() {
+            if inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            nonce += 1;
+            let ok = matches!(
+                peers.exchange(shard, &Request::Ping { nonce }),
+                Some(Response::Pong { nonce: n }) if n == nonce
+            );
+            let at = inner.now_ms();
+            let mut c = core.lock().expect("leader lock");
+            if ok {
+                c.registry_mut().record_success(at, (shard + 1) as u64);
+            } else {
+                c.registry_mut().record_failure(at, (shard + 1) as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! A deterministic in-process daemon cluster over [`SimTransport`].
+//!
+//! [`SimCluster`] is the whole leader+replicas deployment squeezed into
+//! one single-threaded, fault-injected event loop: every leader↔replica
+//! exchange crosses a [`SimTransport`] pair whose fate the
+//! `swat-net` [`Link`](swat_net::Link) adjudicates, with the same
+//! bounded-retry/backoff discipline (`RetryPolicy`) the TCP peer client
+//! uses and the same [`LeaderCore`]/[`ReplicaNode`] state machines the
+//! TCP server runs.
+//!
+//! The cluster runs in one of two **arms** ([`SimMode`]):
+//!
+//! * `Wire` — every request and response is encoded to frame bytes,
+//!   carried through the transport, checked, and decoded, exactly like
+//!   production.
+//! * `Model` — the same transport adjudication (identical fault-RNG
+//!   consumption, identical clock arithmetic — the frames still cross),
+//!   but the in-memory structs are handed over directly, bypassing the
+//!   codec.
+//!
+//! For any `FaultPlan` and op script the two arms must produce
+//! **bit-identical** observable outcome sequences and final replica
+//! digests: the `sim_oracle` property test pins the wire layer to the
+//! simulator oracle. Under `FaultPlan::none()` the outcomes are
+//! additionally pinned to the plain `ShardedStreamSet` in-process
+//! oracle.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use swat_net::{FaultPlan, NodeId};
+use swat_replication::RetryPolicy;
+use swat_tree::SwatConfig;
+
+use crate::cluster::{LeaderCore, Plan};
+use crate::proto::{
+    check_frame, decode_request, decode_response, encode_request, encode_response, Request,
+    Response,
+};
+use crate::replica::ReplicaNode;
+use crate::transport::{SimNet, SimTransport, Transport};
+
+/// Which arm a [`SimCluster`] runs: production byte path or direct
+/// struct hand-off (the model/oracle arm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// Encode → transport → check → decode, like the TCP daemon.
+    Wire,
+    /// Same transport fates, structs cross directly.
+    Model,
+}
+
+/// One scripted client operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimOp {
+    /// Apply one global row (the leader fans sub-rows out).
+    Ingest {
+        /// Duplicate-safe write id.
+        req_id: u64,
+        /// The full global row.
+        row: Vec<f64>,
+    },
+    /// Point query against one stream.
+    Point {
+        /// Global stream id.
+        stream: u64,
+        /// Window index.
+        index: u32,
+    },
+    /// Distributed top-k.
+    TopK {
+        /// How many coefficients.
+        k: u32,
+    },
+    /// Leader status snapshot (includes replica health).
+    Status,
+    /// One heartbeat round: the leader pings every replica and records
+    /// the outcome in its registry.
+    Heartbeat,
+}
+
+/// The deterministic cluster.
+pub struct SimCluster {
+    mode: SimMode,
+    net: Rc<RefCell<SimNet>>,
+    leader: LeaderCore,
+    replicas: Vec<ReplicaNode>,
+    policy: RetryPolicy,
+    recv_deadline: u64,
+    hb_nonce: u64,
+}
+
+impl SimCluster {
+    /// A cluster of one leader plus `shards` replicas over `streams`
+    /// global streams, faulted by `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(
+        mode: SimMode,
+        plan: FaultPlan,
+        config: SwatConfig,
+        streams: usize,
+        shards: usize,
+        miss_threshold: u32,
+    ) -> Self {
+        let net = SimNet::new(plan, shards + 1);
+        let leader = LeaderCore::new(config, streams, shards, miss_threshold);
+        let replicas = (0..shards)
+            .map(|s| ReplicaNode::new((s + 1) as u64, config, streams, shards, s))
+            .collect();
+        SimCluster {
+            mode,
+            net,
+            leader,
+            replicas,
+            policy: RetryPolicy::default(),
+            recv_deadline: 8,
+            hb_nonce: 0,
+        }
+    }
+
+    /// Run the script, returning one observable [`Response`] per op —
+    /// what an external client of this cluster would see.
+    pub fn run(&mut self, ops: &[SimOp]) -> Vec<Response> {
+        ops.iter().map(|op| self.step(op)).collect()
+    }
+
+    /// Per-replica answer digests, shard order — the state-equality
+    /// hook for oracle comparisons.
+    pub fn digests(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(ReplicaNode::answers_digest)
+            .collect()
+    }
+
+    /// The leader (registry introspection for tests).
+    pub fn leader(&self) -> &LeaderCore {
+        &self.leader
+    }
+
+    fn step(&mut self, op: &SimOp) -> Response {
+        match op {
+            SimOp::Ingest { req_id, row } => {
+                let req = Request::Ingest {
+                    req_id: *req_id,
+                    row: row.clone(),
+                };
+                match self.leader.plan(&req) {
+                    Plan::Done(r) => r,
+                    Plan::Fan(calls) => {
+                        let results: Vec<Option<Response>> = calls
+                            .iter()
+                            .map(|c| self.exchange(c.shard, &c.request))
+                            .collect();
+                        self.leader.finish_ingest(*req_id, &results)
+                    }
+                }
+            }
+            SimOp::Point { stream, index } => {
+                let req = Request::Point {
+                    stream: *stream,
+                    index: *index,
+                };
+                match self.leader.plan(&req) {
+                    Plan::Done(r) => r,
+                    Plan::Fan(calls) => {
+                        let r = self.exchange(calls[0].shard, &calls[0].request);
+                        self.leader.finish_routed(calls[0].shard, r)
+                    }
+                }
+            }
+            SimOp::TopK { k } => match self.leader.plan(&Request::TopK { k: *k }) {
+                Plan::Done(r) => r,
+                Plan::Fan(calls) => {
+                    let locals: Vec<Option<Response>> = calls
+                        .iter()
+                        .map(|c| self.exchange(c.shard, &c.request))
+                        .collect();
+                    let (_tau, refines) = self.leader.plan_topk_round2(*k, &locals);
+                    let scans: Vec<(usize, Option<Response>)> = refines
+                        .iter()
+                        .map(|c| (c.shard, self.exchange(c.shard, &c.request)))
+                        .collect();
+                    self.leader.finish_topk(*k, &locals, &scans)
+                }
+            },
+            SimOp::Status => match self.leader.plan(&Request::Status) {
+                Plan::Done(r) => r,
+                Plan::Fan(_) => unreachable!("status is leader-local"),
+            },
+            SimOp::Heartbeat => {
+                let shards = self.replicas.len();
+                let mut alive = 0u64;
+                for shard in 0..shards {
+                    self.hb_nonce += 1;
+                    let nonce = self.hb_nonce;
+                    let ok = matches!(
+                        self.exchange(shard, &Request::Ping { nonce }),
+                        Some(Response::Pong { nonce: n }) if n == nonce
+                    );
+                    let at = self.net.borrow().now();
+                    let node = (shard + 1) as u64;
+                    if ok {
+                        self.leader.registry_mut().record_success(at, node);
+                        alive += 1;
+                    } else {
+                        self.leader.registry_mut().record_failure(at, node);
+                    }
+                }
+                // The observable outcome of a heartbeat round: how many
+                // replicas answered (a Pong with the round count).
+                Response::Pong { nonce: alive }
+            }
+        }
+    }
+
+    /// One request/response exchange with replica `shard`, with the
+    /// bounded-retry/backoff discipline. `None` after the last retry —
+    /// the caller must surface that as explicit degradation.
+    ///
+    /// Every attempt models a fresh connection: stale in-flight frames
+    /// are purged (a reconnecting TCP client never sees bytes from its
+    /// previous connection), the request leg and response leg are each
+    /// adjudicated by the fault injector, and the replica only handles
+    /// what was actually delivered.
+    fn exchange(&mut self, shard: usize, req: &Request) -> Option<Response> {
+        let peer = NodeId(shard + 1);
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                self.net.borrow_mut().advance(self.policy.backoff(attempt));
+            }
+            {
+                let mut n = self.net.borrow_mut();
+                n.purge(NodeId::SOURCE);
+                n.purge(peer);
+            }
+            let mut leader_tp =
+                SimTransport::new(self.net.clone(), NodeId::SOURCE, peer, self.recv_deadline);
+            let mut replica_tp =
+                SimTransport::new(self.net.clone(), peer, NodeId::SOURCE, self.recv_deadline);
+            // Request leg: a crashed endpoint refuses outright; a drop
+            // or an over-deadline delay surfaces as the replica-side
+            // receive timing out.
+            if leader_tp.send_frame(&encode_request(req)).is_err() {
+                continue;
+            }
+            let Ok(req_frame) = replica_tp.recv_frame() else {
+                continue;
+            };
+            let actual_req = match self.mode {
+                SimMode::Wire => {
+                    let payload =
+                        check_frame(&req_frame).expect("the sim link never corrupts frames");
+                    decode_request(payload).expect("a valid frame decodes")
+                }
+                SimMode::Model => req.clone(),
+            };
+            let resp = self.replicas[shard].handle(&actual_req);
+            // Response leg, same rules.
+            if replica_tp.send_frame(&encode_response(&resp)).is_err() {
+                continue;
+            }
+            let Ok(resp_frame) = leader_tp.recv_frame() else {
+                continue;
+            };
+            let out = match self.mode {
+                SimMode::Wire => decode_response(
+                    check_frame(&resp_frame).expect("the sim link never corrupts frames"),
+                )
+                .expect("a valid frame decodes"),
+                SimMode::Model => resp,
+            };
+            return Some(out);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swat_tree::ShardedStreamSet;
+
+    fn cfg() -> SwatConfig {
+        SwatConfig::with_coefficients(16, 4).unwrap()
+    }
+
+    fn script(streams: usize) -> Vec<SimOp> {
+        let mut ops = Vec::new();
+        for r in 0..40u64 {
+            let row: Vec<f64> = (0..streams)
+                .map(|i| (((r as usize * 7 + i * 5) % 23) as f64) - 11.0)
+                .collect();
+            ops.push(SimOp::Ingest { req_id: r, row });
+            if r % 8 == 3 {
+                ops.push(SimOp::Point {
+                    stream: (r % streams as u64),
+                    index: (r % 16) as u32,
+                });
+            }
+            if r % 16 == 7 {
+                ops.push(SimOp::TopK { k: 4 });
+                ops.push(SimOp::Heartbeat);
+            }
+        }
+        ops.push(SimOp::Status);
+        ops
+    }
+
+    #[test]
+    fn ideal_cluster_matches_the_sharded_oracle() {
+        let (streams, shards) = (11, 3);
+        let ops = script(streams);
+        let mut cluster =
+            SimCluster::new(SimMode::Wire, FaultPlan::none(), cfg(), streams, shards, 3);
+        let outcomes = cluster.run(&ops);
+
+        // Replay the ingests against the in-process sharded oracle.
+        let mut oracle = ShardedStreamSet::new(cfg(), streams, shards);
+        for op in &ops {
+            if let SimOp::Ingest { row, .. } = op {
+                oracle.push_row(row);
+            }
+        }
+        // Every ingest fully applied; every query answered; top-k
+        // bit-identical to the oracle's merge.
+        let mut oracle_replay = ShardedStreamSet::new(cfg(), streams, shards);
+        for (op, out) in ops.iter().zip(&outcomes) {
+            match op {
+                SimOp::Ingest { req_id, row } => {
+                    oracle_replay.push_row(row);
+                    assert_eq!(
+                        out,
+                        &Response::IngestOk {
+                            req_id: *req_id,
+                            duplicate: false,
+                            failed_shards: vec![]
+                        }
+                    );
+                }
+                SimOp::Point { stream, index } => {
+                    let want = oracle_replay
+                        .tree(*stream as usize)
+                        .point_with(*index as usize, swat_tree::QueryOptions::default())
+                        .unwrap();
+                    match out {
+                        Response::PointR { answer } => {
+                            assert_eq!(answer.value.to_bits(), want.value.to_bits())
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                SimOp::TopK { k } => {
+                    let (want, _) = oracle_replay.global_top_k(*k as usize, 1);
+                    assert_eq!(
+                        out,
+                        &Response::TopKR {
+                            complete: true,
+                            entries: want.entries().to_vec()
+                        }
+                    );
+                }
+                SimOp::Heartbeat => {
+                    assert_eq!(
+                        out,
+                        &Response::Pong {
+                            nonce: shards as u64
+                        }
+                    )
+                }
+                SimOp::Status => match out {
+                    Response::StatusR { replicas, .. } => {
+                        assert!(replicas
+                            .iter()
+                            .all(|(_, h)| *h == crate::proto::WireHealth::Alive));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                },
+            }
+        }
+        // Final state bit-identical to the oracle.
+        let mut want = Vec::new();
+        for s in 0..shards {
+            let members = cluster.leader().map().members(s).to_vec();
+            let mut set = swat_tree::StreamSet::new(cfg(), members.len());
+            for op in &ops {
+                if let SimOp::Ingest { row, .. } = op {
+                    let sub: Vec<f64> = members.iter().map(|&g| row[g]).collect();
+                    set.push_row(&sub);
+                }
+            }
+            want.push(set.answers_digest());
+        }
+        assert_eq!(cluster.digests(), want);
+        assert_eq!(oracle.answers_digest(), oracle.answers_digest());
+    }
+
+    #[test]
+    fn crashed_replica_degrades_explicitly_and_recovers() {
+        let (streams, shards) = (8, 2);
+        // Replica 2 (shard 1) is down for a window mid-run.
+        let plan = FaultPlan::new(7).with_crash(NodeId(2), 40, 4000).unwrap();
+        let mut cluster = SimCluster::new(SimMode::Wire, plan, cfg(), streams, shards, 2);
+        let mut saw_failed_shard = false;
+        let mut saw_ok = false;
+        for r in 0..30u64 {
+            let row: Vec<f64> = (0..streams).map(|i| (r as usize + i) as f64).collect();
+            match cluster.run(&[SimOp::Ingest { req_id: r, row }]).remove(0) {
+                Response::IngestOk { failed_shards, .. } => {
+                    if failed_shards.is_empty() {
+                        saw_ok = true;
+                    } else {
+                        assert_eq!(failed_shards, vec![1], "only shard 1 can fail");
+                        saw_failed_shard = true;
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_ok, "early rows must apply everywhere");
+        assert!(saw_failed_shard, "the crash window must surface");
+        // Heartbeats mark the replica dead in the registry.
+        cluster.run(&[SimOp::Heartbeat, SimOp::Heartbeat, SimOp::Heartbeat]);
+        assert_eq!(
+            cluster.leader().registry().health(2),
+            crate::proto::WireHealth::Dead
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Malformed-frame fuzzing: the acceptance bar is that **no byte
+//! sequence** fed to the frame checker/decoder panics — every mutation
+//! of a valid frame, every truncation, and arbitrary garbage must
+//! produce a typed [`ProtoError`].
+//!
+//! The frame format puts the kind byte *inside* the CRC, so every
+//! single-bit flip anywhere in a frame — length field, CRC field, kind,
+//! or body — is detectable; these tests enforce that exhaustively for
+//! every sample frame.
+
+use swat_daemon::proto::{
+    check_frame, decode_request, decode_response, encode_request, encode_response, sample_requests,
+    sample_responses,
+};
+
+/// Every sample frame, both directions, with a tag telling the decoder
+/// to use.
+fn all_frames() -> Vec<(bool, Vec<u8>)> {
+    let mut frames: Vec<(bool, Vec<u8>)> = sample_requests()
+        .iter()
+        .map(|r| (true, encode_request(r)))
+        .collect();
+    frames.extend(
+        sample_responses()
+            .iter()
+            .map(|r| (false, encode_response(r))),
+    );
+    frames
+}
+
+/// Run the full receive path on `bytes`: frame check, then the decoder
+/// a server (`is_request`) or client would apply. Returns whether the
+/// bytes were accepted. Must never panic.
+fn accepts(is_request: bool, bytes: &[u8]) -> bool {
+    match check_frame(bytes) {
+        Ok(payload) => {
+            if is_request {
+                decode_request(payload).is_ok()
+            } else {
+                decode_response(payload).is_ok()
+            }
+        }
+        Err(_) => false,
+    }
+}
+
+#[test]
+fn every_truncation_of_every_frame_is_a_typed_error() {
+    for (is_request, frame) in all_frames() {
+        for n in 0..frame.len() {
+            assert!(
+                !accepts(is_request, &frame[..n]),
+                "truncation to {n} of a {}-byte frame was accepted",
+                frame.len()
+            );
+        }
+        // The untruncated frame is the control: it must be accepted.
+        assert!(accepts(is_request, &frame));
+    }
+}
+
+#[test]
+fn every_single_bit_flip_of_every_frame_is_a_typed_error() {
+    for (is_request, frame) in all_frames() {
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut mutated = frame.clone();
+                mutated[byte] ^= 1 << bit;
+                assert!(
+                    !accepts(is_request, &mutated),
+                    "bit {bit} of byte {byte} flipped in a {}-byte frame was accepted",
+                    frame.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn appended_trailing_bytes_are_a_typed_error() {
+    for (is_request, frame) in all_frames() {
+        let mut longer = frame.clone();
+        longer.push(0);
+        assert!(!accepts(is_request, &longer));
+    }
+}
+
+#[test]
+fn random_garbage_never_panics_and_never_parses() {
+    // Deterministic xorshift garbage of many lengths, including ones
+    // that start with plausible-looking small length prefixes.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for len in 0..256usize {
+        for _ in 0..8 {
+            let mut bytes = vec![0u8; len];
+            for b in bytes.iter_mut() {
+                *b = next() as u8;
+            }
+            assert!(!accepts(true, &bytes));
+            assert!(!accepts(false, &bytes));
+            // A consistent length prefix with garbage after it still has
+            // to clear the CRC — make the length field plausible.
+            if len >= 8 {
+                let payload_len = (len - 8) as u32;
+                bytes[..4].copy_from_slice(&payload_len.to_le_bytes());
+                assert!(!accepts(true, &bytes));
+                assert!(!accepts(false, &bytes));
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_length_fields_are_rejected_without_allocation() {
+    // A header claiming a multi-gigabyte payload must be rejected by
+    // the MAX_FRAME bound before anyone trusts it.
+    for claimed in [u32::MAX, (swat_daemon::MAX_FRAME as u32) + 1] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&claimed.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(!accepts(true, &bytes));
+    }
+}

@@ -1,0 +1,195 @@
+//! The simulator-oracle property tests.
+//!
+//! Two pins, over random fault plans and op scripts:
+//!
+//! 1. **Wire ≡ Model.** For *any* `FaultPlan`, the byte-path cluster
+//!    (encode → `SimTransport` → check → decode on every hop) produces
+//!    an observable outcome sequence and final replica digests
+//!    **bit-identical** to the struct-path model arm. Outcomes are
+//!    compared by their encoded bytes, so `-0.0 == 0.0` coincidences
+//!    cannot hide a codec divergence.
+//! 2. **Faultless ≡ oracle.** Under `FaultPlan::none()` the cluster's
+//!    answers equal the plain in-process `ShardedStreamSet` oracle:
+//!    every ingest fully applies (with duplicate write ids absorbed),
+//!    every point answer and distributed top-k is bit-identical.
+
+use proptest::prelude::*;
+use swat_daemon::{encode_response, Response, SimCluster, SimMode, SimOp};
+use swat_net::{DelayDist, FaultPlan, NodeId};
+use swat_tree::{QueryOptions, ShardedStreamSet, SwatConfig};
+
+const STREAMS: usize = 9;
+const SHARDS: usize = 3;
+
+fn cfg() -> SwatConfig {
+    SwatConfig::with_coefficients(16, 4).expect("static config")
+}
+
+/// An arbitrary seeded fault plan: global drops, uniform delays, and
+/// (half the time) one crash window on one replica.
+fn plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..1_000_000,
+        prop::sample::select(vec![0.0f64, 0.05, 0.2, 0.5]),
+        prop::sample::select(vec![0u64, 2, 6]),
+        prop::sample::select(vec![0usize, 1, 2, 3]),
+        0u64..300,
+        1u64..600,
+    )
+        .prop_map(|(seed, drop, delay_hi, crash_node, from, len)| {
+            let mut p = FaultPlan::new(seed).with_drop(drop).expect("valid p");
+            if delay_hi > 0 {
+                p = p
+                    .with_delay(DelayDist::Uniform {
+                        lo: 0,
+                        hi: delay_hi,
+                    })
+                    .expect("valid delay");
+            }
+            // crash_node 0 = no crash (the leader never crashes here:
+            // it is the observer whose outcomes we compare).
+            if crash_node > 0 {
+                p = p
+                    .with_crash(NodeId(crash_node), from, from + len)
+                    .expect("valid window");
+            }
+            p
+        })
+}
+
+/// A random op script. Ingest ids mostly advance; sometimes the
+/// previous id is reused, exercising the duplicate-safe write path.
+fn ops() -> impl Strategy<Value = Vec<SimOp>> {
+    prop::collection::vec((0u8..12, 0u64..64), 1..30).prop_map(|raw| {
+        let mut next_id = 0u64;
+        raw.into_iter()
+            .map(|(choice, x)| match choice {
+                0..=5 => {
+                    let id = next_id;
+                    next_id += 1;
+                    let row: Vec<f64> = (0..STREAMS)
+                        .map(|i| ((id as usize * 7 + i * 3 + x as usize) % 19) as f64 - 9.0)
+                        .collect();
+                    SimOp::Ingest { req_id: id, row }
+                }
+                6 => {
+                    // Duplicate write id: retry of the previous row.
+                    let id = next_id.saturating_sub(1);
+                    let row: Vec<f64> = (0..STREAMS)
+                        .map(|i| ((id as usize * 7 + i * 3) % 19) as f64 - 9.0)
+                        .collect();
+                    SimOp::Ingest { req_id: id, row }
+                }
+                7 | 8 => SimOp::Point {
+                    stream: x % STREAMS as u64,
+                    index: (x % 16) as u32,
+                },
+                9 => SimOp::TopK { k: (x % 7) as u32 },
+                10 => SimOp::Heartbeat,
+                _ => SimOp::Status,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wire_arm_is_bit_identical_to_the_model_arm(plan in plan(), ops in ops()) {
+        let mut wire = SimCluster::new(SimMode::Wire, plan.clone(), cfg(), STREAMS, SHARDS, 3);
+        let mut model = SimCluster::new(SimMode::Model, plan, cfg(), STREAMS, SHARDS, 3);
+        let wire_out = wire.run(&ops);
+        let model_out = model.run(&ops);
+        prop_assert_eq!(wire_out.len(), model_out.len());
+        for (i, (w, m)) in wire_out.iter().zip(&model_out).enumerate() {
+            // Encoded-byte equality: true bit-identity, f64s included.
+            prop_assert_eq!(
+                encode_response(w),
+                encode_response(m),
+                "op {} diverged: wire={:?} model={:?}",
+                i,
+                w,
+                m
+            );
+        }
+        prop_assert_eq!(wire.digests(), model.digests());
+    }
+
+    #[test]
+    fn faultless_cluster_matches_the_sharded_oracle(ops in ops()) {
+        let mut cluster =
+            SimCluster::new(SimMode::Wire, FaultPlan::none(), cfg(), STREAMS, SHARDS, 3);
+        let out = cluster.run(&ops);
+        let mut oracle = ShardedStreamSet::new(cfg(), STREAMS, SHARDS);
+        let mut seen = std::collections::HashSet::new();
+        for (op, got) in ops.iter().zip(&out) {
+            match op {
+                SimOp::Ingest { req_id, row } => {
+                    let duplicate = !seen.insert(*req_id);
+                    if !duplicate {
+                        oracle.push_row(row);
+                    }
+                    prop_assert_eq!(
+                        got,
+                        &Response::IngestOk {
+                            req_id: *req_id,
+                            duplicate,
+                            failed_shards: vec![],
+                        }
+                    );
+                }
+                SimOp::Point { stream, index } => {
+                    match (
+                        oracle
+                            .tree(*stream as usize)
+                            .point_with(*index as usize, QueryOptions::default()),
+                        got,
+                    ) {
+                        (Ok(want), Response::PointR { answer }) => {
+                            prop_assert_eq!(answer.value.to_bits(), want.value.to_bits());
+                            prop_assert_eq!(
+                                answer.error_bound.to_bits(),
+                                want.error_bound.to_bits()
+                            );
+                        }
+                        // An index the oracle cannot answer (not yet
+                        // covered) is a typed error on the wire too.
+                        (Err(_), Response::ErrorR { .. }) => {}
+                        (want, other) => {
+                            prop_assert!(false, "oracle {:?} vs wire {:?}", want, other)
+                        }
+                    }
+                }
+                SimOp::TopK { k: 0 } => {
+                    // The leader rejects k = 0 outright (the oracle's
+                    // global_top_k would panic on it).
+                    match got {
+                        Response::ErrorR { .. } => {}
+                        other => prop_assert!(false, "unexpected {:?}", other),
+                    }
+                }
+                SimOp::TopK { k } => {
+                    let (want, _) = oracle.global_top_k(*k as usize, 1);
+                    prop_assert_eq!(
+                        got,
+                        &Response::TopKR {
+                            complete: true,
+                            entries: want.entries().to_vec(),
+                        }
+                    );
+                }
+                SimOp::Heartbeat => prop_assert_eq!(
+                    got,
+                    &Response::Pong {
+                        nonce: SHARDS as u64
+                    }
+                ),
+                SimOp::Status => match got {
+                    Response::StatusR { .. } => {}
+                    other => prop_assert!(false, "unexpected {:?}", other),
+                },
+            }
+        }
+    }
+}

@@ -219,7 +219,9 @@ impl DynamicTopology {
 
     /// Detach `child` from its current parent and attach it under
     /// `new_parent`, bumping the version and recording a
-    /// [`RepairKind::Reparent`] event.
+    /// [`RepairKind::Reparent`] event. The event is returned by value
+    /// (it is `Copy`), built before it is appended to the log — there is
+    /// no "read back what was just pushed" step that could panic.
     ///
     /// # Errors
     ///
@@ -233,7 +235,7 @@ impl DynamicTopology {
         at: u64,
         child: NodeId,
         new_parent: NodeId,
-    ) -> Result<&RepairEvent, RepairError> {
+    ) -> Result<RepairEvent, RepairError> {
         if child.index() >= self.len() {
             return Err(RepairError::OutOfRange {
                 node: child.index(),
@@ -265,31 +267,28 @@ impl DynamicTopology {
         self.children[old_parent.index()].retain(|&c| c != child);
         self.children[new_parent.index()].push(child);
         self.parent[child.index()] = Some(new_parent);
-        self.version += 1;
-        self.events.push(RepairEvent {
-            version: self.version,
+        Ok(self.record(RepairEvent {
+            version: self.version + 1,
             at,
             node: child,
             old_parent,
             new_parent,
             kind: RepairKind::Reparent,
-        });
-        Ok(self.events.last().expect("just pushed"))
+        }))
     }
 
     /// Record that `node` recovered and re-entered the tree in place
     /// (its structure is unchanged; orphans that left during the outage
     /// already produced their own reparent events). Bumps the version
-    /// and returns the [`RepairKind::Rejoin`] event.
+    /// and returns the [`RepairKind::Rejoin`] event by value.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn note_rejoin(&mut self, at: u64, node: NodeId) -> &RepairEvent {
+    pub fn note_rejoin(&mut self, at: u64, node: NodeId) -> RepairEvent {
         let parent = self.parent(node).unwrap_or(NodeId::SOURCE);
-        self.version += 1;
-        self.events.push(RepairEvent {
-            version: self.version,
+        self.record(RepairEvent {
+            version: self.version + 1,
             at,
             node,
             old_parent: parent,
@@ -297,8 +296,18 @@ impl DynamicTopology {
             kind: RepairKind::Rejoin {
                 as_leaf: self.is_leaf(node),
             },
-        });
-        self.events.last().expect("just pushed")
+        })
+    }
+
+    /// Commit one already-built event: bump the version to the event's
+    /// and append it to the log. Returning the value that was pushed —
+    /// rather than re-reading `events.last()` — keeps the repair layer
+    /// free of reachable-panic paths.
+    fn record(&mut self, ev: RepairEvent) -> RepairEvent {
+        debug_assert_eq!(ev.version, self.version + 1);
+        self.version = ev.version;
+        self.events.push(ev);
+        ev
     }
 }
 
@@ -349,7 +358,7 @@ mod tests {
     fn reparent_moves_subtree_and_logs_event() {
         // chain S - C1 - C2 - C3: orphan C2 adopts its grandparent S.
         let mut t = DynamicTopology::new(Topology::chain(3));
-        let ev = *t.reparent(42, NodeId(2), NodeId::SOURCE).unwrap();
+        let ev = t.reparent(42, NodeId(2), NodeId::SOURCE).unwrap();
         assert_eq!(ev.version, 1);
         assert_eq!(ev.at, 42);
         assert_eq!(ev.node, NodeId(2));
@@ -428,11 +437,11 @@ mod tests {
     fn rejoin_notes_leaf_status() {
         let mut t = DynamicTopology::new(Topology::chain(3));
         t.reparent(10, NodeId(2), NodeId::SOURCE).unwrap();
-        let ev = *t.note_rejoin(20, NodeId(1));
+        let ev = t.note_rejoin(20, NodeId(1));
         assert_eq!(ev.kind, RepairKind::Rejoin { as_leaf: true });
         assert_eq!(ev.old_parent, ev.new_parent);
         assert_eq!(t.version(), 2);
-        let ev = *t.note_rejoin(21, NodeId(2));
+        let ev = t.note_rejoin(21, NodeId(2));
         assert_eq!(ev.kind, RepairKind::Rejoin { as_leaf: false });
         assert_eq!(t.events().len(), 3);
     }

@@ -101,6 +101,9 @@ pub use query::{
 };
 pub use range::ValueRange;
 pub use scratch::QueryScratch;
-pub use shard::{MergeStats, ShardedStreamSet};
+pub use shard::{
+    for_each_root_coeff, local_top_k, root_summary, shard_members, shard_of, MergeStats,
+    ShardedStreamSet,
+};
 pub use snapshot::SnapshotError;
 pub use tree::{NodePos, SwatTree};

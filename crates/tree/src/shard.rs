@@ -62,6 +62,50 @@ pub fn shard_of(stream: u64, shards: usize) -> usize {
     (route_hash(stream) % shards as u64) as usize
 }
 
+/// The global stream ids shard `shard` owns out of `streams` streams
+/// hash-partitioned across `shards` — ascending, exactly the membership
+/// [`ShardedStreamSet::new`] builds. A distributed deployment uses this
+/// to give every site the same routing table without coordination.
+pub fn shard_members(streams: usize, shards: usize, shard: usize) -> Vec<usize> {
+    (0..streams)
+        .filter(|&g| shard_of(g as u64, shards) == shard)
+        .collect()
+}
+
+/// One partition's round-one message computed from a free-standing
+/// [`StreamSet`]: the local top-k summary over the root-summary
+/// coefficients of `members[local]` ↦ `set.tree(local)`. Shared by the
+/// in-process [`ShardedStreamSet`] and remote shard owners (the daemon's
+/// replicas), so both produce bit-identical candidates.
+pub fn local_top_k(set: &StreamSet, members: &[usize], k: usize) -> TopKSummary {
+    let mut summary = TopKSummary::new(k);
+    for_each_root_coeff(set, members, |c| summary.offer(c));
+    summary
+}
+
+/// Visit every member stream's root-summary coefficients of a
+/// free-standing [`StreamSet`] as [`TopCoeff`] candidates, in
+/// `(stream, index)` order; `members[local]` is the global id of the
+/// stream at local index `local`.
+///
+/// # Panics
+///
+/// Panics if `members.len() > set.streams()`.
+pub fn for_each_root_coeff(set: &StreamSet, members: &[usize], mut f: impl FnMut(TopCoeff)) {
+    for (local, &global) in members.iter().enumerate() {
+        let Some(root) = root_summary(set.tree(local)) else {
+            continue;
+        };
+        for (index, &value) in root.coeffs().coefficients().iter().enumerate() {
+            f(TopCoeff {
+                stream: global as u64,
+                index: index as u32,
+                value,
+            });
+        }
+    }
+}
+
 /// Where a global stream lives: which shard, and at which local index
 /// within that shard's [`StreamSet`].
 #[derive(Debug, Clone, Copy)]
@@ -83,26 +127,13 @@ impl Shard {
     /// This shard's round-one message: its local top-k summary over the
     /// root-summary coefficients of every member stream.
     fn local_top_k(&self, k: usize) -> TopKSummary {
-        let mut summary = TopKSummary::new(k);
-        self.for_each_root_coeff(|c| summary.offer(c));
-        summary
+        local_top_k(&self.set, &self.members, k)
     }
 
     /// Visit every member stream's root-summary coefficients as
     /// [`TopCoeff`] candidates, in (stream, index) order.
-    fn for_each_root_coeff(&self, mut f: impl FnMut(TopCoeff)) {
-        for (local, &global) in self.members.iter().enumerate() {
-            let Some(root) = root_summary(self.set.tree(local)) else {
-                continue;
-            };
-            for (index, &value) in root.coeffs().coefficients().iter().enumerate() {
-                f(TopCoeff {
-                    stream: global as u64,
-                    index: index as u32,
-                    value,
-                });
-            }
-        }
+    fn for_each_root_coeff(&self, f: impl FnMut(TopCoeff)) {
+        for_each_root_coeff(&self.set, &self.members, f);
     }
 }
 

@@ -78,12 +78,11 @@ pub struct TopKSummary {
 impl TopKSummary {
     /// An empty summary retaining at most `k` entries.
     ///
-    /// # Panics
-    ///
-    /// Panics if `k == 0` (a zero-capacity summary cannot answer
-    /// anything).
+    /// `k == 0` is legal and degenerate: the summary retains nothing,
+    /// ignores every offer, and its [`threshold`](Self::threshold) is
+    /// `+∞` — *every* candidate is provably outside an empty top-0, so
+    /// distributed pruning can skip such shards entirely.
     pub fn new(k: usize) -> Self {
-        assert!(k > 0, "top-k summary needs k >= 1");
         TopKSummary {
             k,
             entries: Vec::new(),
@@ -113,9 +112,12 @@ impl TopKSummary {
     /// The summary's pruning threshold: the weight of its `k`-th entry,
     /// or `0` while it holds fewer than `k` (anything could still enter).
     /// Every coefficient ever offered with weight strictly below the
-    /// threshold is provably outside the summary's top-k.
+    /// threshold is provably outside the summary's top-k. For `k == 0`
+    /// the threshold is `+∞`: nothing can ever enter a top-0.
     pub fn threshold(&self) -> f64 {
-        if self.entries.len() < self.k {
+        if self.k == 0 {
+            f64::INFINITY
+        } else if self.entries.len() < self.k {
             0.0
         } else {
             self.entries[self.k - 1].weight()
@@ -269,9 +271,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k >= 1")]
-    fn zero_k_panics() {
-        let _ = TopKSummary::new(0);
+    fn zero_k_is_legal_and_inert() {
+        let mut s = TopKSummary::new(0);
+        assert_eq!(s.k(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.threshold(), f64::INFINITY, "top-0 prunes everything");
+        s.offer(c(0, 0, 42.0));
+        assert!(s.is_empty(), "a top-0 summary retains nothing");
+        assert_eq!(s.threshold(), f64::INFINITY);
+
+        // Merging in either direction neither panics nor leaks entries
+        // into the zero-capacity side.
+        let mut full = TopKSummary::new(3);
+        full.offer(c(1, 0, 5.0));
+        full.offer(c(1, 1, -2.0));
+        let mut zero = TopKSummary::new(0);
+        zero.merge(&full);
+        assert!(zero.is_empty());
+        let before = full.clone();
+        full.merge(&zero);
+        assert_eq!(full, before, "merging an empty top-0 is a no-op");
+    }
+
+    #[test]
+    fn merging_with_empty_summary_is_identity() {
+        let mut s = TopKSummary::new(4);
+        for (i, v) in [3.0, -7.0, 1.0].into_iter().enumerate() {
+            s.offer(c(0, i as u32, v));
+        }
+        let before = s.clone();
+        let empty = TopKSummary::new(4);
+        s.merge(&empty);
+        assert_eq!(s, before, "empty right operand");
+
+        let mut fresh = TopKSummary::new(4);
+        fresh.merge(&before);
+        assert_eq!(fresh, before, "empty left operand absorbs the other");
+    }
+
+    #[test]
+    fn k_larger_than_population_keeps_everything() {
+        // k far above the candidate count: the summary is just a ranked
+        // copy of the population and the threshold stays 0 (underfull).
+        let all: Vec<TopCoeff> = (0..5).map(|i| c(i, i as u32, (i as f64) - 2.0)).collect();
+        let mut merged = TopKSummary::new(100);
+        for shard in all.chunks(2) {
+            let mut local = TopKSummary::new(100);
+            for &e in shard {
+                local.offer(e);
+            }
+            merged.merge(&local);
+        }
+        assert_eq!(merged.len(), all.len());
+        assert_eq!(merged.threshold(), 0.0, "underfull: cannot prune");
+        assert_eq!(merged.entries(), &oracle(all, 100)[..]);
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_daemon.json — request latency (p50/p99) and
+# throughput against a real-TCP localhost cluster, measured twice: a
+# clean phase and a phase with one replica killed mid-run. Every answer
+# is checked against an in-process oracle; the run fails on any wrong
+# answer (explicit degradation — failed_shards, Unavailable, incomplete
+# top-k — is expected and counted, silent loss is not). Pass --quick
+# for a smoke-sized run; extra flags are forwarded to the CLI (see
+# `swat help`, DAEMON-BENCH section).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- daemon-bench --out results/BENCH_daemon.json "$@"

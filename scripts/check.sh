@@ -14,6 +14,10 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== workspace tests (every crate, release binaries for the smokes) =="
+cargo test -q --workspace
+cargo build --release -p swat-cli # swat + swatd binaries for the daemon smoke
+
 echo "== chaos smoke (fault injection, quick grid) =="
 cargo run --release -q -p swat-cli -- chaos --quick --out target/chaos-smoke.json >/dev/null
 echo "chaos smoke clean (target/chaos-smoke.json)"
@@ -56,4 +60,50 @@ if grep -q '"oracle_agrees": false' target/scale-smoke.json; then
 fi
 echo "scale smoke clean (target/scale-smoke.json)"
 
-echo "OK: fmt, clippy, tier-1, chaos, recovery, query-bench, repair, and scale smokes all green"
+echo "== daemon smoke (2-node TCP cluster, SIGTERM drain, clean checkpoint) =="
+SMOKE_DIR=$(mktemp -d)
+cleanup_daemon_smoke() {
+    kill "${LEADER_PID:-}" "${REPLICA_PID:-}" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup_daemon_smoke EXIT
+./target/release/swatd --role replica --shard 0 --shards 1 --streams 4 \
+    --window 16 --dir "$SMOKE_DIR/store" \
+    --port-file "$SMOKE_DIR/replica.addr" >"$SMOKE_DIR/replica.log" &
+REPLICA_PID=$!
+for _ in $(seq 100); do [ -s "$SMOKE_DIR/replica.addr" ] && break; sleep 0.05; done
+REPLICA_ADDR=$(head -n1 "$SMOKE_DIR/replica.addr")
+./target/release/swatd --role leader --shards 1 --streams 4 \
+    --window 16 --replica "$REPLICA_ADDR" \
+    --port-file "$SMOKE_DIR/leader.addr" >"$SMOKE_DIR/leader.log" &
+LEADER_PID=$!
+for _ in $(seq 100); do [ -s "$SMOKE_DIR/leader.addr" ] && break; sleep 0.05; done
+LEADER_ADDR=$(head -n1 "$SMOKE_DIR/leader.addr")
+./target/release/swat client --addr "$LEADER_ADDR" \
+    --ingest 1,2,3,4 --ingest 5,6,7,8 \
+    --point 0:0 --top-k 2 --status >"$SMOKE_DIR/client.log"
+grep -q 'applied req_id=0 duplicate=false' "$SMOKE_DIR/client.log"
+grep -q 'applied req_id=1 duplicate=false' "$SMOKE_DIR/client.log"
+grep -q '^point\[0:0\]: value=' "$SMOKE_DIR/client.log"
+grep -q '^top-k\[2\]: complete' "$SMOKE_DIR/client.log"
+if grep -Eq 'DEGRADED|OVERLOADED|UNAVAILABLE|ERROR' "$SMOKE_DIR/client.log"; then
+    echo "daemon smoke: a request degraded on a healthy cluster" >&2
+    cat "$SMOKE_DIR/client.log" >&2
+    exit 1
+fi
+kill -TERM "$LEADER_PID" && wait "$LEADER_PID"
+kill -TERM "$REPLICA_PID" && wait "$REPLICA_PID"
+grep -q 'checkpointed: true' "$SMOKE_DIR/replica.log"
+grep -q 'swatd: drained' "$SMOKE_DIR/leader.log"
+trap - EXIT
+cleanup_daemon_smoke
+echo "daemon smoke clean (ingest, point, top-k, drain, checkpoint)"
+
+echo "== daemon bench smoke (real-TCP latency, one replica killed) =="
+cargo run --release -q -p swat-cli -- daemon-bench --quick \
+    --out target/daemon-smoke.json >/dev/null
+grep -q '"bench": "daemon"' target/daemon-smoke.json
+grep -q '"zero_wrong_answers": true' target/daemon-smoke.json
+echo "daemon bench smoke clean (target/daemon-smoke.json)"
+
+echo "OK: fmt, clippy, tier-1, chaos, recovery, query-bench, repair, scale, and daemon smokes all green"
