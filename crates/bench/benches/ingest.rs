@@ -1,19 +1,20 @@
-//! Criterion micro-benchmarks for the three ingestion paths: per-value
-//! `push`, single-tree `push_batch`, and sharded multi-stream
-//! `extend_batched`. The kernels are the same ones the `swat ingest-bench`
-//! CLI harness times (see `swat_bench::ingest`), so criterion numbers and
-//! the `results/BENCH_ingest.json` artifact stay comparable.
+//! Criterion micro-benchmarks for the ingestion paths: per-value `push`,
+//! the frozen pre-block scalar reference, the blocked `push_batch`
+//! cascade (per chunk cap), and sharded multi-stream `extend_batched`.
+//! The kernels are the same ones the `swat ingest-bench` CLI harness
+//! times (see `swat_bench::ingest`), so criterion numbers and the
+//! `results/BENCH_ingest.json` artifact stay comparable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use swat_bench::ingest::{ingest_batched, ingest_per_push, ingest_sharded};
+use swat_bench::ingest::{ingest_batched, ingest_per_push, ingest_reference, ingest_sharded};
 use swat_data::Dataset;
 use swat_tree::SwatConfig;
 
 const VALUES: usize = 1 << 14;
 
 fn bench_push_vs_batch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ingest/push_vs_batch");
+    let mut g = c.benchmark_group("ingest/reference_vs_batch");
     g.sample_size(20);
     let data = Dataset::Synthetic.series(1, VALUES);
     g.throughput(Throughput::Elements(data.len() as u64));
@@ -25,10 +26,29 @@ fn bench_push_vs_batch(c: &mut Criterion) {
             |b, &config| b.iter(|| ingest_per_push(config, black_box(&data))),
         );
         g.bench_with_input(
+            BenchmarkId::new("reference", format!("n{n}_k{k}")),
+            &config,
+            |b, &config| b.iter(|| ingest_reference(config, black_box(&data))),
+        );
+        g.bench_with_input(
             BenchmarkId::new("batch", format!("n{n}_k{k}")),
             &config,
-            |b, &config| b.iter(|| ingest_batched(config, black_box(&data))),
+            |b, &config| b.iter(|| ingest_batched(config, black_box(&data), 0)),
         );
+    }
+    g.finish();
+}
+
+fn bench_chunk_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest/chunk_sweep");
+    g.sample_size(20);
+    let data = Dataset::Synthetic.series(2, VALUES);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    let config = SwatConfig::with_coefficients(4096, 8).expect("valid");
+    for chunk in [8usize, 64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| ingest_batched(config, black_box(&data), chunk))
+        });
     }
     g.finish();
 }
@@ -36,7 +56,7 @@ fn bench_push_vs_batch(c: &mut Criterion) {
 fn bench_sharded(c: &mut Criterion) {
     let mut g = c.benchmark_group("ingest/sharded");
     g.sample_size(20);
-    let streams = 8usize;
+    let streams = 64usize;
     let per_stream = VALUES / streams;
     let columns: Vec<Vec<f64>> = (0..streams)
         .map(|s| Dataset::Synthetic.series(s as u64, per_stream))
@@ -53,5 +73,10 @@ fn bench_sharded(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_push_vs_batch, bench_sharded);
+criterion_group!(
+    benches,
+    bench_push_vs_batch,
+    bench_chunk_sweep,
+    bench_sharded
+);
 criterion_main!(benches);

@@ -49,11 +49,14 @@ SIMULATE — compare replication schemes on one workload
 GENERATE — emit a dataset as CSV on stdout
   --dataset weather|synthetic --count N [--seed S]
 
-INGEST-BENCH — measure per-push vs batched vs sharded ingestion
+INGEST-BENCH — measure push vs frozen-reference vs blocked batch vs sharded
   grid:      --windows N,N,..   --coeffs K,K,..   --values N
-             --streams N        --threads T,T,..  --seed S
+             --streams N,N,..   --threads T,T,..  --chunks C,C,.. (0 = default)
+             --seed S
   output:    --out PATH (default results/BENCH_ingest.json)
   --quick    shrunk grid for smoke runs
+  the JSON summary's batch_ge_reference records whether the blocked
+  path beat the frozen scalar reference at every grid point
 
 QUERY-BENCH — measure query serving: reference vs engine vs kernel
   grid:      --windows N,N,..   --coeffs K,K,..   --points N
@@ -418,17 +421,22 @@ pub fn ingest_bench(a: &Args) -> Result<(), String> {
     if let Some(raw) = a.get("threads") {
         cfg.threads = parse_usize_list("threads", raw)?;
     }
+    if let Some(raw) = a.get("streams") {
+        cfg.streams = parse_usize_list("streams", raw)?;
+    }
+    if let Some(raw) = a.get("chunks") {
+        cfg.chunks = parse_usize_list("chunks", raw)?;
+    }
     cfg.values = a
         .get_parsed("values", cfg.values, "a count")
         .map_err(|e| e.to_string())?;
-    cfg.streams = a
-        .get_parsed("streams", cfg.streams, "a count")
-        .map_err(|e| e.to_string())?;
-    if cfg.streams == 0 {
-        return Err("--streams must be positive".into());
-    }
-    if cfg.values < cfg.streams {
-        return Err("--values must be at least --streams".into());
+    for &s in &cfg.streams {
+        if s == 0 {
+            return Err("--streams entries must be positive".into());
+        }
+        if cfg.values < s {
+            return Err("--values must be at least every --streams entry".into());
+        }
     }
     for (&w, &k) in cfg
         .windows

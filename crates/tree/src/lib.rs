@@ -41,6 +41,9 @@
 //! ## Modules
 //!
 //! * [`tree`] — the structure and its update algorithm (Figure 3a),
+//! * [`ingest`] — the blocked batch-ingest fast path: chunk-aligned
+//!   cascades over flat SoA lanes, reusable [`IngestScratch`] buffers,
+//!   and the frozen scalar reference path it is pinned against,
 //! * [`query`] — point / range / inner-product evaluation (Figure 3b),
 //! * [`scratch`] — the zero-allocation query engine: reusable
 //!   [`QueryScratch`] buffers, a cached serving-map cover index, batched
@@ -78,6 +81,7 @@ pub mod error_model;
 pub mod exact;
 pub mod explain;
 pub mod growing;
+pub mod ingest;
 pub mod multi;
 pub mod node;
 pub mod query;
@@ -93,6 +97,7 @@ pub use continuous::{ContinuousEngine, Notification, SubscriptionId};
 pub use exact::ExactWindow;
 pub use explain::{PlanStep, QueryPlan};
 pub use growing::GrowingSwat;
+pub use ingest::IngestScratch;
 pub use multi::StreamSet;
 pub use node::Summary;
 pub use query::{

@@ -77,7 +77,7 @@ impl NodePos {
 /// node storage collapses to a single `Vec<Level>` allocation
 /// (`swat scale-bench` reports the resulting bytes/stream).
 #[derive(Debug, Clone)]
-struct Level {
+pub(crate) struct Level {
     nodes: [Option<Summary>; 3],
     len: u8,
     capacity: u8,
@@ -93,11 +93,11 @@ impl Level {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.len as usize
     }
 
-    fn capacity(&self) -> usize {
+    pub(crate) fn capacity(&self) -> usize {
         self.capacity as usize
     }
 
@@ -106,7 +106,7 @@ impl Level {
     }
 
     /// The summary at queue index `i` (0 = newest), if populated.
-    fn get(&self, i: usize) -> Option<&Summary> {
+    pub(crate) fn get(&self, i: usize) -> Option<&Summary> {
         if i < self.len() {
             self.nodes[i].as_ref()
         } else {
@@ -115,12 +115,12 @@ impl Level {
     }
 
     /// The newest summary (the paper's `R`), if any.
-    fn front(&self) -> Option<&Summary> {
+    pub(crate) fn front(&self) -> Option<&Summary> {
         self.get(0)
     }
 
     /// Iterate populated summaries newest-first.
-    fn iter(&self) -> impl Iterator<Item = &Summary> {
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Summary> {
         self.nodes[..self.len()]
             .iter()
             .map(|s| s.as_ref().expect("slots below len are populated"))
@@ -128,7 +128,7 @@ impl Level {
 
     /// Install a fresh summary, returning the generation it evicts (if the
     /// level was at capacity) so callers can recycle its heap storage.
-    fn push(&mut self, s: Summary) -> Option<Summary> {
+    pub(crate) fn push(&mut self, s: Summary) -> Option<Summary> {
         let cap = self.capacity();
         let evicted = if self.len() == cap {
             self.nodes[cap - 1].take()
@@ -164,12 +164,17 @@ impl Level {
 /// [`crate::query`] module for the query interface.
 #[derive(Debug, Clone)]
 pub struct SwatTree {
-    config: SwatConfig,
+    pub(crate) config: SwatConfig,
     /// Total arrivals so far (the paper's time `t`).
-    t: u64,
+    pub(crate) t: u64,
     /// The newest raw value (`d_0`), if any.
-    last: Option<f64>,
-    levels: Vec<Level>,
+    pub(crate) last: Option<f64>,
+    pub(crate) levels: Vec<Level>,
+    /// Hoisted merge-buffer pool: evicted summaries' heap storage is
+    /// recycled across calls, so repeated small batches (the daemon
+    /// ingest path) stop re-warming a fresh scratch per call. Empty —
+    /// one `Vec` header — until a budget `k > 3` actually evicts.
+    pub(crate) pool: MergeScratch,
 }
 
 impl SwatTree {
@@ -185,6 +190,7 @@ impl SwatTree {
             t: 0,
             last: None,
             levels,
+            pool: MergeScratch::new(),
         }
     }
 
@@ -285,8 +291,9 @@ impl SwatTree {
     pub fn push(&mut self, value: f64) {
         assert!(value.is_finite(), "stream values must be finite");
         let k = self.config.coefficients();
-        let mut scratch = MergeScratch::new();
-        self.push_one(value, k, &mut scratch);
+        let mut pool = std::mem::take(&mut self.pool);
+        self.push_one(value, k, &mut pool);
+        self.pool = pool;
     }
 
     /// As [`SwatTree::push`], but rejecting non-finite input with an error
@@ -307,14 +314,17 @@ impl SwatTree {
     /// Feed a block of arrivals in one pass — the batched fast path.
     ///
     /// Equivalent to calling [`SwatTree::push`] per value (the final tree
-    /// state is bit-identical; the `push_batch_matches_sequential_push`
-    /// test proves it node by node), but the per-value loop hoists the
-    /// cascade bookkeeping: the coefficient budget is read once, the
-    /// cascade depth for arrival `t` is bounded by `t.trailing_zeros()`
-    /// instead of per-level divisibility checks, and one
-    /// [`MergeScratch`] recycles the heap buffers of evicted summaries so
-    /// budgets `k <= 3` allocate nothing across the whole batch and larger
-    /// budgets reach steady-state zero allocation.
+    /// state is bit-identical; the `ingest_equivalence` property suite
+    /// proves it node by node against the frozen
+    /// [`crate::ingest::reference`] path), but the batch is processed in
+    /// `2^L`-aligned chunks through the blocked cascade of
+    /// [`crate::ingest`]: level-0 summaries come straight off the input
+    /// slice as flat `avg`/`det` lanes, each level's refreshes for the
+    /// whole chunk run as one precompiled SoA merge kernel, and slab
+    /// updates, budget reads, `ValueRange` unions, and eviction reclaim
+    /// are amortized per chunk instead of per value. Budgets `k <= 3`
+    /// allocate nothing; larger budgets reach steady-state zero
+    /// allocation via the hoisted buffer pool (see `tests/ingest_alloc`).
     ///
     /// # Panics
     ///
@@ -322,41 +332,72 @@ impl SwatTree {
     /// value is ingested); see [`SwatTree::try_push_batch`].
     pub fn push_batch(&mut self, values: &[f64]) {
         assert!(
-            values.iter().all(|v| v.is_finite()),
+            values.iter().fold(true, |ok, v| ok & v.is_finite()),
             "stream values must be finite"
         );
-        let k = self.config.coefficients();
-        let mut scratch = MergeScratch::new();
-        for &value in values {
-            self.push_one(value, k, &mut scratch);
-        }
+        crate::ingest::with_thread_scratch(|scratch| self.push_batch_core(values, scratch));
+    }
+
+    /// As [`SwatTree::push_batch`], but reusing a caller-owned
+    /// [`IngestScratch`](crate::ingest::IngestScratch) (mirroring the
+    /// query engine's [`crate::QueryScratch`]) instead of the thread-local
+    /// one — for callers that drive many trees from one loop, or want a
+    /// non-default chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not finite (checked up front, before any
+    /// value is ingested).
+    pub fn push_batch_with_scratch(
+        &mut self,
+        values: &[f64],
+        scratch: &mut crate::ingest::IngestScratch,
+    ) {
+        assert!(
+            values.iter().fold(true, |ok, v| ok & v.is_finite()),
+            "stream values must be finite"
+        );
+        self.push_batch_core(values, scratch);
     }
 
     /// As [`SwatTree::push_batch`], but rejecting non-finite input with an
     /// error. The whole block is validated before any value is ingested,
     /// so on error the tree is unchanged.
     ///
+    /// Validation runs chunk-by-chunk with a branch-free all-finite
+    /// reduction (which the compiler vectorizes) and bails at the first
+    /// bad chunk, scanning for the exact position only inside that chunk —
+    /// one cheap pass over good input instead of the old full-slice
+    /// `position` walk, while keeping the all-or-nothing contract: no
+    /// chunk is ingested until every chunk has validated.
+    ///
     /// # Errors
     ///
     /// [`TreeError::NonFinite`] naming the stream position of the first
     /// offending value.
     pub fn try_push_batch(&mut self, values: &[f64]) -> Result<(), TreeError> {
-        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
-            return Err(TreeError::NonFinite {
-                position: self.t + i as u64,
-            });
+        const VALIDATE_CHUNK: usize = 512;
+        let mut offset = 0usize;
+        for chunk in values.chunks(VALIDATE_CHUNK) {
+            if !chunk.iter().fold(true, |ok, v| ok & v.is_finite()) {
+                let in_chunk = chunk
+                    .iter()
+                    .position(|v| !v.is_finite())
+                    .expect("the chunk reduction found a non-finite value");
+                return Err(TreeError::NonFinite {
+                    position: self.t + (offset + in_chunk) as u64,
+                });
+            }
+            offset += chunk.len();
         }
-        let k = self.config.coefficients();
-        let mut scratch = MergeScratch::new();
-        for &value in values {
-            self.push_one(value, k, &mut scratch);
-        }
+        crate::ingest::with_thread_scratch(|scratch| self.push_batch_core(values, scratch));
         Ok(())
     }
 
-    /// The shared per-arrival update: every ingestion entry point funnels
-    /// here, so the sequential and batched paths cannot diverge.
-    fn push_one(&mut self, value: f64, k: usize, scratch: &mut MergeScratch) {
+    /// The shared per-arrival update: the scalar ingestion entry points
+    /// funnel here, and the blocked path of [`crate::ingest`] uses it for
+    /// unaligned heads and tails, so the paths cannot diverge there.
+    pub(crate) fn push_one(&mut self, value: f64, k: usize, scratch: &mut MergeScratch) {
         debug_assert!(value.is_finite(), "callers validate finiteness");
         let prev = self.last.replace(value);
         self.t += 1;
@@ -375,13 +416,21 @@ impl SwatTree {
         if let Some(evicted) = self.levels[0].push(summary) {
             scratch.reclaim(evicted.into_coeffs());
         }
-        // Cascade: level l refreshes when 2^l divides t, consuming the
-        // level-(l-1) Right (newest) and Left (two generations back) nodes.
-        // 2^l | t exactly when l <= trailing_zeros(t), which bounds the
-        // cascade without per-level divisibility checks (odd arrivals skip
-        // the loop entirely).
+        self.cascade_from(1, k, scratch);
+    }
+
+    /// Run the refresh cascade at the current clock for levels
+    /// `from_level..`, consuming each level's child Right (newest) and
+    /// Left (two generations back) nodes.
+    ///
+    /// Level `l` refreshes when `2^l` divides `t`; `2^l | t` exactly when
+    /// `l <= trailing_zeros(t)`, which bounds the cascade without
+    /// per-level divisibility checks (odd arrivals skip the loop
+    /// entirely). The blocked chunk path calls this with the first level
+    /// *above* its chunk to finish a cascade taller than the chunk.
+    pub(crate) fn cascade_from(&mut self, from_level: usize, k: usize, scratch: &mut MergeScratch) {
         let top = (self.t.trailing_zeros() as usize).min(self.levels.len() - 1);
-        for l in 1..=top {
+        for l in from_level..=top {
             let child = &self.levels[l - 1];
             let (Some(right), Some(left)) = (child.front(), child.get(2)) else {
                 break; // Still warming up.
@@ -400,16 +449,17 @@ impl SwatTree {
 
     /// Feed a sequence of values in arrival order.
     ///
+    /// Values are buffered into aligned blocks and ingested through the
+    /// same chunked cascade as [`SwatTree::push_batch`].
+    ///
     /// # Panics
     ///
-    /// Panics on non-finite values; see [`SwatTree::try_extend`].
+    /// Panics on non-finite values. Matching the streaming contract of
+    /// [`SwatTree::try_extend`], values before the offending one are
+    /// ingested before the panic.
     pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
-        let k = self.config.coefficients();
-        let mut scratch = MergeScratch::new();
-        for v in values {
-            assert!(v.is_finite(), "stream values must be finite");
-            self.push_one(v, k, &mut scratch);
-        }
+        let bad = crate::ingest::extend_buffered(self, values);
+        assert!(bad.is_none(), "stream values must be finite");
     }
 
     /// Feed a sequence of values, stopping at the first non-finite one.
@@ -423,15 +473,10 @@ impl SwatTree {
     /// [`TreeError::NonFinite`] naming the stream position of the first
     /// non-finite value.
     pub fn try_extend<I: IntoIterator<Item = f64>>(&mut self, values: I) -> Result<(), TreeError> {
-        let k = self.config.coefficients();
-        let mut scratch = MergeScratch::new();
-        for v in values {
-            if !v.is_finite() {
-                return Err(TreeError::NonFinite { position: self.t });
-            }
-            self.push_one(v, k, &mut scratch);
+        match crate::ingest::extend_buffered(self, values) {
+            None => Ok(()),
+            Some(position) => Err(TreeError::NonFinite { position }),
         }
-        Ok(())
     }
 
     /// Total number of arrivals observed.

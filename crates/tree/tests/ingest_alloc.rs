@@ -1,0 +1,90 @@
+//! Steady-state batched ingestion performs **zero heap allocations**.
+//!
+//! The blocked ingest path keeps all per-chunk state in reusable
+//! buffers: the SoA level lanes and precompiled merge plans live in
+//! [`IngestScratch`], and the heap coefficient buffers of evicted
+//! summaries recycle through the tree's hoisted [`MergeScratch`] pool
+//! (inline stores for `k <= 3` never touch the heap at all). After
+//! warming the tree, the scratch, and the pool, aligned batches must not
+//! allocate — for small budgets *and* for heap-backed `k = 8`.
+//!
+//! Mirrors `query_alloc.rs`: a counting global allocator wrapping
+//! `System`, in a dedicated single-test integration binary so no
+//! concurrent test perturbs the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use swat_tree::{IngestScratch, SwatConfig, SwatTree};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_batched_ingest_does_not_allocate() {
+    let n = 4096;
+    let batch: Vec<f64> = (0..1024).map(|i| ((i * 37) % 211) as f64 - 100.0).collect();
+    for k in [1usize, 2, 3, 8] {
+        let mut tree = SwatTree::new(SwatConfig::with_coefficients(n, k).unwrap());
+        let mut scratch = IngestScratch::new();
+
+        // Warm-up: fill the window twice so every level slab is
+        // populated and evicting, the lanes/plans reach their high-water
+        // mark, and (for k > 3) the coefficient pool holds recycled
+        // buffers for every level width.
+        for _ in 0..(2 * n / batch.len()).max(2) {
+            tree.push_batch_with_scratch(&batch, &mut scratch);
+        }
+
+        let before = allocations();
+        for _ in 0..16 {
+            tree.push_batch_with_scratch(&batch, &mut scratch);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "steady-state batched ingest allocated {delta} times (k = {k})"
+        );
+
+        // The scalar head/tail path shares the pool: unaligned pushes
+        // after warm-up stay allocation-free too.
+        let before = allocations();
+        for i in 0..257 {
+            tree.push((i % 97) as f64);
+        }
+        let delta = allocations() - before;
+        assert_eq!(
+            delta, 0,
+            "steady-state scalar pushes allocated {delta} times (k = {k})"
+        );
+    }
+}

@@ -186,6 +186,48 @@ impl HaarCoeffs {
         })
     }
 
+    /// Construct from a stored breadth-first prefix, drawing any heap
+    /// buffer from `scratch` — the blocked ingest path's bridge from SoA
+    /// coefficient slabs back into summary structs. The representation
+    /// rule matches [`Self::merge_with`] exactly: up to three
+    /// coefficients stay inline (no allocation ever), larger prefixes
+    /// reuse a pooled buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::from_parts`].
+    pub fn from_prefix_with(
+        len: usize,
+        prefix: &[f64],
+        scratch: &mut MergeScratch,
+    ) -> Result<Self, WaveletError> {
+        if !is_power_of_two(len) {
+            return Err(WaveletError::NotPowerOfTwo { len });
+        }
+        if prefix.is_empty() {
+            return Err(WaveletError::ZeroBudget);
+        }
+        if prefix.len() > len {
+            return Err(WaveletError::TooShort {
+                len,
+                min: prefix.len(),
+            });
+        }
+        let store = if prefix.len() <= INLINE_CAP {
+            let mut buf = [0.0; INLINE_CAP];
+            buf[..prefix.len()].copy_from_slice(prefix);
+            Store::Inline {
+                len: prefix.len() as u8,
+                buf,
+            }
+        } else {
+            let mut v = scratch.take(prefix.len());
+            v.extend_from_slice(prefix);
+            Store::Heap(v)
+        };
+        Ok(HaarCoeffs { len, store })
+    }
+
     /// Merge the summaries of two adjacent equal-length segments into the
     /// summary of their concatenation, keeping at most `k` coefficients.
     ///
@@ -392,6 +434,15 @@ impl HaarCoeffs {
 #[derive(Debug, Default)]
 pub struct MergeScratch {
     pool: Vec<Vec<f64>>,
+}
+
+/// A scratch is a pure cache: clones start with an empty pool (cheap and
+/// allocation-free), which lets owners — e.g. a tree that hoists one for
+/// its ingest path — keep deriving `Clone`.
+impl Clone for MergeScratch {
+    fn clone(&self) -> Self {
+        MergeScratch::new()
+    }
 }
 
 impl MergeScratch {

@@ -8,6 +8,11 @@
 //! * [`haar`] — the non-normalized Haar transform (pairwise average /
 //!   half-difference) used throughout the paper, with full forward and
 //!   inverse multilevel transforms over power-of-two signals,
+//! * [`block`] — flat SoA batch kernels over slabs of stored coefficient
+//!   prefixes: [`forward_block`] level-0 lanes and precompiled
+//!   [`PairMergePlan`] sibling merges, bit-identical to the scalar
+//!   [`HaarCoeffs::merge`] — the substrate of `swat-tree`'s chunked
+//!   ingest fast path,
 //! * [`ortho`] — the orthonormal Haar variant (scaling by `1/sqrt(2)`),
 //!   useful when energy preservation (Parseval) matters,
 //! * [`daubechies`] — a periodic Daubechies-4 transform, demonstrating the
@@ -68,6 +73,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod block;
 pub mod coeffs;
 pub mod daubechies;
 pub mod dot;
@@ -78,6 +84,7 @@ pub mod ortho;
 pub mod thresholded;
 pub mod topk;
 
+pub use block::{forward_block, PairMergePlan, PairOp};
 pub use coeffs::{HaarCoeffs, MergeScratch};
 pub use dot::{CanonicalProfile, ProfileTable};
 pub use error::WaveletError;

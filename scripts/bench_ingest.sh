@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
 # Regenerate results/BENCH_ingest.json — the ingestion-throughput
-# regression baseline (per-push vs batched vs sharded). Pass --quick for
-# a fast smoke-sized grid; any extra flags are forwarded to the CLI
-# (see `swat help`, INGEST-BENCH section, for the grid options).
+# regression baseline (per-push vs the frozen scalar reference vs the
+# blocked batch cascade, swept across chunk caps, vs sharded
+# multi-stream ingest swept across stream counts). The JSON summary's
+# batch_ge_reference records whether the blocked path beat the frozen
+# reference at every grid point in this same run. Pass --quick for a
+# fast smoke-sized grid; any extra flags are forwarded to the CLI (see
+# `swat help`, INGEST-BENCH section, for the grid options).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -p swat-cli -- ingest-bench --out results/BENCH_ingest.json "$@"
+
+grep -q '"batch_ge_reference": true' results/BENCH_ingest.json || {
+    echo "bench_ingest: blocked batch path did not beat the frozen reference" >&2
+    exit 1
+}

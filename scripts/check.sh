@@ -18,6 +18,19 @@ echo "== workspace tests (every crate, release binaries for the smokes) =="
 cargo test -q --workspace
 cargo build --release -p swat-cli # swat + swatd binaries for the daemon smoke
 
+echo "== ingest equivalence (blocked path vs frozen scalar reference) =="
+cargo test -q -p swat-tree --test ingest_equivalence
+cargo test -q -p swat-tree --test ingest_alloc
+echo "ingest equivalence clean (bit-identity + zero-alloc steady state)"
+
+echo "== ingest-bench smoke (blocked batch must beat frozen reference) =="
+cargo run --release -q -p swat-cli -- ingest-bench --quick \
+    --values 262144 --windows 1024 --coeffs 1,8 \
+    --out target/ingest-smoke.json >/dev/null
+grep -q '"bench": "ingest"' target/ingest-smoke.json
+grep -q '"batch_ge_reference": true' target/ingest-smoke.json
+echo "ingest smoke clean (target/ingest-smoke.json)"
+
 echo "== chaos smoke (fault injection, quick grid) =="
 cargo run --release -q -p swat-cli -- chaos --quick --out target/chaos-smoke.json >/dev/null
 echo "chaos smoke clean (target/chaos-smoke.json)"
@@ -106,4 +119,4 @@ grep -q '"bench": "daemon"' target/daemon-smoke.json
 grep -q '"zero_wrong_answers": true' target/daemon-smoke.json
 echo "daemon bench smoke clean (target/daemon-smoke.json)"
 
-echo "OK: fmt, clippy, tier-1, chaos, recovery, query-bench, repair, scale, and daemon smokes all green"
+echo "OK: fmt, clippy, tier-1, ingest, chaos, recovery, query-bench, repair, scale, and daemon smokes all green"
