@@ -44,7 +44,12 @@
 //! replicas), measures request latency (p50/p99) and throughput clean
 //! versus with one replica killed mid-run — enforcing zero wrong
 //! answers in both phases — and writes `results/BENCH_daemon.json`; it
-//! backs `swat daemon-bench`.
+//! backs `swat daemon-bench`. [`failover`] kills the *leader* of a
+//! full failover cluster (term-based elections, epoch-fenced standby
+//! promotion) and measures election latency, the unavailability
+//! window, and the answered fraction before/during/after — enforcing
+//! zero wrong answers over the acked rows; it writes
+//! `results/BENCH_failover.json` and backs `swat failover-bench`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -52,6 +57,7 @@
 pub mod centralized;
 pub mod chaos;
 pub mod daemon;
+pub mod failover;
 pub mod ingest;
 pub mod query;
 pub mod recovery;

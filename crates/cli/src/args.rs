@@ -61,7 +61,7 @@ impl std::error::Error for ArgError {}
 
 /// Switch flags (no value).
 const SWITCHES: &[&str] = &[
-    "render", "stdin", "help", "quick", "heal", "status", "shutdown",
+    "render", "stdin", "help", "quick", "heal", "status", "shutdown", "standbys",
 ];
 
 impl Args {

@@ -1,6 +1,6 @@
 //! The CLI commands: `summarize`, `simulate`, `generate`, `ingest-bench`,
 //! `query-bench`, `chaos`, `recover`, `recovery-bench`, `repair-bench`,
-//! `scale-bench`.
+//! `scale-bench`, `daemon-bench`, `failover-bench`.
 
 use std::io::Read;
 
@@ -30,6 +30,7 @@ USAGE
   swat repair-bench [options] [--out PATH] [--quick]
   swat scale-bench  [sweep options] [--out PATH] [--quick]
   swat daemon-bench [options] [--out PATH] [--quick]
+  swat failover-bench [options] [--out PATH] [--quick]
   swat help
 
 SUMMARIZE — build a SWAT over a stream and answer queries
@@ -79,8 +80,10 @@ RECOVER — recover a crashed durable store directory
   --dir PATH   the store directory (checkpoints + write-ahead logs);
                prints what was recovered and re-anchors the store
 
-CLIENT — send requests to a running swatd node (see `swatd --help`)
-  --addr HOST:PORT      the node (a leader for fan-out requests)
+CLIENT — send requests to a running swatd node or cluster
+  --addr HOST:PORT      a node; repeat for the whole cluster — the
+                        client then follows NotLeaderR redirects and
+                        retries refused/timed-out sockets with backoff
   --ingest V,V,..       apply one global row          (repeatable)
   --point STREAM:IDX    point query                   (repeatable)
   --range STREAM:CENTER:RADIUS:NEWEST:OLDEST          (repeatable)
@@ -88,6 +91,8 @@ CLIENT — send requests to a running swatd node (see `swatd --help`)
   --status              health snapshot   --shutdown  graceful drain
   --req-id N            first write id (default 0)
   --timeout-ms MS       connect/read deadline (default 2000)
+  --retries N           retry rounds over the peer list (default 4)
+  --retry-ms MS         backoff base between rounds (default 50)
 
 RECOVERY-BENCH — measure crash recovery and the durable-restart win
   store:     --window N --coeffs K --streams N --rows N
@@ -123,7 +128,18 @@ DAEMON-BENCH — real-TCP cluster latency/throughput, clean vs killed
   output:    --out PATH (default results/BENCH_daemon.json)
   --quick    shrunk run for smoke tests
   kills one replica mid-run; errors on any wrong answer (explicit
-  degradation — failed_shards, Unavailable, incomplete — is expected)"
+  degradation — failed_shards, Unavailable, incomplete — is expected)
+
+FAILOVER-BENCH — kill the LEADER of a full failover cluster mid-run
+  cluster:   --streams N --shards N (>= 2) --window N --coeffs K
+  workload:  --rows-before N --rows-after N --seed S
+  timing:    --election-timeout-ms MS (default 250 quick / 300 full)
+             --deadline-ms MS   recovery deadline before the run fails
+  output:    --out PATH (default results/BENCH_failover.json)
+  --quick    shrunk run for smoke tests
+  measures election latency, the unavailability window, and the
+  answered fraction before/during/after; errors unless the cluster
+  re-elects, re-acks, and answers with zero wrong answers"
     );
 }
 
@@ -872,6 +888,75 @@ pub fn daemon_bench(a: &Args) -> Result<(), String> {
         return Err("the daemon answered a query wrongly under faults — this is a bug".into());
     }
     let out = a.get("out").unwrap_or("results/BENCH_daemon.json");
+    report
+        .write_json(std::path::Path::new(out))
+        .map_err(|e| PathError::writing(out, e))?;
+    println!("\nwrote {out}");
+    Ok(())
+}
+
+/// `swat failover-bench`: spawn a full failover cluster over real TCP,
+/// kill the leader mid-run, and measure election latency, the
+/// unavailability window, and the answered fraction — writing the
+/// `BENCH_failover.json` artifact. Fails unless the cluster recovers
+/// inside the deadline with zero wrong answers.
+pub fn failover_bench(a: &Args) -> Result<(), String> {
+    use swat_bench::failover::{run, FailoverBenchConfig};
+    let seed = a
+        .get_parsed("seed", swat_bench::DEFAULT_SEED, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut cfg = if a.switch("quick") {
+        FailoverBenchConfig::quick(seed)
+    } else {
+        FailoverBenchConfig::full(seed)
+    };
+    cfg.streams = a
+        .get_parsed("streams", cfg.streams, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.shards = a
+        .get_parsed("shards", cfg.shards, "a count of at least 2")
+        .map_err(|e| e.to_string())?;
+    cfg.window = a
+        .get_parsed("window", cfg.window, "a power of two")
+        .map_err(|e| e.to_string())?;
+    cfg.coeffs = a
+        .get_parsed("coeffs", cfg.coeffs, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.rows_before = a
+        .get_parsed("rows-before", cfg.rows_before, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.rows_after = a
+        .get_parsed("rows-after", cfg.rows_after, "a positive count")
+        .map_err(|e| e.to_string())?;
+    cfg.election_timeout_ms = a
+        .get_parsed(
+            "election-timeout-ms",
+            cfg.election_timeout_ms,
+            "milliseconds",
+        )
+        .map_err(|e| e.to_string())?;
+    cfg.deadline_ms = a
+        .get_parsed("deadline-ms", cfg.deadline_ms, "milliseconds")
+        .map_err(|e| e.to_string())?;
+    if cfg.shards < 2 {
+        return Err("--shards must be at least 2 (the bench kills the leader)".into());
+    }
+    if cfg.streams == 0 || cfg.rows_before == 0 || cfg.rows_after == 0 {
+        return Err("--streams, --rows-before, and --rows-after must be positive".into());
+    }
+    if cfg.election_timeout_ms == 0 || cfg.deadline_ms == 0 {
+        return Err("--election-timeout-ms and --deadline-ms must be positive".into());
+    }
+    SwatConfig::with_coefficients(cfg.window, cfg.coeffs).map_err(|e| e.to_string())?;
+    let report = run(&cfg);
+    report.print();
+    if !report.recovered {
+        return Err("the cluster did not recover inside the deadline — this is a bug".into());
+    }
+    if !report.zero_wrong_answers() {
+        return Err("the cluster answered wrongly around a failover — this is a bug".into());
+    }
+    let out = a.get("out").unwrap_or("results/BENCH_failover.json");
     report
         .write_json(std::path::Path::new(out))
         .map_err(|e| PathError::writing(out, e))?;

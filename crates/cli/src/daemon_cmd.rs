@@ -13,7 +13,8 @@ use std::time::Duration;
 
 use crate::args::{split_spec, Args};
 use crate::errors::PathError;
-use swat_daemon::{spawn, DaemonClient, DaemonConfig, Request, Response, Role};
+use swat_daemon::{spawn, DaemonConfig, FailoverClient, Request, Response, Role};
+use swat_replication::RetryPolicy;
 use swat_tree::SwatConfig;
 
 /// Set by the signal handler; polled by the serve loop.
@@ -60,11 +61,27 @@ pub fn serve(a: &Args) -> Result<(), String> {
         .get_parsed("coeffs", 4usize, "a positive count")
         .map_err(|e| e.to_string())?;
     let config = SwatConfig::with_coefficients(window, coeffs).map_err(|e| e.to_string())?;
+    // Cluster mode: `--peer` (repeated, indexed by node id) arms
+    // elections and standby promotion. Legacy mode keeps the PR 7
+    // static topology exactly.
+    let peers = a
+        .get_all("peer")
+        .iter()
+        .map(|raw| parse_addr("peer", raw))
+        .collect::<Result<Vec<_>, _>>()?;
+    if !peers.is_empty() && peers.len() != shards + 1 {
+        return Err(format!(
+            "a failover cluster over {shards} shard(s) has {} node(s); got {} --peer \
+             address(es)",
+            shards + 1,
+            peers.len()
+        ));
+    }
     let role_raw = a.get("role").unwrap_or("replica");
     let role = match role_raw {
         "leader" => {
             let addrs = a.get_all("replica");
-            if addrs.len() != shards {
+            if peers.is_empty() && addrs.len() != shards {
                 return Err(format!(
                     "a leader over {shards} shards needs exactly {shards} --replica \
                      addresses (got {})",
@@ -91,9 +108,22 @@ pub fn serve(a: &Args) -> Result<(), String> {
 
     let mut cfg = DaemonConfig::localhost(role, config, streams, shards);
     cfg.listen = parse_addr("listen", a.get("listen").unwrap_or("127.0.0.1:0"))?;
+    cfg.standbys = a.switch("standbys");
+    cfg.election_timeout = Duration::from_millis(
+        a.get_parsed("election-timeout-ms", 600u64, "milliseconds")
+            .map_err(|e| e.to_string())?,
+    );
+    if cfg.standbys && peers.is_empty() {
+        return Err("--standbys needs a full --peer list (cluster mode)".into());
+    }
+    cfg.peers = peers;
     if let Some(dir) = a.get("dir") {
-        if matches!(cfg.role, Role::Leader { .. }) {
-            return Err("--dir applies to replicas only (the leader holds no streams)".into());
+        if matches!(cfg.role, Role::Leader { .. }) && cfg.peers.is_empty() {
+            return Err(
+                "--dir applies to replicas only (a legacy leader holds no streams); \
+                 in cluster mode it persists the leader's term"
+                    .into(),
+            );
         }
         std::fs::create_dir_all(dir).map_err(|e| PathError::creating(dir, e))?;
         cfg.dir = Some(PathBuf::from(dir));
@@ -135,17 +165,37 @@ pub fn serve(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `swat client` — scriptable requests against a running daemon.
+/// `swat client` — scriptable requests against a running daemon or
+/// cluster. Repeat `--addr` to hand the client the whole peer list:
+/// it follows `NotLeaderR` redirects and retries refused/timed-out
+/// sockets with bounded backoff, so a request survives an election.
 pub fn client(a: &Args) -> Result<(), String> {
-    let addr = parse_addr(
-        "addr",
-        a.get("addr").ok_or("--addr is required (HOST:PORT)")?,
-    )?;
+    let addrs = a.get_all("addr");
+    if addrs.is_empty() {
+        return Err("--addr is required (HOST:PORT; repeat for a cluster)".into());
+    }
+    let addrs = addrs
+        .iter()
+        .map(|raw| parse_addr("addr", raw))
+        .collect::<Result<Vec<_>, _>>()?;
     let timeout = Duration::from_millis(
         a.get_parsed("timeout-ms", 2000u64, "milliseconds")
             .map_err(|e| e.to_string())?,
     );
-    let mut client = DaemonClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+    let retries = a
+        .get_parsed("retries", 4u32, "a retry budget")
+        .map_err(|e| e.to_string())?;
+    let retry_ms = a
+        .get_parsed("retry-ms", 50u64, "milliseconds")
+        .map_err(|e| e.to_string())?;
+    let mut client = FailoverClient::new(
+        addrs,
+        RetryPolicy {
+            max_retries: retries.max(1),
+            timeout: retry_ms,
+        },
+        timeout,
+    );
     let first_id = a
         .get_parsed("req-id", 0u64, "a write id")
         .map_err(|e| e.to_string())?;
@@ -156,7 +206,9 @@ pub fn client(a: &Args) -> Result<(), String> {
             .map(|s| s.trim().parse::<f64>())
             .collect::<Result<Vec<f64>, _>>()
             .map_err(|_| format!("--ingest {raw:?}: expected comma-separated numbers"))?;
-        let resp = client.ingest(req_id, row).map_err(|e| e.to_string())?;
+        let resp = client
+            .ingest_acked(req_id, row, retries.max(1))
+            .map_err(|e| e.to_string())?;
         println!("ingest[{req_id}]: {}", describe(&resp));
     }
     for raw in a.get_all("point") {
@@ -168,7 +220,9 @@ pub fn client(a: &Args) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad STREAM in {raw:?}"))?;
         let index: u32 = index.parse().map_err(|_| format!("bad INDEX in {raw:?}"))?;
-        let resp = client.point(stream, index).map_err(|e| e.to_string())?;
+        let resp = client
+            .call(&Request::Point { stream, index })
+            .map_err(|e| e.to_string())?;
         println!("point[{stream}:{index}]: {}", describe(&resp));
     }
     for raw in a.get_all("range") {
@@ -202,15 +256,17 @@ pub fn client(a: &Args) -> Result<(), String> {
         let k: u32 = raw
             .parse()
             .map_err(|_| format!("--top-k {raw:?}: expected a count"))?;
-        let resp = client.top_k(k).map_err(|e| e.to_string())?;
+        let resp = client
+            .call(&Request::TopK { k })
+            .map_err(|e| e.to_string())?;
         println!("top-k[{k}]: {}", describe(&resp));
     }
     if a.switch("status") {
-        let resp = client.status().map_err(|e| e.to_string())?;
+        let resp = client.call(&Request::Status).map_err(|e| e.to_string())?;
         println!("status: {}", describe(&resp));
     }
     if a.switch("shutdown") {
-        let resp = client.shutdown().map_err(|e| e.to_string())?;
+        let resp = client.call(&Request::Shutdown).map_err(|e| e.to_string())?;
         println!("shutdown: {}", describe(&resp));
     }
     Ok(())
@@ -263,6 +319,8 @@ fn describe(resp: &Response) -> String {
         }
         Response::StatusR {
             node,
+            term,
+            leader,
             arrivals,
             replicas,
         } => {
@@ -271,9 +329,12 @@ fn describe(resp: &Response) -> String {
                 .map(|(n, h)| format!("node{n}={h:?}"))
                 .collect();
             format!(
-                "node={node} arrivals={arrivals} replicas=[{}]",
+                "node={node} term={term} leader={leader} arrivals={arrivals} replicas=[{}]",
                 health.join(", ")
             )
+        }
+        Response::NotLeaderR { leader, term } => {
+            format!("NOT LEADER (ask node {leader}, term {term})")
         }
         Response::ShutdownOk { drained } => format!("acknowledged (drained {drained})"),
         Response::Overloaded => "OVERLOADED (shed, nothing applied)".into(),
@@ -311,6 +372,12 @@ mod tests {
         ])
         .unwrap();
         assert!(serve(&a).unwrap_err().contains("--dir"));
+        // Cluster mode needs one --peer address per node (shards + 1).
+        let a = Args::parse(["serve", "--shards", "2", "--peer", "127.0.0.1:9"]).unwrap();
+        assert!(serve(&a).unwrap_err().contains("--peer"));
+        // Standbys without a peer list is a configuration error.
+        let a = Args::parse(["serve", "--standbys"]).unwrap();
+        assert!(serve(&a).unwrap_err().contains("--peer"));
     }
 
     #[test]
@@ -333,5 +400,19 @@ mod tests {
         );
         assert!(describe(&Response::Overloaded).contains("OVERLOADED"));
         assert!(describe(&Response::Unavailable { node: 2 }).contains("node 2"));
+        assert_eq!(
+            describe(&Response::NotLeaderR { leader: 1, term: 3 }),
+            "NOT LEADER (ask node 1, term 3)"
+        );
+        assert_eq!(
+            describe(&Response::StatusR {
+                node: 1,
+                term: 4,
+                leader: 1,
+                arrivals: 7,
+                replicas: vec![]
+            }),
+            "node=1 term=4 leader=1 arrivals=7 replicas=[]"
+        );
     }
 }

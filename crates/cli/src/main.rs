@@ -13,6 +13,7 @@
 //! swat repair-bench --quick --out results/BENCH_repair.json
 //! swat scale-bench --quick --out results/BENCH_scale.json
 //! swat daemon-bench --quick --out results/BENCH_daemon.json
+//! swat failover-bench --quick --out results/BENCH_failover.json
 //! swat help
 //! ```
 
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
         "scale-bench" => commands::scale_bench(&parsed),
         "client" => swat_cli::daemon_cmd::client(&parsed),
         "daemon-bench" => commands::daemon_bench(&parsed),
+        "failover-bench" => commands::failover_bench(&parsed),
         other => Err(format!("unknown command {other:?} (try `swat help`)")),
     };
     match result {

@@ -137,6 +137,149 @@ impl DaemonClient {
     }
 }
 
+/// A failover-aware client over a whole cluster: follows
+/// [`Response::NotLeaderR`] redirects, retries `ConnectionRefused` /
+/// timed-out sockets with the bounded [`RetryPolicy`] backoff, and
+/// round-robins across the peer list when the current target is silent
+/// — so one client object survives elections and node deaths, never
+/// failing on the first socket error.
+pub struct FailoverClient {
+    peers: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    timeout: Duration,
+    /// Index of the peer currently believed to lead.
+    target: usize,
+    conn: Option<DaemonClient>,
+}
+
+impl FailoverClient {
+    /// A client over `peers` (`peers[i]` is node `i`), starting at node
+    /// `0`. `policy.timeout` is the backoff base in milliseconds;
+    /// `policy.max_retries` bounds the *rounds* over the peer list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is empty.
+    pub fn new(peers: Vec<SocketAddr>, policy: RetryPolicy, timeout: Duration) -> Self {
+        assert!(!peers.is_empty(), "a cluster has at least one address");
+        FailoverClient {
+            peers,
+            policy,
+            timeout,
+            target: 0,
+            conn: None,
+        }
+    }
+
+    /// Point the client at node `id` (a `NotLeaderR` hint, or a fresh
+    /// guess after silence).
+    fn retarget(&mut self, id: usize) {
+        if id != self.target {
+            self.conn = None;
+        }
+        self.target = id % self.peers.len();
+    }
+
+    /// Send one request, following redirects and retrying through
+    /// elections with bounded backoff. Returns the first substantive
+    /// response (anything but `NotLeaderR`).
+    ///
+    /// # Errors
+    ///
+    /// The last [`ClientError`] once every round of the peer list is
+    /// exhausted.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut last_err: Option<ClientError> = None;
+        let rounds = self.policy.max_retries.max(1);
+        for round in 0..rounds {
+            if round > 0 {
+                std::thread::sleep(Duration::from_millis(self.policy.backoff(round)));
+            }
+            for _hop in 0..self.peers.len() {
+                if self.conn.is_none() {
+                    match DaemonClient::connect(self.peers[self.target], self.timeout) {
+                        Ok(c) => self.conn = Some(c),
+                        Err(e) => {
+                            // Connection refused / timed out: this node
+                            // is down or not yet up — try the next one.
+                            last_err = Some(e);
+                            self.retarget(self.target + 1);
+                            continue;
+                        }
+                    }
+                }
+                // invariant: the branch above just filled `conn`.
+                let conn = self.conn.as_mut().expect("connected above");
+                match conn.call(req) {
+                    Ok(Response::NotLeaderR { leader, .. }) => {
+                        // Redirect; a hint equal to the current target
+                        // means "election in progress" — move on.
+                        let hint = leader as usize % self.peers.len();
+                        if hint == self.target {
+                            self.retarget(self.target + 1);
+                        } else {
+                            self.retarget(hint);
+                        }
+                    }
+                    Ok(resp) => return Ok(resp),
+                    Err(e) => {
+                        // Mid-call failure: drop the connection and try
+                        // the next peer.
+                        self.conn = None;
+                        last_err = Some(e);
+                        self.retarget(self.target + 1);
+                    }
+                }
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Transport(TransportError::TimedOut)))
+    }
+
+    /// Ingest `row` under `req_id`, retrying until the row is fully
+    /// acked (`failed_shards` empty) or `attempts` runs out. The stable
+    /// `req_id` makes the retries duplicate-safe; a partial apply is
+    /// re-driven until every shard holds the row.
+    ///
+    /// The final response is returned even when not fully acked (the
+    /// caller inspects `failed_shards`).
+    ///
+    /// # Errors
+    ///
+    /// The final transport error when no response arrived at all.
+    pub fn ingest_acked(
+        &mut self,
+        req_id: u64,
+        row: Vec<f64>,
+        attempts: u32,
+    ) -> Result<Response, ClientError> {
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(self.policy.backoff(attempt)));
+            }
+            match self.call(&Request::Ingest {
+                req_id,
+                row: row.clone(),
+            }) {
+                Ok(Response::IngestOk {
+                    req_id: r,
+                    duplicate,
+                    failed_shards,
+                }) if failed_shards.is_empty() => {
+                    return Ok(Response::IngestOk {
+                        req_id: r,
+                        duplicate,
+                        failed_shards,
+                    })
+                }
+                Ok(other) => last = Some(Ok(other)),
+                Err(e) => last = Some(Err(e)),
+            }
+        }
+        last.unwrap_or(Err(ClientError::Transport(TransportError::TimedOut)))
+    }
+}
+
 /// One pooled peer: its address, at most one live connection, and the
 /// in-flight token counter.
 struct Peer {
@@ -244,7 +387,18 @@ impl PeerPool {
     /// load).
     pub fn exchange(&self, shard: usize, req: &Request) -> Option<Response> {
         let peer = &self.peers[shard];
-        let mut conn = peer.conn.lock().expect("peer lock never poisoned");
+        // A panic while an exchange held this lock poisons it; the
+        // protected state is just an optional connection, which is safe
+        // to reset and reuse — a poisoned pool must not cascade panics
+        // into every other connection worker.
+        let mut conn = match peer.conn.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                *g = None;
+                g
+            }
+        };
         for attempt in 0..=self.policy.max_retries {
             if attempt > 0 {
                 // RetryPolicy::timeout is in milliseconds here.
@@ -258,6 +412,7 @@ impl PeerPool {
                     Err(_) => continue,
                 }
             }
+            // invariant: the branch above just filled `conn`.
             let tp = conn.as_mut().expect("just connected");
             let ok = tp
                 .send_frame(&encode_request(req))

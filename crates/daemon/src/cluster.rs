@@ -1,25 +1,38 @@
 //! The leader core: sans-io request planning and result merging.
 //!
-//! The leader owns no stream data. It routes: ingest rows split into
-//! per-shard sub-rows, point/range queries route to the owning shard,
+//! The leader owns no stream data it is not also hosting as a regular
+//! holding. It routes: ingest rows split into per-shard sub-rows (one
+//! fenced leg to the shard's primary, one `Replicate` leg to its
+//! standby), point/range queries route to the owning shard's primary,
 //! and the distributed top-k runs the exact two-round Jestes–Yi–Li
 //! merge — the *same* decision sequence `ShardedStreamSet::global_top_k`
 //! executes in-process, so a daemon cluster and the in-process oracle
 //! produce bit-identical answers.
 //!
+//! Everything leaving the leader is stamped with its term (and, for
+//! shard traffic, the shard's configuration epoch) via
+//! [`Request::Fenced`]. A holder that has moved on answers
+//! `StaleTermR` / `StaleEpochR`; the merge functions treat both as
+//! failures *and* record what they imply (step down; refresh the
+//! holder's epoch; drop the faulty standby), so the repair loop can act
+//! without the merge path doing I/O.
+//!
 //! Like [`crate::replica::ReplicaNode`], everything here is pure state
 //! and planning: the TCP server and the deterministic simulator both
 //! drive the [`LeaderCore`] and only differ in how planned peer
-//! requests cross to the replicas. A peer exchange either yields the
-//! replica's [`Response`] or `None` (unreachable after bounded
-//! retries / shed / dead) — the merge functions turn `None` into
-//! *explicit* degradation: `failed_shards`, `Unavailable`, or
-//! `complete: false`, never a silent gap.
+//! requests cross to the holders. A peer exchange either yields the
+//! holder's [`Response`] or `None` (unreachable after bounded retries /
+//! shed / dead) — the merge functions turn `None` into *explicit*
+//! degradation: `failed_shards`, `Unavailable`, or `complete: false`,
+//! never a silent gap.
 
-use swat_tree::{shard_members, shard_of, SwatConfig};
+use std::collections::BTreeSet;
+
+use swat_tree::{shard_members, shard_of};
 use swat_wavelet::TopKSummary;
 
-use crate::proto::{ErrorCode, Request, Response};
+use crate::failover::Assignment;
+use crate::proto::{ErrorCode, Request, Response, NO_SHARD};
 use crate::registry::ReplicaRegistry;
 
 /// The deterministic global↔shard routing table every node agrees on.
@@ -74,11 +87,15 @@ impl ShardMap {
     }
 }
 
-/// What the leader wants sent to one shard's replica.
+/// What the leader wants delivered to one node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PeerCall {
-    /// Destination shard (replica node id is `shard + 1`).
+    /// Destination node id (possibly the leader itself, served locally).
+    pub node: u64,
+    /// The shard the call concerns (for merge bookkeeping).
     pub shard: usize,
+    /// Whether this is the standby (`Replicate`) leg of an ingest.
+    pub standby_leg: bool,
     /// The request to deliver.
     pub request: Request,
 }
@@ -97,22 +114,79 @@ pub enum Plan {
 #[derive(Debug)]
 pub struct LeaderCore {
     node: u64,
+    term: u64,
     map: ShardMap,
     registry: ReplicaRegistry,
-    /// Rows fully applied on every shard (no failed shards, first try
-    /// or absorbed retry).
+    assignment: Assignment,
+    /// Rows fully applied on every required holder (no failed shards,
+    /// first try or absorbed retry).
     complete_rows: u64,
+    /// Shards whose primary answered shard traffic with a typed error
+    /// or a stale epoch — the repair loop re-issues their configuration
+    /// (or promotes around them) on its next pass.
+    primary_faults: BTreeSet<usize>,
+    /// Shards whose standby answered `Replicate` with a typed error —
+    /// the repair loop drops them from the assignment.
+    standby_faults: BTreeSet<usize>,
 }
 
 impl LeaderCore {
-    /// A leader (node 0) over `shards` replicas, one shard each.
-    pub fn new(_config: SwatConfig, streams: usize, shards: usize, miss_threshold: u32) -> Self {
+    /// The bootstrap leader (node 0, term 0) over `shards` replicas.
+    /// `standbys` picks the ring layout (each replica primary of one
+    /// shard, standby of another) over the PR 7 solo layout.
+    pub fn bootstrap(
+        streams: usize,
+        shards: usize,
+        miss_threshold: u32,
+        standbys: bool,
+    ) -> LeaderCore {
         LeaderCore {
             node: 0,
+            term: 0,
             map: ShardMap::new(streams, shards),
             registry: ReplicaRegistry::new(shards, miss_threshold),
+            assignment: if standbys {
+                Assignment::ring(shards)
+            } else {
+                Assignment::solo(shards)
+            },
             complete_rows: 0,
+            primary_faults: BTreeSet::new(),
+            standby_faults: BTreeSet::new(),
         }
+    }
+
+    /// A core rebuilt on promotion: `node` leads `term` with an
+    /// assignment reconstructed from the peers' sync reports.
+    pub fn rebuilt(
+        node: u64,
+        term: u64,
+        streams: usize,
+        shards: usize,
+        registry: ReplicaRegistry,
+        assignment: Assignment,
+        complete_rows: u64,
+    ) -> LeaderCore {
+        LeaderCore {
+            node,
+            term,
+            map: ShardMap::new(streams, shards),
+            registry,
+            assignment,
+            complete_rows,
+            primary_faults: BTreeSet::new(),
+            standby_faults: BTreeSet::new(),
+        }
+    }
+
+    /// The leading node's id.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// The term this core leads.
+    pub fn term(&self) -> u64 {
+        self.term
     }
 
     /// The routing table.
@@ -130,6 +204,52 @@ impl LeaderCore {
         &mut self.registry
     }
 
+    /// The authoritative shard assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Mutable assignment access for the repair loop.
+    pub fn assignment_mut(&mut self) -> &mut Assignment {
+        &mut self.assignment
+    }
+
+    /// Drain the shards flagged for primary reconfiguration.
+    pub fn take_primary_faults(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.primary_faults)
+            .into_iter()
+            .collect()
+    }
+
+    /// Drain the shards whose standby must be dropped.
+    pub fn take_standby_faults(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.standby_faults)
+            .into_iter()
+            .collect()
+    }
+
+    /// Wrap `inner` in this term's fence for `shard`.
+    fn fence(&self, shard: usize, inner: Request) -> Request {
+        Request::Fenced {
+            term: self.term,
+            leader: self.node,
+            shard: shard as u32,
+            epoch: self.assignment.slot(shard).epoch,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// The term-fenced heartbeat ping sent to every peer each period.
+    pub fn heartbeat(&self, nonce: u64) -> Request {
+        Request::Fenced {
+            term: self.term,
+            leader: self.node,
+            shard: NO_SHARD,
+            epoch: 0,
+            inner: Box::new(Request::Ping { nonce }),
+        }
+    }
+
     /// Plan one client request. Fan plans must be completed with the
     /// matching `finish_*` call.
     pub fn plan(&self, req: &Request) -> Plan {
@@ -138,16 +258,28 @@ impl LeaderCore {
             Request::Ping { nonce } => Plan::Done(Response::Pong { nonce: *nonce }),
             Request::Status => Plan::Done(Response::StatusR {
                 node: self.node,
+                term: self.term,
+                leader: self.node,
                 arrivals: self.complete_rows,
                 replicas: self.registry.statuses(),
             }),
             Request::Ingest { req_id, row } => self.plan_ingest(*req_id, row),
             Request::Point { stream, .. } | Request::Range { stream, .. } => {
                 match self.map.owner_of(*stream) {
-                    Some(shard) => Plan::Fan(vec![PeerCall {
-                        shard,
-                        request: req.clone(),
-                    }]),
+                    Some(shard) => match self.assignment.slot(shard).primary {
+                        Some(node) => Plan::Fan(vec![PeerCall {
+                            node,
+                            shard,
+                            standby_leg: false,
+                            request: self.fence(shard, req.clone()),
+                        }]),
+                        // No serving holder at all (primary died with no
+                        // standby): explicit unavailability, named after
+                        // the shard's home node.
+                        None => Plan::Done(Response::Unavailable {
+                            node: shard as u64 + 1,
+                        }),
+                    },
                     None => Plan::Done(Response::ErrorR {
                         code: ErrorCode::BadRequest,
                     }),
@@ -160,16 +292,29 @@ impl LeaderCore {
                     });
                 }
                 Plan::Fan(
-                    (0..self.map.shards())
-                        .map(|shard| PeerCall {
-                            shard,
-                            request: Request::LocalTopK { k: *k },
+                    self.assignment
+                        .iter()
+                        .filter_map(|(shard, slot)| {
+                            slot.primary.map(|node| PeerCall {
+                                node,
+                                shard,
+                                standby_leg: false,
+                                request: self.fence(shard, Request::LocalTopK { k: *k }),
+                            })
                         })
                         .collect(),
                 )
             }
-            // Replica-internal requests addressed to the leader.
-            Request::LocalTopK { .. } | Request::TopKScan { .. } => Plan::Done(Response::ErrorR {
+            // Replica-internal and cluster-internal requests addressed
+            // to the leader's client surface.
+            Request::LocalTopK { .. }
+            | Request::TopKScan { .. }
+            | Request::Fenced { .. }
+            | Request::NewTerm { .. }
+            | Request::Replicate { .. }
+            | Request::FetchShard { .. }
+            | Request::InstallShard { .. }
+            | Request::Promote { .. } => Plan::Done(Response::ErrorR {
                 code: ErrorCode::WrongRole,
             }),
             // The server handles Shutdown itself (it must drain).
@@ -183,36 +328,97 @@ impl LeaderCore {
                 code: ErrorCode::BadRequest,
             });
         }
-        Plan::Fan(
-            (0..self.map.shards())
-                .map(|shard| PeerCall {
+        let mut calls = Vec::new();
+        for (shard, slot) in self.assignment.iter() {
+            let sub = self.map.subrow(row, shard);
+            if let Some(node) = slot.primary {
+                calls.push(PeerCall {
+                    node,
                     shard,
-                    request: Request::Ingest {
+                    standby_leg: false,
+                    request: self.fence(
+                        shard,
+                        Request::Ingest {
+                            req_id,
+                            row: sub.clone(),
+                        },
+                    ),
+                });
+            }
+            if let Some(node) = slot.standby {
+                calls.push(PeerCall {
+                    node,
+                    shard,
+                    standby_leg: true,
+                    request: Request::Replicate {
+                        term: self.term,
+                        shard: shard as u32,
+                        epoch: slot.epoch,
                         req_id,
-                        row: self.map.subrow(row, shard),
+                        row: sub,
                     },
-                })
-                .collect(),
-        )
+                });
+            }
+        }
+        Plan::Fan(calls)
     }
 
-    /// Merge per-shard ingest outcomes. `results[i]` answers the `i`-th
-    /// planned call; `None` means the replica was unreachable after the
-    /// bounded retries (or shed the request) — its shard lands in
-    /// `failed_shards`, the explicit no-silent-loss contract.
-    pub fn finish_ingest(&mut self, req_id: u64, results: &[Option<Response>]) -> Response {
+    /// Merge per-leg ingest outcomes. `results[i]` answers `calls[i]`;
+    /// `None` means the holder was unreachable after the bounded retries
+    /// (or shed the request). A shard is acked only when its primary
+    /// applied the sub-row **and** every standby the assignment
+    /// currently requires acked its replicated copy — that invariant is
+    /// what makes promoting the standby lossless for acked rows. Every
+    /// other shard lands in `failed_shards`, the explicit no-silent-loss
+    /// contract.
+    pub fn finish_ingest(
+        &mut self,
+        req_id: u64,
+        calls: &[PeerCall],
+        results: &[Option<Response>],
+    ) -> Response {
+        debug_assert_eq!(calls.len(), results.len());
         let mut failed_shards = Vec::new();
-        let mut all_duplicate = !results.is_empty();
-        for (shard, r) in results.iter().enumerate() {
-            match r {
-                Some(Response::IngestOk { duplicate, .. }) => {
-                    all_duplicate &= duplicate;
+        let mut all_duplicate = true;
+        for shard in 0..self.map.shards() {
+            let mut primary_ok = false;
+            let mut primary_dup = false;
+            let standby_required = self.assignment.slot(shard).standby.is_some();
+            let mut standby_ok = !standby_required;
+            for (call, result) in calls.iter().zip(results) {
+                if call.shard != shard {
+                    continue;
                 }
-                _ => {
-                    failed_shards.push(shard as u32);
-                    all_duplicate = false;
+                match (call.standby_leg, result) {
+                    (false, Some(Response::IngestOk { duplicate, .. })) => {
+                        primary_ok = true;
+                        primary_dup = *duplicate;
+                    }
+                    (false, Some(other)) => self.note_primary_fault(shard, other),
+                    (false, None) => {}
+                    (true, Some(Response::IngestOk { .. })) => standby_ok = true,
+                    (true, Some(_)) => {
+                        // A live standby refused its copy: drop it from
+                        // the assignment (repair loop) rather than wait
+                        // out heartbeat misses that will never come.
+                        // This row still does NOT ack — as long as the
+                        // assignment lists that standby, an election
+                        // could promote it, and promoting a copy that
+                        // is missing an acked row would be wrongness.
+                        self.standby_faults.insert(shard);
+                    }
+                    (true, None) => {}
                 }
             }
+            if primary_ok && standby_ok {
+                all_duplicate &= primary_dup;
+            } else {
+                failed_shards.push(shard as u32);
+                all_duplicate = false;
+            }
+        }
+        if self.map.shards() == 0 {
+            all_duplicate = false;
         }
         if failed_shards.is_empty() && !all_duplicate {
             self.complete_rows += 1;
@@ -224,25 +430,54 @@ impl LeaderCore {
         }
     }
 
-    /// Merge a single-shard point/range result: the replica's response
-    /// passes through; unreachable becomes a typed `Unavailable` naming
-    /// the node.
-    pub fn finish_routed(&self, shard: usize, result: Option<Response>) -> Response {
+    /// Record what a primary's non-`IngestOk` answer implies for repair.
+    fn note_primary_fault(&mut self, shard: usize, resp: &Response) {
+        if let Response::StaleEpochR { epoch, .. } = resp {
+            // The holder is *ahead* (a prior leader bumped it): adopt.
+            // Behind: it missed a Promote — re-issue it.
+            self.assignment.adopt_epoch(shard, *epoch);
+        }
+        self.primary_faults.insert(shard);
+    }
+
+    /// Merge a single-shard point/range result: the holder's response
+    /// passes through; unreachable (or mid-reconfiguration) becomes a
+    /// typed `Unavailable` naming the node.
+    pub fn finish_routed(&mut self, call: &PeerCall, result: Option<Response>) -> Response {
         match result {
+            Some(Response::StaleTermR { .. }) => {
+                self.primary_faults.insert(call.shard);
+                Response::Unavailable { node: call.node }
+            }
+            Some(Response::StaleEpochR { epoch, .. }) => {
+                self.assignment.adopt_epoch(call.shard, epoch);
+                self.primary_faults.insert(call.shard);
+                Response::Unavailable { node: call.node }
+            }
             Some(r) => r,
-            None => Response::Unavailable {
-                node: (shard + 1) as u64,
-            },
+            None => Response::Unavailable { node: call.node },
         }
     }
 
-    /// Round one → round two: given every shard's `LocalTopKR` (or
-    /// `None` for unreachable shards), compute the pruning threshold τ
-    /// and the refinement calls, exactly as
+    /// Round one → round two: given every planned round-one call and its
+    /// result (`None` for unreachable shards), compute the pruning
+    /// threshold τ and the refinement calls, exactly as
     /// `ShardedStreamSet::global_top_k` would. Returns `(tau,
     /// refine_calls)`; shards not refined are either pruned (their
     /// round-one entries suffice) or missing.
-    pub fn plan_topk_round2(&self, k: u32, locals: &[Option<Response>]) -> (f64, Vec<PeerCall>) {
+    pub fn plan_topk_round2(
+        &self,
+        _k: u32,
+        calls: &[PeerCall],
+        locals: &[Option<Response>],
+    ) -> (f64, Vec<PeerCall>) {
+        let k = match calls.first().map(|c| &c.request) {
+            Some(Request::Fenced { inner, .. }) => match **inner {
+                Request::LocalTopK { k } => k,
+                _ => 0,
+            },
+            _ => 0,
+        };
         let mut merged = TopKSummary::new(k as usize);
         for local in locals.iter().flatten() {
             if let Response::LocalTopKR { entries, .. } = local {
@@ -253,7 +488,7 @@ impl LeaderCore {
         }
         let tau = merged.threshold();
         let mut refines = Vec::new();
-        for (shard, local) in locals.iter().enumerate() {
+        for (call, local) in calls.iter().zip(locals) {
             if let Some(Response::LocalTopKR {
                 threshold,
                 truncated,
@@ -262,8 +497,10 @@ impl LeaderCore {
             {
                 if *truncated && *threshold >= tau {
                     refines.push(PeerCall {
-                        shard,
-                        request: Request::TopKScan { tau },
+                        node: call.node,
+                        shard: call.shard,
+                        standby_leg: false,
+                        request: self.fence(call.shard, Request::TopKScan { tau }),
                     });
                 }
             }
@@ -275,18 +512,25 @@ impl LeaderCore {
     /// pruned shards their round-one entries, in shard order — the
     /// offer sequence `ShardedStreamSet::global_top_k` uses, so the
     /// result is bit-identical to the in-process oracle whenever every
-    /// shard answered. Any unreachable shard (either round) flips
+    /// shard answered. Any shard that is unreachable, mid-
+    /// reconfiguration, or missing a primary (either round) flips
     /// `complete` to `false`; the entries remain exact over the shards
     /// that answered.
     pub fn finish_topk(
         &self,
         k: u32,
+        calls: &[PeerCall],
         locals: &[Option<Response>],
         scans: &[(usize, Option<Response>)],
     ) -> Response {
         let mut complete = true;
         let mut result = TopKSummary::new(k as usize);
-        for (shard, local) in locals.iter().enumerate() {
+        for shard in 0..self.map.shards() {
+            let local = calls
+                .iter()
+                .zip(locals)
+                .find(|(c, _)| c.shard == shard)
+                .and_then(|(_, l)| l.as_ref());
             match local {
                 Some(Response::LocalTopKR { entries, .. }) => {
                     match scans.iter().find(|(s, _)| *s == shard) {
@@ -313,6 +557,8 @@ impl LeaderCore {
                         }
                     }
                 }
+                // Unreachable, typed error, or the shard had no primary
+                // to ask (no round-one call at all).
                 _ => complete = false,
             }
         }
@@ -323,142 +569,148 @@ impl LeaderCore {
     }
 }
 
+/// Scan fan-out results for a `StaleTermR`: the newest term observed
+/// and its leader, if any peer fenced us out. The driver feeds this to
+/// [`crate::node::ClusterNode::observe_stale_term`] to step down.
+pub fn stale_term_in(results: &[Option<Response>]) -> Option<(u64, u64)> {
+    results
+        .iter()
+        .flatten()
+        .filter_map(|r| match r {
+            Response::StaleTermR { term, leader } => Some((*term, *leader)),
+            _ => None,
+        })
+        .max()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swat_tree::{ShardedStreamSet, StreamSet};
 
-    use crate::replica::ReplicaNode;
-
-    fn cfg() -> SwatConfig {
-        SwatConfig::with_coefficients(16, 4).unwrap()
+    fn fan(plan: Plan) -> Vec<PeerCall> {
+        match plan {
+            Plan::Fan(calls) => calls,
+            Plan::Done(r) => panic!("expected a fan plan, got {r:?}"),
+        }
     }
 
-    /// Drive a full leader+replicas exchange entirely in-process (no
-    /// transport at all) and compare against the sharded oracle.
+    fn ingest_ok(req_id: u64, duplicate: bool) -> Option<Response> {
+        Some(Response::IngestOk {
+            req_id,
+            duplicate,
+            failed_shards: vec![],
+        })
+    }
+
     #[test]
-    fn fanned_out_cluster_matches_sharded_oracle() {
-        let (streams, shards) = (13, 3);
-        let mut leader = LeaderCore::new(cfg(), streams, shards, 3);
-        let mut replicas: Vec<ReplicaNode> = (0..shards)
-            .map(|s| ReplicaNode::new((s + 1) as u64, cfg(), streams, shards, s))
+    fn solo_plans_fence_every_leg_with_term_and_epoch() {
+        let leader = LeaderCore::bootstrap(8, 2, 3, false);
+        let calls = fan(leader.plan(&Request::Ingest {
+            req_id: 7,
+            row: vec![1.0; 8],
+        }));
+        assert_eq!(calls.len(), 2, "solo layout: one leg per shard");
+        for (shard, call) in calls.iter().enumerate() {
+            assert_eq!(call.node, shard as u64 + 1);
+            assert!(!call.standby_leg);
+            match &call.request {
+                Request::Fenced {
+                    term,
+                    leader: l,
+                    shard: s,
+                    epoch,
+                    inner,
+                } => {
+                    assert_eq!((*term, *l, *s as usize, *epoch), (0, 0, shard, 0));
+                    assert!(matches!(**inner, Request::Ingest { req_id: 7, .. }));
+                }
+                other => panic!("unfenced leg {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ring_ingest_requires_both_legs_to_ack() {
+        let mut leader = LeaderCore::bootstrap(8, 2, 3, true);
+        let calls = fan(leader.plan(&Request::Ingest {
+            req_id: 3,
+            row: vec![1.0; 8],
+        }));
+        assert_eq!(calls.len(), 4, "two shards × (primary + standby)");
+        assert!(calls.iter().any(|c| c.standby_leg
+            && matches!(c.request, Request::Replicate { shard: 0, .. })
+            && c.node == 2));
+        // All four legs ack: the row is acked.
+        let results: Vec<Option<Response>> = calls.iter().map(|_| ingest_ok(3, false)).collect();
+        assert_eq!(
+            leader.finish_ingest(3, &calls, &results),
+            Response::IngestOk {
+                req_id: 3,
+                duplicate: false,
+                failed_shards: vec![]
+            }
+        );
+        // Standby leg of shard 0 unreachable: shard 0 must NOT ack —
+        // the promoted standby could otherwise miss an acked row.
+        let results: Vec<Option<Response>> = calls
+            .iter()
+            .map(|c| {
+                if c.shard == 0 && c.standby_leg {
+                    None
+                } else {
+                    ingest_ok(4, false)
+                }
+            })
             .collect();
-        let mut oracle = ShardedStreamSet::new(cfg(), streams, shards);
-        let mut flat = StreamSet::new(cfg(), streams);
-
-        for r in 0..48u64 {
-            let row: Vec<f64> = (0..streams)
-                .map(|i| (((r as usize * 5 + i * 11) % 19) as f64) - 9.0)
-                .collect();
-            let plan = leader.plan(&Request::Ingest {
-                req_id: r,
-                row: row.clone(),
-            });
-            let Plan::Fan(calls) = plan else {
-                panic!("ingest must fan out")
-            };
-            let results: Vec<Option<Response>> = calls
-                .iter()
-                .map(|c| Some(replicas[c.shard].handle(&c.request)))
-                .collect();
-            let resp = leader.finish_ingest(r, &results);
-            assert_eq!(
-                resp,
-                Response::IngestOk {
-                    req_id: r,
-                    duplicate: false,
-                    failed_shards: vec![]
-                }
-            );
-            oracle.push_row(&row);
-            flat.push_row(&row);
+        match leader.finish_ingest(4, &calls, &results) {
+            Response::IngestOk { failed_shards, .. } => assert_eq!(failed_shards, vec![0]),
+            other => panic!("unexpected {other:?}"),
         }
+    }
 
-        // Point queries through the routed path match the oracle tree.
-        for g in 0..streams {
-            let plan = leader.plan(&Request::Point {
-                stream: g as u64,
-                index: 5,
-            });
-            let Plan::Fan(calls) = plan else {
-                panic!("point must route")
-            };
-            let r = replicas[calls[0].shard].handle(&calls[0].request);
-            let want = oracle
-                .tree(g)
-                .point_with(5, swat_tree::QueryOptions::default())
-                .unwrap();
-            match r {
-                Response::PointR { answer } => {
-                    assert_eq!(answer.value.to_bits(), want.value.to_bits(), "stream {g}")
-                }
-                other => panic!("unexpected {other:?}"),
+    #[test]
+    fn faulty_legs_are_flagged_for_repair() {
+        let mut leader = LeaderCore::bootstrap(8, 2, 3, true);
+        let calls = fan(leader.plan(&Request::Ingest {
+            req_id: 9,
+            row: vec![2.0; 8],
+        }));
+        // Shard 1's standby answers a typed error; shard 0's primary
+        // reports a *newer* epoch.
+        let results: Vec<Option<Response>> = calls
+            .iter()
+            .map(|c| match (c.shard, c.standby_leg) {
+                (1, true) => Some(Response::ErrorR {
+                    code: ErrorCode::WrongRole,
+                }),
+                (0, false) => Some(Response::StaleEpochR { shard: 0, epoch: 5 }),
+                _ => ingest_ok(9, false),
+            })
+            .collect();
+        match leader.finish_ingest(9, &calls, &results) {
+            Response::IngestOk { failed_shards, .. } => {
+                assert_eq!(failed_shards, vec![0, 1]);
             }
+            other => panic!("unexpected {other:?}"),
         }
-
-        // The two-round distributed top-k is bit-identical to the
-        // in-process merge.
-        for k in [1u32, 3, 8] {
-            let Plan::Fan(calls) = leader.plan(&Request::TopK { k }) else {
-                panic!("topk must fan out")
-            };
-            let locals: Vec<Option<Response>> = calls
-                .iter()
-                .map(|c| Some(replicas[c.shard].handle(&c.request)))
-                .collect();
-            let (_tau, refines) = leader.plan_topk_round2(k, &locals);
-            let scans: Vec<(usize, Option<Response>)> = refines
-                .iter()
-                .map(|c| (c.shard, Some(replicas[c.shard].handle(&c.request))))
-                .collect();
-            let got = leader.finish_topk(k, &locals, &scans);
-            let (want, _) = oracle.global_top_k(k as usize, 1);
-            assert_eq!(
-                got,
-                Response::TopKR {
-                    complete: true,
-                    entries: want.entries().to_vec()
-                },
-                "k={k}"
-            );
-        }
-
-        // Replica digests jointly equal the oracle's sharded state.
-        for (s, rep) in replicas.iter().enumerate() {
-            let members = leader.map().members(s);
-            let mut direct = StreamSet::new(cfg(), members.len());
-            for r in 0..48usize {
-                let row: Vec<f64> = members
-                    .iter()
-                    .map(|&g| (((r * 5 + g * 11) % 19) as f64) - 9.0)
-                    .collect();
-                direct.push_row(&row);
-            }
-            assert_eq!(rep.answers_digest(), direct.answers_digest(), "shard {s}");
-        }
-        assert_eq!(oracle.answers_digest(), flat.answers_digest());
+        assert_eq!(leader.take_primary_faults(), vec![0]);
+        assert_eq!(leader.take_standby_faults(), vec![1]);
+        assert_eq!(leader.assignment().slot(0).epoch, 5, "adopted ahead epoch");
+        // Draining clears the flags.
+        assert!(leader.take_primary_faults().is_empty());
     }
 
     #[test]
     fn unreachable_shards_degrade_explicitly() {
         let (streams, shards) = (8, 2);
-        let mut leader = LeaderCore::new(cfg(), streams, shards, 3);
+        let mut leader = LeaderCore::bootstrap(streams, shards, 3, false);
         let row = vec![1.0; streams];
-        let Plan::Fan(calls) = leader.plan(&Request::Ingest { req_id: 7, row }) else {
-            panic!()
-        };
+        let calls = fan(leader.plan(&Request::Ingest { req_id: 7, row }));
         assert_eq!(calls.len(), shards);
         // Shard 1 unreachable: named in failed_shards, never silent.
-        let results = vec![
-            Some(Response::IngestOk {
-                req_id: 7,
-                duplicate: false,
-                failed_shards: vec![],
-            }),
-            None,
-        ];
+        let results = vec![ingest_ok(7, false), None];
         assert_eq!(
-            leader.finish_ingest(7, &results),
+            leader.finish_ingest(7, &calls, &results),
             Response::IngestOk {
                 req_id: 7,
                 duplicate: false,
@@ -469,17 +721,25 @@ mod tests {
         let dead_stream = (0..streams)
             .find(|&g| shard_of(g as u64, shards) == 1)
             .unwrap();
-        let Plan::Fan(calls) = leader.plan(&Request::Point {
+        let calls = fan(leader.plan(&Request::Point {
             stream: dead_stream as u64,
             index: 0,
-        }) else {
-            panic!()
-        };
+        }));
         assert_eq!(
-            leader.finish_routed(calls[0].shard, None),
+            leader.finish_routed(&calls[0], None),
             Response::Unavailable { node: 2 }
         );
+        // A stale-epoch answer is also unavailability, plus a repair flag.
+        assert_eq!(
+            leader.finish_routed(
+                &calls[0],
+                Some(Response::StaleEpochR { shard: 1, epoch: 0 })
+            ),
+            Response::Unavailable { node: 2 }
+        );
+        assert_eq!(leader.take_primary_faults(), vec![1]);
         // Top-k with a missing shard: complete = false.
+        let calls = fan(leader.plan(&Request::TopK { k: 3 }));
         let locals = vec![
             Some(Response::LocalTopKR {
                 threshold: 0.0,
@@ -488,7 +748,46 @@ mod tests {
             }),
             None,
         ];
-        match leader.finish_topk(3, &locals, &[]) {
+        match leader.finish_topk(3, &calls, &locals, &[]) {
+            Response::TopKR { complete, .. } => assert!(!complete),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn primaryless_shards_are_planned_around() {
+        let mut leader = LeaderCore::bootstrap(8, 2, 3, false);
+        // Kill shard 1's primary with no standby: slot goes primary-less.
+        assert_eq!(leader.assignment_mut().promote_standby(1), None);
+        let calls = fan(leader.plan(&Request::Ingest {
+            req_id: 0,
+            row: vec![0.0; 8],
+        }));
+        assert_eq!(calls.len(), 1, "only shard 0 has a holder to call");
+        let results = vec![ingest_ok(0, false)];
+        match leader.finish_ingest(0, &calls, &results) {
+            Response::IngestOk { failed_shards, .. } => assert_eq!(failed_shards, vec![1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Queries at the primary-less shard fail fast and typed.
+        let dead_stream = (0..8).find(|&g| shard_of(g as u64, 2) == 1).unwrap();
+        assert_eq!(
+            leader.plan(&Request::Point {
+                stream: dead_stream as u64,
+                index: 0
+            }),
+            Plan::Done(Response::Unavailable { node: 2 })
+        );
+        // Top-k round one simply has no call for the dead shard, and the
+        // merge marks the result incomplete.
+        let calls = fan(leader.plan(&Request::TopK { k: 2 }));
+        assert_eq!(calls.len(), 1);
+        let locals = vec![Some(Response::LocalTopKR {
+            threshold: 0.0,
+            truncated: false,
+            entries: vec![],
+        })];
+        match leader.finish_topk(2, &calls, &locals, &[]) {
             Response::TopKR { complete, .. } => assert!(!complete),
             other => panic!("unexpected {other:?}"),
         }
@@ -496,7 +795,7 @@ mod tests {
 
     #[test]
     fn out_of_range_stream_is_a_typed_error() {
-        let leader = LeaderCore::new(cfg(), 4, 2, 3);
+        let leader = LeaderCore::bootstrap(4, 2, 3, false);
         assert_eq!(
             leader.plan(&Request::Point {
                 stream: 99,
@@ -512,5 +811,16 @@ mod tests {
                 code: ErrorCode::BadRequest
             })
         );
+    }
+
+    #[test]
+    fn stale_term_scan_finds_the_newest_fence() {
+        assert_eq!(stale_term_in(&[None, ingest_ok(0, false)]), None);
+        let results = vec![
+            Some(Response::StaleTermR { term: 5, leader: 1 }),
+            None,
+            Some(Response::StaleTermR { term: 9, leader: 2 }),
+        ];
+        assert_eq!(stale_term_in(&results), Some((9, 2)));
     }
 }

@@ -38,6 +38,8 @@
 
 pub mod client;
 pub mod cluster;
+pub mod failover;
+pub mod node;
 pub mod proto;
 pub mod registry;
 pub mod replica;
@@ -45,14 +47,16 @@ pub mod server;
 pub mod sim;
 pub mod transport;
 
-pub use client::{ClientError, DaemonClient, InflightGuard, PeerPool};
-pub use cluster::{LeaderCore, PeerCall, Plan, ShardMap};
+pub use client::{ClientError, DaemonClient, FailoverClient, InflightGuard, PeerPool};
+pub use cluster::{stale_term_in, LeaderCore, PeerCall, Plan, ShardMap};
+pub use failover::{next_term, successor, term_owner, Assignment, ShardSlot};
+pub use node::ClusterNode;
 pub use proto::{
     check_frame, decode_request, decode_response, encode_request, encode_response, ErrorCode,
     ProtoError, Request, Response, WireHealth, MAX_FRAME,
 };
 pub use registry::ReplicaRegistry;
 pub use replica::ReplicaNode;
-pub use server::{spawn, DaemonConfig, DrainReport, Role, ServerHandle};
-pub use sim::{SimCluster, SimMode, SimOp};
+pub use server::{bind, spawn, spawn_on, DaemonConfig, DrainReport, Role, ServerHandle};
+pub use sim::{FailoverSim, SimCluster, SimMode, SimOp};
 pub use transport::{SimNet, SimTransport, TcpTransport, Transport, TransportError};

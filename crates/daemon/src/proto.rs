@@ -63,6 +63,10 @@ pub enum ProtoError {
         /// The declared count.
         count: u64,
     },
+    /// A [`Request::Fenced`] envelope carried another fence. One level
+    /// of fencing is the protocol; nesting is always a peer bug or an
+    /// attack, never legal traffic.
+    NestedFence,
 }
 
 impl fmt::Display for ProtoError {
@@ -78,6 +82,9 @@ impl fmt::Display for ProtoError {
             }
             ProtoError::BadCount { what, count } => {
                 write!(f, "{what} count {count} exceeds the frame")
+            }
+            ProtoError::NestedFence => {
+                write!(f, "a fenced envelope may not carry another fence")
             }
         }
     }
@@ -156,7 +163,91 @@ pub enum Request {
     Status,
     /// Graceful shutdown: drain, checkpoint, exit.
     Shutdown,
+    /// A term/epoch-stamped envelope around intra-cluster traffic. The
+    /// receiver rejects it with [`Response::StaleTermR`] unless `term`
+    /// is current (adopting any newer term first), and — when `shard`
+    /// names a shard — with [`Response::StaleEpochR`] unless `epoch`
+    /// matches its holding. `shard == NO_SHARD` fences node-level
+    /// traffic (heartbeats) on the term alone. Nested fences are a
+    /// decode error ([`ProtoError::NestedFence`]).
+    Fenced {
+        /// The sender's leadership term.
+        term: u64,
+        /// The sender (the node claiming leadership of `term`).
+        leader: u64,
+        /// Target shard, or [`NO_SHARD`] for node-level traffic.
+        shard: u32,
+        /// The shard's configuration epoch (0 when `shard == NO_SHARD`).
+        epoch: u64,
+        /// The fenced request. Never itself a `Fenced`.
+        inner: Box<Request>,
+    },
+    /// A leadership claim: "I am the leader of `term`". Accepted iff
+    /// `term` is newer than the receiver's; the acceptance reply is
+    /// [`Response::SyncR`] describing the receiver's shard holdings, so
+    /// one round both fences the old leader out and rebuilds the new
+    /// leader's state.
+    NewTerm {
+        /// The claimed term.
+        term: u64,
+        /// The claimant's node id.
+        leader: u64,
+    },
+    /// Stream one acked row to a shard's standby (leader→standby), under
+    /// the same duplicate-safe `req_id` scheme as client ingest.
+    Replicate {
+        /// The sender's leadership term.
+        term: u64,
+        /// The shard being replicated.
+        shard: u32,
+        /// The shard's configuration epoch.
+        epoch: u64,
+        /// Write id; retries re-ack without re-applying.
+        req_id: u64,
+        /// The shard-local sub-row.
+        row: Vec<f64>,
+    },
+    /// Read a shard's full state off its current primary (leader-only),
+    /// answered with [`Response::ShardStateR`]. Used to seed a rejoined
+    /// node's standby copy.
+    FetchShard {
+        /// The sender's leadership term.
+        term: u64,
+        /// The shard to export.
+        shard: u32,
+    },
+    /// Install a full shard copy on the receiver as a standby at
+    /// `epoch` (leader→rejoined node). Overwrites any stale holding.
+    InstallShard {
+        /// The sender's leadership term.
+        term: u64,
+        /// The shard being installed.
+        shard: u32,
+        /// The configuration epoch the copy is current at.
+        epoch: u64,
+        /// Rows applied to the copy.
+        arrivals: u64,
+        /// The applied write ids (ascending), for duplicate absorption.
+        applied: Vec<u64>,
+        /// The shard's `StreamSet` snapshot (SWMS v2 bytes).
+        snapshot: Vec<u8>,
+    },
+    /// Make the receiver the shard's primary at `epoch` (leader-only).
+    /// Sent to a standby on primary death, and to a surviving primary
+    /// when a configuration change bumps the epoch under it.
+    Promote {
+        /// The sender's leadership term.
+        term: u64,
+        /// The shard.
+        shard: u32,
+        /// The new configuration epoch.
+        epoch: u64,
+    },
 }
+
+/// The `shard` value in [`Request::Fenced`] meaning "no shard: fence on
+/// the term alone" (node-level heartbeats).
+pub const NO_SHARD: u32 = u32::MAX;
 
 /// Why a request could not be served. Codes are stable wire values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,9 +354,13 @@ pub enum Response {
     StatusR {
         /// This node's id.
         node: u64,
+        /// The node's current leadership term.
+        term: u64,
+        /// Who the node believes leads that term.
+        leader: u64,
         /// Rows applied so far (replica: local; leader: acked rows).
         arrivals: u64,
-        /// Per-replica health, leader only: `(node, health)` pairs.
+        /// Per-peer health, leader only: `(node, health)` pairs.
         replicas: Vec<(u64, WireHealth)>,
     },
     /// Graceful shutdown acknowledged; the node drains and exits.
@@ -286,6 +381,76 @@ pub enum Response {
         /// What kind of failure.
         code: ErrorCode,
     },
+    /// The sender's term is stale: the receiver has adopted a newer
+    /// one. A leader seeing this steps down immediately — the fence
+    /// that makes split-brain impossible.
+    StaleTermR {
+        /// The receiver's current term.
+        term: u64,
+        /// Who the receiver believes leads that term.
+        leader: u64,
+    },
+    /// The receiver is not the leader; retry against `leader` (the
+    /// client-side failover hint).
+    NotLeaderR {
+        /// The node to ask instead.
+        leader: u64,
+        /// The term that node leads, as far as the receiver knows.
+        term: u64,
+    },
+    /// Acceptance of a [`Request::NewTerm`] claim, carrying everything
+    /// the new leader needs to rebuild its routing state: the adopted
+    /// term and the responder's shard holdings.
+    SyncR {
+        /// The term the responder just adopted.
+        term: u64,
+        /// The responder's shard holdings.
+        holdings: Vec<WireHolding>,
+    },
+    /// A full shard export ([`Request::FetchShard`] answer).
+    ShardStateR {
+        /// The exported shard.
+        shard: u32,
+        /// The holder's configuration epoch for it.
+        epoch: u64,
+        /// Rows applied.
+        arrivals: u64,
+        /// The applied write ids (ascending).
+        applied: Vec<u64>,
+        /// The shard's `StreamSet` snapshot (SWMS v2 bytes).
+        snapshot: Vec<u8>,
+    },
+    /// A shard configuration change ([`Request::Promote`] /
+    /// [`Request::InstallShard`]) took effect at `epoch`.
+    EpochAck {
+        /// The shard.
+        shard: u32,
+        /// The epoch now in force on the responder.
+        epoch: u64,
+    },
+    /// The sender's shard epoch is stale (the term was fine). The
+    /// leader re-issues the configuration; nothing was applied.
+    StaleEpochR {
+        /// The shard.
+        shard: u32,
+        /// The receiver's current epoch for it.
+        epoch: u64,
+    },
+}
+
+/// One shard holding in a [`Response::SyncR`]: what the responder holds
+/// and in which role, so a freshly elected leader can reconstruct the
+/// assignment without a recomputation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHolding {
+    /// The shard held.
+    pub shard: u32,
+    /// The configuration epoch the holding is current at.
+    pub epoch: u64,
+    /// Whether the holder is the shard's primary (else standby).
+    pub primary: bool,
+    /// Rows applied to the holding.
+    pub arrivals: u64,
 }
 
 /// [`swat_tree::PointAnswer`] as wire fields (kept separate so the wire
@@ -382,6 +547,12 @@ const K_LOCAL_TOPK: u8 = 0x07;
 const K_TOPK_SCAN: u8 = 0x08;
 const K_STATUS: u8 = 0x09;
 const K_SHUTDOWN: u8 = 0x0A;
+const K_FENCED: u8 = 0x0B;
+const K_NEW_TERM: u8 = 0x0C;
+const K_REPLICATE: u8 = 0x0D;
+const K_FETCH_SHARD: u8 = 0x0E;
+const K_INSTALL_SHARD: u8 = 0x0F;
+const K_PROMOTE: u8 = 0x10;
 const K_HELLO_OK: u8 = 0x81;
 const K_PONG: u8 = 0x82;
 const K_INGEST_OK: u8 = 0x83;
@@ -395,6 +566,12 @@ const K_SHUTDOWN_OK: u8 = 0x8A;
 const K_OVERLOADED: u8 = 0x8B;
 const K_UNAVAILABLE: u8 = 0x8C;
 const K_ERROR_R: u8 = 0x8D;
+const K_STALE_TERM_R: u8 = 0x8E;
+const K_NOT_LEADER_R: u8 = 0x8F;
+const K_SYNC_R: u8 = 0x90;
+const K_SHARD_STATE_R: u8 = 0x91;
+const K_EPOCH_ACK: u8 = 0x92;
+const K_STALE_EPOCH_R: u8 = 0x93;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -456,8 +633,43 @@ fn finish_frame(payload: Vec<u8>) -> Vec<u8> {
     frame
 }
 
+fn put_ids(out: &mut Vec<u8>, ids: &[u64]) {
+    put_u32(out, ids.len() as u32);
+    for &id in ids {
+        put_u64(out, id);
+    }
+}
+
+fn take_ids(c: &mut Cursor<'_>, what: &'static str) -> Result<Vec<u64>, ProtoError> {
+    let count = c.u32()? as u64;
+    let count = checked_count(c, what, count, 8)?;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(c.u64()?);
+    }
+    Ok(ids)
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn take_bytes(c: &mut Cursor<'_>, what: &'static str) -> Result<Vec<u8>, ProtoError> {
+    let count = c.u32()? as u64;
+    let count = checked_count(c, what, count, 1)?;
+    Ok(c.take(count)?.to_vec())
+}
+
 /// Encode `req` as a complete wire frame (header + payload).
 pub fn encode_request(req: &Request) -> Vec<u8> {
+    finish_frame(request_payload(req))
+}
+
+/// The unframed payload (kind + body) of `req`. [`Request::Fenced`]
+/// embeds its inner request's payload verbatim, so fencing a message
+/// never re-frames it.
+fn request_payload(req: &Request) -> Vec<u8> {
     let mut p = Vec::new();
     match req {
         Request::Hello { node } => {
@@ -509,8 +721,75 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Status => p.push(K_STATUS),
         Request::Shutdown => p.push(K_SHUTDOWN),
+        Request::Fenced {
+            term,
+            leader,
+            shard,
+            epoch,
+            inner,
+        } => {
+            p.push(K_FENCED);
+            put_u64(&mut p, *term);
+            put_u64(&mut p, *leader);
+            put_u32(&mut p, *shard);
+            put_u64(&mut p, *epoch);
+            debug_assert!(
+                !matches!(**inner, Request::Fenced { .. }),
+                "fences never nest"
+            );
+            p.extend_from_slice(&request_payload(inner));
+        }
+        Request::NewTerm { term, leader } => {
+            p.push(K_NEW_TERM);
+            put_u64(&mut p, *term);
+            put_u64(&mut p, *leader);
+        }
+        Request::Replicate {
+            term,
+            shard,
+            epoch,
+            req_id,
+            row,
+        } => {
+            p.push(K_REPLICATE);
+            put_u64(&mut p, *term);
+            put_u32(&mut p, *shard);
+            put_u64(&mut p, *epoch);
+            put_u64(&mut p, *req_id);
+            put_u32(&mut p, row.len() as u32);
+            for &v in row {
+                put_f64(&mut p, v);
+            }
+        }
+        Request::FetchShard { term, shard } => {
+            p.push(K_FETCH_SHARD);
+            put_u64(&mut p, *term);
+            put_u32(&mut p, *shard);
+        }
+        Request::InstallShard {
+            term,
+            shard,
+            epoch,
+            arrivals,
+            applied,
+            snapshot,
+        } => {
+            p.push(K_INSTALL_SHARD);
+            put_u64(&mut p, *term);
+            put_u32(&mut p, *shard);
+            put_u64(&mut p, *epoch);
+            put_u64(&mut p, *arrivals);
+            put_ids(&mut p, applied);
+            put_bytes(&mut p, snapshot);
+        }
+        Request::Promote { term, shard, epoch } => {
+            p.push(K_PROMOTE);
+            put_u64(&mut p, *term);
+            put_u32(&mut p, *shard);
+            put_u64(&mut p, *epoch);
+        }
     }
-    finish_frame(p)
+    p
 }
 
 /// Encode `resp` as a complete wire frame (header + payload).
@@ -574,11 +853,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::StatusR {
             node,
+            term,
+            leader,
             arrivals,
             replicas,
         } => {
             p.push(K_STATUS_R);
             put_u64(&mut p, *node);
+            put_u64(&mut p, *term);
+            put_u64(&mut p, *leader);
             put_u64(&mut p, *arrivals);
             put_u32(&mut p, replicas.len() as u32);
             for (n, h) in replicas {
@@ -598,6 +881,51 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::ErrorR { code } => {
             p.push(K_ERROR_R);
             p.push(code.to_wire());
+        }
+        Response::StaleTermR { term, leader } => {
+            p.push(K_STALE_TERM_R);
+            put_u64(&mut p, *term);
+            put_u64(&mut p, *leader);
+        }
+        Response::NotLeaderR { leader, term } => {
+            p.push(K_NOT_LEADER_R);
+            put_u64(&mut p, *leader);
+            put_u64(&mut p, *term);
+        }
+        Response::SyncR { term, holdings } => {
+            p.push(K_SYNC_R);
+            put_u64(&mut p, *term);
+            put_u32(&mut p, holdings.len() as u32);
+            for h in holdings {
+                put_u32(&mut p, h.shard);
+                put_u64(&mut p, h.epoch);
+                p.push(h.primary as u8);
+                put_u64(&mut p, h.arrivals);
+            }
+        }
+        Response::ShardStateR {
+            shard,
+            epoch,
+            arrivals,
+            applied,
+            snapshot,
+        } => {
+            p.push(K_SHARD_STATE_R);
+            put_u32(&mut p, *shard);
+            put_u64(&mut p, *epoch);
+            put_u64(&mut p, *arrivals);
+            put_ids(&mut p, applied);
+            put_bytes(&mut p, snapshot);
+        }
+        Response::EpochAck { shard, epoch } => {
+            p.push(K_EPOCH_ACK);
+            put_u32(&mut p, *shard);
+            put_u64(&mut p, *epoch);
+        }
+        Response::StaleEpochR { shard, epoch } => {
+            p.push(K_STALE_EPOCH_R);
+            put_u32(&mut p, *shard);
+            put_u64(&mut p, *epoch);
         }
     }
     finish_frame(p)
@@ -678,6 +1006,72 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         K_TOPK_SCAN => Request::TopKScan { tau: c.f64()? },
         K_STATUS => Request::Status,
         K_SHUTDOWN => Request::Shutdown,
+        K_FENCED => {
+            let term = c.u64()?;
+            let leader = c.u64()?;
+            let shard = c.u32()?;
+            let epoch = c.u64()?;
+            let rest = c.take(c.remaining())?;
+            let inner = decode_request(rest)?;
+            if matches!(inner, Request::Fenced { .. }) {
+                return Err(ProtoError::NestedFence);
+            }
+            Request::Fenced {
+                term,
+                leader,
+                shard,
+                epoch,
+                inner: Box::new(inner),
+            }
+        }
+        K_NEW_TERM => Request::NewTerm {
+            term: c.u64()?,
+            leader: c.u64()?,
+        },
+        K_REPLICATE => {
+            let term = c.u64()?;
+            let shard = c.u32()?;
+            let epoch = c.u64()?;
+            let req_id = c.u64()?;
+            let count = c.u32()? as u64;
+            let count = checked_count(&c, "replicated row values", count, 8)?;
+            let mut row = Vec::with_capacity(count);
+            for _ in 0..count {
+                row.push(c.f64()?);
+            }
+            Request::Replicate {
+                term,
+                shard,
+                epoch,
+                req_id,
+                row,
+            }
+        }
+        K_FETCH_SHARD => Request::FetchShard {
+            term: c.u64()?,
+            shard: c.u32()?,
+        },
+        K_INSTALL_SHARD => {
+            let term = c.u64()?;
+            let shard = c.u32()?;
+            let epoch = c.u64()?;
+            let arrivals = c.u64()?;
+            let applied = take_ids(&mut c, "installed write ids")?;
+            let snapshot = take_bytes(&mut c, "shard snapshot bytes")?;
+            Request::InstallShard {
+                term,
+                shard,
+                epoch,
+                arrivals,
+                applied,
+                snapshot,
+            }
+        }
+        K_PROMOTE => Request::Promote {
+            term: c.u64()?,
+            shard: c.u32()?,
+            epoch: c.u64()?,
+        },
         other => return Err(ProtoError::UnknownKind(other)),
     };
     if !c.is_empty() {
@@ -748,6 +1142,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         },
         K_STATUS_R => {
             let node = c.u64()?;
+            let term = c.u64()?;
+            let leader = c.u64()?;
             let arrivals = c.u64()?;
             let count = c.u32()? as u64;
             let count = checked_count(&c, "replica health entries", count, 9)?;
@@ -760,6 +1156,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::StatusR {
                 node,
+                term,
+                leader,
                 arrivals,
                 replicas,
             }
@@ -773,6 +1171,51 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 code: ErrorCode::from_wire(b).ok_or(ProtoError::UnknownKind(b))?,
             }
         }
+        K_STALE_TERM_R => Response::StaleTermR {
+            term: c.u64()?,
+            leader: c.u64()?,
+        },
+        K_NOT_LEADER_R => Response::NotLeaderR {
+            leader: c.u64()?,
+            term: c.u64()?,
+        },
+        K_SYNC_R => {
+            let term = c.u64()?;
+            let count = c.u32()? as u64;
+            let count = checked_count(&c, "sync holdings", count, 21)?;
+            let mut holdings = Vec::with_capacity(count);
+            for _ in 0..count {
+                holdings.push(WireHolding {
+                    shard: c.u32()?,
+                    epoch: c.u64()?,
+                    primary: c.u8()? != 0,
+                    arrivals: c.u64()?,
+                });
+            }
+            Response::SyncR { term, holdings }
+        }
+        K_SHARD_STATE_R => {
+            let shard = c.u32()?;
+            let epoch = c.u64()?;
+            let arrivals = c.u64()?;
+            let applied = take_ids(&mut c, "exported write ids")?;
+            let snapshot = take_bytes(&mut c, "shard snapshot bytes")?;
+            Response::ShardStateR {
+                shard,
+                epoch,
+                arrivals,
+                applied,
+                snapshot,
+            }
+        }
+        K_EPOCH_ACK => Response::EpochAck {
+            shard: c.u32()?,
+            epoch: c.u64()?,
+        },
+        K_STALE_EPOCH_R => Response::StaleEpochR {
+            shard: c.u32()?,
+            epoch: c.u64()?,
+        },
         other => return Err(ProtoError::UnknownKind(other)),
     };
     if !c.is_empty() {
@@ -809,6 +1252,45 @@ pub fn sample_requests() -> Vec<Request> {
         Request::TopKScan { tau: 4.75 },
         Request::Status,
         Request::Shutdown,
+        Request::Fenced {
+            term: 7,
+            leader: 2,
+            shard: 1,
+            epoch: 3,
+            inner: Box::new(Request::Ingest {
+                req_id: 42,
+                row: vec![0.5, -1.0],
+            }),
+        },
+        Request::Fenced {
+            term: 9,
+            leader: 4,
+            shard: NO_SHARD,
+            epoch: 0,
+            inner: Box::new(Request::Ping { nonce: 17 }),
+        },
+        Request::NewTerm { term: 5, leader: 1 },
+        Request::Replicate {
+            term: 5,
+            shard: 2,
+            epoch: 1,
+            req_id: 43,
+            row: vec![2.5],
+        },
+        Request::FetchShard { term: 5, shard: 0 },
+        Request::InstallShard {
+            term: 5,
+            shard: 0,
+            epoch: 2,
+            arrivals: 4,
+            applied: vec![40, 41, 42, 43],
+            snapshot: vec![0xAB, 0xCD, 0xEF],
+        },
+        Request::Promote {
+            term: 5,
+            shard: 2,
+            epoch: 2,
+        },
     ]
 }
 
@@ -863,6 +1345,8 @@ pub fn sample_responses() -> Vec<Response> {
         Response::ScanR { entries: vec![] },
         Response::StatusR {
             node: 0,
+            term: 4,
+            leader: 0,
             arrivals: 1000,
             replicas: vec![(1, WireHealth::Alive), (2, WireHealth::Dead)],
         },
@@ -872,6 +1356,34 @@ pub fn sample_responses() -> Vec<Response> {
         Response::ErrorR {
             code: ErrorCode::WrongRole,
         },
+        Response::StaleTermR { term: 6, leader: 2 },
+        Response::NotLeaderR { leader: 2, term: 6 },
+        Response::SyncR {
+            term: 6,
+            holdings: vec![
+                WireHolding {
+                    shard: 0,
+                    epoch: 1,
+                    primary: true,
+                    arrivals: 12,
+                },
+                WireHolding {
+                    shard: 1,
+                    epoch: 0,
+                    primary: false,
+                    arrivals: 12,
+                },
+            ],
+        },
+        Response::ShardStateR {
+            shard: 1,
+            epoch: 2,
+            arrivals: 12,
+            applied: vec![1, 2, 3],
+            snapshot: vec![0x01, 0x02],
+        },
+        Response::EpochAck { shard: 1, epoch: 2 },
+        Response::StaleEpochR { shard: 1, epoch: 3 },
     ]
 }
 
@@ -957,8 +1469,66 @@ mod tests {
                 what: "x",
                 count: 5,
             },
+            ProtoError::NestedFence,
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn nested_fence_is_rejected() {
+        // Hand-build Fenced{ Fenced{ Ping } } — the encoder debug-asserts
+        // against producing this, so splice the payloads manually.
+        let inner = request_payload(&Request::Fenced {
+            term: 1,
+            leader: 1,
+            shard: NO_SHARD,
+            epoch: 0,
+            inner: Box::new(Request::Ping { nonce: 0 }),
+        });
+        let mut p = vec![K_FENCED];
+        put_u64(&mut p, 2);
+        put_u64(&mut p, 2);
+        put_u32(&mut p, NO_SHARD);
+        put_u64(&mut p, 0);
+        p.extend_from_slice(&inner);
+        let frame = finish_frame(p);
+        let payload = check_frame(&frame).unwrap();
+        assert_eq!(decode_request(payload), Err(ProtoError::NestedFence));
+    }
+
+    #[test]
+    fn fenced_empty_inner_is_truncated_not_a_panic() {
+        // A fence whose inner payload is zero bytes: the inner decoder
+        // hits end-of-input reading the kind byte.
+        let mut p = vec![K_FENCED];
+        put_u64(&mut p, 1);
+        put_u64(&mut p, 1);
+        put_u32(&mut p, 0);
+        put_u64(&mut p, 0);
+        let frame = finish_frame(p);
+        let payload = check_frame(&frame).unwrap();
+        assert!(matches!(
+            decode_request(payload),
+            Err(ProtoError::Codec(CodecError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn hostile_snapshot_length_cannot_allocate() {
+        // An InstallShard whose snapshot length claims 4 GiB: BadCount.
+        let mut p = vec![K_INSTALL_SHARD];
+        put_u64(&mut p, 1); // term
+        put_u32(&mut p, 0); // shard
+        put_u64(&mut p, 1); // epoch
+        put_u64(&mut p, 0); // arrivals
+        put_u32(&mut p, 0); // applied: none
+        put_u32(&mut p, u32::MAX); // snapshot: a lie
+        let frame = finish_frame(p);
+        let payload = check_frame(&frame).unwrap();
+        assert!(matches!(
+            decode_request(payload),
+            Err(ProtoError::BadCount { .. })
+        ));
     }
 }

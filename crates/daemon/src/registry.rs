@@ -1,7 +1,7 @@
-//! The leader's replica registry: heartbeat-driven health states
-//! feeding the `swat_net::DynamicTopology` repair path.
+//! The leader's peer registry: heartbeat-driven health states feeding
+//! the `swat_net::DynamicTopology` repair path.
 //!
-//! Health is a three-state machine per replica:
+//! Health is a three-state machine per tracked peer:
 //!
 //! ```text
 //!            miss                    miss (total ≥ threshold)
@@ -15,78 +15,105 @@
 //! node's children (none in the star deployment, but the machinery is
 //! topology-general) re-parent to their nearest live ancestor, and every
 //! recovery is recorded as a rejoin — the same audited
-//! [`swat_net::RepairEvent`] log the PR 5 healing layer uses.
+//! [`swat_net::RepairEvent`] log the PR 5 healing layer uses. Since
+//! PR 9, role transitions (elections, shard promotions/demotions) land
+//! in the same log via [`ReplicaRegistry::note_role_change`].
+//!
+//! Any node can lead a term, so the registry tracks an explicit peer-id
+//! set ([`ReplicaRegistry::tracking`]): a freshly promoted node 2
+//! tracks `{0, 1, 3, ...}`, not the bootstrap leader's `1..=shards`.
 
-use swat_net::{DynamicTopology, NodeId, RepairEvent, Topology};
+use swat_net::{DynamicTopology, NodeId, NodeRole, RepairEvent, Topology};
 
 use crate::proto::WireHealth;
 
-/// Per-replica detector state.
+/// Per-peer detector state.
 #[derive(Debug, Clone, Copy)]
 struct ReplicaState {
     health: WireHealth,
     misses: u32,
 }
 
-/// Leader-side health tracking for `replicas` replica nodes (ids
-/// `1..=replicas`; the leader is node 0, the tree source).
+/// Health tracking for the peers of whichever node currently leads.
+/// Tracked peers map onto a star topology: the registry owner is the
+/// source, peer `i` (ascending id order) is tree node `i + 1`.
 #[derive(Debug)]
 pub struct ReplicaRegistry {
     topo: DynamicTopology,
+    peers: Vec<u64>,
     states: Vec<ReplicaState>,
     miss_threshold: u32,
 }
 
 impl ReplicaRegistry {
-    /// A registry over a star of `replicas` replicas, all initially
-    /// [`WireHealth::Alive`]. `miss_threshold` consecutive heartbeat
-    /// misses mark a replica [`WireHealth::Dead`].
+    /// The bootstrap-leader registry: a star of `replicas` replicas with
+    /// ids `1..=replicas` (the node 0 leader tracks everyone else), all
+    /// initially [`WireHealth::Alive`]. `miss_threshold` consecutive
+    /// heartbeat misses mark a replica [`WireHealth::Dead`].
     ///
     /// # Panics
     ///
     /// Panics if `replicas == 0` or `miss_threshold == 0`.
     pub fn new(replicas: usize, miss_threshold: u32) -> Self {
-        assert!(replicas > 0, "need at least one replica");
+        Self::tracking((1..=replicas as u64).collect(), miss_threshold)
+    }
+
+    /// A registry over an explicit peer-id set (ascending), for leaders
+    /// that are not node 0. Peers start [`WireHealth::Alive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is empty, unsorted, or `miss_threshold == 0`.
+    pub fn tracking(peers: Vec<u64>, miss_threshold: u32) -> Self {
+        assert!(!peers.is_empty(), "need at least one peer");
+        assert!(peers.windows(2).all(|w| w[0] < w[1]), "peers ascending");
         assert!(miss_threshold > 0, "need a positive miss threshold");
+        let states = vec![
+            ReplicaState {
+                health: WireHealth::Alive,
+                misses: 0,
+            };
+            peers.len()
+        ];
         ReplicaRegistry {
-            topo: DynamicTopology::new(Topology::star(replicas)),
-            states: vec![
-                ReplicaState {
-                    health: WireHealth::Alive,
-                    misses: 0,
-                };
-                replicas
-            ],
+            topo: DynamicTopology::new(Topology::star(peers.len())),
+            peers,
+            states,
             miss_threshold,
         }
     }
 
-    /// Number of replicas tracked.
+    /// Number of peers tracked.
     pub fn replicas(&self) -> usize {
         self.states.len()
     }
 
-    /// Current health of replica `node` (1-based; the leader itself is
-    /// not tracked).
+    /// Whether `node` is one of the tracked peers.
+    pub fn tracks(&self, node: u64) -> bool {
+        self.peers.binary_search(&node).is_ok()
+    }
+
+    /// Current health of peer `node`.
     ///
     /// # Panics
     ///
-    /// Panics if `node` is 0 or out of range.
+    /// Panics if `node` is not tracked (the registry owner itself, or an
+    /// id outside the cluster).
     pub fn health(&self, node: u64) -> WireHealth {
-        self.states[Self::slot(node)].health
+        self.states[self.slot(node)].health
     }
 
-    /// `(node, health)` for every replica, ascending by node id — the
-    /// payload of a leader `Status` response.
+    /// `(node, health)` for every tracked peer, ascending by node id —
+    /// the payload of a leader `Status` response.
     pub fn statuses(&self) -> Vec<(u64, WireHealth)> {
-        self.states
+        self.peers
             .iter()
-            .enumerate()
-            .map(|(i, s)| ((i + 1) as u64, s.health))
+            .zip(&self.states)
+            .map(|(&n, s)| (n, s.health))
             .collect()
     }
 
-    /// Replicas currently not `Dead`.
+    /// Peers currently not `Dead`.
     pub fn live_count(&self) -> usize {
         self.states
             .iter()
@@ -94,7 +121,7 @@ impl ReplicaRegistry {
             .count()
     }
 
-    /// The audited repair log (re-parents and rejoins).
+    /// The audited repair log (re-parents, rejoins, role changes).
     pub fn events(&self) -> &[RepairEvent] {
         self.topo.events()
     }
@@ -105,10 +132,10 @@ impl ReplicaRegistry {
     }
 
     /// A heartbeat (or any request) succeeded at tick/instant `at`:
-    /// reset the miss counter; a dead replica's recovery is recorded as
-    /// a rejoin. Returns the new health (always [`WireHealth::Alive`]).
+    /// reset the miss counter; a dead peer's recovery is recorded as a
+    /// rejoin. Returns the new health (always [`WireHealth::Alive`]).
     pub fn record_success(&mut self, at: u64, node: u64) -> WireHealth {
-        let slot = Self::slot(node);
+        let slot = self.slot(node);
         if self.states[slot].health == WireHealth::Dead {
             self.topo.note_rejoin(at, NodeId(slot + 1));
         }
@@ -120,11 +147,10 @@ impl ReplicaRegistry {
     }
 
     /// A heartbeat (or request) to `node` failed at `at`. One miss
-    /// makes an `Alive` replica `Suspect`; reaching the threshold makes
-    /// it `Dead` and repairs the tree around it. Returns the new
-    /// health.
+    /// makes an `Alive` peer `Suspect`; reaching the threshold makes it
+    /// `Dead` and repairs the tree around it. Returns the new health.
     pub fn record_failure(&mut self, at: u64, node: u64) -> WireHealth {
-        let slot = Self::slot(node);
+        let slot = self.slot(node);
         let s = &mut self.states[slot];
         s.misses = s.misses.saturating_add(1);
         if s.misses >= self.miss_threshold {
@@ -136,6 +162,23 @@ impl ReplicaRegistry {
             s.health = WireHealth::Suspect;
         }
         self.states[slot].health
+    }
+
+    /// Mark `node` dead outright (election bootstrap: a peer that never
+    /// answered the term claim is dead to the new leader, no grace
+    /// heartbeats owed). Returns the new health.
+    pub fn record_dead(&mut self, at: u64, node: u64) -> WireHealth {
+        for _ in 0..self.miss_threshold {
+            self.record_failure(at, node);
+        }
+        self.states[self.slot(node)].health
+    }
+
+    /// Record a role transition for `node` in the audited event log
+    /// (shard promotion/demotion, leadership adoption).
+    pub fn note_role_change(&mut self, at: u64, node: u64, role: NodeRole) {
+        let slot = self.slot(node);
+        self.topo.note_role_change(at, NodeId(slot + 1), role);
     }
 
     /// Re-parent every child of the newly dead `node` to its nearest
@@ -153,10 +196,14 @@ impl ReplicaRegistry {
         }
     }
 
-    fn slot(node: u64) -> usize {
-        let n = usize::try_from(node).expect("node id fits usize");
-        assert!(n >= 1, "the leader tracks replicas, not itself");
-        n - 1
+    fn slot(&self, node: u64) -> usize {
+        self.peers
+            .binary_search(&node)
+            // invariant: callers only name peers out of this registry's
+            // own statuses()/tracking set; an unknown id is a caller bug,
+            // not reachable from network input (ids are checked against
+            // `tracks` on every wire-driven path).
+            .expect("node id is a tracked peer")
     }
 }
 
@@ -199,5 +246,29 @@ mod tests {
             r.statuses(),
             vec![(1, WireHealth::Alive), (2, WireHealth::Dead)]
         );
+    }
+
+    #[test]
+    fn arbitrary_peer_sets_track_by_id() {
+        // Node 2 leads a 4-node cluster: it tracks {0, 1, 3}.
+        let mut r = ReplicaRegistry::tracking(vec![0, 1, 3], 2);
+        assert!(r.tracks(0) && r.tracks(3) && !r.tracks(2));
+        assert_eq!(r.record_dead(1, 0), WireHealth::Dead);
+        assert_eq!(
+            r.statuses(),
+            vec![
+                (0, WireHealth::Dead),
+                (1, WireHealth::Alive),
+                (3, WireHealth::Alive)
+            ]
+        );
+        assert_eq!(r.live_count(), 2);
+        r.note_role_change(2, 3, NodeRole::Primary);
+        assert!(r.events().iter().any(|e| matches!(
+            e.kind,
+            swat_net::RepairKind::RoleChange {
+                role: NodeRole::Primary
+            }
+        )));
     }
 }

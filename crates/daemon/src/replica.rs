@@ -84,11 +84,9 @@ impl ReplicaNode {
         dir: &Path,
     ) -> Result<Self, StoreError> {
         let members = shard_members(streams, shards, shard);
-        let has_store = dir.is_dir()
-            && std::fs::read_dir(dir)
-                .map(|mut d| d.next().is_some())
-                .unwrap_or(false);
-        let store = if has_store {
+        // Only parseable store files count: the node-meta image shares
+        // this directory and must not flip a fresh node into recovery.
+        let store = if swat_store::holds_store(dir) {
             RecoveryManager::recover(dir)?.0
         } else {
             DurableStore::create(dir, config, members.len())?
@@ -102,6 +100,51 @@ impl ReplicaNode {
             applied: HashSet::new(),
             arrivals,
         })
+    }
+
+    /// An in-memory replica rebuilt from exported state — the receiving
+    /// end of a standby installation. `snapshot` is [`StreamSet::
+    /// snapshot`] bytes; `applied` the write ids already absorbed.
+    ///
+    /// # Errors
+    ///
+    /// A [`swat_tree::SnapshotError`] when the snapshot bytes are
+    /// damaged, or when the restored set's stream count does not match
+    /// the shard's membership (a routing mismatch, not just corruption).
+    pub fn install(
+        node: u64,
+        streams: usize,
+        shards: usize,
+        shard: usize,
+        arrivals: u64,
+        applied: Vec<u64>,
+        snapshot: &[u8],
+    ) -> Result<Self, swat_tree::SnapshotError> {
+        let members = shard_members(streams, shards, shard);
+        let set = StreamSet::restore(snapshot)?;
+        if set.streams() != members.len() {
+            return Err(swat_tree::SnapshotError::Invalid {
+                what: "snapshot stream count does not match the shard",
+                offset: 0,
+            });
+        }
+        Ok(ReplicaNode {
+            node,
+            shard,
+            members,
+            backing: Backing::Memory(set),
+            applied: applied.into_iter().collect(),
+            arrivals,
+        })
+    }
+
+    /// Export this replica's full shard state — `(arrivals, applied
+    /// write ids ascending, snapshot bytes)` — the payload a leader
+    /// ships to seed a standby.
+    pub fn export(&self) -> (u64, Vec<u64>, Vec<u8>) {
+        let mut applied: Vec<u64> = self.applied.iter().copied().collect();
+        applied.sort_unstable();
+        (self.arrivals, applied, self.backing.set().snapshot())
     }
 
     /// This node's id.
@@ -188,14 +231,29 @@ impl ReplicaNode {
                 });
                 Response::ScanR { entries }
             }
+            // Term and leader are cluster-level state the shard engine
+            // does not track; `ClusterNode` answers Status itself and
+            // fills them in — this arm only serves direct unit-level use.
             Request::Status => Response::StatusR {
                 node: self.node,
+                term: 0,
+                leader: 0,
                 arrivals: self.arrivals,
                 replicas: Vec::new(),
             },
             Request::Shutdown => Response::ShutdownOk { drained: 0 },
             // Distributed fan-out is the leader's job.
             Request::TopK { .. } => Response::ErrorR {
+                code: ErrorCode::WrongRole,
+            },
+            // Fencing, claims, and replication control live a level up
+            // in `ClusterNode`; the bare shard engine refuses them.
+            Request::Fenced { .. }
+            | Request::NewTerm { .. }
+            | Request::Replicate { .. }
+            | Request::FetchShard { .. }
+            | Request::InstallShard { .. }
+            | Request::Promote { .. } => Response::ErrorR {
                 code: ErrorCode::WrongRole,
             },
         }

@@ -1,13 +1,24 @@
-//! The threaded TCP daemon: accept loop, per-connection workers,
-//! heartbeats, and graceful drain.
+//! The threaded TCP daemon: accept loop, per-connection workers, and
+//! the monitor thread (heartbeats, failure repair, standby re-seeding,
+//! and — in cluster mode — elections).
 //!
-//! One [`spawn`]ed server is one cluster node. Replicas own a shard
-//! behind a [`ReplicaNode`]; the leader owns a [`LeaderCore`] plus a
-//! [`PeerPool`] toward its replicas. Every socket operation carries a
-//! deadline, every fan-out first reserves per-peer in-flight tokens
-//! (shedding with a typed `Overloaded` when a budget is exhausted), and
-//! every malformed frame closes that connection with a typed error —
-//! never a panic, never a stuck thread.
+//! One [`spawn`]ed server is one cluster node wrapping a sans-io
+//! [`ClusterNode`]. Every socket operation carries a deadline, every
+//! fan-out first reserves per-peer in-flight tokens (shedding with a
+//! typed `Overloaded` when a budget is exhausted), and every malformed
+//! frame closes that connection with a typed error — never a panic,
+//! never a stuck thread.
+//!
+//! # Legacy vs cluster mode
+//!
+//! With [`DaemonConfig::peers`] empty the server runs exactly the PR 7
+//! deployment: a static term-0 leader over solo shard replicas, no
+//! standbys, no elections. With `peers` filled (every node's address,
+//! indexed by node id) the failover machinery switches on: heartbeats
+//! are term-fenced, a silent leader triggers a staggered election
+//! (lowest-id live node wins by construction), dead primaries fail over
+//! to their standbys under bumped epochs, and spare nodes are re-seeded
+//! as standbys from the live primary.
 //!
 //! Shutdown comes in two shapes, both needed by the tests:
 //!
@@ -15,15 +26,15 @@
 //!   connection worker finish its in-flight request, drain, checkpoint
 //!   durable state, report a [`DrainReport`].
 //! * [`ServerHandle::kill`] — abrupt: drop everything on the floor, no
-//!   drain, no checkpoint. This is the "replica killed mid-run" of the
-//!   acceptance test; the leader must degrade explicitly, never
+//!   drain, no checkpoint. This is the "node killed mid-run" of the
+//!   failover tests; the cluster must degrade explicitly, never
 //!   silently.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -31,22 +42,26 @@ use swat_replication::RetryPolicy;
 use swat_tree::SwatConfig;
 
 use crate::client::PeerPool;
-use crate::cluster::{LeaderCore, Plan};
-use crate::proto::{check_frame, decode_request, encode_response, Request, Response};
-use crate::replica::ReplicaNode;
+use crate::cluster::{stale_term_in, PeerCall, Plan};
+use crate::node::ClusterNode;
+use crate::proto::{
+    check_frame, decode_request, encode_response, ErrorCode, Request, Response, WireHealth,
+};
 use crate::transport::{TcpTransport, Transport, TransportError};
 
-/// Which role this node plays.
+/// Which role this node boots as.
 #[derive(Debug, Clone)]
 pub enum Role {
-    /// The routing/merging node; owns no streams itself.
+    /// The bootstrap leader (node 0); owns no streams itself.
     Leader {
-        /// Replica addresses, shard order (`replicas[s]` owns shard `s`).
+        /// Replica addresses, shard order (`replicas[s]` owns shard
+        /// `s`). Ignored when [`DaemonConfig::peers`] is set — the peer
+        /// table covers everyone then.
         replicas: Vec<SocketAddr>,
     },
-    /// A shard owner.
+    /// A shard owner (node `shard + 1`).
     Replica {
-        /// The shard this node owns.
+        /// The shard this node is primary of at bootstrap.
         shard: usize,
     },
 }
@@ -64,20 +79,29 @@ pub struct DaemonConfig {
     pub shards: usize,
     /// Where to listen (`127.0.0.1:0` picks a free port).
     pub listen: SocketAddr,
-    /// Durable storage directory (replicas only; `None` = in-memory).
+    /// Durable storage directory (`None` = in-memory).
     pub dir: Option<PathBuf>,
     /// Read/write deadline on every socket operation.
     pub io_timeout: Duration,
     /// Per-peer in-flight budget before load shedding (leader only).
     pub max_inflight: usize,
-    /// Heartbeat period (leader only).
+    /// Heartbeat/monitor period.
     pub hb_period: Duration,
-    /// Consecutive misses before a replica is `Dead`.
+    /// Consecutive misses before a peer is `Dead`.
     pub miss_threshold: u32,
+    /// Every node's address, indexed by node id. Empty = legacy mode
+    /// (no elections, no standbys — the PR 7 topology).
+    pub peers: Vec<SocketAddr>,
+    /// Whether shards keep warm standbys (cluster mode only).
+    pub standbys: bool,
+    /// How long a follower waits without hearing a live leader before
+    /// starting an election (cluster mode only; staggered by node id).
+    pub election_timeout: Duration,
 }
 
 impl DaemonConfig {
-    /// A sensible localhost config for `role`.
+    /// A sensible localhost config for `role` (legacy mode; fill
+    /// [`DaemonConfig::peers`] to arm failover).
     pub fn localhost(role: Role, config: SwatConfig, streams: usize, shards: usize) -> Self {
         DaemonConfig {
             role,
@@ -90,6 +114,9 @@ impl DaemonConfig {
             max_inflight: 64,
             hb_period: Duration::from_millis(100),
             miss_threshold: 3,
+            peers: Vec::new(),
+            standbys: false,
+            election_timeout: Duration::from_millis(600),
         }
     }
 }
@@ -103,24 +130,27 @@ pub struct DrainReport {
     pub checkpointed: bool,
 }
 
-/// The node's role-specific state.
-enum Kind {
-    Replica(Mutex<ReplicaNode>),
-    Leader {
-        core: Mutex<LeaderCore>,
-        peers: PeerPool,
-    },
-}
-
-/// State shared by the accept loop, connection workers, and heartbeat.
+/// State shared by the accept loop, connection workers, and monitor.
 struct Inner {
-    kind: Kind,
+    node: Mutex<ClusterNode>,
+    /// Pool toward the other nodes. Cluster mode: indexed by node id.
+    /// Legacy mode: indexed by shard (node id − 1).
+    peers: PeerPool,
+    /// Cluster mode flag (elections + fenced repair armed).
+    cluster: bool,
+    /// Whether standby re-seeding runs.
+    standbys: bool,
+    /// Whether this node reports a checkpoint on graceful drain.
+    is_replica: bool,
     /// Graceful stop: finish in-flight work, then exit.
     stop: AtomicBool,
     /// Abrupt kill: exit without responding further.
     killed: AtomicBool,
     /// Requests completed after `stop` was raised.
     drained: AtomicU64,
+    /// Milliseconds (of `started`) when valid current-leader traffic
+    /// last arrived — the election suppressor.
+    leader_contact_ms: AtomicU64,
     started: Instant,
 }
 
@@ -129,93 +159,212 @@ impl Inner {
         self.started.elapsed().as_millis() as u64
     }
 
-    /// Serve one decoded request. Total: every input maps to exactly
-    /// one response.
-    fn serve(&self, req: &Request) -> Response {
-        match &self.kind {
-            Kind::Replica(node) => {
-                let resp = node.lock().expect("replica lock").handle(req);
-                if matches!(req, Request::Shutdown) {
-                    self.stop.store(true, Ordering::SeqCst);
-                }
-                resp
-            }
-            Kind::Leader { core, peers } => {
-                let resp = self.serve_leader(core, peers, req);
-                if matches!(req, Request::Shutdown) {
-                    self.stop.store(true, Ordering::SeqCst);
-                }
-                resp
-            }
+    /// Lock the node, surfacing poisoning as a typed failure instead of
+    /// a cascading panic: a connection worker that panicked mid-request
+    /// must not take every other connection down with it.
+    fn lock_node(&self) -> Result<MutexGuard<'_, ClusterNode>, ()> {
+        self.node.lock().map_err(|_| ())
+    }
+
+    /// The pool index of node `id` (see [`Inner::peers`]).
+    fn peer_index(&self, id: u64) -> usize {
+        if self.cluster {
+            id as usize
+        } else {
+            id as usize - 1
         }
     }
 
-    fn serve_leader(&self, core: &Mutex<LeaderCore>, peers: &PeerPool, req: &Request) -> Response {
-        // Planning is cheap; hold the lock only for plan/merge, never
-        // across network calls (fan-outs from different client
-        // connections proceed concurrently, bounded by the budget).
-        let plan = core.lock().expect("leader lock").plan(req);
-        let calls = match plan {
-            Plan::Done(r) => return r,
-            Plan::Fan(calls) => calls,
+    /// Deliver one request to `target`, self-routing included. Records
+    /// the outcome in the registry when this node leads and tracks the
+    /// target. `skip_dead` avoids burning connect timeouts on peers
+    /// already known dead (heartbeats must NOT skip, or the dead could
+    /// never rejoin).
+    fn deliver(&self, target: u64, req: &Request, skip_dead: bool) -> Option<Response> {
+        let self_id = {
+            let node = self.lock_node().ok()?;
+            if skip_dead {
+                if let Some(lead) = node.lead() {
+                    if target != node.id()
+                        && lead.registry().tracks(target)
+                        && lead.registry().health(target) == WireHealth::Dead
+                    {
+                        return None;
+                    }
+                }
+            }
+            node.id()
         };
-        let shards: Vec<usize> = calls.iter().map(|c| c.shard).collect();
-        let Some(_guard) = peers.try_acquire(&shards) else {
+        if target == self_id {
+            return Some(self.lock_node().ok()?.handle(req));
+        }
+        let result = self.peers.exchange(self.peer_index(target), req);
+        let at = self.now_ms();
+        if let Ok(mut node) = self.lock_node() {
+            if let Some(lead) = node.lead_mut() {
+                if lead.registry().tracks(target) {
+                    if result.is_some() {
+                        lead.registry_mut().record_success(at, target);
+                    } else {
+                        lead.registry_mut().record_failure(at, target);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Serve one decoded request. Total: every input maps to exactly
+    /// one response.
+    fn serve(&self, req: &Request) -> Response {
+        let is_leader = match self.lock_node() {
+            Ok(node) => node.is_leader(),
+            Err(()) => {
+                return Response::ErrorR {
+                    code: ErrorCode::Internal,
+                }
+            }
+        };
+        let resp = match req {
+            Request::Ingest { .. }
+            | Request::Point { .. }
+            | Request::Range { .. }
+            | Request::TopK { .. }
+                if is_leader =>
+            {
+                self.serve_fan(req)
+            }
+            _ => {
+                let resp = match self.lock_node() {
+                    Ok(mut node) => node.handle(req),
+                    Err(()) => Response::ErrorR {
+                        code: ErrorCode::Internal,
+                    },
+                };
+                // Accepted traffic from the current leader resets the
+                // election clock.
+                let from_leader = matches!(
+                    req,
+                    Request::Fenced { .. }
+                        | Request::NewTerm { .. }
+                        | Request::Replicate { .. }
+                        | Request::FetchShard { .. }
+                        | Request::InstallShard { .. }
+                        | Request::Promote { .. }
+                );
+                if from_leader && !matches!(resp, Response::StaleTermR { .. }) {
+                    self.leader_contact_ms
+                        .store(self.now_ms(), Ordering::SeqCst);
+                }
+                resp
+            }
+        };
+        if matches!(req, Request::Shutdown) {
+            self.stop.store(true, Ordering::SeqCst);
+        }
+        resp
+    }
+
+    /// The leader data plane: plan under the lock, exchange outside it,
+    /// merge under the lock again. Stepping down mid-request turns into
+    /// a `NotLeaderR` redirect, never a wrong answer.
+    fn serve_fan(&self, req: &Request) -> Response {
+        let internal = Response::ErrorR {
+            code: ErrorCode::Internal,
+        };
+        let not_leader = |node: &ClusterNode| Response::NotLeaderR {
+            leader: node.leader_id(),
+            term: node.term(),
+        };
+        let (self_id, calls) = {
+            let Ok(node) = self.lock_node() else {
+                return internal;
+            };
+            let Some(lead) = node.lead() else {
+                return not_leader(&node);
+            };
+            match lead.plan(req) {
+                Plan::Done(r) => return r,
+                Plan::Fan(calls) => (node.id(), calls),
+            }
+        };
+        // Reserve in-flight tokens toward every remote peer touched;
+        // self-served calls need no budget.
+        let idxs: Vec<usize> = calls
+            .iter()
+            .filter(|c| c.node != self_id)
+            .map(|c| self.peer_index(c.node))
+            .collect();
+        let Some(_guard) = self.peers.try_acquire(&idxs) else {
             return Response::Overloaded;
         };
-        let exchange = |shard: usize, request: &Request| -> Option<Response> {
-            let skip = {
-                let c = core.lock().expect("leader lock");
-                c.registry().health((shard + 1) as u64) == crate::proto::WireHealth::Dead
+        let results: Vec<Option<Response>> = calls
+            .iter()
+            .map(|c| self.deliver(c.node, &c.request, true))
+            .collect();
+        let stale = stale_term_in(&results);
+        let resp = {
+            let Ok(mut node) = self.lock_node() else {
+                return internal;
             };
-            if skip {
-                return None;
-            }
-            let result = peers.exchange(shard, request);
-            let mut c = core.lock().expect("leader lock");
-            let at = self.now_ms();
-            if result.is_some() {
-                c.registry_mut().record_success(at, (shard + 1) as u64);
+            if node.lead().is_none() {
+                not_leader(&node)
             } else {
-                c.registry_mut().record_failure(at, (shard + 1) as u64);
+                match req {
+                    Request::Ingest { req_id, .. } => {
+                        // invariant: lead() checked non-None just above,
+                        // and the node lock is held continuously since.
+                        let lead = node.lead_mut().expect("still leading");
+                        lead.finish_ingest(*req_id, &calls, &results)
+                    }
+                    Request::Point { .. } | Request::Range { .. } => {
+                        let lead = node.lead_mut().expect("still leading");
+                        lead.finish_routed(&calls[0], results.first().cloned().flatten())
+                    }
+                    Request::TopK { k } => {
+                        let refines = {
+                            let lead = node.lead_mut().expect("still leading");
+                            lead.plan_topk_round2(*k, &calls, &results).1
+                        };
+                        drop(node);
+                        let scans: Vec<(usize, Option<Response>)> = refines
+                            .iter()
+                            .map(|c| (c.shard, self.deliver(c.node, &c.request, true)))
+                            .collect();
+                        let Ok(mut node) = self.lock_node() else {
+                            return internal;
+                        };
+                        if node.lead().is_none() {
+                            not_leader(&node)
+                        } else {
+                            node.lead_mut()
+                                .expect("still leading")
+                                .finish_topk(*k, &calls, &results, &scans)
+                        }
+                    }
+                    // invariant: serve() only routes the four data
+                    // requests here, all covered above.
+                    _ => internal,
+                }
             }
-            result
         };
-        match req {
-            Request::Ingest { req_id, .. } => {
-                let results: Vec<Option<Response>> = calls
-                    .iter()
-                    .map(|c| exchange(c.shard, &c.request))
-                    .collect();
-                core.lock()
-                    .expect("leader lock")
-                    .finish_ingest(*req_id, &results)
+        if let Some((term, leader)) = stale {
+            // Someone leads a newer term: adopt it and redirect the
+            // client there rather than reporting a spurious failure.
+            if let Ok(mut node) = self.lock_node() {
+                node.observe_stale_term(term, leader);
             }
-            Request::Point { .. } | Request::Range { .. } => {
-                let r = exchange(calls[0].shard, &calls[0].request);
-                core.lock()
-                    .expect("leader lock")
-                    .finish_routed(calls[0].shard, r)
-            }
-            Request::TopK { k } => {
-                let locals: Vec<Option<Response>> = calls
-                    .iter()
-                    .map(|c| exchange(c.shard, &c.request))
-                    .collect();
-                let refines = {
-                    let c = core.lock().expect("leader lock");
-                    c.plan_topk_round2(*k, &locals).1
-                };
-                let scans: Vec<(usize, Option<Response>)> = refines
-                    .iter()
-                    .map(|c| (c.shard, exchange(c.shard, &c.request)))
-                    .collect();
-                core.lock()
-                    .expect("leader lock")
-                    .finish_topk(*k, &locals, &scans)
-            }
-            _ => unreachable!("only fan-out requests produce Plan::Fan"),
+            return Response::NotLeaderR { leader, term };
         }
+        resp
+    }
+
+    /// Deliver a planned call list sequentially, term-checking results.
+    fn deliver_all(&self, calls: &[PeerCall]) -> Vec<Option<Response>> {
+        calls
+            .iter()
+            .map(|c| self.deliver(c.node, &c.request, true))
+            .collect()
     }
 }
 
@@ -239,26 +388,33 @@ impl ServerHandle {
         self.inner.stop.load(Ordering::SeqCst)
     }
 
+    /// Whether this node currently leads (test/bench introspection).
+    pub fn is_leader(&self) -> bool {
+        self.inner
+            .lock_node()
+            .map(|n| n.is_leader())
+            .unwrap_or(false)
+    }
+
     /// Graceful shutdown: stop accepting, drain in-flight requests,
     /// checkpoint durable state, join every thread.
     pub fn stop(mut self) -> DrainReport {
         self.inner.stop.store(true, Ordering::SeqCst);
         self.join_all();
-        let checkpointed = match &self.inner.kind {
-            Kind::Replica(node) => {
-                let mut n = node.lock().expect("replica lock");
-                n.checkpoint().is_ok()
-            }
-            Kind::Leader { .. } => false,
-        };
+        let checkpointed = self.inner.is_replica
+            && self
+                .inner
+                .lock_node()
+                .map(|mut n| n.checkpoint().is_ok())
+                .unwrap_or(false);
         DrainReport {
             drained: self.inner.drained.load(Ordering::SeqCst),
             checkpointed,
         }
     }
 
-    /// Abrupt kill: no drain, no checkpoint — the crash the cluster
-    /// test inflicts on one replica.
+    /// Abrupt kill: no drain, no checkpoint — the crash the failover
+    /// tests inflict mid-run.
     pub fn kill(mut self) {
         self.inner.killed.store(true, Ordering::SeqCst);
         self.inner.stop.store(true, Ordering::SeqCst);
@@ -266,18 +422,35 @@ impl ServerHandle {
     }
 
     fn join_all(&mut self) {
+        // A worker that panicked reports a join error; swallowing it is
+        // deliberate — teardown must finish for the remaining threads,
+        // and the panic already surfaced on stderr.
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
         if let Some(t) = self.hb_thread.take() {
             let _ = t.join();
         }
-        let threads: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.conn_threads.lock().expect("threads lock"));
+        let threads: Vec<JoinHandle<()>> = match self.conn_threads.lock() {
+            Ok(mut g) => std::mem::take(&mut *g),
+            // Poisoned by a panicking accept loop: nothing left to join
+            // safely; the threads exit on the stop flag regardless.
+            Err(_) => Vec::new(),
+        };
         for t in threads {
             let _ = t.join();
         }
     }
+}
+
+/// Bind a listener for [`spawn_on`] — the two-phase bring-up that lets
+/// a cluster learn every node's port before any node starts serving.
+///
+/// # Errors
+///
+/// Binding failures.
+pub fn bind(listen: SocketAddr) -> io::Result<TcpListener> {
+    TcpListener::bind(listen)
 }
 
 /// Bring a node up on `cfg.listen`.
@@ -286,47 +459,90 @@ impl ServerHandle {
 ///
 /// Binding or store-recovery failures.
 pub fn spawn(cfg: DaemonConfig) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(cfg.listen)?;
+    let listener = bind(cfg.listen)?;
+    spawn_on(listener, cfg)
+}
+
+/// Bring a node up on an already-bound listener (see [`bind`]).
+///
+/// # Errors
+///
+/// Store-recovery or listener-configuration failures.
+pub fn spawn_on(listener: TcpListener, cfg: DaemonConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    let kind = match &cfg.role {
+    let cluster = !cfg.peers.is_empty();
+    let standbys = cluster && cfg.standbys;
+    let store_err = |e: swat_store::StoreError| io::Error::other(e.to_string());
+    let node = match &cfg.role {
         Role::Replica { shard } => {
-            let node_id = (*shard + 1) as u64;
-            let node = match &cfg.dir {
-                Some(dir) => {
-                    ReplicaNode::durable(node_id, cfg.config, cfg.streams, cfg.shards, *shard, dir)
-                        .map_err(|e| io::Error::other(e.to_string()))?
-                }
-                None => ReplicaNode::new(node_id, cfg.config, cfg.streams, cfg.shards, *shard),
-            };
-            Kind::Replica(Mutex::new(node))
+            let id = *shard as u64 + 1;
+            match &cfg.dir {
+                Some(dir) => ClusterNode::durable_replica(
+                    id,
+                    cfg.config,
+                    cfg.streams,
+                    cfg.shards,
+                    cfg.miss_threshold,
+                    standbys,
+                    dir.clone(),
+                )
+                .map_err(store_err)?,
+                None => ClusterNode::replica(
+                    id,
+                    cfg.config,
+                    cfg.streams,
+                    cfg.shards,
+                    cfg.miss_threshold,
+                    standbys,
+                ),
+            }
         }
-        Role::Leader { replicas } => {
-            let core = Mutex::new(LeaderCore::new(
+        Role::Leader { .. } => {
+            let node = ClusterNode::bootstrap_leader(
                 cfg.config,
                 cfg.streams,
                 cfg.shards,
                 cfg.miss_threshold,
-            ));
-            let peers = PeerPool::new(
-                replicas.clone(),
-                RetryPolicy {
-                    max_retries: 2,
-                    timeout: 20,
-                },
-                cfg.io_timeout,
-                cfg.max_inflight,
+                standbys,
             );
-            Kind::Leader { core, peers }
+            match &cfg.dir {
+                Some(dir) => node.with_meta_dir(dir.clone()).map_err(store_err)?,
+                None => node,
+            }
         }
     };
 
+    let pool_addrs = if cluster {
+        cfg.peers.clone()
+    } else {
+        match &cfg.role {
+            Role::Leader { replicas } => replicas.clone(),
+            // Legacy replicas fan nothing out; an empty pool is fine.
+            Role::Replica { .. } => Vec::new(),
+        }
+    };
+    let peers = PeerPool::new(
+        pool_addrs,
+        RetryPolicy {
+            max_retries: 2,
+            timeout: 20,
+        },
+        cfg.io_timeout,
+        cfg.max_inflight,
+    );
+
     let inner = Arc::new(Inner {
-        kind,
+        node: Mutex::new(node),
+        peers,
+        cluster,
+        standbys,
+        is_replica: matches!(cfg.role, Role::Replica { .. }),
         stop: AtomicBool::new(false),
         killed: AtomicBool::new(false),
         drained: AtomicU64::new(0),
+        leader_contact_ms: AtomicU64::new(0),
         started: Instant::now(),
     });
 
@@ -345,7 +561,9 @@ pub fn spawn(cfg: DaemonConfig) -> io::Result<ServerHandle> {
                 let t = std::thread::spawn(move || {
                     serve_connection(conn_inner, stream, io_timeout);
                 });
-                accept_threads.lock().expect("threads lock").push(t);
+                if let Ok(mut g) = accept_threads.lock() {
+                    g.push(t);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -354,13 +572,17 @@ pub fn spawn(cfg: DaemonConfig) -> io::Result<ServerHandle> {
         }
     });
 
-    let hb_thread = match &cfg.role {
-        Role::Leader { .. } => {
-            let hb_inner = inner.clone();
-            let period = cfg.hb_period;
-            Some(std::thread::spawn(move || heartbeat_loop(hb_inner, period)))
-        }
-        Role::Replica { .. } => None,
+    // The monitor runs on the legacy leader (heartbeats only) and on
+    // every cluster-mode node (heartbeats + repair + elections).
+    let hb_thread = if cluster || matches!(cfg.role, Role::Leader { .. }) {
+        let hb_inner = inner.clone();
+        let period = cfg.hb_period;
+        let election_timeout = cfg.election_timeout;
+        Some(std::thread::spawn(move || {
+            monitor_loop(hb_inner, period, election_timeout)
+        }))
+    } else {
+        None
     };
 
     Ok(ServerHandle {
@@ -419,32 +641,130 @@ fn serve_connection(inner: Arc<Inner>, stream: std::net::TcpStream, io_timeout: 
     }
 }
 
-/// The leader's failure detector: ping every replica each period,
-/// bypassing the in-flight budget so detection keeps working under
-/// load.
-fn heartbeat_loop(inner: Arc<Inner>, period: Duration) {
-    let Kind::Leader { core, peers } = &inner.kind else {
-        return;
-    };
+/// The per-node monitor. While leading: term-fenced heartbeats to every
+/// peer (never skipping the dead — that is how they rejoin), then a
+/// repair pass, then (with standbys on) at most one re-seeding step.
+/// While following in cluster mode: watch the leader-contact clock and
+/// claim the next owned term after a staggered silence — probing every
+/// lower-id node first, so the lowest live id wins without a vote.
+fn monitor_loop(inner: Arc<Inner>, period: Duration, election_timeout: Duration) {
     let mut nonce = 0u64;
-    while !inner.stop.load(Ordering::SeqCst) {
+    loop {
         std::thread::sleep(period);
-        for shard in 0..peers.len() {
-            if inner.stop.load(Ordering::SeqCst) {
-                return;
-            }
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(node) = inner.lock_node() else {
+            // Poisoned node state: stop monitoring. Heartbeats cease and
+            // the rest of the cluster fails over around this node.
+            return;
+        };
+        let leading = node.is_leader();
+        let (id, peer_ids) = (node.id(), node.peer_ids());
+        let heartbeat = node.lead().map(|l| {
             nonce += 1;
-            let ok = matches!(
-                peers.exchange(shard, &Request::Ping { nonce }),
-                Some(Response::Pong { nonce: n }) if n == nonce
-            );
-            let at = inner.now_ms();
-            let mut c = core.lock().expect("leader lock");
-            if ok {
-                c.registry_mut().record_success(at, (shard + 1) as u64);
-            } else {
-                c.registry_mut().record_failure(at, (shard + 1) as u64);
+            l.heartbeat(nonce)
+        });
+        drop(node);
+
+        if leading {
+            // invariant: leading ⇒ heartbeat was planned above.
+            let hb = heartbeat.expect("leader plans a heartbeat");
+            let mut stale = None;
+            for &peer in &peer_ids {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let resp = inner.deliver(peer, &hb, false);
+                if let Some(Response::StaleTermR { term, leader }) = resp {
+                    stale = Some((term, leader));
+                }
             }
+            if let Some((term, leader)) = stale {
+                if let Ok(mut node) = inner.lock_node() {
+                    node.observe_stale_term(term, leader);
+                }
+                continue;
+            }
+            if !inner.cluster {
+                continue;
+            }
+            // Repair: promote around the dead, re-anchor epochs.
+            let at = inner.now_ms();
+            let calls = match inner.lock_node() {
+                Ok(mut node) => node.repair_plan(at),
+                Err(()) => return,
+            };
+            if !calls.is_empty() {
+                let results = inner.deliver_all(&calls);
+                if let Ok(mut node) = inner.lock_node() {
+                    node.finish_repair(inner.now_ms(), &calls, &results);
+                }
+            }
+            // Re-seed a standby from its primary, one step per tick.
+            if inner.standbys {
+                let at = inner.now_ms();
+                let fetch_calls = match inner.lock_node() {
+                    Ok(mut node) => node.rejoin_plan(at),
+                    Err(()) => return,
+                };
+                if let Some(fetch_calls) = fetch_calls {
+                    let results = inner.deliver_all(&fetch_calls);
+                    let install = match inner.lock_node() {
+                        Ok(mut node) => node.finish_fetch(inner.now_ms(), &fetch_calls, &results),
+                        Err(()) => return,
+                    };
+                    if let Some(install) = install {
+                        let result = inner.deliver(install.node, &install.request, true);
+                        if let Ok(mut node) = inner.lock_node() {
+                            node.finish_install(inner.now_ms(), result);
+                        }
+                    }
+                }
+            }
+        } else if inner.cluster {
+            // Follower: is the leader silent past our staggered patience?
+            let now = inner.now_ms();
+            let last = inner.leader_contact_ms.load(Ordering::SeqCst);
+            let patience =
+                election_timeout.as_millis() as u64 + id * period.as_millis().max(1) as u64;
+            if now.saturating_sub(last) < patience {
+                continue;
+            }
+            // Deterministic successor: defer to any live lower id.
+            let lower_alive = (0..id).any(|n| inner.deliver(n, &Request::Status, false).is_some());
+            if lower_alive {
+                inner
+                    .leader_contact_ms
+                    .store(inner.now_ms(), Ordering::SeqCst);
+                continue;
+            }
+            let claim = match inner.lock_node() {
+                Ok(mut node) => match node.begin_claim() {
+                    Ok(claim) => claim,
+                    // The term record would not persist: claiming is
+                    // unsafe (monotonicity could break across restart).
+                    Err(_) => continue,
+                },
+                Err(()) => return,
+            };
+            let reports: Vec<(u64, Option<Response>)> = peer_ids
+                .iter()
+                .map(|&p| (p, inner.deliver(p, &claim, false)))
+                .collect();
+            let calls = match inner.lock_node() {
+                Ok(mut node) => node.finish_claim(inner.now_ms(), &reports),
+                Err(()) => return,
+            };
+            if let Some(calls) = calls {
+                let results = inner.deliver_all(&calls);
+                if let Ok(mut node) = inner.lock_node() {
+                    node.finish_repair(inner.now_ms(), &calls, &results);
+                }
+            }
+            inner
+                .leader_contact_ms
+                .store(inner.now_ms(), Ordering::SeqCst);
         }
     }
 }

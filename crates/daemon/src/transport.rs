@@ -135,6 +135,7 @@ impl Transport for TcpTransport {
             Ok(()) => {}
             Err(e) => return Err(io_err("reading frame header", &e)),
         }
+        // invariant: a 4-byte slice of a fixed-size array always converts.
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
         if len > MAX_FRAME {
             return Err(TransportError::Proto(ProtoError::Oversize {
@@ -220,6 +221,7 @@ impl SimNet {
         let inbox = &mut self.inboxes[node.index()];
         match inbox.front() {
             Some(m) if m.at <= limit => {
+                // invariant: front() just matched Some on this inbox.
                 let m = inbox.pop_front().expect("front exists");
                 self.now = self.now.max(m.at);
                 Some(m.frame)

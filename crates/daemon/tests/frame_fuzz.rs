@@ -12,6 +12,7 @@ use swat_daemon::proto::{
     check_frame, decode_request, decode_response, encode_request, encode_response, sample_requests,
     sample_responses,
 };
+use swat_daemon::{Request, Response};
 
 /// Every sample frame, both directions, with a tag telling the decoder
 /// to use.
@@ -114,6 +115,43 @@ fn random_garbage_never_panics_and_never_parses() {
             }
         }
     }
+}
+
+#[test]
+fn the_sample_set_covers_every_failover_wire_variant() {
+    // The truncation/bit-flip sweeps above only protect what the sample
+    // set contains; pin the term/epoch-carrying failover messages so a
+    // refactor cannot silently drop them from fuzz coverage.
+    let reqs = sample_requests();
+    assert!(reqs.iter().any(|r| matches!(r, Request::Fenced { .. })));
+    assert!(reqs.iter().any(
+        |r| matches!(r, Request::Fenced { shard, .. } if *shard == swat_daemon::proto::NO_SHARD)
+    ));
+    assert!(reqs.iter().any(|r| matches!(r, Request::NewTerm { .. })));
+    assert!(reqs.iter().any(|r| matches!(r, Request::Replicate { .. })));
+    assert!(reqs.iter().any(|r| matches!(r, Request::FetchShard { .. })));
+    assert!(reqs
+        .iter()
+        .any(|r| matches!(r, Request::InstallShard { .. })));
+    assert!(reqs.iter().any(|r| matches!(r, Request::Promote { .. })));
+    let resps = sample_responses();
+    assert!(resps
+        .iter()
+        .any(|r| matches!(r, Response::StaleTermR { .. })));
+    assert!(resps
+        .iter()
+        .any(|r| matches!(r, Response::NotLeaderR { .. })));
+    assert!(resps.iter().any(|r| matches!(r, Response::SyncR { .. })));
+    assert!(resps
+        .iter()
+        .any(|r| matches!(r, Response::ShardStateR { .. })));
+    assert!(resps.iter().any(|r| matches!(r, Response::EpochAck { .. })));
+    assert!(resps
+        .iter()
+        .any(|r| matches!(r, Response::StaleEpochR { .. })));
+    assert!(resps
+        .iter()
+        .any(|r| matches!(r, Response::StatusR { term, .. } if *term > 0)));
 }
 
 #[test]

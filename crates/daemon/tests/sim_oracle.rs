@@ -14,9 +14,11 @@
 //!    every point answer and distributed top-k is bit-identical.
 
 use proptest::prelude::*;
-use swat_daemon::{encode_response, Response, SimCluster, SimMode, SimOp};
+use swat_daemon::{
+    encode_response, FailoverSim, Request, Response, ShardMap, SimCluster, SimMode, SimOp,
+};
 use swat_net::{DelayDist, FaultPlan, NodeId};
-use swat_tree::{QueryOptions, ShardedStreamSet, SwatConfig};
+use swat_tree::{QueryOptions, ShardedStreamSet, StreamSet, SwatConfig};
 
 const STREAMS: usize = 9;
 const SHARDS: usize = 3;
@@ -191,5 +193,101 @@ proptest! {
                 },
             }
         }
+    }
+}
+
+/// Run an acked-ingest workload through a [`FailoverSim`] whose fault
+/// plan crashes `victim` at `kill_tick`, then check the surviving
+/// cluster against a never-crashed oracle over the acked prefix:
+/// every acked row is present bit-identically on every shard's current
+/// primary, point answers match, and no term ever had two leaders
+/// (the sim asserts that invariant on every tick).
+fn failover_schedule(victim: u64, kill_tick: u64, rows: usize) {
+    let (streams, shards) = (6usize, 2usize);
+    let plan = FaultPlan::new(victim ^ (kill_tick << 8))
+        .with_crash_any(NodeId(victim as usize), kill_tick, 1_000_000)
+        .expect("valid window");
+    let mut sim = FailoverSim::new(plan, cfg(), streams, shards, 2, 4);
+    let mut oracle = StreamSet::new(cfg(), streams);
+
+    let mut acked = 0u64;
+    for r in 0..rows as u64 {
+        let row: Vec<f64> = (0..streams)
+            .map(|i| (((r as usize * 7 + i * 5 + victim as usize) % 23) as f64) - 11.0)
+            .collect();
+        if sim.ingest_until_acked(r, &row, 600) {
+            oracle.push_row(&row);
+            acked += 1;
+        }
+        sim.tick();
+    }
+    // With only one crash and generous retry budgets, everything acks.
+    assert_eq!(acked, rows as u64, "bounded unavailability, not loss");
+
+    // Post-failover: if the victim was the leader, someone else leads a
+    // higher term now; either way exactly one leader per observed term.
+    if victim == 0 {
+        let leader = sim.live_leader().expect("a survivor leads");
+        assert_ne!(leader, 0, "node 0 is down");
+        assert!(sim.node(leader).term() > 0, "a real election happened");
+    }
+    assert!(!sim.leader_terms().is_empty());
+
+    // Every shard's current primary holds the acked prefix
+    // bit-identically to the never-crashed oracle.
+    let map = ShardMap::new(streams, shards);
+    for s in 0..shards {
+        let primary = sim.primary_of(s).expect("every shard has a primary");
+        assert_ne!(primary, victim, "a dead node cannot be primary");
+        let mut want = StreamSet::new(cfg(), map.members(s).len());
+        for r in 0..rows as u64 {
+            let row: Vec<f64> = (0..streams)
+                .map(|i| (((r as usize * 7 + i * 5 + victim as usize) % 23) as f64) - 11.0)
+                .collect();
+            want.push_row(&map.subrow(&row, s));
+        }
+        assert_eq!(
+            sim.node(primary).holding_digest(s),
+            Some(want.answers_digest()),
+            "shard {s} digest diverged after killing node {victim}"
+        );
+    }
+
+    // And the cluster still answers queries on the acked data.
+    for g in 0..streams as u64 {
+        let want = oracle
+            .tree(g as usize)
+            .point_with(0, QueryOptions::default())
+            .expect("warm index");
+        match sim.query_until(
+            &Request::Point {
+                stream: g,
+                index: 0,
+            },
+            600,
+        ) {
+            Some(Response::PointR { answer }) => {
+                assert_eq!(answer.value.to_bits(), want.value.to_bits());
+            }
+            other => panic!("stream {g} unanswered after failover: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn leader_kill_schedules_preserve_the_acked_prefix() {
+    // Kill the bootstrap leader at several points in the run, including
+    // before the first row (tick 0 is mid-bootstrap).
+    for kill_tick in [0, 3, 11] {
+        failover_schedule(0, kill_tick, 24);
+    }
+}
+
+#[test]
+fn primary_kill_schedules_promote_the_standby() {
+    // Kill each replica in turn mid-run: its shard's standby must be
+    // promoted under a bumped epoch with no acked row lost.
+    for victim in [1u64, 2] {
+        failover_schedule(victim, 7, 24);
     }
 }

@@ -1,16 +1,26 @@
-//! The real-TCP cluster integration test: a 4-node localhost
-//! deployment (leader + 3 replicas) serving ingest, point, range, and
-//! distributed top-k — with one replica **killed mid-run**.
+//! The real-TCP cluster integration tests.
+//!
+//! 1. A 4-node legacy deployment (static leader + 3 replicas) serving
+//!    ingest, point, range, and distributed top-k — with one replica
+//!    **killed mid-run**.
+//! 2. A 3-node failover cluster (full peer list, standbys armed) whose
+//!    **leader** is killed mid-run: a survivor must claim a higher
+//!    term, promote standbys, and keep answering — through the real
+//!    monitor threads and the real `FailoverClient` redirect path.
 //!
 //! The acceptance bar: zero wrong answers. Degraded answers (explicit
 //! `failed_shards`, `Unavailable`, `complete: false`) are fine; silent
-//! loss is not. The run ends with a graceful SIGTERM-style drain and a
-//! verified durable checkpoint on a surviving replica.
+//! loss is not.
 
+use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use swat_daemon::{spawn, DaemonClient, DaemonConfig, Request, Response, Role, ServerHandle};
+use swat_daemon::{
+    bind, spawn, spawn_on, DaemonClient, DaemonConfig, FailoverClient, Request, Response, Role,
+    ServerHandle,
+};
+use swat_replication::RetryPolicy;
 use swat_store::RecoveryManager;
 use swat_tree::{shard_members, shard_of, QueryOptions, ShardedStreamSet, SwatConfig};
 
@@ -217,4 +227,164 @@ fn four_node_cluster_survives_a_killed_replica_and_drains_cleanly() {
     }
     assert_eq!(store.set().answers_digest(), want_set.answers_digest());
     let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Spawn a full failover cluster: `shards + 1` nodes that each know the
+/// whole peer list, with standbys armed and fast election timers.
+fn spawn_failover_cluster(
+    streams: usize,
+    shards: usize,
+) -> (Vec<Option<ServerHandle>>, Vec<SocketAddr>) {
+    let nodes = shards + 1;
+    let listeners: Vec<_> = (0..nodes)
+        .map(|_| bind("127.0.0.1:0".parse().expect("static addr")).expect("binds"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("bound"))
+        .collect();
+    let mut handles = Vec::new();
+    for (id, listener) in listeners.into_iter().enumerate() {
+        let role = if id == 0 {
+            Role::Leader {
+                replicas: Vec::new(),
+            }
+        } else {
+            Role::Replica { shard: id - 1 }
+        };
+        let mut nc = DaemonConfig::localhost(role, cfg(), streams, shards);
+        nc.peers = addrs.clone();
+        nc.standbys = true;
+        nc.io_timeout = Duration::from_millis(200);
+        nc.hb_period = Duration::from_millis(50);
+        nc.miss_threshold = 2;
+        nc.election_timeout = Duration::from_millis(250);
+        handles.push(Some(spawn_on(listener, nc).expect("node comes up")));
+    }
+    (handles, addrs)
+}
+
+/// Retry `id`'s row through the failover client until it fully acks or
+/// the deadline passes. Duplicate-safe req_ids make the retries
+/// harmless; returns whether the row acked.
+fn ingest_until_acked(
+    client: &mut FailoverClient,
+    id: u64,
+    data: &[f64],
+    deadline: Instant,
+) -> bool {
+    loop {
+        if let Ok(Response::IngestOk { failed_shards, .. }) =
+            client.ingest_acked(id, data.to_vec(), 2)
+        {
+            if failed_shards.is_empty() {
+                return true;
+            }
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn failover_cluster_survives_a_killed_leader_mid_run() {
+    let (streams, shards) = (6usize, 2usize);
+    let (mut handles, addrs) = spawn_failover_cluster(streams, shards);
+    let mut client = FailoverClient::new(
+        addrs.clone(),
+        RetryPolicy {
+            max_retries: 3,
+            timeout: 30,
+        },
+        Duration::from_millis(500),
+    );
+    let row = |r: u64| -> Vec<f64> {
+        (0..streams)
+            .map(|i| ((r as usize * 11 + i * 3) % 23) as f64 - 11.0)
+            .collect()
+    };
+
+    // ---- Phase 1: healthy cluster, every row fully acked. ----
+    let mut oracle = ShardedStreamSet::new(cfg(), streams, shards);
+    let warm_deadline = Instant::now() + Duration::from_secs(20);
+    for r in 0..16u64 {
+        assert!(
+            ingest_until_acked(&mut client, r, &row(r), warm_deadline),
+            "row {r} must ack on a healthy cluster"
+        );
+        oracle.push_row(&row(r));
+    }
+
+    // ---- Phase 2: kill the leader abruptly, mid-run. ----
+    handles[0].take().expect("spawned above").kill();
+
+    // A survivor must claim a higher term and report itself leader.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut elected: Option<(u64, u64)> = None;
+    while Instant::now() < deadline && elected.is_none() {
+        for &addr in &addrs[1..] {
+            let Ok(mut probe) = DaemonClient::connect(addr, Duration::from_millis(300)) else {
+                continue;
+            };
+            if let Ok(Response::StatusR {
+                node, term, leader, ..
+            }) = probe.call(&Request::Status)
+            {
+                if term > 0 && leader == node {
+                    elected = Some((node, term));
+                    break;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (new_leader, new_term) = elected.expect("a survivor claims leadership");
+    assert_ne!(new_leader, 0, "node 0 is dead");
+    assert!(new_term > 0, "failover means a new term");
+
+    // ---- Phase 3: post-failover ingest and oracle-exact queries. ----
+    let post_deadline = Instant::now() + Duration::from_secs(30);
+    for r in 16..28u64 {
+        assert!(
+            ingest_until_acked(&mut client, r, &row(r), post_deadline),
+            "row {r} must ack after failover (bounded unavailability, not loss)"
+        );
+        oracle.push_row(&row(r));
+    }
+    for stream in 0..streams as u64 {
+        let want = oracle
+            .tree(stream as usize)
+            .point_with(0, QueryOptions::default())
+            .expect("warm index");
+        match client
+            .call(&Request::Point { stream, index: 0 })
+            .expect("point after failover")
+        {
+            Response::PointR { answer } => {
+                assert_eq!(
+                    answer.value.to_bits(),
+                    want.value.to_bits(),
+                    "stream {stream} diverged after failover"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // The merged top-k must be complete again: every shard has a live
+    // primary (the dead leader held no shard, and standbys cover the
+    // rest), and the merge is bit-identical to the oracle's.
+    let (want_topk, _) = oracle.global_top_k(4, 1);
+    match client.call(&Request::TopK { k: 4 }).expect("topk call") {
+        Response::TopKR { complete, entries } => {
+            assert!(complete, "all shards answer after failover");
+            assert_eq!(entries, want_topk.entries().to_vec());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    for h in handles.into_iter().flatten() {
+        let _ = h.stop();
+    }
 }

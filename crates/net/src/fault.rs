@@ -235,15 +235,28 @@ impl FaultPlan {
     ///
     /// [`FaultPlanError::SourceCrash`] for node 0;
     /// [`FaultPlanError::EmptyCrashWindow`] if `from >= until`.
-    pub fn with_crash(
+    pub fn with_crash(self, node: NodeId, from: u64, until: u64) -> Result<Self, FaultPlanError> {
+        if node == NodeId::SOURCE {
+            return Err(FaultPlanError::SourceCrash);
+        }
+        self.with_crash_any(node, from, until)
+    }
+
+    /// Schedule `node` to be down for ticks `from..until`, node 0
+    /// included. The source-crash restriction of
+    /// [`FaultPlan::with_crash`] exists for simulations driven *from*
+    /// node 0; in a failover cluster node 0 is an ordinary member whose
+    /// death the protocol must survive, so its crash windows are legal.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::EmptyCrashWindow`] if `from >= until`.
+    pub fn with_crash_any(
         mut self,
         node: NodeId,
         from: u64,
         until: u64,
     ) -> Result<Self, FaultPlanError> {
-        if node == NodeId::SOURCE {
-            return Err(FaultPlanError::SourceCrash);
-        }
         if from >= until {
             return Err(FaultPlanError::EmptyCrashWindow { from, until });
         }

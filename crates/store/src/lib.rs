@@ -36,6 +36,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod fault;
 pub mod image;
+pub mod meta;
 pub mod recovery;
 pub mod store;
 pub mod wal;
@@ -43,5 +44,6 @@ pub mod wal;
 pub use error::StoreError;
 pub use fault::{Fault, FaultInjector, FaultPlan};
 pub use image::{read_image, ImageWriter};
+pub use meta::NodeMeta;
 pub use recovery::{RecoveryManager, RecoveryReport};
-pub use store::DurableStore;
+pub use store::{holds_store, DurableStore};

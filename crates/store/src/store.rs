@@ -31,6 +31,19 @@ use crate::wal::{self, WalHeader};
 /// How many checkpoint generations [`DurableStore::checkpoint`] retains.
 pub const KEPT_GENERATIONS: usize = 2;
 
+/// Whether `dir` holds store files (a checkpoint or WAL generation).
+/// Unrelated files — e.g. the [`crate::meta`] image that shares the
+/// directory — do not count, so "recover or create?" decisions stay
+/// correct when other state lives alongside the trees.
+pub fn holds_store(dir: &Path) -> bool {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return false;
+    };
+    entries
+        .flatten()
+        .any(|e| checkpoint::parse_name(&e.file_name().to_string_lossy()).is_some())
+}
+
 /// A crash-consistent [`StreamSet`].
 #[derive(Debug)]
 pub struct DurableStore {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_failover.json — what killing the LEADER of a
+# full failover cluster costs: election latency, the unavailability
+# window (kill → first re-acked ingest), and the answered fraction
+# before/during/after, measured against a real-TCP localhost cluster
+# with term-based elections and epoch-fenced standby promotion. The
+# quiesced phases are oracle-checked bit-exactly; the run fails unless
+# the cluster re-elects, re-acks, and answers with zero wrong answers.
+# Pass --quick for a smoke-sized run; extra flags are forwarded to the
+# CLI (see `swat help`, FAILOVER-BENCH section).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- failover-bench --out results/BENCH_failover.json "$@"

@@ -119,4 +119,16 @@ grep -q '"bench": "daemon"' target/daemon-smoke.json
 grep -q '"zero_wrong_answers": true' target/daemon-smoke.json
 echo "daemon bench smoke clean (target/daemon-smoke.json)"
 
-echo "OK: fmt, clippy, tier-1, ingest, chaos, recovery, query-bench, repair, scale, and daemon smokes all green"
+echo "== failover smoke (3-node cluster, LEADER killed, re-election) =="
+# Kills the leader of a real-TCP failover cluster mid-run; the command
+# itself fails unless a survivor claims a new term, every retried row
+# re-acks, and the recovered cluster answers bit-exactly (zero wrong
+# answers over the acked prefix).
+cargo run --release -q -p swat-cli -- failover-bench --quick \
+    --out target/failover-smoke.json >/dev/null
+grep -q '"bench": "failover"' target/failover-smoke.json
+grep -q '"recovered": true' target/failover-smoke.json
+grep -q '"zero_wrong_answers": true' target/failover-smoke.json
+echo "failover smoke clean (target/failover-smoke.json)"
+
+echo "OK: fmt, clippy, tier-1, ingest, chaos, recovery, query-bench, repair, scale, daemon, and failover smokes all green"
