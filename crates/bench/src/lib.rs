@@ -64,6 +64,7 @@ pub mod recovery;
 pub mod repair;
 pub mod report;
 pub mod scale;
+pub mod store;
 
 /// Default seed used by all figure binaries (override with `SWAT_SEED`).
 pub const DEFAULT_SEED: u64 = 20030226; // the paper's date

@@ -323,13 +323,14 @@ fn describe(resp: &Response) -> String {
             leader,
             arrivals,
             replicas,
+            store,
         } => {
             let health: Vec<String> = replicas
                 .iter()
                 .map(|(n, h)| format!("node{n}={h:?}"))
                 .collect();
             format!(
-                "node={node} term={term} leader={leader} arrivals={arrivals} replicas=[{}]",
+                "node={node} term={term} leader={leader} arrivals={arrivals} store={store} replicas=[{}]",
                 health.join(", ")
             )
         }
@@ -410,9 +411,10 @@ mod tests {
                 term: 4,
                 leader: 1,
                 arrivals: 7,
-                replicas: vec![]
+                replicas: vec![],
+                store: swat_daemon::WireStoreHealth::Degraded { parked: 2 },
             }),
-            "node=1 term=4 leader=1 arrivals=7 replicas=[]"
+            "node=1 term=4 leader=1 arrivals=7 store=degraded(2 parked) replicas=[]"
         );
     }
 }

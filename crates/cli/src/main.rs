@@ -10,6 +10,7 @@
 //! swat recover --dir /var/lib/swat/store
 //! swat client --addr 127.0.0.1:7700 --ingest 1,2,3 --top-k 4 --status
 //! swat recovery-bench --quick --out results/BENCH_recovery.json
+//! swat store-bench --quick --out results/BENCH_store.json
 //! swat repair-bench --quick --out results/BENCH_repair.json
 //! swat scale-bench --quick --out results/BENCH_scale.json
 //! swat daemon-bench --quick --out results/BENCH_daemon.json
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "chaos" => commands::chaos(&parsed),
         "recover" => commands::recover(&parsed),
         "recovery-bench" => commands::recovery_bench(&parsed),
+        "store-bench" => commands::store_bench(&parsed),
         "repair-bench" => commands::repair_bench(&parsed),
         "scale-bench" => commands::scale_bench(&parsed),
         "client" => swat_cli::daemon_cmd::client(&parsed),

@@ -262,6 +262,9 @@ impl LeaderCore {
                 leader: self.node,
                 arrivals: self.complete_rows,
                 replicas: self.registry.statuses(),
+                // The leader core holds no shard backing of its own; the
+                // holdings' store health is reported by `ClusterNode`.
+                store: crate::proto::WireStoreHealth::Healthy,
             }),
             Request::Ingest { req_id, row } => self.plan_ingest(*req_id, row),
             Request::Point { stream, .. } | Request::Range { stream, .. } => {

@@ -53,7 +53,7 @@ pub use failover::{next_term, successor, term_owner, Assignment, ShardSlot};
 pub use node::ClusterNode;
 pub use proto::{
     check_frame, decode_request, decode_response, encode_request, encode_response, ErrorCode,
-    ProtoError, Request, Response, WireHealth, MAX_FRAME,
+    ProtoError, Request, Response, WireHealth, WireStoreHealth, MAX_FRAME,
 };
 pub use registry::ReplicaRegistry;
 pub use replica::ReplicaNode;

@@ -290,6 +290,27 @@ impl ClusterNode {
         Ok(())
     }
 
+    /// Aggregate durable-store health across this node's holdings:
+    /// degraded as soon as any holding has parked flush generations,
+    /// with the parked counts summed.
+    pub fn store_health(&self) -> crate::proto::WireStoreHealth {
+        let mut parked: u32 = 0;
+        let mut degraded = false;
+        for h in self.holdings.values() {
+            if let crate::proto::WireStoreHealth::Degraded { parked: p } = h.rep.store_health() {
+                // A broken WAL reports degraded with zero parked
+                // generations, so the flag is tracked separately.
+                degraded = true;
+                parked = parked.saturating_add(p);
+            }
+        }
+        if degraded {
+            crate::proto::WireStoreHealth::Degraded { parked }
+        } else {
+            crate::proto::WireStoreHealth::Healthy
+        }
+    }
+
     /// Persist the current term/leader/epochs, when durably backed.
     fn persist_meta(&self) -> Result<(), swat_store::StoreError> {
         let Some(dir) = &self.meta_dir else {
@@ -408,6 +429,7 @@ impl ClusterNode {
                     .lead
                     .as_ref()
                     .map_or_else(Vec::new, |l| l.registry().statuses()),
+                store: self.store_health(),
             },
             // The server intercepts Shutdown to drain; answering here
             // keeps the machine total.

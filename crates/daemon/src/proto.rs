@@ -362,6 +362,8 @@ pub enum Response {
         arrivals: u64,
         /// Per-peer health, leader only: `(node, health)` pairs.
         replicas: Vec<(u64, WireHealth)>,
+        /// This node's local durable-store health.
+        store: WireStoreHealth,
     },
     /// Graceful shutdown acknowledged; the node drains and exits.
     ShutdownOk {
@@ -532,6 +534,53 @@ impl fmt::Display for WireHealth {
             WireHealth::Alive => write!(f, "alive"),
             WireHealth::Suspect => write!(f, "suspect"),
             WireHealth::Dead => write!(f, "dead"),
+        }
+    }
+}
+
+/// The responding node's *local durable-store* health: whether its
+/// background segment flushes are parked on a persistent disk fault.
+/// Distinct from [`WireHealth`], which is the leader's liveness view of
+/// its peers; a node can be perfectly reachable while its disk degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireStoreHealth {
+    /// Flushes are keeping up (or the node runs an in-memory backing).
+    Healthy,
+    /// Frozen generations are parked on a disk fault; ingest continues
+    /// on the WAL and the store retries with bounded backoff.
+    Degraded {
+        /// Parked frozen generations across the node's holdings.
+        parked: u32,
+    },
+}
+
+impl WireStoreHealth {
+    fn put(self, p: &mut Vec<u8>) {
+        match self {
+            WireStoreHealth::Healthy => p.push(0),
+            WireStoreHealth::Degraded { parked } => {
+                p.push(1);
+                put_u32(p, parked);
+            }
+        }
+    }
+
+    fn take(c: &mut Cursor<'_>) -> Result<Self, ProtoError> {
+        Ok(match c.u8()? {
+            0 => WireStoreHealth::Healthy,
+            1 => WireStoreHealth::Degraded { parked: c.u32()? },
+            b => return Err(ProtoError::UnknownKind(b)),
+        })
+    }
+}
+
+impl fmt::Display for WireStoreHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireStoreHealth::Healthy => write!(f, "healthy"),
+            WireStoreHealth::Degraded { parked } => {
+                write!(f, "degraded({parked} parked)")
+            }
         }
     }
 }
@@ -857,6 +906,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             leader,
             arrivals,
             replicas,
+            store,
         } => {
             p.push(K_STATUS_R);
             put_u64(&mut p, *node);
@@ -868,6 +918,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_u64(&mut p, *n);
                 p.push(h.to_wire());
             }
+            store.put(&mut p);
         }
         Response::ShutdownOk { drained } => {
             p.push(K_SHUTDOWN_OK);
@@ -1154,12 +1205,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 let h = WireHealth::from_wire(h).ok_or(ProtoError::UnknownKind(h))?;
                 replicas.push((n, h));
             }
+            let store = WireStoreHealth::take(&mut c)?;
             Response::StatusR {
                 node,
                 term,
                 leader,
                 arrivals,
                 replicas,
+                store,
             }
         }
         K_SHUTDOWN_OK => Response::ShutdownOk { drained: c.u64()? },
@@ -1349,6 +1402,7 @@ pub fn sample_responses() -> Vec<Response> {
             leader: 0,
             arrivals: 1000,
             replicas: vec![(1, WireHealth::Alive), (2, WireHealth::Dead)],
+            store: WireStoreHealth::Degraded { parked: 3 },
         },
         Response::ShutdownOk { drained: 3 },
         Response::Overloaded,

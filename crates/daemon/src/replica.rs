@@ -24,6 +24,10 @@ use swat_tree::{
 use crate::proto::{ErrorCode, Request, Response, WirePointAnswer};
 
 /// Where a replica's stream state lives.
+// One Backing exists per shard held, so the size gap between the
+// variants (the tiered store carries flush-thread plumbing) is noise
+// next to the StreamSet both contain; boxing would buy nothing.
+#[allow(clippy::large_enum_variant)]
 enum Backing {
     /// Volatile: fast, lost on exit.
     Memory(StreamSet),
@@ -191,6 +195,23 @@ impl ReplicaNode {
         }
     }
 
+    /// The backing store's health: [`WireStoreHealth::Degraded`] when
+    /// background segment flushes are parked on a disk fault (in-memory
+    /// backings are always healthy).
+    pub fn store_health(&self) -> crate::proto::WireStoreHealth {
+        match &self.backing {
+            Backing::Memory(_) => crate::proto::WireStoreHealth::Healthy,
+            Backing::Durable(d) => match d.health() {
+                swat_store::StoreHealth::Healthy => crate::proto::WireStoreHealth::Healthy,
+                swat_store::StoreHealth::Degraded { parked, .. } => {
+                    crate::proto::WireStoreHealth::Degraded {
+                        parked: parked.min(u32::MAX as usize) as u32,
+                    }
+                }
+            },
+        }
+    }
+
     /// The local index of global stream `g`, if this shard owns it.
     fn local_of(&self, g: u64) -> Option<usize> {
         usize::try_from(g)
@@ -240,6 +261,7 @@ impl ReplicaNode {
                 leader: 0,
                 arrivals: self.arrivals,
                 replicas: Vec::new(),
+                store: self.store_health(),
             },
             Request::Shutdown => Response::ShutdownOk { drained: 0 },
             // Distributed fan-out is the leader's job.
@@ -480,6 +502,50 @@ mod tests {
                 code: ErrorCode::BadRequest
             }
         );
+    }
+
+    #[test]
+    fn disk_faulted_replica_reports_degraded_status() {
+        let dir = std::env::temp_dir().join(format!("swatd-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let members = shard_members(8, 2, 0);
+        let opts = swat_store::StoreOptions {
+            freeze_rows: 4,
+            retry_backoff: std::time::Duration::from_millis(1),
+            ..swat_store::StoreOptions::default()
+        };
+        let flush_faults = opts.flush_faults.clone();
+        let store = DurableStore::create_with(&dir, cfg(), members.len(), opts).unwrap();
+        let mut node = ReplicaNode {
+            node: 1,
+            shard: 0,
+            members,
+            backing: Backing::Durable(store),
+            applied: HashSet::new(),
+            arrivals: 0,
+        };
+        assert_eq!(node.store_health(), crate::proto::WireStoreHealth::Healthy);
+
+        // The disk dies under the background flusher; ingest continues
+        // and Status surfaces the degradation instead of hiding it.
+        flush_faults.kill();
+        warm(&mut node, 20);
+        // The drain barrier forces every parked flush to be attempted
+        // and reports the failure as a typed error.
+        let err = node.checkpoint().unwrap_err();
+        assert!(
+            matches!(err, StoreError::Degraded { parked, .. } if parked > 0),
+            "checkpoint on a dead disk must report Degraded, got {err}"
+        );
+        let Response::StatusR { store, .. } = node.handle(&Request::Status) else {
+            panic!("Status must answer StatusR");
+        };
+        assert!(
+            matches!(store, crate::proto::WireStoreHealth::Degraded { .. }),
+            "faulted flush path must surface as degraded, got {store}"
+        );
+        assert_eq!(node.arrivals(), 20, "ingest must continue while degraded");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -55,6 +55,23 @@ pub enum StoreError {
         /// Index of the offending stream within the row.
         stream: usize,
     },
+    /// The store is running but durability is behind: background flushes
+    /// are parked on a persistent disk fault (or the live WAL hit one),
+    /// so an operation that requires everything durable cannot complete.
+    /// Ingest continues; the store retries with bounded backoff.
+    Degraded {
+        /// Frozen generations waiting to be flushed.
+        parked: usize,
+        /// The most recent underlying failure, rendered.
+        message: String,
+    },
+    /// A historical range query touched arrivals no live segment carries
+    /// (rows older than the earliest retained segment, or a span whose
+    /// row section did not survive corruption).
+    NoHistory {
+        /// First arrival index that could not be served.
+        t: u64,
+    },
 }
 
 impl StoreError {
@@ -79,6 +96,15 @@ impl fmt::Display for StoreError {
             StoreError::BadValue { stream } => {
                 write!(f, "row carries a non-finite value for stream {stream}")
             }
+            StoreError::Degraded { parked, message } => {
+                write!(
+                    f,
+                    "store degraded: {parked} frozen generation(s) parked ({message})"
+                )
+            }
+            StoreError::NoHistory { t } => {
+                write!(f, "no live segment carries arrival {t}")
+            }
         }
     }
 }
@@ -89,7 +115,11 @@ impl std::error::Error for StoreError {
             StoreError::Io { source, .. } => Some(source),
             StoreError::Corrupt { source, .. } => Some(source),
             StoreError::Snapshot { source, .. } => Some(source),
-            StoreError::NoState | StoreError::BadRow { .. } | StoreError::BadValue { .. } => None,
+            StoreError::NoState
+            | StoreError::BadRow { .. }
+            | StoreError::BadValue { .. }
+            | StoreError::Degraded { .. }
+            | StoreError::NoHistory { .. } => None,
         }
     }
 }

@@ -1,15 +1,27 @@
 //! Deterministic storage-fault injection.
 //!
 //! Recovery claims to survive torn writes, bit rot, and lost files; this
-//! module is how that claim gets exercised. A [`FaultPlan`] is an
-//! explicit list of byte-level mutations applied to a store directory —
-//! the same faults a crashed disk or interrupted kernel write produces —
-//! and [`FaultInjector`] derives such plans from a seed, so every failing
-//! case in the property tests is replayable from its seed alone.
+//! module is how that claim gets exercised. Two fault families live here:
+//!
+//! * **Corruption after the crash** — a [`FaultPlan`] is an explicit list
+//!   of byte-level mutations applied to a dead store directory (the same
+//!   faults a crashed disk or interrupted kernel write produces), and
+//!   [`FaultInjector`] derives such plans from a seed, so every failing
+//!   case in the property tests is replayable from its seed alone.
+//! * **Failures during operation** — an [`IoFaults`] handle sits between
+//!   the store and the filesystem and can make any write, fsync, or
+//!   rename fail at a seeded step with `ENOSPC`, `EIO`, a torn write
+//!   (a prefix lands, then the error), or a simulated process crash
+//!   (that op and every later one fails). The live store must degrade
+//!   gracefully under these — park the flush, keep ingesting on the WAL —
+//!   and the crash-point property tests kill the store at every step of a
+//!   flush/compaction schedule this way.
 
 use std::fs::{self, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -124,7 +136,7 @@ impl FaultInjector {
         for entry in fs::read_dir(dir).map_err(StoreError::io("list store directory"))? {
             let entry = entry.map_err(StoreError::io("list store directory"))?;
             let name = entry.file_name().to_string_lossy().into_owned();
-            if crate::checkpoint::parse_name(&name).is_some() {
+            if crate::manifest::classify(&name).is_some() {
                 let len = entry
                     .metadata()
                     .map_err(StoreError::io("stat store file"))?
@@ -156,6 +168,162 @@ impl FaultInjector {
             plan.faults.push(fault);
         }
         Ok(plan)
+    }
+}
+
+/// What kind of filesystem operation is about to run (the unit the
+/// step counter of [`IoFaults`] counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// A data write (`write_all`).
+    Write,
+    /// An `fsync` (file or directory).
+    Sync,
+    /// An atomic rename.
+    Rename,
+}
+
+/// How an injected operation-level fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The disk is full: the op fails with `ENOSPC`, nothing written.
+    Enospc,
+    /// A media error: the op fails with `EIO`, nothing written.
+    Eio,
+    /// A torn write: roughly `keep_permille`/1000 of the bytes land,
+    /// then the op fails with `EIO`. Only meaningful for writes; on
+    /// sync/rename it behaves like [`IoFaultKind::Eio`].
+    Torn {
+        /// Fraction of the buffer that survives, in permille.
+        keep_permille: u16,
+    },
+    /// A simulated process kill at this step: the op fails (writes land
+    /// a torn prefix first) and **every subsequent op fails too** — the
+    /// process is dead, only the files remain.
+    Crash,
+}
+
+/// One operation-level fault: at global step `step`, the op fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFault {
+    /// Which op (0-based, in execution order within this fault domain).
+    pub step: u64,
+    /// How it fails.
+    pub kind: IoFaultKind,
+}
+
+/// A seeded schedule of operation-level faults for one fault domain.
+///
+/// The store keeps two independent domains — the foreground WAL path and
+/// the background flush/compaction path — each with its own step counter,
+/// so a plan aimed at "flush step 7" is deterministic regardless of how
+/// the two threads interleave.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// Faults, ascending by step.
+    pub faults: Vec<IoFault>,
+}
+
+impl IoFaultPlan {
+    /// A single fault at `step`.
+    pub fn at(step: u64, kind: IoFaultKind) -> IoFaultPlan {
+        IoFaultPlan {
+            faults: vec![IoFault { step, kind }],
+        }
+    }
+
+    /// Draw up to `max_faults` faults over the step range `0..horizon`
+    /// from a seed. Crash faults are excluded — a crash schedule is a
+    /// different experiment (use [`IoFaultPlan::at`] with
+    /// [`IoFaultKind::Crash`] per crash point).
+    pub fn seeded(seed: u64, horizon: u64, max_faults: usize) -> IoFaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        if horizon == 0 || max_faults == 0 {
+            return IoFaultPlan { faults };
+        }
+        let n = rng.gen_range(1..=max_faults);
+        for _ in 0..n {
+            let kind = match rng.gen_range(0..3u32) {
+                0 => IoFaultKind::Enospc,
+                1 => IoFaultKind::Eio,
+                _ => IoFaultKind::Torn {
+                    keep_permille: rng.gen_range(0..1000u32) as u16,
+                },
+            };
+            faults.push(IoFault {
+                step: rng.gen_range(0..horizon),
+                kind,
+            });
+        }
+        faults.sort_by_key(|f| f.step);
+        IoFaultPlan { faults }
+    }
+}
+
+/// A shared handle adjudicating every store filesystem op in one fault
+/// domain. [`IoFaults::none`] (the production configuration) never
+/// injects and costs one relaxed atomic increment per op.
+#[derive(Debug)]
+pub struct IoFaults {
+    step: AtomicU64,
+    dead: AtomicBool,
+    faults: Vec<IoFault>,
+}
+
+impl IoFaults {
+    /// A domain that never injects faults.
+    pub fn none() -> Arc<IoFaults> {
+        Arc::new(IoFaults {
+            step: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            faults: Vec::new(),
+        })
+    }
+
+    /// A domain driven by `plan`.
+    pub fn with_plan(plan: IoFaultPlan) -> Arc<IoFaults> {
+        let mut faults = plan.faults;
+        faults.sort_by_key(|f| f.step);
+        Arc::new(IoFaults {
+            step: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            faults,
+        })
+    }
+
+    /// Ops adjudicated so far — run a workload against a fault-free
+    /// domain first to learn the horizon of its schedule.
+    pub fn steps(&self) -> u64 {
+        self.step.load(Ordering::Relaxed)
+    }
+
+    /// Whether a [`IoFaultKind::Crash`] has fired (or [`IoFaults::kill`]
+    /// was called): every op fails from here on.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Kill the domain directly — the process-death simulation hook for
+    /// crash tests that do not target a specific step.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+    }
+
+    /// Adjudicate the next op: `None` means proceed normally. The op
+    /// kind is informational (steps count every op); `Crash` flips the
+    /// domain dead.
+    pub fn check(&self, _op: IoOp) -> Option<IoFaultKind> {
+        let s = self.step.fetch_add(1, Ordering::Relaxed);
+        if self.dead.load(Ordering::Relaxed) {
+            return Some(IoFaultKind::Eio);
+        }
+        // Sorted by step, at most a handful of entries: linear scan.
+        let hit = self.faults.iter().find(|f| f.step == s)?;
+        if matches!(hit.kind, IoFaultKind::Crash) {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+        Some(hit.kind)
     }
 }
 
@@ -211,5 +379,43 @@ mod tests {
         assert!(!a.faults.is_empty());
         let _ = c; // different seed may or may not coincide; only a == b is contractual
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_faults_fire_at_their_step_and_crash_goes_dead() {
+        let f = IoFaults::with_plan(IoFaultPlan {
+            faults: vec![
+                IoFault {
+                    step: 1,
+                    kind: IoFaultKind::Enospc,
+                },
+                IoFault {
+                    step: 3,
+                    kind: IoFaultKind::Crash,
+                },
+            ],
+        });
+        assert_eq!(f.check(IoOp::Write), None);
+        assert_eq!(f.check(IoOp::Write), Some(IoFaultKind::Enospc));
+        assert_eq!(f.check(IoOp::Sync), None);
+        assert!(!f.is_dead());
+        assert_eq!(f.check(IoOp::Rename), Some(IoFaultKind::Crash));
+        assert!(f.is_dead());
+        // Dead: every later op fails regardless of the plan.
+        assert_eq!(f.check(IoOp::Write), Some(IoFaultKind::Eio));
+        assert_eq!(f.steps(), 5);
+    }
+
+    #[test]
+    fn io_plans_are_deterministic_in_the_seed() {
+        let a = IoFaultPlan::seeded(42, 100, 4);
+        let b = IoFaultPlan::seeded(42, 100, 4);
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty());
+        assert!(a.faults.windows(2).all(|w| w[0].step <= w[1].step));
+        assert!(a
+            .faults
+            .iter()
+            .all(|f| !matches!(f.kind, IoFaultKind::Crash)));
     }
 }

@@ -5,45 +5,58 @@
 //! deployment) cannot afford to lose it to a process crash: rebuilding
 //! from peers costs the very network messages the hierarchy exists to
 //! avoid. This crate makes a node's [`StreamSet`](swat_tree::StreamSet)
-//! durable with a classic checkpoint + write-ahead-log design, engineered
-//! so that **arbitrary storage corruption degrades recovery, never
-//! correctness**:
+//! durable with a tiered, LSM-flavoured design, engineered so that
+//! **arbitrary storage corruption degrades recovery, never correctness**
+//! and **no caller ever blocks on an `fsync`**:
 //!
 //! * [`store::DurableStore`] — the live object: every arrival row is a
-//!   checksummed WAL record before the in-memory trees apply it;
-//!   checkpoints are whole-file-checksummed snapshots written with the
-//!   `fsync` → atomic-rename → directory-`fsync` protocol.
+//!   checksummed WAL record plus an in-memory tree update; at every
+//!   `freeze_rows` boundary the accumulated rows freeze and a background
+//!   thread serializes them into an immutable, bloom-guarded
+//!   [`segment`] with an embedded snapshot, committing via the
+//!   [`manifest`] and only then pruning the covered WAL prefix.
+//! * [`compaction`] — background k-way merge of adjacent segments, with
+//!   the manifest rename as the single commit point; a crash at any step
+//!   leaves only reclaimable orphans, never lost rows.
 //! * [`recovery::RecoveryManager`] — rebuilds from the newest verifiable
-//!   checkpoint plus the longest verified WAL prefix, chaining sealed log
-//!   generations, truncating torn tails, and falling back a generation
-//!   when the newest checkpoint is damaged. The recovered trees are
-//!   bit-identical (by `answers_digest`) to a never-crashed store at some
-//!   verified prefix of the ingested rows.
-//! * [`fault::FaultInjector`] — seeded, replayable bit flips, torn
-//!   writes, and file deletions; the property tests drive recovery
-//!   through thousands of such fault plans.
+//!   manifest: base snapshot from the newest intact segment, newer
+//!   segments' verified rows rolled forward, then the WAL chain replayed
+//!   in bounded-memory chunks with torn tails truncated. The recovered
+//!   trees are bit-identical (by `answers_digest`) to a never-crashed
+//!   store at some verified prefix of the acknowledged rows.
+//! * [`fault`] — two seeded fault families: [`fault::FaultPlan`] mutates
+//!   dead directories (bit rot, torn tails, lost files) and
+//!   [`fault::IoFaults`] makes live writes/fsyncs/renames fail
+//!   (`ENOSPC`, `EIO`, torn writes, mid-operation crashes). A persistent
+//!   background fault parks the flush and degrades the store
+//!   ([`store::StoreHealth`]) while ingest continues.
 //! * [`image`] — a small checksummed record container for non-tree
 //!   durable state (the replication layer's per-node bookkeeping).
 //!
-//! Formats are defined in [`wal`] and [`checkpoint`]; every decode path
-//! returns a positioned [`StoreError`] and none of them can panic on
-//! adversarial bytes.
+//! Formats are defined in [`wal`], [`segment`], [`manifest`], and the
+//! legacy [`checkpoint`]; every decode path returns a positioned
+//! [`StoreError`] and none of them can panic on adversarial bytes.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod checkpoint;
+pub mod compaction;
 pub mod error;
 pub mod fault;
 pub mod image;
+mod io;
+pub mod manifest;
 pub mod meta;
 pub mod recovery;
+pub mod segment;
 pub mod store;
 pub mod wal;
 
 pub use error::StoreError;
-pub use fault::{Fault, FaultInjector, FaultPlan};
+pub use fault::{Fault, FaultInjector, FaultPlan, IoFaultKind, IoFaultPlan, IoFaults, IoOp};
 pub use image::{read_image, ImageWriter};
+pub use manifest::{Manifest, SegmentEntry, StoreFile};
 pub use meta::NodeMeta;
 pub use recovery::{RecoveryManager, RecoveryReport};
-pub use store::{holds_store, DurableStore};
+pub use store::{holds_store, DurableStore, StoreHealth, StoreOptions, TierStatus};

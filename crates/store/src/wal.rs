@@ -171,14 +171,14 @@ pub fn scan_records(body: &[u8], streams: usize) -> WalPrefix {
     let mut values = Vec::new();
     let mut at = 0;
     'records: while body.len() - at >= rlen {
-        let stored = u32::from_le_bytes(body[at..at + 4].try_into().unwrap());
+        let stored = u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes"));
         let row = &body[at + 4..at + rlen];
         if crc32(row) != stored {
             break;
         }
         let mark = values.len();
         for s in 0..streams {
-            let bits = u64::from_le_bytes(row[8 * s..8 * s + 8].try_into().unwrap());
+            let bits = u64::from_le_bytes(row[8 * s..8 * s + 8].try_into().expect("8 bytes"));
             let v = f64::from_bits(bits);
             if !v.is_finite() {
                 values.truncate(mark);
@@ -191,6 +191,89 @@ pub fn scan_records(body: &[u8], streams: usize) -> WalPrefix {
     WalPrefix {
         values,
         verified_len: at,
+    }
+}
+
+/// Streaming verified-prefix reader over a WAL body.
+///
+/// Recovery of a long-lived stream must not materialize the whole log:
+/// this reader pulls the body through a fixed-size chunk buffer, verifies
+/// record checksums incrementally, and hands back at most `chunk_rows`
+/// rows at a time. The memory high-water mark is one chunk regardless of
+/// how large the log grew. Semantics match [`scan_records`] exactly: the
+/// first incomplete, corrupt, or non-finite record ends the verified
+/// prefix, and a read error is treated as the end of readable data (the
+/// tail is dropped, never guessed at).
+pub struct WalBodyReader<R: std::io::Read> {
+    inner: R,
+    streams: usize,
+    /// Whole-record-aligned staging buffer (capacity `chunk_rows` records).
+    buf: Vec<u8>,
+    target: usize,
+    verified_len: u64,
+    done: bool,
+}
+
+impl<R: std::io::Read> WalBodyReader<R> {
+    /// A reader delivering up to `chunk_rows` rows per call (minimum 1).
+    pub fn new(inner: R, streams: usize, chunk_rows: usize) -> WalBodyReader<R> {
+        let target = record_len(streams) * chunk_rows.max(1);
+        WalBodyReader {
+            inner,
+            streams,
+            buf: Vec::with_capacity(target),
+            target,
+            verified_len: 0,
+            done: false,
+        }
+    }
+
+    /// Body bytes verified so far (the caller computes the dropped tail
+    /// as `body_len - verified_len` once the reader is exhausted).
+    pub fn verified_len(&self) -> u64 {
+        self.verified_len
+    }
+
+    /// The next chunk of verified rows (flattened with stride `streams`),
+    /// or `None` when the verified prefix is exhausted.
+    pub fn next_rows(&mut self) -> Option<Vec<f64>> {
+        if self.done {
+            return None;
+        }
+        // Top up the staging buffer to one chunk (or EOF / read error).
+        let mut eof = false;
+        let mut scratch = [0u8; 8192];
+        while self.buf.len() < self.target {
+            let want = (self.target - self.buf.len()).min(scratch.len());
+            match self.inner.read(&mut scratch[..want]) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                Err(_) => {
+                    // An unreadable tail is a dropped tail.
+                    eof = true;
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        let prefix = scan_records(&self.buf, self.streams);
+        let whole = self.buf.len() / record_len(self.streams) * record_len(self.streams);
+        if prefix.verified_len < whole || eof {
+            // A record inside the chunk failed verification, or the log
+            // ends here (possibly with a torn partial record): nothing
+            // after this point can be trusted.
+            self.done = true;
+        }
+        self.verified_len += prefix.verified_len as u64;
+        self.buf.drain(..prefix.verified_len);
+        if prefix.values.is_empty() {
+            self.done = true;
+            return None;
+        }
+        Some(prefix.values)
     }
 }
 
@@ -275,6 +358,44 @@ mod tests {
                 assert_eq!(p.verified_len, hit * rlen);
             }
         }
+    }
+
+    #[test]
+    fn body_reader_matches_scan_records_chunk_by_chunk() {
+        let mut body = Vec::new();
+        for i in 0..100 {
+            encode_record(&mut body, &[i as f64, -(i as f64)]);
+        }
+        // Clean body: all rows, in order, across many small chunks.
+        let mut r = WalBodyReader::new(&body[..], 2, 7);
+        let mut values = Vec::new();
+        while let Some(chunk) = r.next_rows() {
+            assert!(chunk.len() <= 7 * 2);
+            values.extend(chunk);
+        }
+        let reference = scan_records(&body, 2);
+        assert_eq!(values, reference.values);
+        assert_eq!(r.verified_len(), reference.verified_len as u64);
+
+        // A flipped record mid-body ends the prefix at the same point.
+        let mut bad = body.clone();
+        bad[record_len(2) * 43 + 5] ^= 0x20;
+        let mut r = WalBodyReader::new(&bad[..], 2, 7);
+        let mut values = Vec::new();
+        while let Some(chunk) = r.next_rows() {
+            values.extend(chunk);
+        }
+        assert_eq!(values.len(), 43 * 2);
+        assert_eq!(r.verified_len(), (record_len(2) * 43) as u64);
+
+        // A torn final record is dropped.
+        let torn = &body[..body.len() - 3];
+        let mut r = WalBodyReader::new(torn, 2, 64);
+        let mut rows = 0;
+        while let Some(chunk) = r.next_rows() {
+            rows += chunk.len() / 2;
+        }
+        assert_eq!(rows, 99);
     }
 
     #[test]

@@ -1,40 +1,69 @@
-//! Exhaustive corruption fuzz over the on-disk formats (ISSUE 4,
-//! satellite 3): for a reference store directory, flip **every bit of
-//! every byte** and truncate at **every offset** of the checkpoint and of
-//! each WAL generation — one fault per recovery attempt — and require
-//! that recovery returns either a typed error or a store whose digest
-//! matches a verified-consistent prefix of the ingested rows. Never a
-//! panic, never an unrecognized state.
+//! Exhaustive corruption fuzz over the on-disk formats (ISSUE 4
+//! satellite 3, extended to the tiered layout by ISSUE 10): for a
+//! reference store directory holding **segments, manifests, and WAL
+//! generations**, flip every bit of every byte and truncate at every
+//! offset — one fault per recovery attempt — and require that recovery
+//! returns either a typed error or a store whose digest matches a
+//! verified-consistent prefix of the ingested rows. Never a panic,
+//! never an unrecognized state.
 //!
 //! The per-format unit tests already fuzz decode functions in isolation;
 //! this test drives the whole `RecoveryManager` path end to end, where a
-//! corrupt checkpoint must additionally trigger generation fallback and
-//! a corrupt WAL record must cut the replayed prefix.
+//! corrupt segment snapshot must trigger base fallback, a corrupt
+//! manifest must fall back a manifest generation, and a corrupt WAL
+//! record must cut the replayed prefix.
 
 use std::fs;
 use std::path::Path;
+use std::time::Duration;
 
-use swat_store::{DurableStore, RecoveryManager};
+use swat_store::{DurableStore, RecoveryManager, StoreOptions};
 use swat_tree::{StreamSet, SwatConfig};
 
 const ROWS: u64 = 30;
 const STREAMS: usize = 2;
 
+/// Small freeze/compaction knobs so 30 rows produce a genuinely tiered
+/// layout: several segments (one of them compacted), two manifest
+/// generations, and a live WAL tail.
+fn opts() -> StoreOptions {
+    StoreOptions {
+        freeze_rows: 8,
+        compact_fanin: 2,
+        retry_backoff: Duration::from_millis(1),
+        ..StoreOptions::default()
+    }
+}
+
 fn config() -> SwatConfig {
     SwatConfig::with_coefficients(16, 2).unwrap()
+}
+
+/// A scratch directory on tmpfs when available: each fault case runs a
+/// full recovery (manifest commit + segment writes, fsync-heavy), and on
+/// a disk-backed `/tmp` the ~40k cases would be fsync-bound.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let base = Path::new("/dev/shm");
+    let base = if base.is_dir() {
+        base.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    };
+    base.join(format!("swat-fuzz-{name}-{}", std::process::id()))
 }
 
 fn row(i: u64) -> [f64; STREAMS] {
     [(i as f64 * 0.61).sin() * 8.0, (i % 11) as f64 - 5.0]
 }
 
-/// Build the reference directory — a checkpoint at t = 20 with the sealed
-/// `wal-0` behind it and ten live rows in `wal-20` — and capture its
-/// files, so each fault case can reset the directory with plain writes
-/// instead of re-running the (fsync-heavy) store.
+/// Build the reference directory — frozen segments up to t = 24 (with at
+/// least one compaction behind them), committed manifests, and a live WAL
+/// tail — and capture its files, so each fault case can reset the
+/// directory with plain writes instead of re-running the (fsync-heavy)
+/// store.
 fn reference(dir: &Path) -> Vec<(String, Vec<u8>)> {
     let _ = fs::remove_dir_all(dir);
-    let mut store = DurableStore::create(dir, config(), STREAMS).unwrap();
+    let mut store = DurableStore::create_with(dir, config(), STREAMS, opts()).unwrap();
     for i in 0..ROWS {
         store.push_row(&row(i)).unwrap();
         if i + 1 == 20 {
@@ -101,13 +130,16 @@ fn check(dir: &Path, digests: &[u64], what: &str) {
 
 #[test]
 fn every_single_bit_flip_recovers_consistently() {
-    let dir = std::env::temp_dir().join(format!("swat-fuzz-flip-{}", std::process::id()));
+    let dir = scratch("flip");
     let digests = digests();
     let files = reference(&dir);
-    assert!(files.iter().any(|(f, _)| f.starts_with("ckpt-")));
+    assert!(files.iter().any(|(f, _)| f.starts_with("seg-")));
+    assert!(files.iter().any(|(f, _)| f.starts_with("manifest-")));
+    assert!(files.iter().any(|(f, _)| f.starts_with("wal-")));
     assert!(
-        files.len() >= 3,
-        "expected checkpoint + two WAL generations"
+        files.len() >= 5,
+        "expected segments + manifests + live WAL, got {files:?}",
+        files = files.iter().map(|(f, _)| f).collect::<Vec<_>>()
     );
 
     for (file, pristine) in &files {
@@ -126,7 +158,7 @@ fn every_single_bit_flip_recovers_consistently() {
 
 #[test]
 fn every_truncation_recovers_consistently() {
-    let dir = std::env::temp_dir().join(format!("swat-fuzz-cut-{}", std::process::id()));
+    let dir = scratch("cut");
     let digests = digests();
     let files = reference(&dir);
 

@@ -1,0 +1,196 @@
+//! Crash-point grid over the tiered store (ISSUE 10 satellite): kill the
+//! store at **every I/O step** of a seeded flush/compaction schedule —
+//! and, independently, at every step of the foreground WAL schedule —
+//! then recover and require the acked-prefix contract:
+//!
+//! * zero acked-data loss: `recovered_arrivals >= rows acked by sync()`,
+//! * no invention: `recovered_arrivals <= rows pushed`,
+//! * bit-identity: the recovered digest equals the uncrashed twin's
+//!   digest at exactly `recovered_arrivals` rows,
+//! * never a panic.
+//!
+//! The step horizons are *probed*, not guessed: the same workload first
+//! runs against fault-free domains and reports how many operations each
+//! domain adjudicated; the grid then replays it once per step with an
+//! injected [`IoFaultKind::Crash`] at that step.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use swat_store::{DurableStore, IoFaultKind, IoFaultPlan, IoFaults, RecoveryManager, StoreOptions};
+use swat_tree::{StreamSet, SwatConfig};
+
+const ROWS: u64 = 60;
+const STREAMS: usize = 2;
+const SYNC_EVERY: u64 = 9;
+
+fn config() -> SwatConfig {
+    SwatConfig::with_coefficients(16, 2).unwrap()
+}
+
+fn row(i: u64) -> [f64; STREAMS] {
+    [(i as f64 * 0.83).cos() * 12.0, (i % 7) as f64]
+}
+
+/// Small tiers so 60 rows exercise freeze, flush, and compaction.
+fn opts() -> StoreOptions {
+    StoreOptions {
+        freeze_rows: 8,
+        compact_fanin: 2,
+        retry_backoff: Duration::from_millis(1),
+        ..StoreOptions::default()
+    }
+}
+
+/// Scratch on tmpfs when available (each grid cell replays the whole
+/// workload; on a disk-backed `/tmp` the grid would be fsync-bound).
+fn scratch(name: &str, cell: u64) -> PathBuf {
+    let base = Path::new("/dev/shm");
+    let base = if base.is_dir() {
+        base.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    };
+    base.join(format!("swat-crash-{name}-{cell}-{}", std::process::id()))
+}
+
+/// Digest of the uncrashed twin at every prefix.
+fn digests() -> Vec<u64> {
+    let mut set = StreamSet::new(config(), STREAMS);
+    let mut out = vec![set.answers_digest()];
+    for i in 0..ROWS {
+        set.push_row(&row(i));
+        out.push(set.answers_digest());
+    }
+    out
+}
+
+/// Run the seeded workload against a store whose fault domains are
+/// `wal` / `flush`; returns the highest arrival count acknowledged by a
+/// successful `sync()`. Panics bubbling out of here fail the grid —
+/// faults must degrade, never explode.
+fn workload(dir: &Path, wal: std::sync::Arc<IoFaults>, flush: std::sync::Arc<IoFaults>) -> u64 {
+    let o = StoreOptions {
+        wal_faults: wal,
+        flush_faults: flush,
+        ..opts()
+    };
+    // A fault can hit store creation itself (the initial manifest commit
+    // runs in the foreground domain); that is a valid grid cell with
+    // nothing acked.
+    let Ok(mut store) = DurableStore::create_with(dir, config(), STREAMS, o) else {
+        return 0;
+    };
+    let mut acked = 0;
+    for i in 0..ROWS {
+        store.push_row(&row(i)).unwrap();
+        if (i + 1) % SYNC_EVERY == 0 && store.sync().is_ok() {
+            acked = store.arrivals();
+        }
+    }
+    // Drain the background schedule (barrier) so every flush/compaction
+    // the workload provoked is attempted before the simulated kill; a
+    // degraded barrier is fine, parked rows are the scenario under test.
+    let _ = store.checkpoint();
+    if store.sync().is_ok() {
+        acked = store.arrivals();
+    }
+    store.crash();
+    acked
+}
+
+fn check_cell(dir: &Path, acked: u64, digests: &[u64], what: &str) {
+    match RecoveryManager::recover_with(dir, opts()) {
+        Ok((recovered, report)) => {
+            let p = report.recovered_arrivals;
+            assert!(p >= acked, "{what}: lost acked rows ({p} < {acked})");
+            assert!(p <= ROWS, "{what}: invented rows ({p} > {ROWS})");
+            assert_eq!(
+                recovered.answers_digest(),
+                digests[p as usize],
+                "{what}: recovered state is not the uncrashed prefix at {p}"
+            );
+        }
+        Err(e) => {
+            assert_eq!(acked, 0, "{what}: acked rows vanished into error: {e}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn crash_at_every_flush_and_compaction_step_preserves_acked_rows() {
+    let digests = digests();
+
+    // Probe the background schedule's horizon with fault-free domains.
+    let probe_flush = IoFaults::none();
+    let dir = scratch("probe-flush", 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    let acked = workload(&dir, IoFaults::none(), probe_flush.clone());
+    assert_eq!(acked, ROWS);
+    let horizon = probe_flush.steps();
+    assert!(
+        horizon > 20,
+        "schedule too small to be interesting: {horizon}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for step in 0..horizon {
+        let dir = scratch("flush", step);
+        let _ = std::fs::remove_dir_all(&dir);
+        let flush = IoFaults::with_plan(IoFaultPlan::at(step, IoFaultKind::Crash));
+        let acked = workload(&dir, IoFaults::none(), flush);
+        check_cell(
+            &dir,
+            acked,
+            &digests,
+            &format!("flush crash at step {step}"),
+        );
+    }
+}
+
+#[test]
+fn crash_at_every_wal_step_preserves_acked_rows() {
+    let digests = digests();
+
+    let probe_wal = IoFaults::none();
+    let dir = scratch("probe-wal", 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    let acked = workload(&dir, probe_wal.clone(), IoFaults::none());
+    assert_eq!(acked, ROWS);
+    let horizon = probe_wal.steps();
+    assert!(horizon > 5, "WAL schedule too small: {horizon}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for step in 0..horizon {
+        let dir = scratch("wal", step);
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = IoFaults::with_plan(IoFaultPlan::at(step, IoFaultKind::Crash));
+        let acked = workload(&dir, wal, IoFaults::none());
+        check_cell(&dir, acked, &digests, &format!("WAL crash at step {step}"));
+    }
+}
+
+#[test]
+fn seeded_transient_fault_storms_never_lose_acked_rows() {
+    let digests = digests();
+
+    // Learn both horizons once, then throw seeded multi-fault plans
+    // (ENOSPC / EIO / torn, no crash) at both domains simultaneously.
+    let pw = IoFaults::none();
+    let pf = IoFaults::none();
+    let dir = scratch("probe-storm", 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    workload(&dir, pw.clone(), pf.clone());
+    let (hw, hf) = (pw.steps(), pf.steps());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for seed in 0..40u64 {
+        let dir = scratch("storm", seed);
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = IoFaults::with_plan(IoFaultPlan::seeded(seed, hw, 3));
+        let flush = IoFaults::with_plan(IoFaultPlan::seeded(seed ^ 0xA5A5, hf, 4));
+        let acked = workload(&dir, wal, flush);
+        check_cell(&dir, acked, &digests, &format!("fault storm seed {seed}"));
+    }
+}

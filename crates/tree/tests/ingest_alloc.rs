@@ -10,30 +10,46 @@
 //!
 //! Mirrors `query_alloc.rs`: a counting global allocator wrapping
 //! `System`, in a dedicated single-test integration binary so no
-//! concurrent test perturbs the counter.
+//! concurrent test perturbs the counter. Only allocations made by the
+//! test thread itself are counted: the libtest harness thread wakes at
+//! timing-dependent moments and allocates a handful of bookkeeping
+//! objects, which on a single-core machine can land mid-measurement.
+//! The flag is a const-initialised `Cell<bool>` TLS slot, so reading it
+//! inside the allocator neither allocates nor registers a destructor.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use swat_tree::{IngestScratch, SwatConfig, SwatTree};
+
+thread_local! {
+    static MEASURED_THREAD: Cell<bool> = const { Cell::new(false) };
+}
 
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+fn count() {
+    if MEASURED_THREAD.with(|t| t.get()) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count();
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count();
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -51,6 +67,7 @@ fn allocations() -> u64 {
 
 #[test]
 fn steady_state_batched_ingest_does_not_allocate() {
+    MEASURED_THREAD.with(|t| t.set(true));
     let n = 4096;
     let batch: Vec<f64> = (0..1024).map(|i| ((i * 37) % 211) as f64 - 100.0).collect();
     for k in [1usize, 2, 3, 8] {

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate results/BENCH_store.json — the tiered swat-store under
+# load and under injected disk faults: per-push latency while segments
+# freeze, flush, and compact in the background (the non-blocking
+# checkpoint claim, with scheduler preemption classified separately
+# from genuine blocking), and an ENOSPC/EIO/torn-write × crash-point
+# grid that must recover every cell with zero acked-row loss. Pass
+# --quick for a fast smoke-sized run; any extra flags are forwarded to
+# the CLI (see `swat help`, STORE-BENCH section, for the options).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p swat-cli -- store-bench --out results/BENCH_store.json "$@"

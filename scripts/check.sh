@@ -43,6 +43,25 @@ grep -q '"digest_match": true' target/recovery-smoke.json
 grep -q '"violations": 0' target/recovery-smoke.json
 echo "recovery smoke clean (target/recovery-smoke.json)"
 
+echo "== store fuzz smoke (segment/manifest/WAL corruption, typed errors only) =="
+cargo test -q -p swat-store --test corruption_fuzz
+echo "store fuzz clean (every injected corruption -> typed error or verified prefix)"
+
+echo "== compaction smoke (crash at every flush/compaction step, digests bit-exact) =="
+cargo test -q -p swat-store --test crash_points
+cargo test -q -p swat-store --lib compaction
+echo "compaction smoke clean (crash-mid-compaction leaves inputs and manifest intact)"
+
+echo "== store-bench smoke (non-blocking flush + injected-fault grid) =="
+cargo run --release -q -p swat-cli -- store-bench --quick \
+    --out target/store-smoke.json >/dev/null
+grep -q '"bench": "store"' target/store-smoke.json
+grep -q '"flush_nonblocking": true' target/store-smoke.json
+grep -q '"acked_rows_lost": 0' target/store-smoke.json
+grep -q '"digest_mismatches": 0' target/store-smoke.json
+grep -q '"panics": 0' target/store-smoke.json
+echo "store-bench smoke clean (target/store-smoke.json)"
+
 echo "== query-bench smoke (tiny grid, fast-vs-slow agreement) =="
 cargo run --release -q -p swat-cli -- query-bench --quick \
     --points 500 --inners 20 --ranges 5 \
@@ -131,4 +150,4 @@ grep -q '"recovered": true' target/failover-smoke.json
 grep -q '"zero_wrong_answers": true' target/failover-smoke.json
 echo "failover smoke clean (target/failover-smoke.json)"
 
-echo "OK: fmt, clippy, tier-1, ingest, chaos, recovery, query-bench, repair, scale, daemon, and failover smokes all green"
+echo "OK: fmt, clippy, tier-1, ingest, chaos, recovery, store, query-bench, repair, scale, daemon, and failover smokes all green"
